@@ -1,0 +1,117 @@
+// Ablation A3 — snapshot-dominant restores (§4.2.3).
+//
+// A fresh replica joins a shard and must restore: fetch the latest snapshot
+// from the object store, then replay the transaction log from the
+// snapshot's position. The workload overwrites a 2000-key working set
+// 10x over, so the log holds ~10x more bytes than a snapshot of the same
+// state — the compaction property §4.2.3 relies on. We sweep the snapshot
+// freshness (how much log lies beyond the snapshot) and measure
+// time-to-caught-up for a newly added replica.
+//
+// Expected: restore time grows with the amount of log to replay; keeping
+// snapshots fresh (the scheduler's job) bounds MTTR. With no snapshot at
+// all, the whole history must be replayed.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_support/fixtures.h"
+#include "bench_support/instances.h"
+#include "client/db_client.h"
+
+namespace memdb::bench {
+namespace {
+
+using sim::kMs;
+using sim::kSec;
+
+class ClientActor : public sim::Actor {
+ public:
+  ClientActor(sim::Simulation* sim, sim::NodeId id,
+              std::vector<sim::NodeId> nodes)
+      : Actor(sim, id), db(this, std::move(nodes)) {}
+  client::DbClient db;
+};
+
+// Writes `n` keys through the normal path (so they are in the log),
+// pipelined 64-deep to keep generation fast.
+void WriteKeys(sim::Simulation* sim, ClientActor* client, int n, int base) {
+  int completed = 0;
+  int issued = 0;
+  while (completed < n) {
+    while (issued < n && issued - completed < 64) {
+      client->db.Command(
+          {"SET", "k" + std::to_string((base + issued) % 2000),
+           std::string(4096, 'v')},
+          [&completed](const resp::Value&) { ++completed; });
+      ++issued;
+    }
+    sim->RunFor(200);
+  }
+}
+
+// total_writes through the log; snapshot taken after snapshot_at writes
+// (-1 = no snapshot at all). Returns replica catch-up time in ms.
+double Measure(int total_writes, int snapshot_at) {
+  MemDbFixture::Params p;
+  p.replicas = 1;
+  p.with_offbox = true;
+  p.snapshot_max_log_distance = ~0ULL >> 2;  // manual trigger only
+  p.seed = static_cast<uint64_t>(total_writes * 31 + snapshot_at);
+  MemDbFixture f = MemDbFixture::Create(R7g("r7g.2xlarge"), p);
+  if (f.primary == nullptr) return -1;
+  ClientActor client(f.sim.get(), f.sim->AddHost(0), f.shard->node_ids());
+
+  if (snapshot_at >= 0) {
+    WriteKeys(f.sim.get(), &client, snapshot_at, 0);
+    bool snap_done = false;
+    f.shard->offbox()->Snapshot(
+        [&](const Status&, uint64_t) { snap_done = true; });
+    for (int t = 0; t < 60000 && !snap_done; ++t) f.sim->RunFor(1 * kMs);
+    WriteKeys(f.sim.get(), &client, total_writes - snapshot_at, snapshot_at);
+  } else {
+    WriteKeys(f.sim.get(), &client, total_writes, 0);
+  }
+
+  // A brand-new replica restores (snapshot + replay).
+  const sim::Time start = f.sim->Now();
+  memorydb::Node* newbie = f.shard->AddReplica();
+  while (!newbie->caught_up() && f.sim->Now() - start < 120 * kSec) {
+    f.sim->RunFor(5 * kMs);
+  }
+  return static_cast<double>(f.sim->Now() - start) / 1000.0;
+}
+
+void Run() {
+  constexpr int kTotal = 20000;
+  std::printf("%-34s %14s\n", "restore configuration", "MTTR [ms]");
+  struct Case {
+    const char* label;
+    int snapshot_at;
+  };
+  const Case cases[] = {
+      {"no snapshot (replay 20000 writes)", -1},
+      {"stale snapshot    (replay ~15000)", kTotal - 15000},
+      {"aging snapshot    (replay ~10000)", kTotal - 10000},
+      {"fresh snapshot    (replay ~5000)", kTotal - 5000},
+      {"freshest snapshot (replay ~500)", kTotal - 500},
+  };
+  for (const Case& c : cases) {
+    const double mttr = Measure(kTotal, c.snapshot_at);
+    std::printf("%-34s %14.0f\n", c.label, mttr);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nRestore time is bounded by log replay beyond the snapshot — the\n"
+      "scheduler keeps snapshots fresh so restores stay snapshot-dominant "
+      "(§4.2.3).\n");
+}
+
+}  // namespace
+}  // namespace memdb::bench
+
+int main() {
+  std::printf("Ablation A3: recovery MTTR vs snapshot freshness\n");
+  memdb::bench::Run();
+  return 0;
+}

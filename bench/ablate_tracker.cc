@@ -1,0 +1,104 @@
+// Ablation A5 — the client blocking tracker (§3.2).
+//
+// On a MemoryDB primary, reads of a key with an in-flight (not yet
+// committed) mutation are delayed until the commit completes; reads of
+// unrelated keys are not. We drive a write-hot key plus a read mix over the
+// hot key and cold keys and compare read latency distributions.
+//
+// Expected: cold-key reads stay at network+engine latency (~0.2 ms);
+// hot-key reads pick up part of the multi-AZ commit latency; no read ever
+// returns unacknowledged data.
+
+#include <cstdio>
+
+#include "bench_support/fixtures.h"
+#include "bench_support/instances.h"
+#include "client/db_wire.h"
+#include "common/histogram.h"
+
+namespace memdb::bench {
+namespace {
+
+using sim::kMs;
+using sim::kSec;
+
+// Dedicated probe actor: alternates hot-key writes with immediate hot/cold
+// reads so reads predictably race in-flight commits.
+class Probe : public sim::Actor {
+ public:
+  Probe(sim::Simulation* sim, sim::NodeId id, sim::NodeId target)
+      : Actor(sim, id), target_(target) {
+    After(1, [this] { Round(); });
+  }
+
+  Histogram hot_reads;
+  Histogram cold_reads;
+  Histogram writes;
+  int rounds_done = 0;
+
+ private:
+  void Round() {
+    if (rounds_done >= 2000) return;
+    ++rounds_done;
+    // Fire a hot-key write, then immediately race two reads against it.
+    Cmd({"SET", "hot", "v" + std::to_string(rounds_done)}, &writes);
+    After(50, [this] {
+      Cmd({"GET", "hot"}, &hot_reads);
+      Cmd({"GET", "cold" + std::to_string(rounds_done % 64)}, &cold_reads);
+    });
+    After(3 * kMs, [this] { Round(); });
+  }
+
+  void Cmd(std::vector<std::string> argv, Histogram* hist) {
+    client::DbRequest req;
+    req.argv = std::move(argv);
+    const sim::Time start = Now();
+    Rpc(target_, client::kDbCommand, req.Encode(), 5 * kSec,
+        [this, hist, start](const Status& s, const std::string&) {
+          if (s.ok()) hist->Record(Now() - start);
+        });
+  }
+
+  sim::NodeId target_;
+};
+
+void Run() {
+  MemDbFixture::Params p;
+  p.replicas = 1;
+  MemDbFixture f = MemDbFixture::Create(R7g("r7g.2xlarge"), p);
+  if (f.primary == nullptr) return;
+  Probe probe(f.sim.get(), f.sim->AddHost(0), f.primary->id());
+  f.sim->RunFor(10 * kSec);
+
+  std::printf("%-22s %10s %10s %10s %10s\n", "series", "count", "p50[us]",
+              "p99[us]", "max[us]");
+  auto row = [](const char* name, const Histogram& h) {
+    std::printf("%-22s %10llu %10llu %10llu %10llu\n", name,
+                static_cast<unsigned long long>(h.count()),
+                static_cast<unsigned long long>(h.Percentile(0.5)),
+                static_cast<unsigned long long>(h.Percentile(0.99)),
+                static_cast<unsigned long long>(h.max()));
+  };
+  row("write (multi-AZ commit)", probe.writes);
+  row("read hot key (hazard)", probe.hot_reads);
+  row("read cold key", probe.cold_reads);
+  std::printf(
+      "\nreads deferred by the tracker on the primary: %llu of %llu "
+      "commands\n",
+      static_cast<unsigned long long>(
+          f.primary->stats().reads_deferred_by_tracker),
+      static_cast<unsigned long long>(f.primary->stats().commands));
+  std::printf(
+      "Hot-key reads absorb the remaining commit latency of the write they "
+      "raced;\ncold-key reads are untouched (§3.2 key-level hazards).\n");
+}
+
+}  // namespace
+}  // namespace memdb::bench
+
+int main() {
+  std::printf("Ablation A5: client blocking tracker — key-level read "
+              "hazards\n");
+  memdb::bench::Run();
+  return 0;
+}

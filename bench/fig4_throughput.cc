@@ -1,0 +1,81 @@
+// Figure 4 — maximum throughput by instance type (§6.1.2.1).
+//
+// Setup mirrors the paper: 1000 closed-loop client connections (10 hosts x
+// 100 connections, no pipelining), 100-byte values, keyspace prefilled so
+// GETs always hit. For each r7g instance type we report the sustained
+// ops/sec of OSS-Redis-like and MemoryDB configurations for (a) read-only
+// and (b) write-only workloads.
+//
+// Expected shape (paper): reads — parity (~up to 200K) below 2xlarge, then
+// MemoryDB ~500K vs Redis ~330K; writes — Redis ~300K vs MemoryDB ~185K
+// (every MemoryDB write commits to the multi-AZ transaction log).
+
+#include <cstdio>
+
+#include "bench_support/driver.h"
+#include "bench_support/fixtures.h"
+#include "bench_support/instances.h"
+
+namespace memdb::bench {
+namespace {
+
+constexpr uint64_t kPrefillKeys = 50'000;
+constexpr sim::Duration kWarmup = 200 * sim::kMs;
+constexpr sim::Duration kMeasure = 600 * sim::kMs;
+
+double MeasureMemDb(const InstanceModel& m, double set_ratio) {
+  MemDbFixture f = MemDbFixture::Create(m, MemDbFixture::Params{});
+  if (f.primary == nullptr) return 0;
+  f.Prefill(kPrefillKeys, 100);
+  LoadDriver::Options opts;
+  opts.connections = 1000;
+  opts.set_ratio = set_ratio;
+  opts.value_bytes = 100;
+  opts.key_space = kPrefillKeys;
+  LoadDriver driver(f.sim.get(), f.sim->AddHost(0), f.primary->id(), opts);
+  driver.Start();
+  f.sim->RunFor(kWarmup);
+  driver.ResetStats();
+  f.sim->RunFor(kMeasure);
+  return driver.Throughput();
+}
+
+double MeasureRedis(const InstanceModel& m, double set_ratio) {
+  RedisFixture f = RedisFixture::Create(m, RedisFixture::Params{});
+  f.Prefill(kPrefillKeys, 100);
+  LoadDriver::Options opts;
+  opts.connections = 1000;
+  opts.set_ratio = set_ratio;
+  opts.value_bytes = 100;
+  opts.key_space = kPrefillKeys;
+  LoadDriver driver(f.sim.get(), f.sim->AddHost(0), f.primary->id(), opts);
+  driver.Start();
+  f.sim->RunFor(kWarmup);
+  driver.ResetStats();
+  f.sim->RunFor(kMeasure);
+  return driver.Throughput();
+}
+
+void RunPanel(const char* title, double set_ratio) {
+  std::printf("\n%s\n", title);
+  std::printf("%-14s %14s %14s\n", "instance", "Redis [op/s]",
+              "MemoryDB [op/s]");
+  for (const InstanceModel& m : R7gCatalog()) {
+    const double redis = MeasureRedis(m, set_ratio);
+    const double memdb = MeasureMemDb(m, set_ratio);
+    std::printf("%-14s %14.0f %14.0f\n", m.name.c_str(), redis, memdb);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace memdb::bench
+
+int main() {
+  std::printf(
+      "Figure 4: maximum throughput, 1000 closed-loop connections, 100B "
+      "values\n");
+  memdb::bench::RunPanel("(a) read-only workload (GET)", 0.0);
+  memdb::bench::RunPanel("(b) write-only workload (SET)", 1.0);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 5 — latency vs offered throughput on r7g.16xlarge (§6.1.2.2).
+//
+// Open-loop load at increasing offered rates; we report p50 and p99 for
+// (a) read-only, (b) write-only, and (c) 80/20 mixed workloads.
+//
+// Expected shape (paper): reads — both sub-ms p50 and <2 ms p99;
+// writes — Redis sub-ms p50 / up to 3 ms p99, MemoryDB ~3 ms p50 (every
+// write is a multi-AZ commit) / up to 6 ms p99; mixed — both sub-ms p50,
+// p99 up to 2 ms (Redis) vs 4 ms (MemoryDB).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_support/driver.h"
+#include "bench_support/fixtures.h"
+#include "bench_support/instances.h"
+
+namespace memdb::bench {
+namespace {
+
+constexpr uint64_t kPrefillKeys = 50'000;
+constexpr sim::Duration kWarmup = 200 * sim::kMs;
+constexpr sim::Duration kMeasure = 500 * sim::kMs;
+
+struct Point {
+  uint64_t offered;
+  double p50_ms, p99_ms;
+  double achieved;
+};
+
+template <typename Fixture>
+Point MeasureAt(Fixture& f, sim::NodeId primary, uint64_t offered,
+                double set_ratio, uint64_t seed) {
+  LoadDriver::Options opts;
+  opts.set_ratio = set_ratio;
+  opts.value_bytes = 100;
+  opts.key_space = kPrefillKeys;
+  opts.offered_ops_per_sec = offered;
+  opts.seed = seed;
+  LoadDriver driver(f.sim.get(), f.sim->AddHost(0), primary, opts);
+  driver.Start();
+  f.sim->RunFor(kWarmup);
+  driver.ResetStats();
+  f.sim->RunFor(kMeasure);
+  driver.Stop();
+  Histogram combined;
+  combined.Merge(driver.read_latency());
+  combined.Merge(driver.write_latency());
+  Point p;
+  p.offered = offered;
+  p.p50_ms = static_cast<double>(combined.Percentile(0.50)) / 1000.0;
+  p.p99_ms = static_cast<double>(combined.Percentile(0.99)) / 1000.0;
+  p.achieved = driver.Throughput();
+  return p;
+}
+
+void RunPanel(const char* title, double set_ratio,
+              const std::vector<uint64_t>& rates) {
+  std::printf("\n%s\n", title);
+  std::printf("%-12s | %10s %9s %9s | %10s %9s %9s\n", "offered",
+              "redis[op/s]", "p50[ms]", "p99[ms]", "memdb[op/s]", "p50[ms]",
+              "p99[ms]");
+  const InstanceModel& m = R7g("r7g.16xlarge");
+  for (uint64_t rate : rates) {
+    RedisFixture rf = RedisFixture::Create(m, RedisFixture::Params{});
+    rf.Prefill(kPrefillKeys, 100);
+    Point redis = MeasureAt(rf, rf.primary->id(), rate, set_ratio, 11);
+
+    MemDbFixture mf = MemDbFixture::Create(m, MemDbFixture::Params{});
+    mf.Prefill(kPrefillKeys, 100);
+    Point memdb = MeasureAt(mf, mf.primary->id(), rate, set_ratio, 12);
+
+    std::printf("%-12llu | %10.0f %9.2f %9.2f | %10.0f %9.2f %9.2f\n",
+                static_cast<unsigned long long>(rate), redis.achieved,
+                redis.p50_ms, redis.p99_ms, memdb.achieved, memdb.p50_ms,
+                memdb.p99_ms);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace memdb::bench
+
+int main() {
+  std::printf(
+      "Figure 5: latency vs offered throughput, r7g.16xlarge, 100B values\n");
+  memdb::bench::RunPanel("(a) read-only", 0.0,
+                         {50'000, 100'000, 200'000, 300'000, 400'000,
+                          480'000});
+  memdb::bench::RunPanel("(b) write-only", 1.0,
+                         {25'000, 50'000, 100'000, 150'000, 180'000,
+                          250'000});
+  memdb::bench::RunPanel("(c) mixed 80%% GET / 20%% SET", 0.2,
+                         {50'000, 100'000, 200'000, 300'000, 400'000});
+  return 0;
+}

@@ -1,0 +1,164 @@
+// M1 — engine micro-benchmarks (google-benchmark): raw command execution
+// cost of the in-memory engine, outside the simulator. These numbers ground
+// the CPU cost model in bench_support/instances.cc.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "engine/engine.h"
+#include "engine/snapshot.h"
+
+namespace memdb::engine {
+namespace {
+
+class EngineBench {
+ public:
+  EngineBench() {
+    ctx_.now_ms = 1;
+    ctx_.rng = &engine_.rng();
+  }
+  resp::Value Run(const Argv& argv) {
+    ctx_.effects.clear();
+    ctx_.dirty_keys.clear();
+    return engine_.Execute(argv, &ctx_);
+  }
+  Engine& engine() { return engine_; }
+
+ private:
+  Engine engine_;
+  ExecContext ctx_;
+};
+
+void BM_Set(benchmark::State& state) {
+  EngineBench e;
+  const std::string value(100, 'x');
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        e.Run({"SET", "key:" + std::to_string(i++ % 10000), value}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Set);
+
+void BM_GetHit(benchmark::State& state) {
+  EngineBench e;
+  for (int i = 0; i < 10000; ++i) {
+    e.Run({"SET", "key:" + std::to_string(i), std::string(100, 'x')});
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.Run({"GET", "key:" + std::to_string(i++ % 10000)}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GetHit);
+
+void BM_GetMiss(benchmark::State& state) {
+  EngineBench e;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.Run({"GET", "absent"}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GetMiss);
+
+void BM_Incr(benchmark::State& state) {
+  EngineBench e;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.Run({"INCR", "counter"}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Incr);
+
+void BM_LPushRPop(benchmark::State& state) {
+  EngineBench e;
+  for (auto _ : state) {
+    e.Run({"LPUSH", "list", "element"});
+    benchmark::DoNotOptimize(e.Run({"RPOP", "list"}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_LPushRPop);
+
+void BM_HSet(benchmark::State& state) {
+  EngineBench e;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        e.Run({"HSET", "hash", "f" + std::to_string(i++ % 1000), "value"}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HSet);
+
+void BM_ZAdd(benchmark::State& state) {
+  EngineBench e;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.Run({"ZADD", "zset", std::to_string(i % 5000),
+                                    "m" + std::to_string(i % 5000)}));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ZAdd);
+
+void BM_ZRangeTop10(benchmark::State& state) {
+  EngineBench e;
+  for (int i = 0; i < 10000; ++i) {
+    e.Run({"ZADD", "zset", std::to_string(i), "m" + std::to_string(i)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        e.Run({"ZRANGE", "zset", "0", "9", "REV", "WITHSCORES"}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ZRangeTop10);
+
+void BM_SAddSpop(benchmark::State& state) {
+  EngineBench e;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    e.Run({"SADD", "set", std::to_string(i++ % 4096)});
+    benchmark::DoNotOptimize(e.Run({"SPOP", "set"}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_SAddSpop);
+
+void BM_SnapshotSerialize10k(benchmark::State& state) {
+  EngineBench e;
+  for (int i = 0; i < 10000; ++i) {
+    e.Run({"SET", "key:" + std::to_string(i), std::string(100, 'x')});
+  }
+  SnapshotMeta meta;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SerializeSnapshot(e.engine().keyspace(), meta));
+  }
+}
+BENCHMARK(BM_SnapshotSerialize10k);
+
+void BM_SnapshotRestore10k(benchmark::State& state) {
+  EngineBench e;
+  for (int i = 0; i < 10000; ++i) {
+    e.Run({"SET", "key:" + std::to_string(i), std::string(100, 'x')});
+  }
+  SnapshotMeta meta;
+  const std::string blob = SerializeSnapshot(e.engine().keyspace(), meta);
+  Engine target;
+  for (auto _ : state) {
+    SnapshotMeta m2;
+    benchmark::DoNotOptimize(
+        DeserializeSnapshot(blob, &target.keyspace(), &m2));
+  }
+}
+BENCHMARK(BM_SnapshotRestore10k);
+
+}  // namespace
+}  // namespace memdb::engine
+
+BENCHMARK_MAIN();

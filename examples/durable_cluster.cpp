@@ -1,0 +1,117 @@
+// Durable cluster: the paper's headline behaviour, end to end.
+//
+// Boots a full MemoryDB shard in the deterministic simulator — a primary
+// and two replicas across three AZs, a 3-way replicated transaction log,
+// an S3-like object store, off-box snapshotting — writes data, kills the
+// primary, and shows that every acknowledged write survives the failover.
+//
+//   $ ./durable_cluster
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "client/db_client.h"
+#include "memorydb/shard.h"
+#include "sim/simulation.h"
+#include "storage/object_store.h"
+
+using memdb::client::DbClient;
+using memdb::memorydb::Node;
+using memdb::memorydb::Shard;
+using memdb::resp::Value;
+using memdb::sim::kMs;
+using memdb::sim::kSec;
+
+namespace {
+
+class App : public memdb::sim::Actor {
+ public:
+  App(memdb::sim::Simulation* sim, memdb::sim::NodeId id,
+      std::vector<memdb::sim::NodeId> nodes)
+      : Actor(sim, id), db(this, std::move(nodes)) {}
+  DbClient db;
+};
+
+Value Call(memdb::sim::Simulation& sim, App& app,
+           std::vector<std::string> argv) {
+  Value out;
+  bool done = false;
+  app.db.Command(std::move(argv), [&](const Value& v) {
+    out = v;
+    done = true;
+  });
+  while (!done) sim.RunFor(1 * kMs);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  memdb::sim::Simulation sim(/*seed=*/7);
+  memdb::storage::ObjectStore s3(&sim, sim.AddHost(0));
+
+  Shard::Options opts;
+  opts.shard_id = "demo";
+  opts.num_replicas = 2;       // placed in distinct AZs
+  opts.object_store = s3.id();
+  opts.with_offbox = true;     // snapshots without touching the cluster
+  Shard shard(&sim, opts);
+  App app(&sim, sim.AddHost(0), shard.node_ids());
+
+  sim.RunFor(3 * kSec);  // log-service election + shard bootstrap
+  Node* primary = shard.Primary();
+  std::printf("cluster up: primary=node%u (%zu nodes, 3 AZs, 3-way log)\n",
+              primary->id(), shard.num_nodes());
+
+  // Write an order book through the client.
+  std::printf("\nwriting 100 orders (each acknowledged only after commit "
+              "to a majority of AZs)...\n");
+  for (int i = 0; i < 100; ++i) {
+    Value v = Call(sim, app,
+                   {"SET", "order:" + std::to_string(i),
+                    "{\"item\":\"sku-" + std::to_string(i) + "\"}"});
+    if (!(v == Value::Ok())) {
+      std::printf("write %d failed: %s\n", i, v.ToString().c_str());
+      return 1;
+    }
+  }
+  Call(sim, app, {"ZADD", "revenue", "100", "day-1"});
+  std::printf("all 100 writes acknowledged.\n");
+
+  // Disaster: the primary dies.
+  std::printf("\n*** crashing the primary (node%u) ***\n", primary->id());
+  sim.Crash(primary->id());
+  const memdb::sim::Time crash = sim.Now();
+
+  // The lease lapses, a fully caught-up replica wins the election.
+  while (shard.Primary() == nullptr) sim.RunFor(10 * kMs);
+  Node* successor = shard.Primary();
+  std::printf("node%u promoted after %.0f ms (lease expiry + backoff + "
+              "conditional append, paper §4.1)\n",
+              successor->id(),
+              static_cast<double>(sim.Now() - crash) / 1000.0);
+
+  // Every acknowledged write is still there.
+  int present = 0;
+  for (int i = 0; i < 100; ++i) {
+    Value v = Call(sim, app, {"GET", "order:" + std::to_string(i)});
+    if (v.type == memdb::resp::Type::kBulkString) ++present;
+  }
+  std::printf("\nacknowledged writes surviving failover: %d / 100\n",
+              present);
+
+  // And the cluster keeps serving.
+  Call(sim, app, {"SET", "order:100", "{\"item\":\"sku-100\"}"});
+  Value dbsize = Call(sim, app, {"DBSIZE"});
+  std::printf("writes continue on the new primary; DBSIZE = %s\n",
+              dbsize.ToString().c_str());
+
+  // The old primary returns as a replica and resyncs from durable state.
+  sim.Restart(primary->id());
+  sim.RunFor(5 * kSec);
+  std::printf("old primary rejoined as %s, caught_up=%s\n",
+              primary->IsPrimary() ? "primary" : "replica",
+              primary->caught_up() ? "true" : "false");
+  return present == 100 ? 0 : 1;
+}

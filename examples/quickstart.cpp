@@ -1,0 +1,82 @@
+// Quickstart: the in-memory execution engine as an embedded library.
+//
+// The engine is the Redis-compatible core every node embeds: ~95 commands
+// over strings, lists, hashes, sets, and sorted sets, with Redis semantics
+// (expiry, type errors, effect-based replication). This example drives it
+// directly — no simulator, no cluster — and shows the effect stream that
+// MemoryDB redirects into its transaction log.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "engine/engine.h"
+
+using memdb::engine::Argv;
+using memdb::engine::Engine;
+using memdb::engine::ExecContext;
+
+namespace {
+
+// Small REPL-style helper: run one command and print it like redis-cli.
+memdb::resp::Value Run(Engine& db, ExecContext& ctx, const Argv& argv) {
+  std::string line;
+  for (const auto& a : argv) line += a + " ";
+  memdb::resp::Value reply = db.Execute(argv, &ctx);
+  std::printf("> %-40s %s\n", line.c_str(), reply.ToString().c_str());
+  return reply;
+}
+
+}  // namespace
+
+int main() {
+  Engine db;
+  ExecContext ctx;
+  ctx.now_ms = 1000;
+  ctx.rng = &db.rng();
+
+  std::printf("-- strings and counters\n");
+  Run(db, ctx, {"SET", "user:42:name", "Ada"});
+  Run(db, ctx, {"GET", "user:42:name"});
+  Run(db, ctx, {"INCR", "page:views"});
+  Run(db, ctx, {"INCRBY", "page:views", "10"});
+  Run(db, ctx, {"APPEND", "user:42:name", " Lovelace"});
+  Run(db, ctx, {"GET", "user:42:name"});
+
+  std::printf("\n-- expiry (engine time is explicit)\n");
+  Run(db, ctx, {"SET", "session:abc", "token", "EX", "30"});
+  Run(db, ctx, {"TTL", "session:abc"});
+  ctx.now_ms += 31'000;  // 31 seconds later...
+  Run(db, ctx, {"GET", "session:abc"});
+
+  std::printf("\n-- lists, hashes, sets\n");
+  Run(db, ctx, {"RPUSH", "queue", "job1", "job2", "job3"});
+  Run(db, ctx, {"LPOP", "queue"});
+  Run(db, ctx, {"LRANGE", "queue", "0", "-1"});
+  Run(db, ctx, {"HSET", "user:42", "name", "Ada", "role", "admin"});
+  Run(db, ctx, {"HGETALL", "user:42"});
+  Run(db, ctx, {"SADD", "tags", "fast", "durable", "fast"});
+  Run(db, ctx, {"SMEMBERS", "tags"});
+
+  std::printf("\n-- sorted sets (leaderboards)\n");
+  Run(db, ctx, {"ZADD", "scores", "120", "alice", "95", "bob", "87", "eve"});
+  Run(db, ctx, {"ZRANGE", "scores", "0", "-1", "REV", "WITHSCORES"});
+  Run(db, ctx, {"ZRANK", "scores", "bob"});
+
+  std::printf("\n-- the replication effect stream (what goes into the log)\n");
+  ctx.effects.clear();
+  Run(db, ctx, {"SPOP", "tags"});
+  Run(db, ctx, {"SET", "k", "v", "EX", "60"});
+  std::printf("effects recorded for the transaction log:\n");
+  for (const Argv& effect : ctx.effects) {
+    std::printf("    ");
+    for (const auto& a : effect) std::printf("%s ", a.c_str());
+    std::printf("\n");
+  }
+  std::printf(
+      "\nNote how SPOP (random) became a deterministic SREM, and the\n"
+      "relative EX became an absolute PXAT — replicas replay these\n"
+      "effects bit-identically (paper §3.1).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "bench_support/driver.h"
+
+namespace memdb::bench {
+
+using sim::Duration;
+using sim::NodeId;
+
+LoadDriver::LoadDriver(sim::Simulation* sim, NodeId id, NodeId target,
+                       Options options)
+    : Actor(sim, id), options_(options), target_(target), rng_(options.seed) {}
+
+void LoadDriver::Start() {
+  if (running_) return;
+  running_ = true;
+  window_start_ = Now();
+  if (options_.offered_ops_per_sec == 0) {
+    for (int c = 0; c < options_.connections; ++c) IssueOne();
+  } else {
+    // Batch arrivals on a 200 us tick to bound event count.
+    Periodic(200, [this] { OpenLoopTick(); });
+  }
+}
+
+void LoadDriver::ResetStats() {
+  completed_ = 0;
+  errors_ = 0;
+  read_hist_.Reset();
+  write_hist_.Reset();
+  window_start_ = Now();
+}
+
+double LoadDriver::Throughput() const {
+  const sim::Duration elapsed = Now() - window_start_;
+  if (elapsed == 0) return 0;
+  return static_cast<double>(completed_) * 1e6 /
+         static_cast<double>(elapsed);
+}
+
+void LoadDriver::OpenLoopTick() {
+  if (!running_) return;
+  arrival_backlog_ +=
+      static_cast<double>(options_.offered_ops_per_sec) * 200e-6;
+  while (arrival_backlog_ >= 1.0) {
+    arrival_backlog_ -= 1.0;
+    if (outstanding_ < options_.max_outstanding) IssueOne();
+  }
+}
+
+void LoadDriver::IssueOne() {
+  if (!running_) {
+    return;
+  }
+  const bool is_set = rng_.NextDouble() < options_.set_ratio;
+  client::DbRequest req;
+  const std::string key =
+      options_.key_prefix + std::to_string(rng_.Uniform(options_.key_space));
+  if (is_set) {
+    req.argv = {"SET", key, std::string(options_.value_bytes, 'x')};
+  } else {
+    req.argv = {"GET", key};
+  }
+  ++outstanding_;
+  const sim::Time start = Now();
+  Rpc(target_, client::kDbCommand, req.Encode(), options_.rpc_timeout,
+      [this, start, is_set](const Status& s, const std::string& body) {
+        --outstanding_;
+        const Duration latency = Now() - start;
+        if (!s.ok() || (!body.empty() && body[0] == '-')) {
+          ++errors_;
+        } else {
+          ++completed_;
+          (is_set ? write_hist_ : read_hist_).Record(latency);
+        }
+        // Closed loop: this connection immediately issues its next request.
+        if (options_.offered_ops_per_sec == 0 && running_) IssueOne();
+      });
+}
+
+}  // namespace memdb::bench

@@ -1,0 +1,82 @@
+// LoadDriver: the redis-benchmark stand-in. One driver actor models a fleet
+// of benchmark clients:
+//
+//  * closed-loop mode (offered_ops_per_sec == 0): each of `connections`
+//    logical connections issues one blocking request at a time — the §6.1.1
+//    setup (10 hosts x 100 connections, no pipelining) used to find the
+//    maximum throughput;
+//  * open-loop mode: arrivals at a fixed offered rate, used for the
+//    latency-vs-throughput sweeps of Figure 5.
+
+#ifndef MEMDB_BENCH_SUPPORT_DRIVER_H_
+#define MEMDB_BENCH_SUPPORT_DRIVER_H_
+
+#include <string>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "client/db_wire.h"
+#include "sim/actor.h"
+
+namespace memdb::bench {
+
+class LoadDriver : public sim::Actor {
+ public:
+  struct Options {
+    int connections = 100;
+    // Fraction of SETs; 0.0 = read-only, 1.0 = write-only, 0.2 = the
+    // paper's mixed workload.
+    double set_ratio = 0.0;
+    size_t value_bytes = 100;
+    uint64_t key_space = 100'000;
+    std::string key_prefix = "key:";
+    // 0 = closed loop; otherwise open-loop offered rate.
+    uint64_t offered_ops_per_sec = 0;
+    // Open-loop backpressure bound (overload protection).
+    int max_outstanding = 20'000;
+    sim::Duration rpc_timeout = 5 * sim::kSec;
+    uint64_t seed = 7;
+  };
+
+  LoadDriver(sim::Simulation* sim, sim::NodeId id, sim::NodeId target,
+             Options options);
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  // Measurement window control: stats cover only the period since the last
+  // ResetStats() call (warmup exclusion).
+  void ResetStats();
+
+  uint64_t completed() const { return completed_; }
+  uint64_t errors() const { return errors_; }
+  const Histogram& read_latency() const { return read_hist_; }
+  const Histogram& write_latency() const { return write_hist_; }
+  Histogram& mutable_read_latency() { return read_hist_; }
+  Histogram& mutable_write_latency() { return write_hist_; }
+  sim::Time window_start() const { return window_start_; }
+
+  // Completed ops per second over the current measurement window.
+  double Throughput() const;
+
+ private:
+  void IssueOne();
+  void OpenLoopTick();
+
+  Options options_;
+  sim::NodeId target_;
+  Rng rng_;
+  bool running_ = false;
+  int outstanding_ = 0;
+  double arrival_backlog_ = 0;
+
+  uint64_t completed_ = 0;
+  uint64_t errors_ = 0;
+  Histogram read_hist_;
+  Histogram write_hist_;
+  sim::Time window_start_ = 0;
+};
+
+}  // namespace memdb::bench
+
+#endif  // MEMDB_BENCH_SUPPORT_DRIVER_H_

@@ -1,0 +1,66 @@
+// Benchmark fixtures: one-call setup of a MemoryDB shard or a Redis-like
+// replication group sized to an instance model, with direct-keyspace
+// prefill (the §6.1.1 "pre-filled with keys so GETs have a 100% hit rate").
+
+#ifndef MEMDB_BENCH_SUPPORT_FIXTURES_H_
+#define MEMDB_BENCH_SUPPORT_FIXTURES_H_
+
+#include <memory>
+#include <vector>
+
+#include "bench_support/instances.h"
+#include "memorydb/shard.h"
+#include "redisbaseline/baseline_node.h"
+#include "sim/simulation.h"
+#include "storage/object_store.h"
+
+namespace memdb::bench {
+
+// A MemoryDB shard (primary + replicas + 3-AZ transaction log [+ off-box
+// snapshotting]) ready to serve.
+struct MemDbFixture {
+  std::unique_ptr<sim::Simulation> sim;
+  std::unique_ptr<storage::ObjectStore> s3;
+  std::unique_ptr<memorydb::Shard> shard;
+  memorydb::Node* primary = nullptr;
+
+  struct Params {
+    int replicas = 1;
+    uint64_t seed = 42;
+    bool with_offbox = false;
+    uint64_t snapshot_max_log_distance = 4096;
+    uint64_t maxmemory_bytes = 0;
+  };
+
+  static MemDbFixture Create(const InstanceModel& m, Params params);
+
+  // Installs `keys` short string keys directly into every node's keyspace.
+  void Prefill(uint64_t keys, size_t value_bytes,
+               const std::string& prefix = "key:");
+};
+
+// A Redis-like primary with async replicas.
+struct RedisFixture {
+  std::unique_ptr<sim::Simulation> sim;
+  std::vector<std::unique_ptr<redisbaseline::BaselineNode>> nodes;
+  redisbaseline::BaselineNode* primary = nullptr;
+
+  struct Params {
+    int replicas = 1;
+    uint64_t seed = 42;
+    redisbaseline::BaselineConfig base_config;
+  };
+
+  static RedisFixture Create(const InstanceModel& m, Params params);
+
+  void Prefill(uint64_t keys, size_t value_bytes,
+               const std::string& prefix = "key:");
+};
+
+// Fills one engine keyspace with `keys` string entries.
+void PrefillEngine(engine::Engine* engine, uint64_t keys, size_t value_bytes,
+                   const std::string& prefix);
+
+}  // namespace memdb::bench
+
+#endif  // MEMDB_BENCH_SUPPORT_FIXTURES_H_

@@ -1,0 +1,46 @@
+// Instance catalog for the evaluation (§6.1.1): the Graviton3 (r7g) family
+// from r7g.large to r7g.16xlarge, mapped onto the simulator's CPU cost
+// model.
+//
+// The model: the engine workloop is a single thread whose per-command cost
+// is execution + IO-dispatch overhead. On small instances the IO threads
+// contend with the workloop for cores, inflating per-op cost (both engines
+// equally — the paper shows parity below 2xlarge). From 2xlarge up the
+// workloop has a dedicated core: Redis' per-connection dispatch bounds it
+// near ~330K reads/s, while MemoryDB's Enhanced IO multiplexing aggregates
+// connections and shrinks dispatch, reaching ~500K reads/s. Writes add
+// execution cost (and, for MemoryDB, replication-stream chunking), bounding
+// Redis near ~300K and MemoryDB near ~185K writes/s (§6.1.2).
+
+#ifndef MEMDB_BENCH_SUPPORT_INSTANCES_H_
+#define MEMDB_BENCH_SUPPORT_INSTANCES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memdb::bench {
+
+struct InstanceModel {
+  std::string name;
+  int vcpus = 2;
+  uint64_t memory_gb = 16;
+  int io_threads = 1;
+
+  // Per-command engine-thread costs, nanoseconds.
+  uint64_t redis_read_ns = 0;
+  uint64_t redis_write_ns = 0;
+  uint64_t memdb_read_ns = 0;
+  uint64_t memdb_write_ns = 0;
+  uint64_t io_op_ns = 900;
+};
+
+// The seven instance types of Figure 4, in size order.
+const std::vector<InstanceModel>& R7gCatalog();
+
+// Lookup by name ("r7g.16xlarge"); aborts on unknown names.
+const InstanceModel& R7g(const std::string& name);
+
+}  // namespace memdb::bench
+
+#endif  // MEMDB_BENCH_SUPPORT_INSTANCES_H_

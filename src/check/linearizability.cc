@@ -1,0 +1,265 @@
+#include "check/linearizability.h"
+
+#include <algorithm>
+#include <charconv>
+#include <map>
+#include <memory>
+#include <unordered_set>
+
+namespace memdb::check {
+
+using resp::Value;
+
+// ------------------------------------------------------------ KV model
+
+namespace {
+// State encoding: "" = key absent, "+<bytes>" = key holds <bytes>.
+bool StatePresent(const std::string& s) { return !s.empty(); }
+std::string StateValue(const std::string& s) { return s.substr(1); }
+std::string MakeState(const std::string& v) { return "+" + v; }
+
+bool ParseI64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && p == s.data() + s.size();
+}
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+}  // namespace
+
+std::string KvRegisterModel::InitialState() const { return ""; }
+
+bool KvRegisterModel::Step(const std::string& state, const Operation& op,
+                           std::string* next_state,
+                           bool check_output) const {
+  if (op.input.empty()) return false;
+  const std::string cmd = Upper(op.input[0]);
+  const Value& out = op.output;
+
+  if (cmd == "GET") {
+    *next_state = state;
+    if (!check_output) return true;
+    if (!StatePresent(state)) return out.IsNull();
+    return out.type == resp::Type::kBulkString && out.str == StateValue(state);
+  }
+  if (cmd == "SET") {
+    if (op.input.size() < 3) return false;
+    *next_state = MakeState(op.input[2]);
+    return !check_output || out == Value::Ok();
+  }
+  if (cmd == "DEL") {
+    *next_state = "";
+    const int64_t expected = StatePresent(state) ? 1 : 0;
+    return !check_output || out == Value::Integer(expected);
+  }
+  if (cmd == "APPEND") {
+    if (op.input.size() < 3) return false;
+    const std::string base = StatePresent(state) ? StateValue(state) : "";
+    const std::string appended = base + op.input[2];
+    *next_state = MakeState(appended);
+    return !check_output ||
+           out == Value::Integer(static_cast<int64_t>(appended.size()));
+  }
+  if (cmd == "INCR") {
+    int64_t current = 0;
+    if (StatePresent(state) && !ParseI64(StateValue(state), &current)) {
+      *next_state = state;
+      return !check_output || out.IsError();
+    }
+    *next_state = MakeState(std::to_string(current + 1));
+    return !check_output || out == Value::Integer(current + 1);
+  }
+  if (cmd == "EXISTS") {
+    *next_state = state;
+    return !check_output || out == Value::Integer(StatePresent(state) ? 1 : 0);
+  }
+  return false;  // command outside the model
+}
+
+// ------------------------------------------------------------ WGL checker
+
+namespace {
+
+struct Entry {
+  int op = -1;          // index into history
+  Entry* match = nullptr;  // for a call entry: its return entry
+  uint64_t time = 0;
+  Entry* next = nullptr;
+  Entry* prev = nullptr;
+};
+
+void Lift(Entry* call) {
+  // Detach the call and its return from the list.
+  call->prev->next = call->next;
+  call->next->prev = call->prev;
+  Entry* ret = call->match;
+  ret->prev->next = ret->next;
+  if (ret->next != nullptr) ret->next->prev = ret->prev;
+}
+
+void Unlift(Entry* call) {
+  Entry* ret = call->match;
+  ret->prev->next = ret;
+  if (ret->next != nullptr) ret->next->prev = ret;
+  call->prev->next = call;
+  call->next->prev = call;
+}
+
+// Dynamic bitset sized at construction.
+struct Bits {
+  std::vector<uint64_t> words;
+  explicit Bits(size_t n) : words((n + 63) / 64, 0) {}
+  void Set(size_t i) { words[i / 64] |= 1ULL << (i % 64); }
+  void Clear(size_t i) { words[i / 64] &= ~(1ULL << (i % 64)); }
+  std::string KeyWith(const std::string& state) const {
+    std::string key(reinterpret_cast<const char*>(words.data()),
+                    words.size() * sizeof(uint64_t));
+    key.push_back('\x1f');
+    key += state;
+    return key;
+  }
+};
+
+}  // namespace
+
+CheckResult CheckLinearizable(const Model& model,
+                              const std::vector<Operation>& history,
+                              uint64_t max_iterations) {
+  CheckResult result;
+  const size_t n = history.size();
+  if (n == 0) {
+    result.linearizable = true;
+    return result;
+  }
+  if (n > 64 * 1024) {
+    result.conclusive = false;  // beyond practical search size
+    return result;
+  }
+
+  // Build the entry list: a call and a return entry per op, sorted by time;
+  // calls sort before returns at equal timestamps (equal-time ops are
+  // considered concurrent).
+  std::vector<std::unique_ptr<Entry>> storage;
+  std::vector<std::pair<uint64_t, Entry*>> order;  // (sort key, entry)
+  storage.reserve(2 * n + 2);
+  for (size_t i = 0; i < n; ++i) {
+    auto call = std::make_unique<Entry>();
+    auto ret = std::make_unique<Entry>();
+    call->op = static_cast<int>(i);
+    call->time = history[i].invoke_time;
+    ret->op = static_cast<int>(i);
+    ret->time = history[i].return_time;
+    call->match = ret.get();
+    order.emplace_back(0, call.get());
+    order.emplace_back(0, ret.get());
+    storage.push_back(std::move(call));
+    storage.push_back(std::move(ret));
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) {
+                     const Entry* ea = a.second;
+                     const Entry* eb = b.second;
+                     if (ea->time != eb->time) return ea->time < eb->time;
+                     const bool a_is_call = ea->match != nullptr;
+                     const bool b_is_call = eb->match != nullptr;
+                     return a_is_call && !b_is_call;
+                   });
+
+  auto head = std::make_unique<Entry>();  // sentinel
+  Entry* prev = head.get();
+  for (auto& [k, e] : order) {
+    prev->next = e;
+    e->prev = prev;
+    prev = e;
+  }
+  prev->next = nullptr;
+
+  std::string state = model.InitialState();
+  Bits linearized(n);
+  std::unordered_set<std::string> cache;
+  struct Frame {
+    Entry* call;
+    std::string prior_state;
+  };
+  std::vector<Frame> calls;
+
+  Entry* entry = head->next;
+  while (head->next != nullptr) {
+    if (++result.iterations > max_iterations) {
+      result.conclusive = false;
+      return result;
+    }
+    if (entry == nullptr) {
+      // Reached the end without linearizing everything: backtrack.
+      if (calls.empty()) {
+        result.linearizable = false;
+        return result;
+      }
+      Frame frame = std::move(calls.back());
+      calls.pop_back();
+      state = std::move(frame.prior_state);
+      linearized.Clear(static_cast<size_t>(frame.call->op));
+      Unlift(frame.call);
+      entry = frame.call->next;
+      continue;
+    }
+    if (entry->match != nullptr) {
+      // A call: try to linearize this operation here.
+      std::string next_state;
+      const Operation& op = history[static_cast<size_t>(entry->op)];
+      const bool check_output = op.return_time != kNeverReturned;
+      if (model.Step(state, op, &next_state, check_output)) {
+        linearized.Set(static_cast<size_t>(entry->op));
+        const std::string cache_key = linearized.KeyWith(next_state);
+        if (cache.insert(cache_key).second) {
+          calls.push_back(Frame{entry, state});
+          state = std::move(next_state);
+          Lift(entry);
+          entry = head->next;
+          continue;
+        }
+        linearized.Clear(static_cast<size_t>(entry->op));
+      }
+      entry = entry->next;
+    } else {
+      // A return: every operation that returned before now must already be
+      // linearized; otherwise backtrack.
+      if (calls.empty()) {
+        result.linearizable = false;
+        return result;
+      }
+      Frame frame = std::move(calls.back());
+      calls.pop_back();
+      state = std::move(frame.prior_state);
+      linearized.Clear(static_cast<size_t>(frame.call->op));
+      Unlift(frame.call);
+      entry = frame.call->next;
+    }
+  }
+  result.linearizable = true;
+  return result;
+}
+
+CheckResult CheckKvHistory(const std::vector<Operation>& history,
+                           uint64_t max_iterations) {
+  std::map<std::string, std::vector<Operation>> by_key;
+  for (const Operation& op : history) by_key[op.Key()].push_back(op);
+  KvRegisterModel model;
+  CheckResult combined;
+  combined.linearizable = true;
+  for (auto& [key, ops] : by_key) {
+    CheckResult r = CheckLinearizable(model, ops, max_iterations);
+    combined.iterations += r.iterations;
+    if (!r.conclusive) combined.conclusive = false;
+    if (!r.linearizable) {
+      combined.linearizable = false;
+      return combined;
+    }
+  }
+  return combined;
+}
+
+}  // namespace memdb::check

@@ -1,0 +1,84 @@
+// Linearizability checking (§7.2.2.2): a C++ implementation of the
+// Wing–Gong / Lowe algorithm with caching, as used by Porcupine. Takes a
+// concurrent history of client operations (invoke/return intervals plus
+// observed outputs) and decides whether it is linearizable with respect to
+// a sequential model.
+//
+// Indeterminate operations (timeouts, error replies that may or may not
+// have taken effect) are recorded with an infinite return time: the checker
+// may place them anywhere after their invocation — including after every
+// other operation, which models "never took effect".
+//
+// Histories over the key-value API are P-compositional: a history is
+// linearizable iff each per-key sub-history is, so CheckKvHistory partitions
+// by key first.
+
+#ifndef MEMDB_CHECK_LINEARIZABILITY_H_
+#define MEMDB_CHECK_LINEARIZABILITY_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "resp/resp.h"
+
+namespace memdb::check {
+
+inline constexpr uint64_t kNeverReturned =
+    std::numeric_limits<uint64_t>::max();
+
+struct Operation {
+  int client = 0;
+  std::vector<std::string> input;  // command argv
+  resp::Value output;
+  uint64_t invoke_time = 0;
+  uint64_t return_time = kNeverReturned;  // kNeverReturned = indeterminate
+
+  // The key the operation addresses (for partitioning).
+  std::string Key() const { return input.size() > 1 ? input[1] : ""; }
+};
+
+// Sequential specification. States are opaque serialized strings so the
+// checker can hash and memoize them.
+class Model {
+ public:
+  virtual ~Model() = default;
+  virtual std::string InitialState() const = 0;
+  // If (op.input, op.output) is a legal transition from `state`, returns
+  // true and fills *next_state. When `check_output` is false (indeterminate
+  // operations whose reply was never observed), only the state transition
+  // is computed and any output is accepted.
+  virtual bool Step(const std::string& state, const Operation& op,
+                    std::string* next_state, bool check_output) const = 0;
+};
+
+// Single-key register/counter model covering GET / SET / DEL / APPEND /
+// INCR / EXISTS (enough for read-write linearizability histories).
+class KvRegisterModel : public Model {
+ public:
+  std::string InitialState() const override;
+  bool Step(const std::string& state, const Operation& op,
+            std::string* next_state, bool check_output) const override;
+};
+
+struct CheckResult {
+  bool linearizable = false;
+  // False when the search hit the iteration budget before deciding.
+  bool conclusive = true;
+  uint64_t iterations = 0;
+};
+
+// Checks one history against a model.
+CheckResult CheckLinearizable(const Model& model,
+                              const std::vector<Operation>& history,
+                              uint64_t max_iterations = 20'000'000);
+
+// Partitions a key-value history per key (P-compositionality) and checks
+// every partition with KvRegisterModel.
+CheckResult CheckKvHistory(const std::vector<Operation>& history,
+                           uint64_t max_iterations = 20'000'000);
+
+}  // namespace memdb::check
+
+#endif  // MEMDB_CHECK_LINEARIZABILITY_H_

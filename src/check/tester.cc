@@ -1,0 +1,189 @@
+#include "check/tester.h"
+
+#include <algorithm>
+
+#include "client/db_wire.h"
+
+namespace memdb::check {
+
+using resp::Value;
+using sim::NodeId;
+
+// ------------------------------------------------------- CommandGenerator
+
+CommandGenerator::CommandGenerator(const engine::Engine& spec_source,
+                                   Options options, uint64_t seed)
+    : options_(options), rng_(seed), seed_tag_(seed) {
+  static const char* kModelCommands[] = {"GET",    "SET",  "DEL",
+                                         "APPEND", "INCR", "EXISTS"};
+  for (const engine::CommandSpec* spec : spec_source.ListCommands()) {
+    if (options_.model_commands_only) {
+      const bool in_model =
+          std::any_of(std::begin(kModelCommands), std::end(kModelCommands),
+                      [&](const char* c) { return spec->name == c; });
+      if (!in_model) continue;
+    } else {
+      // Skip commands that change global session/server state.
+      if (spec->name == "FLUSHALL" || spec->name == "FLUSHDB" ||
+          spec->name == "SELECT" || spec->name == "RESTORE") {
+        continue;
+      }
+    }
+    commands_.push_back(spec);
+  }
+}
+
+std::string CommandGenerator::BiasedKey() {
+  // Argument biasing: a tiny key space maximizes contention and edge cases.
+  return "k" + std::to_string(rng_.Uniform(static_cast<uint64_t>(
+                   options_.num_keys)));
+}
+
+std::string CommandGenerator::BiasedValue() {
+  if (options_.unique_values) {
+    return "u" + std::to_string(seed_tag_) + "-" +
+           std::to_string(value_counter_++);
+  }
+  switch (rng_.Uniform(4)) {
+    case 0:
+      return "";  // empty values stress deletion/empty-string paths
+    case 1:
+      return std::to_string(rng_.Uniform(static_cast<uint64_t>(
+          options_.num_values)));  // integers enable INCR interplay
+    case 2:
+      return std::string(1, static_cast<char>('a' + rng_.Uniform(3)));
+    default:
+      return "v" + std::to_string(rng_.Uniform(static_cast<uint64_t>(
+                       options_.num_values)));
+  }
+}
+
+std::vector<std::string> CommandGenerator::Next() {
+  const engine::CommandSpec* spec =
+      commands_[rng_.Uniform(commands_.size())];
+  std::vector<std::string> argv = {spec->name};
+  // Determine argument count from the arity spec.
+  int argc = spec->arity >= 0 ? spec->arity : -spec->arity;
+  // Extra optional arguments exercise parser edge cases, but only outside
+  // the model subset (SET's GET/NX options change reply semantics in ways
+  // the register model does not track).
+  if (!options_.model_commands_only && spec->arity < 0 && rng_.OneIn(3)) {
+    ++argc;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const bool is_key_position =
+        spec->first_key > 0 && i >= spec->first_key &&
+        (spec->last_key == -1 || i <= spec->last_key) &&
+        (spec->key_step == 0 ||
+         (i - spec->first_key) % spec->key_step == 0);
+    if (is_key_position) {
+      argv.push_back(BiasedKey());
+    } else if (rng_.OneIn(4)) {
+      argv.push_back(std::to_string(rng_.Uniform(10)));  // small integers
+    } else {
+      argv.push_back(BiasedValue());
+    }
+  }
+  return argv;
+}
+
+// ----------------------------------------------------------- HistoryClient
+
+HistoryClient::HistoryClient(sim::Simulation* sim, NodeId id,
+                             std::vector<NodeId> nodes, Options options,
+                             CommandGenerator::Options gen_options)
+    : Actor(sim, id),
+      nodes_(std::move(nodes)),
+      options_(options),
+      spec_(),
+      generator_(spec_, gen_options, options.seed) {
+  After(1, [this] { IssueNext(); });
+}
+
+void HistoryClient::IssueNext() {
+  if (issued_ >= options_.total_ops) {
+    finished_ = true;
+    return;
+  }
+  ++issued_;
+  const std::vector<std::string> argv = generator_.Next();
+  SendTo(preferred_node_, argv, Now(), /*redirects_left=*/6);
+}
+
+void HistoryClient::SendTo(size_t node_index,
+                           const std::vector<std::string>& argv,
+                           uint64_t invoke_time, int redirects_left) {
+  client::DbRequest req;
+  req.argv = argv;
+  Rpc(nodes_[node_index % nodes_.size()], client::kDbCommand, req.Encode(),
+      options_.rpc_timeout,
+      [this, node_index, argv, invoke_time, redirects_left](
+          const Status& s, const std::string& body) {
+        const auto think = [this] {
+          After(1 + simulation()->rng().Uniform(options_.max_think_time),
+                [this] { IssueNext(); });
+        };
+        if (!s.ok()) {
+          // Timeout: the command may or may not have executed.
+          Record(argv, Value::Null(), invoke_time, kNeverReturned);
+          preferred_node_ = (node_index + 1) % nodes_.size();
+          think();
+          return;
+        }
+        resp::Decoder dec;
+        dec.Feed(body);
+        Value out;
+        if (!dec.TryParse(&out).ok()) {
+          think();
+          return;
+        }
+        if (out.IsError()) {
+          client::Redirect redirect;
+          if (client::ParseRedirect(out.str, &redirect)) {
+            // MOVED/ASK means the command did NOT execute: safe to chase.
+            for (size_t i = 0; i < nodes_.size(); ++i) {
+              if (nodes_[i] == redirect.node) preferred_node_ = i;
+            }
+            if (redirects_left > 0) {
+              After(2 * sim::kMs, [this, argv, invoke_time, redirects_left] {
+                SendTo(preferred_node_, argv, invoke_time,
+                       redirects_left - 1);
+              });
+              return;
+            }
+            think();  // drop: never executed
+            return;
+          }
+          if (out.str.rfind("LOADING", 0) == 0 ||
+              out.str.rfind("TRYAGAIN", 0) == 0) {
+            think();  // definitely not executed; drop
+            return;
+          }
+          // UNAVAILABLE / demotion errors: may have executed.
+          Record(argv, Value::Null(), invoke_time, kNeverReturned);
+          preferred_node_ = (node_index + 1) % nodes_.size();
+          think();
+          return;
+        }
+        Record(argv, out, invoke_time, Now());
+        think();
+      });
+}
+
+void HistoryClient::Record(const std::vector<std::string>& argv,
+                           const Value& out, uint64_t invoke, uint64_t ret) {
+  const engine::CommandSpec* spec = spec_.FindCommand(argv[0]);
+  const bool is_write = spec != nullptr && spec->is_write;
+  if (ret == kNeverReturned && !is_write) {
+    return;  // an unapplied read constrains nothing; drop it
+  }
+  Operation op;
+  op.client = options_.client_id;
+  op.input = argv;
+  op.output = out;
+  op.invoke_time = invoke;
+  op.return_time = ret;
+  history_.push_back(std::move(op));
+}
+
+}  // namespace memdb::check

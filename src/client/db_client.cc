@@ -1,0 +1,151 @@
+#include "client/db_client.h"
+
+#include <algorithm>
+
+#include "common/crc.h"
+
+namespace memdb::client {
+
+using sim::NodeId;
+
+DbClient::DbClient(sim::Actor* owner, std::vector<NodeId> nodes)
+    : DbClient(owner, std::move(nodes), Options{}) {}
+
+DbClient::DbClient(sim::Actor* owner, std::vector<NodeId> nodes,
+                   Options options)
+    : owner_(owner), nodes_(std::move(nodes)), options_(options) {}
+
+void DbClient::AddNode(NodeId node) {
+  if (std::find(nodes_.begin(), nodes_.end(), node) == nodes_.end()) {
+    nodes_.push_back(node);
+  }
+}
+
+uint16_t DbClient::SlotOf(const std::vector<std::string>& argv) {
+  if (argv.size() < 2) return 0;
+  return KeyHashSlot(argv[1]);
+}
+
+NodeId DbClient::TargetFor(uint16_t slot, bool readonly) {
+  if (readonly) {
+    round_robin_ = (round_robin_ + 1) % nodes_.size();
+    return nodes_[round_robin_];
+  }
+  auto it = slot_owner_.find(slot);
+  if (it != slot_owner_.end()) return it->second;
+  if (default_primary_ != sim::kInvalidNode) return default_primary_;
+  round_robin_ = (round_robin_ + 1) % nodes_.size();
+  return nodes_[round_robin_];
+}
+
+void DbClient::Command(std::vector<std::string> argv, CommandCallback cb) {
+  DbRequest req;
+  const uint16_t slot = SlotOf(argv);
+  req.argv = std::move(argv);
+  Attempt(kDbCommand, req.Encode(), slot, /*readonly=*/false,
+          options_.max_attempts, std::move(cb), sim::kInvalidNode);
+}
+
+void DbClient::CommandReadonly(std::vector<std::string> argv,
+                               CommandCallback cb) {
+  DbRequest req;
+  const uint16_t slot = SlotOf(argv);
+  req.argv = std::move(argv);
+  req.readonly = true;
+  Attempt(kDbCommand, req.Encode(), slot, /*readonly=*/true,
+          options_.max_attempts, std::move(cb), sim::kInvalidNode);
+}
+
+void DbClient::Multi(std::vector<std::vector<std::string>> commands,
+                     CommandCallback cb) {
+  DbMultiRequest req;
+  uint16_t slot = 0;
+  if (!commands.empty()) slot = SlotOf(commands[0]);
+  req.commands = std::move(commands);
+  Attempt(kDbMulti, req.Encode(), slot, /*readonly=*/false,
+          options_.max_attempts, std::move(cb), sim::kInvalidNode);
+}
+
+void DbClient::Attempt(std::string type, std::string payload, uint16_t slot,
+                       bool readonly, int attempts_left, CommandCallback cb,
+                       NodeId forced_target) {
+  if (attempts_left <= 0) {
+    cb(resp::Value::Error("ERR cluster unavailable (retries exhausted)"));
+    return;
+  }
+  const NodeId target = forced_target != sim::kInvalidNode
+                            ? forced_target
+                            : TargetFor(slot, readonly);
+  owner_->Rpc(
+      target, type, payload, options_.rpc_timeout,
+      [this, type, payload, slot, readonly, attempts_left, cb = std::move(cb),
+       target](const Status& s, const std::string& body) mutable {
+        if (!s.ok()) {
+          // Node unreachable: forget any routing through it and retry
+          // elsewhere after a backoff.
+          if (default_primary_ == target) default_primary_ = sim::kInvalidNode;
+          for (auto it = slot_owner_.begin(); it != slot_owner_.end();) {
+            it = (it->second == target) ? slot_owner_.erase(it) : ++it;
+          }
+          owner_->After(options_.retry_backoff,
+                        [this, type = std::move(type),
+                         payload = std::move(payload), slot, readonly,
+                         attempts_left, cb = std::move(cb)]() mutable {
+                          Attempt(std::move(type), std::move(payload), slot,
+                                  readonly, attempts_left - 1, std::move(cb),
+                                  sim::kInvalidNode);
+                        });
+          return;
+        }
+        resp::Decoder dec;
+        dec.Feed(body);
+        resp::Value value;
+        if (!dec.TryParse(&value).ok()) {
+          cb(resp::Value::Error("ERR bad reply encoding"));
+          return;
+        }
+        if (value.IsError()) {
+          Redirect redirect;
+          if (ParseRedirect(value.str, &redirect)) {
+            AddNode(redirect.node);
+            if (!redirect.is_ask) {
+              slot_owner_[redirect.slot] = redirect.node;
+              slot_owner_[slot] = redirect.node;  // the slot we actually asked
+              default_primary_ = redirect.node;
+            }
+            // Small backoff: during a failover window replicas may point at
+            // a primary-elect that has not finished promoting.
+            owner_->After(
+                5 * sim::kMs,
+                [this, type = std::move(type), payload = std::move(payload),
+                 slot, readonly, attempts_left, cb = std::move(cb),
+                 redirect]() mutable {
+                  Attempt(std::move(type), std::move(payload), slot, readonly,
+                          attempts_left - 1, std::move(cb),
+                          redirect.is_ask ? redirect.node : sim::kInvalidNode);
+                });
+            return;
+          }
+          if (value.str.rfind("LOADING", 0) == 0 ||
+              value.str.rfind("UNAVAILABLE", 0) == 0 ||
+              value.str.rfind("CLUSTERDOWN", 0) == 0) {
+            owner_->After(options_.retry_backoff,
+                          [this, type = std::move(type),
+                           payload = std::move(payload), slot, readonly,
+                           attempts_left, cb = std::move(cb)]() mutable {
+                            Attempt(std::move(type), std::move(payload), slot,
+                                    readonly, attempts_left - 1, std::move(cb),
+                                    sim::kInvalidNode);
+                          });
+            return;
+          }
+        } else if (!readonly) {
+          // Success through this node: remember it as the slot owner.
+          slot_owner_[slot] = target;
+          default_primary_ = target;
+        }
+        cb(value);
+      });
+}
+
+}  // namespace memdb::client

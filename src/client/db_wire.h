@@ -1,0 +1,113 @@
+// Wire format between database clients and database nodes (MemoryDB nodes
+// and the Redis baseline speak the same protocol, mirroring RESP semantics):
+//
+//   "db.command" — one command (argv) with a session-readonly flag.
+//   "db.multi"   — a MULTI/EXEC transaction: all commands execute atomically
+//                  and replicate as one unit.
+//
+// Responses carry a RESP-encoded value. Cluster redirects use standard
+// Redis error shapes: "MOVED <slot> <node>" and "ASK <slot> <node>".
+
+#ifndef MEMDB_CLIENT_DB_WIRE_H_
+#define MEMDB_CLIENT_DB_WIRE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "sim/types.h"
+
+namespace memdb::client {
+
+inline constexpr char kDbCommand[] = "db.command";
+inline constexpr char kDbMulti[] = "db.multi";
+
+struct DbRequest {
+  std::vector<std::string> argv;
+  // Client opted into replica reads (issued READONLY, §3.2).
+  bool readonly = false;
+
+  std::string Encode() const {
+    std::string out;
+    PutVarint64(&out, readonly ? 1 : 0);
+    PutVarint64(&out, argv.size());
+    for (const std::string& a : argv) PutLengthPrefixed(&out, a);
+    return out;
+  }
+  static bool Decode(Slice data, DbRequest* out) {
+    Decoder dec(data);
+    uint64_t ro, argc;
+    if (!dec.GetVarint64(&ro) || !dec.GetVarint64(&argc)) return false;
+    out->readonly = ro != 0;
+    out->argv.resize(argc);
+    for (uint64_t i = 0; i < argc; ++i) {
+      if (!dec.GetLengthPrefixed(&out->argv[i])) return false;
+    }
+    return true;
+  }
+};
+
+struct DbMultiRequest {
+  std::vector<std::vector<std::string>> commands;
+
+  std::string Encode() const {
+    std::string out;
+    PutVarint64(&out, commands.size());
+    for (const auto& argv : commands) {
+      PutVarint64(&out, argv.size());
+      for (const std::string& a : argv) PutLengthPrefixed(&out, a);
+    }
+    return out;
+  }
+  static bool Decode(Slice data, DbMultiRequest* out) {
+    Decoder dec(data);
+    uint64_t n;
+    if (!dec.GetVarint64(&n)) return false;
+    out->commands.resize(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t argc;
+      if (!dec.GetVarint64(&argc)) return false;
+      out->commands[i].resize(argc);
+      for (uint64_t j = 0; j < argc; ++j) {
+        if (!dec.GetLengthPrefixed(&out->commands[i][j])) return false;
+      }
+    }
+    return true;
+  }
+};
+
+// Parses "MOVED <slot> <node>" / "ASK <slot> <node>" error strings.
+struct Redirect {
+  bool is_ask = false;
+  uint16_t slot = 0;
+  sim::NodeId node = sim::kInvalidNode;
+};
+
+inline bool ParseRedirect(const std::string& err, Redirect* out) {
+  size_t pos = 0;
+  if (err.rfind("MOVED ", 0) == 0) {
+    out->is_ask = false;
+    pos = 6;
+  } else if (err.rfind("ASK ", 0) == 0) {
+    out->is_ask = true;
+    pos = 4;
+  } else {
+    return false;
+  }
+  const size_t space = err.find(' ', pos);
+  if (space == std::string::npos) return false;
+  out->slot = static_cast<uint16_t>(std::stoul(err.substr(pos, space - pos)));
+  out->node = static_cast<sim::NodeId>(std::stoul(err.substr(space + 1)));
+  return true;
+}
+
+inline std::string MovedError(uint16_t slot, sim::NodeId node) {
+  return "MOVED " + std::to_string(slot) + " " + std::to_string(node);
+}
+inline std::string AskError(uint16_t slot, sim::NodeId node) {
+  return "ASK " + std::to_string(slot) + " " + std::to_string(node);
+}
+
+}  // namespace memdb::client
+
+#endif  // MEMDB_CLIENT_DB_WIRE_H_

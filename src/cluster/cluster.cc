@@ -1,0 +1,106 @@
+#include "cluster/cluster.h"
+
+namespace memdb::cluster {
+
+using memorydb::Node;
+using memorydb::Shard;
+
+Cluster::Cluster(sim::Simulation* sim, Options options)
+    : sim_(sim), options_(std::move(options)) {
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        sim_, ShardOptions("shard-" + std::to_string(i))));
+  }
+  // Contiguous range assignment, like default cluster creation.
+  for (int slot = 0; slot < kNumSlots; ++slot) {
+    slot_to_shard_[static_cast<size_t>(slot)] =
+        static_cast<size_t>(slot) * shards_.size() /
+        static_cast<size_t>(kNumSlots);
+  }
+  ConfigureInitialSlotOwnership();
+
+  if (options_.with_monitoring) {
+    monitoring_ = std::make_unique<MonitoringService>(
+        sim_, sim_->AddHost(0), MonitoringService::Config{});
+    for (sim::NodeId id : AllNodeIds()) monitoring_->Watch(id);
+  }
+  coordinator_ =
+      std::make_unique<MigrationCoordinator>(sim_, sim_->AddHost(1));
+}
+
+Shard::Options Cluster::ShardOptions(const std::string& id) const {
+  Shard::Options so;
+  so.shard_id = id;
+  so.num_replicas = options_.replicas_per_shard;
+  so.object_store = options_.object_store;
+  so.with_offbox = options_.with_offbox;
+  so.node_template = options_.node_template;
+  return so;
+}
+
+void Cluster::ConfigureInitialSlotOwnership() {
+  // Push the not-owned ranges to every node; redirect hints point at the
+  // owning shard's first node (clients chase MOVED to the real primary).
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (size_t n = 0; n < shards_[s]->num_nodes(); ++n) {
+      Node* node = shards_[s]->node(n);
+      for (int slot = 0; slot < kNumSlots; ++slot) {
+        const size_t owner = slot_to_shard_[static_cast<size_t>(slot)];
+        if (owner != s) {
+          node->SetSlotState(static_cast<uint16_t>(slot),
+                             Node::SlotState::kNotOwned,
+                             shards_[owner]->node_ids()[0]);
+        }
+      }
+    }
+  }
+}
+
+std::vector<sim::NodeId> Cluster::AllNodeIds() const {
+  std::vector<sim::NodeId> out;
+  for (const auto& shard : shards_) {
+    for (sim::NodeId id : shard->node_ids()) out.push_back(id);
+  }
+  return out;
+}
+
+Shard* Cluster::AddShard() {
+  auto so = ShardOptions("shard-" + std::to_string(shards_.size()));
+  shards_.push_back(std::make_unique<Shard>(sim_, so));
+  Shard* added = shards_.back().get();
+  // The new shard owns nothing yet.
+  for (size_t n = 0; n < added->num_nodes(); ++n) {
+    for (int slot = 0; slot < kNumSlots; ++slot) {
+      const size_t owner = slot_to_shard_[static_cast<size_t>(slot)];
+      added->node(n)->SetSlotState(
+          static_cast<uint16_t>(slot), Node::SlotState::kNotOwned,
+          shards_[owner]->node_ids()[0]);
+    }
+  }
+  if (monitoring_ != nullptr) {
+    for (sim::NodeId id : added->node_ids()) monitoring_->Watch(id);
+  }
+  return added;
+}
+
+void Cluster::MigrateSlot(uint16_t slot, size_t from_shard, size_t to_shard,
+                          MigrationCoordinator::DoneCallback done) {
+  Node* source = shards_[from_shard]->Primary();
+  Node* target = shards_[to_shard]->Primary();
+  if (source == nullptr || target == nullptr) {
+    done(Status::Unavailable("shard primary not available"));
+    return;
+  }
+  MigrationCoordinator::Plan plan;
+  plan.slot = slot;
+  plan.source_primary = source->id();
+  plan.target_primary = target->id();
+  plan.all_nodes = AllNodeIds();
+  coordinator_->Migrate(std::move(plan),
+                        [this, slot, to_shard, done](const Status& s) {
+                          if (s.ok()) slot_to_shard_[slot] = to_shard;
+                          done(s);
+                        });
+}
+
+}  // namespace memdb::cluster

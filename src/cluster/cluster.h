@@ -1,0 +1,67 @@
+// Cluster: the control-plane view of a multi-shard MemoryDB deployment
+// (§5.1): provisions shards (each with its own transaction log and nodes
+// across 3 AZs), assigns the 16384 hash slots in contiguous ranges, wires
+// the monitoring service, and orchestrates scaling operations — adding
+// replicas, adding shards, and migrating slots between shards.
+
+#ifndef MEMDB_CLUSTER_CLUSTER_H_
+#define MEMDB_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/migration.h"
+#include "cluster/monitoring.h"
+#include "memorydb/shard.h"
+
+namespace memdb::cluster {
+
+class Cluster {
+ public:
+  struct Options {
+    int num_shards = 2;
+    int replicas_per_shard = 2;
+    sim::NodeId object_store = sim::kInvalidNode;
+    bool with_offbox = false;
+    bool with_monitoring = true;
+    memorydb::NodeConfig node_template;
+  };
+
+  Cluster(sim::Simulation* sim, Options options);
+
+  size_t num_shards() const { return shards_.size(); }
+  memorydb::Shard* shard(size_t i) { return shards_[i].get(); }
+  MonitoringService* monitoring() { return monitoring_.get(); }
+  MigrationCoordinator* coordinator() { return coordinator_.get(); }
+
+  // Every database node id in the cluster (for clients).
+  std::vector<sim::NodeId> AllNodeIds() const;
+
+  // Which shard currently owns `slot` per the control-plane table.
+  size_t ShardForSlot(uint16_t slot) const { return slot_to_shard_[slot]; }
+
+  // Scale out: provision a new shard owning no slots (§5.2). Slots are then
+  // moved onto it with MigrateSlot.
+  memorydb::Shard* AddShard();
+
+  // Moves one slot between shards through the full §5.2 protocol.
+  void MigrateSlot(uint16_t slot, size_t from_shard, size_t to_shard,
+                   MigrationCoordinator::DoneCallback done);
+
+ private:
+  void ConfigureInitialSlotOwnership();
+  memorydb::Shard::Options ShardOptions(const std::string& id) const;
+
+  sim::Simulation* sim_;
+  Options options_;
+  std::vector<std::unique_ptr<memorydb::Shard>> shards_;
+  std::vector<size_t> slot_to_shard_ =
+      std::vector<size_t>(static_cast<size_t>(kNumSlots), 0);
+  std::unique_ptr<MonitoringService> monitoring_;
+  std::unique_ptr<MigrationCoordinator> coordinator_;
+};
+
+}  // namespace memdb::cluster
+
+#endif  // MEMDB_CLUSTER_CLUSTER_H_

@@ -1,0 +1,63 @@
+// MigrationCoordinator: drives one slot's transfer between two shards
+// (§5.2). The control plane invokes it during shard scaling; progress of
+// the ownership flip is durable in both shards' transaction logs (2PC), so
+// primary failures on either side can be recovered by re-driving the
+// protocol.
+
+#ifndef MEMDB_CLUSTER_MIGRATION_H_
+#define MEMDB_CLUSTER_MIGRATION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/actor.h"
+
+namespace memdb::cluster {
+
+class MigrationCoordinator : public sim::Actor {
+ public:
+  using DoneCallback = std::function<void(const Status&)>;
+
+  MigrationCoordinator(sim::Simulation* sim, sim::NodeId id);
+
+  struct Plan {
+    uint16_t slot = 0;
+    sim::NodeId source_primary = sim::kInvalidNode;
+    sim::NodeId target_primary = sim::kInvalidNode;
+    // Every node in the cluster, for the final ownership broadcast.
+    std::vector<sim::NodeId> all_nodes;
+  };
+
+  // Runs the full protocol: data movement -> block -> digest handshake ->
+  // 2PC ownership transfer -> topology broadcast. One migration at a time.
+  void Migrate(Plan plan, DoneCallback done);
+
+  bool busy() const { return busy_; }
+  // Duration writes to the slot were blocked during the last migration.
+  sim::Duration last_write_block_duration() const {
+    return last_write_block_duration_;
+  }
+
+ private:
+  void Step(int step);
+  void PollDataMovement();
+  void CompareDigests();
+  void Ownership(int phase, sim::NodeId target, int next_step,
+                 int retries_left = 20);
+  void Broadcast();
+  void Fail(const Status& s);
+
+  bool busy_ = false;
+  Plan plan_;
+  DoneCallback done_;
+  uint64_t run_ = 0;
+  sim::Time block_started_ = 0;
+  sim::Duration last_write_block_duration_ = 0;
+  uint64_t source_digest_count_ = 0, source_digest_crc_ = 0;
+};
+
+}  // namespace memdb::cluster
+
+#endif  // MEMDB_CLUSTER_MIGRATION_H_

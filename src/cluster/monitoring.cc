@@ -1,0 +1,37 @@
+#include "cluster/monitoring.h"
+
+namespace memdb::cluster {
+
+MonitoringService::MonitoringService(sim::Simulation* sim, sim::NodeId id,
+                                     Config config)
+    : Actor(sim, id), config_(config) {
+  Periodic(config_.poll_interval, [this] { PollAll(); });
+}
+
+void MonitoringService::Watch(sim::NodeId node) { watched_.push_back(node); }
+
+void MonitoringService::PollAll() {
+  for (sim::NodeId node : watched_) {
+    Rpc(node, "db.health", "", 2 * sim::kSec,
+        [this, node](const Status& s, const std::string&) {
+          if (s.ok()) {
+            failures_[node] = 0;
+            return;
+          }
+          // External view says unreachable; consult the internal view
+          // before acting (§4.2: both views are combined to improve
+          // failure-detection accuracy).
+          const bool internally_dead = !simulation()->IsAlive(node);
+          if (++failures_[node] >= config_.failure_threshold &&
+              internally_dead && config_.auto_repair) {
+            // Repair: restart the database process / replace the host. The
+            // node rejoins as a recovering replica.
+            simulation()->Restart(node);
+            failures_[node] = 0;
+            ++repairs_;
+          }
+        });
+  }
+}
+
+}  // namespace memdb::cluster

@@ -1,0 +1,47 @@
+// MonitoringService (§5.1, §4.2): the external watchdog. Polls every node
+// every few seconds to build the external health view, combines it with the
+// internal view (the simulator's liveness ground truth stands in for peer
+// gossip), and repairs nodes it declares failed by restarting/replacing
+// them. Repaired nodes come back as recovering replicas.
+
+#ifndef MEMDB_CLUSTER_MONITORING_H_
+#define MEMDB_CLUSTER_MONITORING_H_
+
+#include <map>
+#include <vector>
+
+#include "sim/actor.h"
+
+namespace memdb::cluster {
+
+class MonitoringService : public sim::Actor {
+ public:
+  struct Config {
+    sim::Duration poll_interval = 5 * sim::kSec;
+    // Consecutive failed polls before declaring a node failed.
+    int failure_threshold = 2;
+    bool auto_repair = true;
+  };
+
+  MonitoringService(sim::Simulation* sim, sim::NodeId id, Config config);
+
+  void Watch(sim::NodeId node);
+
+  uint64_t repairs() const { return repairs_; }
+  int consecutive_failures(sim::NodeId node) const {
+    auto it = failures_.find(node);
+    return it == failures_.end() ? 0 : it->second;
+  }
+
+ private:
+  void PollAll();
+
+  Config config_;
+  std::vector<sim::NodeId> watched_;
+  std::map<sim::NodeId, int> failures_;
+  uint64_t repairs_ = 0;
+};
+
+}  // namespace memdb::cluster
+
+#endif  // MEMDB_CLUSTER_MONITORING_H_

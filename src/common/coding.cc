@@ -1,0 +1,112 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace memdb {
+
+void PutFixed16(std::string* dst, uint16_t v) {
+  char buf[2];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  dst->append(buf, 2);
+}
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  dst->append(buf, 8);
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+void PutLengthPrefixed(std::string* dst, Slice value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+void PutDouble(std::string* dst, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed64(dst, bits);
+}
+
+bool Decoder::GetFixed16(uint16_t* v) {
+  if (Remaining() < 2) return false;
+  const auto* p = reinterpret_cast<const uint8_t*>(data_ + pos_);
+  *v = static_cast<uint16_t>(p[0] | (p[1] << 8));
+  pos_ += 2;
+  return true;
+}
+
+bool Decoder::GetFixed32(uint32_t* v) {
+  if (Remaining() < 4) return false;
+  const auto* p = reinterpret_cast<const uint8_t*>(data_ + pos_);
+  *v = 0;
+  for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  pos_ += 4;
+  return true;
+}
+
+bool Decoder::GetFixed64(uint64_t* v) {
+  if (Remaining() < 8) return false;
+  const auto* p = reinterpret_cast<const uint8_t*>(data_ + pos_);
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  pos_ += 8;
+  return true;
+}
+
+bool Decoder::GetVarint64(uint64_t* v) {
+  uint64_t result = 0;
+  size_t p = pos_;
+  for (int shift = 0; shift <= 63 && p < size_; shift += 7) {
+    uint8_t byte = static_cast<uint8_t>(data_[p++]);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      pos_ = p;
+      *v = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Decoder::GetLengthPrefixed(std::string* v) {
+  Slice s;
+  if (!GetLengthPrefixed(&s)) return false;
+  v->assign(s.data(), s.size());
+  return true;
+}
+
+bool Decoder::GetLengthPrefixed(Slice* v) {
+  size_t saved = pos_;
+  uint64_t len;
+  if (!GetVarint64(&len) || Remaining() < len) {
+    pos_ = saved;
+    return false;
+  }
+  *v = Slice(data_ + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+bool Decoder::GetDouble(double* v) {
+  uint64_t bits;
+  if (!GetFixed64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+}  // namespace memdb

@@ -1,0 +1,51 @@
+// Binary encoding helpers for snapshot files, transaction-log payloads, and
+// the replication stream chunker. Little-endian fixed-width integers plus
+// LEB128-style varints and length-prefixed strings.
+
+#ifndef MEMDB_COMMON_CODING_H_
+#define MEMDB_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace memdb {
+
+void PutFixed16(std::string* dst, uint16_t v);
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+// Length-prefixed (varint) byte string.
+void PutLengthPrefixed(std::string* dst, Slice value);
+// Doubles are stored via their IEEE-754 bit pattern.
+void PutDouble(std::string* dst, double v);
+
+// Decoder over an input slice; all Get* methods advance the cursor and
+// return false (without advancing) on truncated input.
+class Decoder {
+ public:
+  explicit Decoder(Slice input) : data_(input.data()), size_(input.size()) {}
+
+  bool GetFixed16(uint16_t* v);
+  bool GetFixed32(uint32_t* v);
+  bool GetFixed64(uint64_t* v);
+  bool GetVarint64(uint64_t* v);
+  bool GetLengthPrefixed(std::string* v);
+  bool GetLengthPrefixed(Slice* v);
+  bool GetDouble(double* v);
+
+  bool Empty() const { return pos_ >= size_; }
+  size_t Remaining() const { return size_ - pos_; }
+  size_t Position() const { return pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace memdb
+
+#endif  // MEMDB_COMMON_CODING_H_

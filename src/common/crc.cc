@@ -1,0 +1,87 @@
+#include "common/crc.h"
+
+#include <array>
+
+namespace memdb {
+
+namespace {
+
+// Table generation at static-init time would be dynamic initialization of a
+// non-trivial global; instead build the tables lazily behind function-local
+// statics of trivially-destructible array type references.
+struct Crc16Table {
+  uint16_t t[256];
+  constexpr Crc16Table() : t{} {
+    for (int i = 0; i < 256; ++i) {
+      uint16_t crc = static_cast<uint16_t>(i << 8);
+      for (int j = 0; j < 8; ++j) {
+        crc = static_cast<uint16_t>((crc & 0x8000) ? (crc << 1) ^ 0x1021
+                                                   : (crc << 1));
+      }
+      t[i] = crc;
+    }
+  }
+};
+
+struct Crc64Table {
+  uint64_t t[256];
+  constexpr Crc64Table() : t{} {
+    // Jones polynomial 0xad93d23594c935a9, bit-reflected implementation.
+    constexpr uint64_t kPoly = 0x95ac9329ac4bc9b5ULL;  // reflected form
+    for (uint64_t i = 0; i < 256; ++i) {
+      uint64_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : (crc >> 1);
+      }
+      t[i] = crc;
+    }
+  }
+};
+
+constexpr Crc16Table kCrc16Table;
+constexpr Crc64Table kCrc64Table;
+
+}  // namespace
+
+uint16_t Crc16(const char* data, size_t size) {
+  uint16_t crc = 0;
+  for (size_t i = 0; i < size; ++i) {
+    crc = static_cast<uint16_t>(
+        (crc << 8) ^
+        kCrc16Table.t[((crc >> 8) ^ static_cast<uint8_t>(data[i])) & 0xff]);
+  }
+  return crc;
+}
+
+uint64_t Crc64(uint64_t crc, const char* data, size_t size) {
+  for (size_t i = 0; i < size; ++i) {
+    crc = kCrc64Table.t[(crc ^ static_cast<uint8_t>(data[i])) & 0xff] ^
+          (crc >> 8);
+  }
+  return crc;
+}
+
+uint16_t KeyHashSlot(Slice key) {
+  // Find "{...}" hash tag per the Redis Cluster specification.
+  size_t open = key.size();
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (key[i] == '{') {
+      open = i;
+      break;
+    }
+  }
+  if (open < key.size()) {
+    for (size_t j = open + 1; j < key.size(); ++j) {
+      if (key[j] == '}') {
+        if (j > open + 1) {
+          return Crc16(key.data() + open + 1, j - open - 1) %
+                 static_cast<uint16_t>(kNumSlots);
+        }
+        break;  // empty tag: hash the whole key
+      }
+    }
+  }
+  return Crc16(key.data(), key.size()) % static_cast<uint16_t>(kNumSlots);
+}
+
+}  // namespace memdb

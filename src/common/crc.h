@@ -1,0 +1,37 @@
+// Checksums used throughout the system:
+//  - Crc16: the CCITT variant Redis uses to map keys to the 16384 hash slots.
+//  - Crc64: the Jones polynomial variant Redis uses for RDB snapshot files;
+//    we use it for snapshot payloads and the transaction-log running
+//    checksum chain (§7.2.1 of the paper).
+
+#ifndef MEMDB_COMMON_CRC_H_
+#define MEMDB_COMMON_CRC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace memdb {
+
+// CRC16-CCITT (XModem), as specified in the Redis Cluster spec.
+uint16_t Crc16(const char* data, size_t size);
+inline uint16_t Crc16(Slice s) { return Crc16(s.data(), s.size()); }
+
+// CRC64 (Jones polynomial, reflected), as used by Redis RDB. `crc` is the
+// running value (0 for a fresh computation).
+uint64_t Crc64(uint64_t crc, const char* data, size_t size);
+inline uint64_t Crc64(uint64_t crc, Slice s) {
+  return Crc64(crc, s.data(), s.size());
+}
+
+// Hash slot for a key, honoring Redis hash tags: if the key contains a
+// "{...}" section with a non-empty interior, only that interior is hashed.
+// This is what lets multi-key operations target one slot.
+uint16_t KeyHashSlot(Slice key);
+
+inline constexpr int kNumSlots = 16384;
+
+}  // namespace memdb
+
+#endif  // MEMDB_COMMON_CRC_H_

@@ -1,0 +1,84 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace memdb {
+
+Histogram::Histogram() : buckets_(64 * kSub, 0) {}
+
+int Histogram::BucketFor(uint64_t v) {
+  if (v < kSub) return static_cast<int>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - kSubBits;
+  const int sub = static_cast<int>((v >> shift) & (kSub - 1));
+  return (msb - kSubBits + 1) * kSub + sub;
+}
+
+uint64_t Histogram::BucketValue(int index) {
+  const int major = index / kSub;
+  const int sub = index % kSub;
+  if (major == 0) return static_cast<uint64_t>(sub);
+  const int msb = major + kSubBits - 1;
+  // Midpoint of the sub-bucket range.
+  const uint64_t base = (1ULL << msb) | (static_cast<uint64_t>(sub) << (msb - kSubBits));
+  const uint64_t width = 1ULL << (msb - kSubBits);
+  return base + width / 2;
+}
+
+void Histogram::Record(uint64_t value_us) {
+  ++count_;
+  sum_ += value_us;
+  min_ = std::min(min_, value_us);
+  max_ = std::max(max_, value_us);
+  ++buckets_[static_cast<size_t>(BucketFor(value_us))];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q >= 1.0) return max_;
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      uint64_t v = BucketValue(static_cast<int>(i));
+      return std::clamp(v, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1fus p50=%lluus p99=%lluus p100=%lluus",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(Percentile(0.50)),
+                static_cast<unsigned long long>(Percentile(0.99)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace memdb

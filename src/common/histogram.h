@@ -1,0 +1,47 @@
+// Log-bucketed latency histogram (HdrHistogram-style) used by the benchmark
+// harness and by per-node metrics. Values are recorded in microseconds.
+
+#ifndef MEMDB_COMMON_HISTOGRAM_H_
+#define MEMDB_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memdb {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value_us);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  // q in [0, 1]; Percentile(0.99) is p99. Returns a bucket-representative
+  // value (≤ ~3.2% relative error by construction).
+  uint64_t Percentile(double q) const;
+
+  std::string Summary() const;  // "p50=... p99=... p100=... mean=..."
+
+ private:
+  // Buckets: 64 powers-of-two, each split into 32 linear sub-buckets.
+  static constexpr int kSubBits = 5;
+  static constexpr int kSub = 1 << kSubBits;
+  static int BucketFor(uint64_t v);
+  static uint64_t BucketValue(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ULL;
+  uint64_t max_ = 0;
+};
+
+}  // namespace memdb
+
+#endif  // MEMDB_COMMON_HISTOGRAM_H_

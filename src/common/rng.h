@@ -1,0 +1,83 @@
+// Deterministic random number generation. Every stochastic decision in the
+// simulator and the workload generators draws from an explicitly seeded Rng
+// so that whole-cluster failure-injection runs replay bit-identically.
+
+#ifndef MEMDB_COMMON_RNG_H_
+#define MEMDB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace memdb {
+
+// xoshiro256** — fast, high-quality, and small enough to embed per-actor.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  // Random printable-ASCII string of the given length.
+  std::string RandomString(size_t len) {
+    static constexpr char kAlphabet[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    std::string out(len, '\0');
+    for (size_t i = 0; i < len; ++i) {
+      out[i] = kAlphabet[Uniform(sizeof(kAlphabet) - 1)];
+    }
+    return out;
+  }
+
+  // Zipfian-ish skewed pick in [0, n): repeatedly halves the range with
+  // probability `skew`. skew=0 yields uniform.
+  uint64_t Skewed(uint64_t n, double skew) {
+    uint64_t hi = n;
+    while (hi > 1 && NextDouble() < skew) hi = (hi + 1) / 2;
+    return Uniform(hi);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace memdb
+
+#endif  // MEMDB_COMMON_RNG_H_

@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+namespace memdb {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kWrongType:
+      return "WrongType";
+    case StatusCode::kConditionFailed:
+      return "ConditionFailed";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kOutOfMemory:
+      return "OutOfMemory";
+    case StatusCode::kMoved:
+      return "Moved";
+    case StatusCode::kAsk:
+      return "Ask";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace memdb

@@ -1,0 +1,156 @@
+// Status and Result<T>: the error-handling model used across the library.
+// Library code does not throw exceptions; fallible operations return Status
+// (or Result<T> when they also produce a value).
+
+#ifndef MEMDB_COMMON_STATUS_H_
+#define MEMDB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace memdb {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,          // key / object / entry absent
+  kInvalidArgument,   // caller error: bad arguments, wrong types
+  kWrongType,         // Redis WRONGTYPE: key holds another data structure
+  kConditionFailed,   // conditional append precondition violated (fencing)
+  kUnavailable,       // transient: leader lost lease, quorum unreachable
+  kTimedOut,          // operation deadline exceeded
+  kCorruption,        // checksum mismatch, malformed snapshot / log record
+  kOutOfMemory,       // engine maxmemory exceeded
+  kMoved,             // cluster redirect: slot owned by another shard
+  kAsk,               // cluster redirect: slot mid-migration
+  kInternal,          // invariant violation inside the library
+};
+
+// Value-semantic status word. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string m = "not found") {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status WrongType() {
+    return Status(StatusCode::kWrongType,
+                  "WRONGTYPE Operation against a key holding the wrong kind "
+                  "of value");
+  }
+  static Status ConditionFailed(std::string m = "precondition failed") {
+    return Status(StatusCode::kConditionFailed, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status TimedOut(std::string m = "timed out") {
+    return Status(StatusCode::kTimedOut, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status OutOfMemory(std::string m = "OOM command not allowed") {
+    return Status(StatusCode::kOutOfMemory, std::move(m));
+  }
+  static Status Moved(std::string m) {
+    return Status(StatusCode::kMoved, std::move(m));
+  }
+  static Status Ask(std::string m) {
+    return Status(StatusCode::kAsk, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsWrongType() const { return code_ == StatusCode::kWrongType; }
+  bool IsConditionFailed() const {
+    return code_ == StatusCode::kConditionFailed;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsMoved() const { return code_ == StatusCode::kMoved; }
+  bool IsAsk() const { return code_ == StatusCode::kAsk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>" for logs and test output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(value_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+// Propagates a non-OK status to the caller.
+#define MEMDB_RETURN_IF_ERROR(expr)         \
+  do {                                      \
+    ::memdb::Status _st = (expr);           \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+// Evaluates a Result<T> expression, assigning the value or returning the
+// error. Usage: MEMDB_ASSIGN_OR_RETURN(auto v, SomeResultCall());
+#define MEMDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+#define MEMDB_ASSIGN_OR_RETURN_CAT(a, b) a##b
+#define MEMDB_ASSIGN_OR_RETURN_NAME(a, b) MEMDB_ASSIGN_OR_RETURN_CAT(a, b)
+#define MEMDB_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  MEMDB_ASSIGN_OR_RETURN_IMPL(                                             \
+      MEMDB_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace memdb
+
+#endif  // MEMDB_COMMON_STATUS_H_

@@ -1,0 +1,92 @@
+#include "ds/hash.h"
+
+#include <algorithm>
+
+namespace memdb::ds {
+
+void Hash::MaybeUpgrade(size_t value_len) {
+  if (upgraded_) return;
+  if (listpack_.size() < kMaxListpackEntries &&
+      value_len <= kMaxListpackValueLen) {
+    return;
+  }
+  for (auto& [f, v] : listpack_) table_.emplace(std::move(f), std::move(v));
+  listpack_.clear();
+  listpack_.shrink_to_fit();
+  upgraded_ = true;
+}
+
+bool Hash::Set(const std::string& field, std::string value) {
+  MaybeUpgrade(std::max(field.size(), value.size()));
+  if (upgraded_) {
+    auto [it, inserted] = table_.insert_or_assign(field, std::move(value));
+    if (inserted) {
+      mem_bytes_ += field.size() + it->second.size() + 48;
+    }
+    return inserted;
+  }
+  for (auto& [f, v] : listpack_) {
+    if (f == field) {
+      mem_bytes_ += value.size();
+      mem_bytes_ -= v.size();
+      v = std::move(value);
+      return false;
+    }
+  }
+  mem_bytes_ += field.size() + value.size() + 16;
+  listpack_.emplace_back(field, std::move(value));
+  return true;
+}
+
+bool Hash::Get(const std::string& field, std::string* value) const {
+  if (upgraded_) {
+    auto it = table_.find(field);
+    if (it == table_.end()) return false;
+    *value = it->second;
+    return true;
+  }
+  for (const auto& [f, v] : listpack_) {
+    if (f == field) {
+      *value = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Hash::Has(const std::string& field) const {
+  std::string unused;
+  return Get(field, &unused);
+}
+
+bool Hash::Del(const std::string& field) {
+  if (upgraded_) {
+    auto it = table_.find(field);
+    if (it == table_.end()) return false;
+    mem_bytes_ -= field.size() + it->second.size() + 48;
+    table_.erase(it);
+    return true;
+  }
+  for (auto it = listpack_.begin(); it != listpack_.end(); ++it) {
+    if (it->first == field) {
+      mem_bytes_ -= it->first.size() + it->second.size() + 16;
+      listpack_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Hash::Size() const {
+  return upgraded_ ? table_.size() : listpack_.size();
+}
+
+std::vector<std::pair<std::string, std::string>> Hash::Items() const {
+  if (!upgraded_) return listpack_;
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(table_.size());
+  for (const auto& [f, v] : table_) out.emplace_back(f, v);
+  return out;
+}
+
+}  // namespace memdb::ds

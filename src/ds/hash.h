@@ -1,0 +1,51 @@
+// Hash: field -> value map with Redis-style adaptive encoding. Small hashes
+// use a flat listpack-like vector (cache friendly, insertion ordered); large
+// ones upgrade to an ordered map (deterministic iteration keeps replicas and
+// snapshot restores byte-comparable).
+
+#ifndef MEMDB_DS_HASH_H_
+#define MEMDB_DS_HASH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace memdb::ds {
+
+class Hash {
+ public:
+  // Upgrade thresholds mirroring hash-max-listpack-entries / -value.
+  static constexpr size_t kMaxListpackEntries = 128;
+  static constexpr size_t kMaxListpackValueLen = 64;
+
+  // Returns true if the field was newly created (HSET reply semantics).
+  bool Set(const std::string& field, std::string value);
+  bool Get(const std::string& field, std::string* value) const;
+  bool Has(const std::string& field) const;
+  // Returns true if the field existed.
+  bool Del(const std::string& field);
+
+  size_t Size() const;
+  bool Empty() const { return Size() == 0; }
+
+  // Field/value pairs in iteration order (insertion order for listpack,
+  // lexicographic for table encoding).
+  std::vector<std::pair<std::string, std::string>> Items() const;
+
+  bool listpack_encoded() const { return !upgraded_; }
+  size_t ApproxMemory() const { return mem_bytes_ + 64; }
+
+ private:
+  void MaybeUpgrade(size_t value_len);
+
+  bool upgraded_ = false;
+  std::vector<std::pair<std::string, std::string>> listpack_;
+  std::map<std::string, std::string> table_;
+  size_t mem_bytes_ = 0;
+};
+
+}  // namespace memdb::ds
+
+#endif  // MEMDB_DS_HASH_H_

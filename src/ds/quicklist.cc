@@ -1,0 +1,176 @@
+#include "ds/quicklist.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace memdb::ds {
+
+void QuickList::PushFront(std::string value) {
+  mem_bytes_ += value.size() + 24;
+  if (chunks_.empty() || chunks_.front().size() >= kChunkCapacity) {
+    chunks_.emplace_front();
+    chunks_.front().reserve(kChunkCapacity);
+  }
+  Chunk& c = chunks_.front();
+  c.insert(c.begin(), std::move(value));
+  ++size_;
+}
+
+void QuickList::PushBack(std::string value) {
+  mem_bytes_ += value.size() + 24;
+  if (chunks_.empty() || chunks_.back().size() >= kChunkCapacity) {
+    chunks_.emplace_back();
+    chunks_.back().reserve(kChunkCapacity);
+  }
+  chunks_.back().push_back(std::move(value));
+  ++size_;
+}
+
+bool QuickList::PopFront(std::string* out) {
+  if (size_ == 0) return false;
+  Chunk& c = chunks_.front();
+  *out = std::move(c.front());
+  c.erase(c.begin());
+  if (c.empty()) chunks_.pop_front();
+  --size_;
+  mem_bytes_ -= out->size() + 24;
+  return true;
+}
+
+bool QuickList::PopBack(std::string* out) {
+  if (size_ == 0) return false;
+  Chunk& c = chunks_.back();
+  *out = std::move(c.back());
+  c.pop_back();
+  if (c.empty()) chunks_.pop_back();
+  --size_;
+  mem_bytes_ -= out->size() + 24;
+  return true;
+}
+
+std::list<QuickList::Chunk>::const_iterator QuickList::Locate(
+    size_t index, size_t* offset) const {
+  assert(index < size_);
+  auto it = chunks_.begin();
+  while (index >= it->size()) {
+    index -= it->size();
+    ++it;
+  }
+  *offset = index;
+  return it;
+}
+
+std::list<QuickList::Chunk>::iterator QuickList::Locate(size_t index,
+                                                        size_t* offset) {
+  assert(index < size_);
+  auto it = chunks_.begin();
+  while (index >= it->size()) {
+    index -= it->size();
+    ++it;
+  }
+  *offset = index;
+  return it;
+}
+
+bool QuickList::Index(size_t index, std::string* out) const {
+  if (index >= size_) return false;
+  size_t offset;
+  auto it = Locate(index, &offset);
+  *out = (*it)[offset];
+  return true;
+}
+
+bool QuickList::Set(size_t index, std::string value) {
+  if (index >= size_) return false;
+  size_t offset;
+  auto it = Locate(index, &offset);
+  mem_bytes_ += value.size();
+  mem_bytes_ -= (*it)[offset].size();
+  (*it)[offset] = std::move(value);
+  return true;
+}
+
+void QuickList::Range(size_t start, size_t stop,
+                      std::vector<std::string>* out) const {
+  if (size_ == 0 || start > stop || start >= size_) return;
+  if (stop >= size_) stop = size_ - 1;
+  size_t offset;
+  auto it = Locate(start, &offset);
+  for (size_t i = start; i <= stop; ++i) {
+    out->push_back((*it)[offset]);
+    if (++offset == it->size()) {
+      ++it;
+      offset = 0;
+    }
+  }
+}
+
+size_t QuickList::Remove(int64_t count, const std::string& value) {
+  // Flatten, filter, rebuild. LREM is O(n) in Redis too; chunk juggling in
+  // place is not worth the subtlety.
+  std::vector<std::string> elems = ToVector();
+  const size_t limit =
+      count == 0 ? elems.size()
+                 : static_cast<size_t>(count > 0 ? count : -count);
+  std::vector<bool> drop(elems.size(), false);
+  size_t removed = 0;
+  if (count >= 0) {
+    for (size_t i = 0; i < elems.size() && removed < limit; ++i) {
+      if (elems[i] == value) {
+        drop[i] = true;
+        ++removed;
+      }
+    }
+  } else {
+    for (size_t i = elems.size(); i-- > 0 && removed < limit;) {
+      if (elems[i] == value) {
+        drop[i] = true;
+        ++removed;
+      }
+    }
+  }
+  if (removed == 0) return 0;
+  chunks_.clear();
+  size_ = 0;
+  mem_bytes_ = 0;
+  for (size_t i = 0; i < elems.size(); ++i) {
+    if (!drop[i]) PushBack(std::move(elems[i]));
+  }
+  return removed;
+}
+
+bool QuickList::InsertAround(const std::string& pivot, bool before,
+                             std::string value) {
+  size_t index = 0;
+  for (auto it = chunks_.begin(); it != chunks_.end(); ++it) {
+    for (size_t offset = 0; offset < it->size(); ++offset, ++index) {
+      if ((*it)[offset] == pivot) {
+        mem_bytes_ += value.size() + 24;
+        const size_t insert_at = before ? offset : offset + 1;
+        it->insert(it->begin() + static_cast<ptrdiff_t>(insert_at),
+                   std::move(value));
+        ++size_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void QuickList::Trim(size_t start, size_t stop) {
+  std::vector<std::string> kept;
+  if (start <= stop) Range(start, stop, &kept);
+  chunks_.clear();
+  size_ = 0;
+  mem_bytes_ = 0;
+  for (auto& v : kept) PushBack(std::move(v));
+}
+
+std::vector<std::string> QuickList::ToVector() const {
+  std::vector<std::string> out;
+  out.reserve(size_);
+  if (size_ > 0) Range(0, size_ - 1, &out);
+  return out;
+}
+
+}  // namespace memdb::ds

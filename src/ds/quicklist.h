@@ -1,0 +1,69 @@
+// QuickList: the engine's list representation. Like Redis' quicklist it is a
+// doubly-linked chain of small fixed-capacity chunks, giving O(1) push/pop
+// at both ends and O(n/chunk) indexed access, without per-element node
+// overhead.
+
+#ifndef MEMDB_DS_QUICKLIST_H_
+#define MEMDB_DS_QUICKLIST_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <vector>
+
+namespace memdb::ds {
+
+class QuickList {
+ public:
+  static constexpr size_t kChunkCapacity = 128;
+
+  size_t Size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+
+  void PushFront(std::string value);
+  void PushBack(std::string value);
+  // Return false when the list is empty.
+  bool PopFront(std::string* out);
+  bool PopBack(std::string* out);
+
+  // Index may not be negative here; callers normalize Redis-style negative
+  // indices first. Returns false if out of range.
+  bool Index(size_t index, std::string* out) const;
+  bool Set(size_t index, std::string value);
+
+  // Appends elements [start, stop] (inclusive, already normalized and
+  // clamped by the caller) to *out.
+  void Range(size_t start, size_t stop, std::vector<std::string>* out) const;
+
+  // LREM semantics: removes up to `count` occurrences of `value` scanning
+  // head->tail (count > 0), tail->head (count < 0), or all (count == 0).
+  // Returns the number removed.
+  size_t Remove(int64_t count, const std::string& value);
+
+  // LINSERT: inserts `value` before/after the first occurrence of `pivot`.
+  // Returns false if pivot was not found.
+  bool InsertAround(const std::string& pivot, bool before, std::string value);
+
+  // LTRIM to the inclusive range [start, stop] (normalized by caller). If
+  // start > stop the list is cleared.
+  void Trim(size_t start, size_t stop);
+
+  // Total payload bytes plus bookkeeping estimate (for memory accounting).
+  size_t ApproxMemory() const { return mem_bytes_ + 64; }
+
+  std::vector<std::string> ToVector() const;
+
+ private:
+  using Chunk = std::vector<std::string>;
+  // Locates the chunk containing `index`; returns iterator and offset.
+  std::list<Chunk>::const_iterator Locate(size_t index, size_t* offset) const;
+  std::list<Chunk>::iterator Locate(size_t index, size_t* offset);
+
+  std::list<Chunk> chunks_;
+  size_t size_ = 0;
+  size_t mem_bytes_ = 0;
+};
+
+}  // namespace memdb::ds
+
+#endif  // MEMDB_DS_QUICKLIST_H_

@@ -1,0 +1,95 @@
+#include "ds/set.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstddef>
+
+namespace memdb::ds {
+
+bool Set::ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty() || s.size() > 20) return false;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return false;
+  // Reject non-canonical forms ("007", "+1") so intset round-trips exactly.
+  return std::to_string(*out) == s;
+}
+
+void Set::Upgrade() {
+  for (int64_t v : ints_) strs_.insert(std::to_string(v));
+  ints_.clear();
+  ints_.shrink_to_fit();
+  upgraded_ = true;
+}
+
+bool Set::Add(const std::string& member) {
+  if (!upgraded_) {
+    int64_t v;
+    if (ParseInt(member, &v)) {
+      auto it = std::lower_bound(ints_.begin(), ints_.end(), v);
+      if (it != ints_.end() && *it == v) return false;
+      ints_.insert(it, v);
+      mem_bytes_ += 8;
+      if (ints_.size() > kMaxIntsetEntries) Upgrade();
+      return true;
+    }
+    Upgrade();
+  }
+  auto [it, inserted] = strs_.insert(member);
+  if (inserted) mem_bytes_ += member.size() + 48;
+  return inserted;
+}
+
+bool Set::Remove(const std::string& member) {
+  if (!upgraded_) {
+    int64_t v;
+    if (!ParseInt(member, &v)) return false;
+    auto it = std::lower_bound(ints_.begin(), ints_.end(), v);
+    if (it == ints_.end() || *it != v) return false;
+    ints_.erase(it);
+    mem_bytes_ -= 8;
+    return true;
+  }
+  auto it = strs_.find(member);
+  if (it == strs_.end()) return false;
+  mem_bytes_ -= member.size() + 48;
+  strs_.erase(it);
+  return true;
+}
+
+bool Set::Contains(const std::string& member) const {
+  if (!upgraded_) {
+    int64_t v;
+    if (!ParseInt(member, &v)) return false;
+    return std::binary_search(ints_.begin(), ints_.end(), v);
+  }
+  return strs_.count(member) > 0;
+}
+
+size_t Set::Size() const { return upgraded_ ? strs_.size() : ints_.size(); }
+
+std::vector<std::string> Set::Members() const {
+  std::vector<std::string> out;
+  out.reserve(Size());
+  if (!upgraded_) {
+    for (int64_t v : ints_) out.push_back(std::to_string(v));
+  } else {
+    out.assign(strs_.begin(), strs_.end());
+  }
+  return out;
+}
+
+bool Set::RandomMember(Rng* rng, std::string* out) const {
+  const size_t n = Size();
+  if (n == 0) return false;
+  const size_t idx = rng->Uniform(n);
+  if (!upgraded_) {
+    *out = std::to_string(ints_[idx]);
+    return true;
+  }
+  auto it = strs_.begin();
+  std::advance(it, static_cast<ptrdiff_t>(idx));
+  *out = *it;
+  return true;
+}
+
+}  // namespace memdb::ds

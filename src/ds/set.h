@@ -1,0 +1,54 @@
+// Set: Redis-style adaptive encoding. Sets whose members are all integers
+// stay in a sorted int vector ("intset"); adding a non-integer member or
+// exceeding the size threshold upgrades to an ordered string set
+// (deterministic iteration).
+
+#ifndef MEMDB_DS_SET_H_
+#define MEMDB_DS_SET_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace memdb::ds {
+
+class Set {
+ public:
+  static constexpr size_t kMaxIntsetEntries = 512;
+
+  // Returns true if the member was newly added.
+  bool Add(const std::string& member);
+  // Returns true if the member was present.
+  bool Remove(const std::string& member);
+  bool Contains(const std::string& member) const;
+
+  size_t Size() const;
+  bool Empty() const { return Size() == 0; }
+
+  std::vector<std::string> Members() const;
+
+  // Picks a uniformly random member (does not remove). Returns false on an
+  // empty set. Drives SRANDMEMBER and the selection step of SPOP; the engine
+  // replicates the *effect* (an SREM of the chosen member), which is how the
+  // paper's §3.1 non-deterministic command handling works.
+  bool RandomMember(Rng* rng, std::string* out) const;
+
+  bool intset_encoded() const { return !upgraded_; }
+  size_t ApproxMemory() const { return mem_bytes_ + 64; }
+
+ private:
+  static bool ParseInt(const std::string& s, int64_t* out);
+  void Upgrade();
+
+  bool upgraded_ = false;
+  std::vector<int64_t> ints_;  // sorted
+  std::set<std::string> strs_;
+  size_t mem_bytes_ = 0;
+};
+
+}  // namespace memdb::ds
+
+#endif  // MEMDB_DS_SET_H_

@@ -1,0 +1,66 @@
+// Value: the engine's per-key object — one of the five supported data
+// structures. Equivalent to Redis' robj, minus reference counting (keys own
+// their values exclusively).
+
+#ifndef MEMDB_DS_VALUE_H_
+#define MEMDB_DS_VALUE_H_
+
+#include <cassert>
+#include <string>
+#include <variant>
+
+#include "ds/hash.h"
+#include "ds/quicklist.h"
+#include "ds/set.h"
+#include "ds/zset.h"
+
+namespace memdb::ds {
+
+enum class ValueType : uint8_t {
+  kString = 0,
+  kList = 1,
+  kHash = 2,
+  kSet = 3,
+  kZSet = 4,
+};
+
+const char* ValueTypeName(ValueType t);
+
+class Value {
+ public:
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(QuickList l) : v_(std::move(l)) {}
+  explicit Value(Hash h) : v_(std::move(h)) {}
+  explicit Value(Set s) : v_(std::move(s)) {}
+  explicit Value(ZSet z) : v_(std::move(z)) {}
+
+  Value(Value&&) noexcept = default;
+  Value& operator=(Value&&) noexcept = default;
+  Value(const Value&) = delete;
+  Value& operator=(const Value&) = delete;
+
+  ValueType type() const { return static_cast<ValueType>(v_.index()); }
+  bool IsString() const { return type() == ValueType::kString; }
+
+  std::string& str() { return std::get<std::string>(v_); }
+  const std::string& str() const { return std::get<std::string>(v_); }
+  QuickList& list() { return std::get<QuickList>(v_); }
+  const QuickList& list() const { return std::get<QuickList>(v_); }
+  Hash& hash() { return std::get<Hash>(v_); }
+  const Hash& hash() const { return std::get<Hash>(v_); }
+  Set& set() { return std::get<Set>(v_); }
+  const Set& set() const { return std::get<Set>(v_); }
+  ZSet& zset() { return std::get<ZSet>(v_); }
+  const ZSet& zset() const { return std::get<ZSet>(v_); }
+
+  // Rough resident-memory estimate, used for maxmemory accounting and the
+  // fork/COW model in the snapshotting experiments.
+  size_t ApproxMemory() const;
+
+ private:
+  std::variant<std::string, QuickList, Hash, Set, ZSet> v_;
+};
+
+}  // namespace memdb::ds
+
+#endif  // MEMDB_DS_VALUE_H_

@@ -1,0 +1,304 @@
+#include "ds/zset.h"
+
+#include <cassert>
+
+namespace memdb::ds {
+
+namespace {
+// (score, member) total order used by the skiplist.
+bool NodeLess(double s1, const std::string& m1, double s2,
+              const std::string& m2) {
+  if (s1 != s2) return s1 < s2;
+  return m1 < m2;
+}
+}  // namespace
+
+struct ZSet::Node {
+  std::string member;
+  double score;
+  struct Level {
+    Node* forward = nullptr;
+    size_t span = 0;  // nodes skipped by following `forward` at this level
+  };
+  std::vector<Level> levels;
+  Node* backward = nullptr;
+
+  Node(std::string m, double s, int level)
+      : member(std::move(m)), score(s), levels(static_cast<size_t>(level)) {}
+};
+
+ZSet::ZSet() { head_ = new Node("", 0.0, kMaxLevel); }
+
+ZSet::~ZSet() {
+  Node* n = head_;
+  while (n != nullptr) {
+    Node* next = n->levels[0].forward;
+    delete n;
+    n = next;
+  }
+}
+
+ZSet::ZSet(ZSet&& other) noexcept
+    : head_(other.head_),
+      tail_(other.tail_),
+      level_(other.level_),
+      index_(std::move(other.index_)),
+      rng_(other.rng_),
+      mem_bytes_(other.mem_bytes_) {
+  other.head_ = new Node("", 0.0, kMaxLevel);
+  other.tail_ = nullptr;
+  other.level_ = 1;
+  other.index_.clear();
+  other.mem_bytes_ = 0;
+}
+
+ZSet& ZSet::operator=(ZSet&& other) noexcept {
+  if (this == &other) return *this;
+  this->~ZSet();
+  new (this) ZSet(std::move(other));
+  return *this;
+}
+
+int ZSet::RandomLevel() {
+  int level = 1;
+  while (level < kMaxLevel && rng_.OneIn(4)) ++level;
+  return level;
+}
+
+ZSet::Node* ZSet::FindWithUpdate(const std::string& member, double score,
+                                 Node** update) const {
+  Node* x = head_;
+  for (int i = level_ - 1; i >= 0; --i) {
+    while (x->levels[static_cast<size_t>(i)].forward != nullptr) {
+      Node* next = x->levels[static_cast<size_t>(i)].forward;
+      if (NodeLess(next->score, next->member, score, member)) {
+        x = next;
+      } else {
+        break;
+      }
+    }
+    update[i] = x;
+  }
+  Node* candidate = x->levels[0].forward;
+  if (candidate != nullptr && candidate->score == score &&
+      candidate->member == member) {
+    return candidate;
+  }
+  return nullptr;
+}
+
+ZSet::AddOutcome ZSet::Add(const std::string& member, double score) {
+  auto it = index_.find(member);
+  if (it != index_.end()) {
+    if (it->second == score) return AddOutcome::kUnchanged;
+    // Remove + reinsert with the new score.
+    Node* update[kMaxLevel];
+    Node* node = FindWithUpdate(member, it->second, update);
+    assert(node != nullptr);
+    DeleteNode(node, update);
+    index_.erase(it);
+    Add(member, score);
+    // Add() above re-inserted into index_; fix memory double count.
+    mem_bytes_ -= member.size() + 96;
+    return AddOutcome::kUpdated;
+  }
+
+  Node* update[kMaxLevel];
+  size_t rank[kMaxLevel];
+  Node* x = head_;
+  for (int i = level_ - 1; i >= 0; --i) {
+    rank[i] = (i == level_ - 1) ? 0 : rank[i + 1];
+    while (x->levels[static_cast<size_t>(i)].forward != nullptr) {
+      Node* next = x->levels[static_cast<size_t>(i)].forward;
+      if (NodeLess(next->score, next->member, score, member)) {
+        rank[i] += x->levels[static_cast<size_t>(i)].span;
+        x = next;
+      } else {
+        break;
+      }
+    }
+    update[i] = x;
+  }
+
+  const int new_level = RandomLevel();
+  if (new_level > level_) {
+    for (int i = level_; i < new_level; ++i) {
+      rank[i] = 0;
+      update[i] = head_;
+      update[i]->levels[static_cast<size_t>(i)].span = index_.size();
+    }
+    level_ = new_level;
+  }
+
+  Node* node = new Node(member, score, new_level);
+  for (int i = 0; i < new_level; ++i) {
+    auto& ulvl = update[i]->levels[static_cast<size_t>(i)];
+    node->levels[static_cast<size_t>(i)].forward = ulvl.forward;
+    ulvl.forward = node;
+    node->levels[static_cast<size_t>(i)].span = ulvl.span - (rank[0] - rank[i]);
+    ulvl.span = (rank[0] - rank[i]) + 1;
+  }
+  for (int i = new_level; i < level_; ++i) {
+    ++update[i]->levels[static_cast<size_t>(i)].span;
+  }
+  node->backward = (update[0] == head_) ? nullptr : update[0];
+  if (node->levels[0].forward != nullptr) {
+    node->levels[0].forward->backward = node;
+  } else {
+    tail_ = node;
+  }
+  index_.emplace(member, score);
+  mem_bytes_ += member.size() + 96;
+  return AddOutcome::kAdded;
+}
+
+void ZSet::DeleteNode(Node* node, Node** update) {
+  for (int i = 0; i < level_; ++i) {
+    auto& ulvl = update[i]->levels[static_cast<size_t>(i)];
+    if (ulvl.forward == node) {
+      ulvl.span += node->levels[static_cast<size_t>(i)].span - 1;
+      ulvl.forward = node->levels[static_cast<size_t>(i)].forward;
+    } else {
+      --ulvl.span;
+    }
+  }
+  if (node->levels[0].forward != nullptr) {
+    node->levels[0].forward->backward = node->backward;
+  } else {
+    tail_ = node->backward;  // nullptr when the zset becomes empty
+  }
+  while (level_ > 1 &&
+         head_->levels[static_cast<size_t>(level_ - 1)].forward == nullptr) {
+    --level_;
+  }
+  delete node;
+}
+
+bool ZSet::Remove(const std::string& member) {
+  auto it = index_.find(member);
+  if (it == index_.end()) return false;
+  Node* update[kMaxLevel];
+  Node* node = FindWithUpdate(member, it->second, update);
+  assert(node != nullptr);
+  DeleteNode(node, update);
+  mem_bytes_ -= member.size() + 96;
+  index_.erase(it);
+  return true;
+}
+
+bool ZSet::Score(const std::string& member, double* score) const {
+  auto it = index_.find(member);
+  if (it == index_.end()) return false;
+  *score = it->second;
+  return true;
+}
+
+bool ZSet::Rank(const std::string& member, bool reverse, size_t* rank) const {
+  auto it = index_.find(member);
+  if (it == index_.end()) return false;
+  const double score = it->second;
+  size_t traversed = 0;
+  const Node* x = head_;
+  for (int i = level_ - 1; i >= 0; --i) {
+    while (x->levels[static_cast<size_t>(i)].forward != nullptr) {
+      const Node* next = x->levels[static_cast<size_t>(i)].forward;
+      if (NodeLess(next->score, next->member, score, member) ||
+          (next->score == score && next->member == member)) {
+        traversed += x->levels[static_cast<size_t>(i)].span;
+        x = next;
+        if (x->member == member && x->score == score) {
+          const size_t asc = traversed - 1;  // head contributes 1
+          *rank = reverse ? index_.size() - 1 - asc : asc;
+          return true;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+void ZSet::RangeByRank(size_t start, size_t stop, bool reverse,
+                       std::vector<ScoredMember>* out) const {
+  const size_t n = index_.size();
+  if (n == 0 || start > stop || start >= n) return;
+  if (stop >= n) stop = n - 1;
+
+  // Walk to ascending rank `target_asc` using spans (1-based internally;
+  // the head sentinel occupies rank 0).
+  const size_t target_asc = reverse ? n - 1 - stop : start;
+  const size_t target_1based = target_asc + 1;
+  const Node* x = head_;
+  size_t traversed = 0;
+  for (int i = level_ - 1; i >= 0; --i) {
+    while (x->levels[static_cast<size_t>(i)].forward != nullptr &&
+           traversed + x->levels[static_cast<size_t>(i)].span <=
+               target_1based) {
+      traversed += x->levels[static_cast<size_t>(i)].span;
+      x = x->levels[static_cast<size_t>(i)].forward;
+    }
+  }
+  assert(traversed == target_1based);
+
+  const size_t count = stop - start + 1;
+  std::vector<ScoredMember> ascending;
+  ascending.reserve(count);
+  const Node* cur = x;
+  for (size_t i = 0; i < count && cur != nullptr; ++i) {
+    ascending.push_back({cur->member, cur->score});
+    cur = cur->levels[0].forward;
+  }
+  if (reverse) {
+    for (auto it = ascending.rbegin(); it != ascending.rend(); ++it) {
+      out->push_back(std::move(*it));
+    }
+  } else {
+    for (auto& sm : ascending) out->push_back(std::move(sm));
+  }
+}
+
+ZSet::Node* ZSet::FirstInRange(const ScoreRange& range) const {
+  Node* x = head_;
+  for (int i = level_ - 1; i >= 0; --i) {
+    while (x->levels[static_cast<size_t>(i)].forward != nullptr) {
+      Node* next = x->levels[static_cast<size_t>(i)].forward;
+      const bool below =
+          range.min_exclusive ? next->score <= range.min : next->score < range.min;
+      if (below) {
+        x = next;
+      } else {
+        break;
+      }
+    }
+  }
+  Node* candidate = x->levels[0].forward;
+  if (candidate == nullptr || !range.Contains(candidate->score)) return nullptr;
+  return candidate;
+}
+
+void ZSet::RangeByScore(const ScoreRange& range,
+                        std::vector<ScoredMember>* out) const {
+  for (const Node* x = FirstInRange(range);
+       x != nullptr && range.Contains(x->score); x = x->levels[0].forward) {
+    out->push_back({x->member, x->score});
+  }
+}
+
+size_t ZSet::CountInRange(const ScoreRange& range) const {
+  size_t count = 0;
+  for (const Node* x = FirstInRange(range);
+       x != nullptr && range.Contains(x->score); x = x->levels[0].forward) {
+    ++count;
+  }
+  return count;
+}
+
+size_t ZSet::RemoveRangeByScore(const ScoreRange& range) {
+  std::vector<ScoredMember> victims;
+  RangeByScore(range, &victims);
+  for (const auto& sm : victims) Remove(sm.member);
+  return victims.size();
+}
+
+}  // namespace memdb::ds

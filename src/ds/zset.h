@@ -1,0 +1,94 @@
+// ZSet: sorted set backed by a skiplist with rank spans (the zskiplist
+// design) plus a member->score index. Ordering is by (score, member).
+
+#ifndef MEMDB_DS_ZSET_H_
+#define MEMDB_DS_ZSET_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace memdb::ds {
+
+struct ScoredMember {
+  std::string member;
+  double score;
+  bool operator==(const ScoredMember& o) const {
+    return member == o.member && score == o.score;
+  }
+};
+
+// Score interval with optional exclusive bounds ("(1.5" syntax in Redis).
+struct ScoreRange {
+  double min = -std::numeric_limits<double>::infinity();
+  double max = std::numeric_limits<double>::infinity();
+  bool min_exclusive = false;
+  bool max_exclusive = false;
+
+  bool Contains(double s) const {
+    if (min_exclusive ? s <= min : s < min) return false;
+    if (max_exclusive ? s >= max : s > max) return false;
+    return true;
+  }
+};
+
+class ZSet {
+ public:
+  enum class AddOutcome { kAdded, kUpdated, kUnchanged };
+
+  ZSet();
+  ~ZSet();
+  ZSet(const ZSet&) = delete;
+  ZSet& operator=(const ZSet&) = delete;
+  ZSet(ZSet&&) noexcept;
+  ZSet& operator=(ZSet&&) noexcept;
+
+  AddOutcome Add(const std::string& member, double score);
+  bool Remove(const std::string& member);
+  bool Score(const std::string& member, double* score) const;
+  // 0-based rank in ascending order (reverse=true counts from the top).
+  bool Rank(const std::string& member, bool reverse, size_t* rank) const;
+
+  size_t Size() const { return index_.size(); }
+  bool Empty() const { return index_.empty(); }
+
+  // Elements with ranks in [start, stop] (inclusive, normalized by caller).
+  void RangeByRank(size_t start, size_t stop, bool reverse,
+                   std::vector<ScoredMember>* out) const;
+  void RangeByScore(const ScoreRange& range,
+                    std::vector<ScoredMember>* out) const;
+  size_t CountInRange(const ScoreRange& range) const;
+  // Removes all elements within the score range; returns count removed.
+  size_t RemoveRangeByScore(const ScoreRange& range);
+
+  size_t ApproxMemory() const { return mem_bytes_ + 128; }
+
+ private:
+  static constexpr int kMaxLevel = 32;
+
+  struct Node;
+  int RandomLevel();
+  // First node with score/member >= the range start, nullptr if none.
+  Node* FirstInRange(const ScoreRange& range) const;
+  void DeleteNode(Node* node, Node** update);
+  // Finds the node and fills update[]/rank bookkeeping for deletion.
+  Node* FindWithUpdate(const std::string& member, double score,
+                       Node** update) const;
+
+  Node* head_;
+  Node* tail_ = nullptr;
+  int level_ = 1;
+  std::unordered_map<std::string, double> index_;
+  Rng rng_{0x5A5A5A5AULL};  // fixed seed: same op sequence -> same shape
+  size_t mem_bytes_ = 0;
+};
+
+}  // namespace memdb::ds
+
+#endif  // MEMDB_DS_ZSET_H_

@@ -1,0 +1,157 @@
+// Bitmap commands over string values: SETBIT / GETBIT / BITCOUNT / BITOP.
+// Offsets are capped well below Redis' 4-gigabit limit to keep simulated
+// hosts honest about memory.
+
+#include <algorithm>
+
+#include "engine/commands_common.h"
+#include "engine/engine.h"
+
+namespace memdb::engine {
+namespace {
+
+using resp::Value;
+
+// 64 MiB of bitmap per key is plenty for a simulation target.
+constexpr int64_t kMaxBitOffset = 64LL * 1024 * 1024 * 8 - 1;
+
+Value CmdSetBit(Engine& e, const Argv& argv, ExecContext& ctx) {
+  int64_t offset, bit;
+  if (!ParseInt64(argv[2], &offset) || offset < 0 ||
+      offset > kMaxBitOffset) {
+    return Value::Error("ERR bit offset is not an integer or out of range");
+  }
+  if (!ParseInt64(argv[3], &bit) || (bit != 0 && bit != 1)) {
+    return Value::Error("ERR bit is not an integer or out of range");
+  }
+  Keyspace::Entry* entry = e.LookupWrite(argv[1], ctx);
+  if (entry == nullptr) {
+    entry = e.keyspace().Put(argv[1], ds::Value(std::string()));
+  } else if (!entry->value.IsString()) {
+    return ErrWrongType();
+  }
+  std::string& s = entry->value.str();
+  const size_t byte = static_cast<size_t>(offset) / 8;
+  const int shift = 7 - static_cast<int>(offset % 8);  // MSB-first, like Redis
+  if (s.size() <= byte) s.resize(byte + 1, '\0');
+  const int old = (static_cast<uint8_t>(s[byte]) >> shift) & 1;
+  if (bit != 0) {
+    s[byte] = static_cast<char>(static_cast<uint8_t>(s[byte]) | (1u << shift));
+  } else {
+    s[byte] =
+        static_cast<char>(static_cast<uint8_t>(s[byte]) & ~(1u << shift));
+  }
+  e.Touch(argv[1], ctx);
+  return Value::Integer(old);
+}
+
+Value CmdGetBit(Engine& e, const Argv& argv, ExecContext& ctx) {
+  int64_t offset;
+  if (!ParseInt64(argv[2], &offset) || offset < 0 ||
+      offset > kMaxBitOffset) {
+    return Value::Error("ERR bit offset is not an integer or out of range");
+  }
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kString, ctx, false, &err);
+  if (err.IsError()) return err;
+  if (entry == nullptr) return Value::Integer(0);
+  const std::string& s = entry->value.str();
+  const size_t byte = static_cast<size_t>(offset) / 8;
+  if (byte >= s.size()) return Value::Integer(0);
+  const int shift = 7 - static_cast<int>(offset % 8);
+  return Value::Integer((static_cast<uint8_t>(s[byte]) >> shift) & 1);
+}
+
+// BITCOUNT key [start end]  (byte ranges; negatives count from the end).
+Value CmdBitCount(Engine& e, const Argv& argv, ExecContext& ctx) {
+  if (argv.size() != 2 && argv.size() != 4) return ErrSyntax();
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kString, ctx, false, &err);
+  if (err.IsError()) return err;
+  if (entry == nullptr) return Value::Integer(0);
+  const std::string& s = entry->value.str();
+  int64_t start = 0, stop = static_cast<int64_t>(s.size()) - 1;
+  if (argv.size() == 4) {
+    if (!ParseInt64(argv[2], &start) || !ParseInt64(argv[3], &stop)) {
+      return ErrNotInt();
+    }
+    start = NormalizeIndex(start, s.size());
+    stop = NormalizeIndex(stop, s.size());
+    if (start < 0) start = 0;
+    if (stop >= static_cast<int64_t>(s.size())) {
+      stop = static_cast<int64_t>(s.size()) - 1;
+    }
+  }
+  int64_t count = 0;
+  for (int64_t i = start; i <= stop && i < static_cast<int64_t>(s.size());
+       ++i) {
+    count += __builtin_popcount(static_cast<uint8_t>(s[static_cast<size_t>(i)]));
+  }
+  return Value::Integer(count);
+}
+
+// BITOP AND|OR|XOR|NOT dst src [src ...]
+Value CmdBitOp(Engine& e, const Argv& argv, ExecContext& ctx) {
+  const std::string op = Engine::Upper(argv[1]);
+  const bool is_not = op == "NOT";
+  if (op != "AND" && op != "OR" && op != "XOR" && !is_not) return ErrSyntax();
+  if (is_not && argv.size() != 4) {
+    return Value::Error("ERR BITOP NOT must be called with a single source");
+  }
+  std::vector<std::string> sources;
+  for (size_t i = 3; i < argv.size(); ++i) {
+    Value err = Value::Null();
+    Keyspace::Entry* entry =
+        FetchTyped(e, argv[i], ds::ValueType::kString, ctx, false, &err);
+    if (err.IsError()) return err;
+    sources.push_back(entry == nullptr ? "" : entry->value.str());
+  }
+  size_t max_len = 0;
+  for (const auto& s : sources) max_len = std::max(max_len, s.size());
+  std::string result(max_len, '\0');
+  for (size_t b = 0; b < max_len; ++b) {
+    uint8_t acc = sources.empty() || b >= sources[0].size()
+                      ? 0
+                      : static_cast<uint8_t>(sources[0][b]);
+    if (is_not) {
+      acc = static_cast<uint8_t>(~acc);
+    } else {
+      for (size_t i = 1; i < sources.size(); ++i) {
+        const uint8_t v =
+            b < sources[i].size() ? static_cast<uint8_t>(sources[i][b]) : 0;
+        if (op == "AND") {
+          acc &= v;
+        } else if (op == "OR") {
+          acc |= v;
+        } else {
+          acc ^= v;
+        }
+      }
+    }
+    result[b] = static_cast<char>(acc);
+  }
+  if (result.empty()) {
+    if (e.LookupWrite(argv[2], ctx) != nullptr) {
+      e.keyspace().Erase(argv[2]);
+      ctx.dirty_keys.push_back(argv[2]);
+    }
+    return Value::Integer(0);
+  }
+  e.keyspace().Put(argv[2], ds::Value(result));
+  e.Touch(argv[2], ctx);
+  return Value::Integer(static_cast<int64_t>(result.size()));
+}
+
+}  // namespace
+
+void RegisterBitmapCommands(Engine* e,
+                            const std::function<void(CommandSpec)>& add) {
+  add({"SETBIT", 4, true, 1, 1, 1, CmdSetBit});
+  add({"GETBIT", 3, false, 1, 1, 1, CmdGetBit});
+  add({"BITCOUNT", -2, false, 1, 1, 1, CmdBitCount});
+  add({"BITOP", -4, true, 2, -1, 1, CmdBitOp});
+}
+
+}  // namespace memdb::engine

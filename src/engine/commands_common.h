@@ -1,0 +1,83 @@
+// Shared helpers for command implementations. Internal to src/engine.
+
+#ifndef MEMDB_ENGINE_COMMANDS_COMMON_H_
+#define MEMDB_ENGINE_COMMANDS_COMMON_H_
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "engine/engine.h"
+#include "resp/resp.h"
+
+namespace memdb::engine {
+
+inline resp::Value ErrWrongType() {
+  return resp::Value::Error(
+      "WRONGTYPE Operation against a key holding the wrong kind of value");
+}
+
+inline resp::Value ErrNotInt() {
+  return resp::Value::Error("ERR value is not an integer or out of range");
+}
+
+inline resp::Value ErrNotFloat() {
+  return resp::Value::Error("ERR value is not a valid float");
+}
+
+inline resp::Value ErrSyntax() {
+  return resp::Value::Error("ERR syntax error");
+}
+
+inline resp::Value ErrNoSuchKey() {
+  return resp::Value::Error("ERR no such key");
+}
+
+inline resp::Value ErrOom() {
+  return resp::Value::Error(
+      "OOM command not allowed when used memory > 'maxmemory'");
+}
+
+inline bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+inline bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  if (s == "inf" || s == "+inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (s == "-inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size() && !std::isnan(*out);
+}
+
+// Formats a double the way Redis replies do (17 significant digits trimmed).
+std::string FormatDouble(double v);
+
+// Normalizes a Redis index (possibly negative) against a container of size
+// n. Returns the clamped non-negative index; out-of-range low values clamp
+// to 0, callers handle the "beyond end" case.
+inline int64_t NormalizeIndex(int64_t idx, size_t n) {
+  if (idx < 0) idx += static_cast<int64_t>(n);
+  return idx;
+}
+
+// Fetches an existing entry expected to hold `type`; returns nullptr and
+// sets *err when the key exists with another type. Missing key -> nullptr
+// with err untouched.
+Keyspace::Entry* FetchTyped(Engine& e, const std::string& key,
+                            ds::ValueType type, ExecContext& ctx,
+                            bool for_write, resp::Value* err);
+
+}  // namespace memdb::engine
+
+#endif  // MEMDB_ENGINE_COMMANDS_COMMON_H_

@@ -1,0 +1,280 @@
+// Hash command family, backed by ds::Hash.
+
+#include <algorithm>
+
+#include "engine/commands_common.h"
+#include "engine/engine.h"
+
+namespace memdb::engine {
+namespace {
+
+using resp::Value;
+
+Keyspace::Entry* GetOrCreateHash(Engine& e, const std::string& key,
+                                 ExecContext& ctx, Value* err) {
+  Keyspace::Entry* entry = e.LookupWrite(key, ctx);
+  if (entry == nullptr) return e.keyspace().Put(key, ds::Value(ds::Hash()));
+  if (entry->value.type() != ds::ValueType::kHash) {
+    *err = ErrWrongType();
+    return nullptr;
+  }
+  return entry;
+}
+
+void EraseIfEmptyHash(Engine& e, const std::string& key) {
+  Keyspace::Entry* entry = e.keyspace().FindRaw(key);
+  if (entry != nullptr && entry->value.type() == ds::ValueType::kHash &&
+      entry->value.hash().Empty()) {
+    e.keyspace().Erase(key);
+  }
+}
+
+// HSET key field value [field value ...]
+Value CmdHSet(Engine& e, const Argv& argv, ExecContext& ctx) {
+  if (argv.size() % 2 != 0) {
+    return Value::Error("ERR wrong number of arguments for 'HSET' command");
+  }
+  Value err = Value::Null();
+  Keyspace::Entry* entry = GetOrCreateHash(e, argv[1], ctx, &err);
+  if (entry == nullptr) return err;
+  int64_t added = 0;
+  for (size_t i = 2; i + 1 < argv.size(); i += 2) {
+    if (entry->value.hash().Set(argv[i], argv[i + 1])) ++added;
+  }
+  e.Touch(argv[1], ctx);
+  return Value::Integer(added);
+}
+
+Value CmdHSetNx(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry = GetOrCreateHash(e, argv[1], ctx, &err);
+  if (entry == nullptr) return err;
+  if (entry->value.hash().Has(argv[2])) {
+    EraseIfEmptyHash(e, argv[1]);  // may have just created an empty hash
+    return Value::Integer(0);
+  }
+  entry->value.hash().Set(argv[2], argv[3]);
+  e.Touch(argv[1], ctx);
+  return Value::Integer(1);
+}
+
+Value CmdHGet(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kHash, ctx, false, &err);
+  if (err.IsError()) return err;
+  std::string v;
+  if (entry == nullptr || !entry->value.hash().Get(argv[2], &v)) {
+    return Value::Null();
+  }
+  return Value::Bulk(std::move(v));
+}
+
+Value CmdHMGet(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kHash, ctx, false, &err);
+  if (err.IsError()) return err;
+  std::vector<Value> out;
+  for (size_t i = 2; i < argv.size(); ++i) {
+    std::string v;
+    if (entry != nullptr && entry->value.hash().Get(argv[i], &v)) {
+      out.push_back(Value::Bulk(std::move(v)));
+    } else {
+      out.push_back(Value::Null());
+    }
+  }
+  return Value::Array(std::move(out));
+}
+
+Value CmdHDel(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kHash, ctx, true, &err);
+  if (err.IsError()) return err;
+  if (entry == nullptr) return Value::Integer(0);
+  int64_t removed = 0;
+  for (size_t i = 2; i < argv.size(); ++i) {
+    if (entry->value.hash().Del(argv[i])) ++removed;
+  }
+  if (removed > 0) {
+    e.Touch(argv[1], ctx);
+    EraseIfEmptyHash(e, argv[1]);
+  }
+  return Value::Integer(removed);
+}
+
+Value CmdHExists(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kHash, ctx, false, &err);
+  if (err.IsError()) return err;
+  return Value::Integer(
+      entry != nullptr && entry->value.hash().Has(argv[2]) ? 1 : 0);
+}
+
+Value CmdHLen(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kHash, ctx, false, &err);
+  if (err.IsError()) return err;
+  return Value::Integer(
+      entry == nullptr ? 0 : static_cast<int64_t>(entry->value.hash().Size()));
+}
+
+Value CmdHStrlen(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kHash, ctx, false, &err);
+  if (err.IsError()) return err;
+  std::string v;
+  if (entry == nullptr || !entry->value.hash().Get(argv[2], &v)) {
+    return Value::Integer(0);
+  }
+  return Value::Integer(static_cast<int64_t>(v.size()));
+}
+
+enum class HashDump { kFields, kValues, kBoth };
+
+Value DumpHash(Engine& e, const Argv& argv, ExecContext& ctx, HashDump mode) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kHash, ctx, false, &err);
+  if (err.IsError()) return err;
+  std::vector<Value> out;
+  if (entry != nullptr) {
+    for (auto& [f, v] : entry->value.hash().Items()) {
+      if (mode != HashDump::kValues) out.push_back(Value::Bulk(f));
+      if (mode != HashDump::kFields) out.push_back(Value::Bulk(v));
+    }
+  }
+  return Value::Array(std::move(out));
+}
+
+Value CmdHKeys(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return DumpHash(e, argv, ctx, HashDump::kFields);
+}
+Value CmdHVals(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return DumpHash(e, argv, ctx, HashDump::kValues);
+}
+Value CmdHGetAll(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return DumpHash(e, argv, ctx, HashDump::kBoth);
+}
+
+Value CmdHIncrBy(Engine& e, const Argv& argv, ExecContext& ctx) {
+  int64_t delta;
+  if (!ParseInt64(argv[3], &delta)) return ErrNotInt();
+  Value err = Value::Null();
+  Keyspace::Entry* entry = GetOrCreateHash(e, argv[1], ctx, &err);
+  if (entry == nullptr) return err;
+  std::string current = "0";
+  entry->value.hash().Get(argv[2], &current);
+  int64_t n;
+  if (!ParseInt64(current, &n)) {
+    EraseIfEmptyHash(e, argv[1]);
+    return Value::Error("ERR hash value is not an integer");
+  }
+  if ((delta > 0 && n > INT64_MAX - delta) ||
+      (delta < 0 && n < INT64_MIN - delta)) {
+    EraseIfEmptyHash(e, argv[1]);
+    return Value::Error("ERR increment or decrement would overflow");
+  }
+  n += delta;
+  entry->value.hash().Set(argv[2], std::to_string(n));
+  e.Touch(argv[1], ctx);
+  return Value::Integer(n);
+}
+
+Value CmdHIncrByFloat(Engine& e, const Argv& argv, ExecContext& ctx) {
+  double delta;
+  if (!ParseDouble(argv[3], &delta)) return ErrNotFloat();
+  Value err = Value::Null();
+  Keyspace::Entry* entry = GetOrCreateHash(e, argv[1], ctx, &err);
+  if (entry == nullptr) return err;
+  std::string current = "0";
+  entry->value.hash().Get(argv[2], &current);
+  double n;
+  if (!ParseDouble(current, &n)) {
+    EraseIfEmptyHash(e, argv[1]);
+    return Value::Error("ERR hash value is not a float");
+  }
+  n += delta;
+  if (std::isnan(n) || std::isinf(n)) {
+    EraseIfEmptyHash(e, argv[1]);
+    return Value::Error("ERR increment would produce NaN or Infinity");
+  }
+  const std::string formatted = FormatDouble(n);
+  entry->value.hash().Set(argv[2], formatted);
+  e.Touch(argv[1], ctx);
+  // Replicated by value (float determinism), as HSET.
+  ctx.effects.push_back({"HSET", argv[1], argv[2], formatted});
+  ctx.effects_overridden = true;
+  return Value::Bulk(formatted);
+}
+
+// HRANDFIELD key [count [WITHVALUES]]
+Value CmdHRandField(Engine& e, const Argv& argv, ExecContext& ctx) {
+  if (ctx.rng == nullptr) return Value::Error("ERR no entropy source");
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kHash, ctx, false, &err);
+  if (err.IsError()) return err;
+  if (argv.size() == 2) {
+    if (entry == nullptr) return Value::Null();
+    auto items = entry->value.hash().Items();
+    return Value::Bulk(items[ctx.rng->Uniform(items.size())].first);
+  }
+  int64_t count;
+  if (!ParseInt64(argv[2], &count)) return ErrNotInt();
+  bool withvalues = false;
+  if (argv.size() == 4) {
+    if (Engine::Upper(argv[3]) != "WITHVALUES") return ErrSyntax();
+    withvalues = true;
+  } else if (argv.size() > 4) {
+    return ErrSyntax();
+  }
+  if (entry == nullptr) return Value::Array({});
+  const auto items = entry->value.hash().Items();
+  std::vector<Value> out;
+  auto push = [&](size_t idx) {
+    out.push_back(Value::Bulk(items[idx].first));
+    if (withvalues) out.push_back(Value::Bulk(items[idx].second));
+  };
+  if (count >= 0) {
+    std::vector<size_t> order(items.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    const size_t want =
+        std::min<size_t>(static_cast<size_t>(count), items.size());
+    for (size_t i = 0; i < want; ++i) {
+      const size_t j = i + ctx.rng->Uniform(order.size() - i);
+      std::swap(order[i], order[j]);
+      push(order[i]);
+    }
+  } else {
+    for (int64_t i = 0; i < -count; ++i) push(ctx.rng->Uniform(items.size()));
+  }
+  return Value::Array(std::move(out));
+}
+
+}  // namespace
+
+void RegisterHashCommands(Engine* e,
+                          const std::function<void(CommandSpec)>& add) {
+  add({"HSET", -4, true, 1, 1, 1, CmdHSet});
+  add({"HMSET", -4, true, 1, 1, 1, CmdHSet});
+  add({"HSETNX", 4, true, 1, 1, 1, CmdHSetNx});
+  add({"HGET", 3, false, 1, 1, 1, CmdHGet});
+  add({"HMGET", -3, false, 1, 1, 1, CmdHMGet});
+  add({"HDEL", -3, true, 1, 1, 1, CmdHDel});
+  add({"HEXISTS", 3, false, 1, 1, 1, CmdHExists});
+  add({"HLEN", 2, false, 1, 1, 1, CmdHLen});
+  add({"HSTRLEN", 3, false, 1, 1, 1, CmdHStrlen});
+  add({"HKEYS", 2, false, 1, 1, 1, CmdHKeys});
+  add({"HVALS", 2, false, 1, 1, 1, CmdHVals});
+  add({"HGETALL", 2, false, 1, 1, 1, CmdHGetAll});
+  add({"HINCRBY", 4, true, 1, 1, 1, CmdHIncrBy});
+  add({"HINCRBYFLOAT", 4, true, 1, 1, 1, CmdHIncrByFloat});
+  add({"HRANDFIELD", -2, false, 1, 1, 1, CmdHRandField});
+}
+
+}  // namespace memdb::engine

@@ -1,0 +1,202 @@
+// HyperLogLog commands (PFADD / PFCOUNT / PFMERGE): approximate distinct
+// counting in a fixed 12 KiB footprint, one of the probabilistic structures
+// the paper lists among Redis' data types. Dense representation only:
+// 16384 six-bit registers packed into a string value with a short header.
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/commands_common.h"
+#include "engine/engine.h"
+
+namespace memdb::engine {
+namespace {
+
+using resp::Value;
+
+constexpr int kRegisterBits = 14;                     // 2^14 registers
+constexpr int kNumRegisters = 1 << kRegisterBits;     // 16384
+constexpr size_t kDenseBytes = kNumRegisters * 6 / 8; // 12288
+constexpr char kMagic[5] = {'H', 'Y', 'L', 'L', '1'};
+constexpr size_t kHeaderBytes = sizeof(kMagic);
+
+bool IsHll(const std::string& s) {
+  return s.size() == kHeaderBytes + kDenseBytes &&
+         std::equal(std::begin(kMagic), std::end(kMagic), s.begin());
+}
+
+std::string EmptyHll() {
+  std::string s(kHeaderBytes + kDenseBytes, '\0');
+  std::copy(std::begin(kMagic), std::end(kMagic), s.begin());
+  return s;
+}
+
+uint8_t GetRegister(const std::string& s, int idx) {
+  const size_t bit = static_cast<size_t>(idx) * 6;
+  const size_t byte = kHeaderBytes + bit / 8;
+  const int shift = static_cast<int>(bit % 8);
+  const uint16_t two = static_cast<uint8_t>(s[byte]) |
+                       (byte + 1 < s.size()
+                            ? static_cast<uint16_t>(
+                                  static_cast<uint8_t>(s[byte + 1]))
+                                  << 8
+                            : 0);
+  return static_cast<uint8_t>((two >> shift) & 0x3f);
+}
+
+void SetRegister(std::string* s, int idx, uint8_t value) {
+  const size_t bit = static_cast<size_t>(idx) * 6;
+  const size_t byte = kHeaderBytes + bit / 8;
+  const int shift = static_cast<int>(bit % 8);
+  uint16_t two = static_cast<uint8_t>((*s)[byte]) |
+                 (static_cast<uint16_t>(static_cast<uint8_t>((*s)[byte + 1]))
+                  << 8);
+  two = static_cast<uint16_t>(two & ~(0x3f << shift));
+  two = static_cast<uint16_t>(two | (static_cast<uint16_t>(value & 0x3f)
+                                     << shift));
+  (*s)[byte] = static_cast<char>(two & 0xff);
+  (*s)[byte + 1] = static_cast<char>((two >> 8) & 0xff);
+}
+
+// 64-bit mix hash (murmur3 finalizer over a streaming xor/multiply).
+uint64_t Hash64(const std::string& data) {
+  uint64_t h = 0x9368e53c2f6af274ULL ^ (data.size() * 0xff51afd7ed558ccdULL);
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+  }
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+// Returns true if the register grew (the HLL changed).
+bool AddElement(std::string* hll, const std::string& element) {
+  const uint64_t h = Hash64(element);
+  const int idx = static_cast<int>(h & (kNumRegisters - 1));
+  const uint64_t rest = h >> kRegisterBits;
+  // Rank = position of the first set bit in `rest`, 1-based; `rest` has 50
+  // meaningful bits, so rank <= 51 < 2^6.
+  uint8_t rank = 1;
+  uint64_t probe = rest;
+  while ((probe & 1) == 0 && rank <= 50) {
+    probe >>= 1;
+    ++rank;
+  }
+  if (rank > GetRegister(*hll, idx)) {
+    SetRegister(hll, idx, rank);
+    return true;
+  }
+  return false;
+}
+
+int64_t Estimate(const std::string& hll) {
+  const double m = kNumRegisters;
+  const double alpha = 0.7213 / (1.0 + 1.079 / m);
+  double sum = 0;
+  int zeros = 0;
+  for (int i = 0; i < kNumRegisters; ++i) {
+    const uint8_t r = GetRegister(hll, i);
+    sum += std::ldexp(1.0, -r);
+    if (r == 0) ++zeros;
+  }
+  double estimate = alpha * m * m / sum;
+  // Linear counting for the small range, as in the HLL paper.
+  if (estimate <= 2.5 * m && zeros > 0) {
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return static_cast<int64_t>(estimate + 0.5);
+}
+
+// Fetches an existing HLL-typed string or creates one; err is set on a
+// non-HLL string value.
+Keyspace::Entry* GetOrCreateHll(Engine& e, const std::string& key,
+                                ExecContext& ctx, Value* err) {
+  Keyspace::Entry* entry = e.LookupWrite(key, ctx);
+  if (entry == nullptr) {
+    return e.keyspace().Put(key, ds::Value(EmptyHll()));
+  }
+  if (!entry->value.IsString()) {
+    *err = ErrWrongType();
+    return nullptr;
+  }
+  if (!IsHll(entry->value.str())) {
+    *err = Value::Error(
+        "WRONGTYPE Key is not a valid HyperLogLog string value.");
+    return nullptr;
+  }
+  return entry;
+}
+
+Value CmdPfAdd(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry = GetOrCreateHll(e, argv[1], ctx, &err);
+  if (entry == nullptr) return err;
+  bool changed = false;
+  for (size_t i = 2; i < argv.size(); ++i) {
+    changed |= AddElement(&entry->value.str(), argv[i]);
+  }
+  if (changed || argv.size() == 2) e.Touch(argv[1], ctx);
+  return Value::Integer(changed ? 1 : 0);
+}
+
+Value CmdPfCount(Engine& e, const Argv& argv, ExecContext& ctx) {
+  if (argv.size() == 2) {
+    Keyspace::Entry* entry = e.LookupRead(argv[1], ctx);
+    if (entry == nullptr) return Value::Integer(0);
+    if (!entry->value.IsString() || !IsHll(entry->value.str())) {
+      return Value::Error(
+          "WRONGTYPE Key is not a valid HyperLogLog string value.");
+    }
+    return Value::Integer(Estimate(entry->value.str()));
+  }
+  // Multi-key: estimate of the union.
+  std::string merged = EmptyHll();
+  for (size_t i = 1; i < argv.size(); ++i) {
+    Keyspace::Entry* entry = e.LookupRead(argv[i], ctx);
+    if (entry == nullptr) continue;
+    if (!entry->value.IsString() || !IsHll(entry->value.str())) {
+      return Value::Error(
+          "WRONGTYPE Key is not a valid HyperLogLog string value.");
+    }
+    for (int r = 0; r < kNumRegisters; ++r) {
+      const uint8_t v = GetRegister(entry->value.str(), r);
+      if (v > GetRegister(merged, r)) SetRegister(&merged, r, v);
+    }
+  }
+  return Value::Integer(Estimate(merged));
+}
+
+Value CmdPfMerge(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* dst = GetOrCreateHll(e, argv[1], ctx, &err);
+  if (dst == nullptr) return err;
+  for (size_t i = 2; i < argv.size(); ++i) {
+    Keyspace::Entry* src = e.LookupRead(argv[i], ctx);
+    if (src == nullptr) continue;
+    if (!src->value.IsString() || !IsHll(src->value.str())) {
+      return Value::Error(
+          "WRONGTYPE Key is not a valid HyperLogLog string value.");
+    }
+    for (int r = 0; r < kNumRegisters; ++r) {
+      const uint8_t v = GetRegister(src->value.str(), r);
+      if (v > GetRegister(dst->value.str(), r)) {
+        SetRegister(&dst->value.str(), r, v);
+      }
+    }
+  }
+  e.Touch(argv[1], ctx);
+  return Value::Ok();
+}
+
+}  // namespace
+
+void RegisterHllCommands(Engine* e,
+                         const std::function<void(CommandSpec)>& add) {
+  add({"PFADD", -2, true, 1, 1, 1, CmdPfAdd});
+  add({"PFCOUNT", -2, false, 1, -1, 1, CmdPfCount});
+  add({"PFMERGE", -2, true, 1, -1, 1, CmdPfMerge});
+}
+
+}  // namespace memdb::engine

@@ -1,0 +1,97 @@
+// Server / connection commands that execute inside the engine. Cluster and
+// session concerns (WAIT, READONLY, MULTI/EXEC queueing) live in the node
+// layers, which intercept those commands before dispatching here.
+
+#include "engine/commands_common.h"
+#include "engine/engine.h"
+
+namespace memdb::engine {
+namespace {
+
+using resp::Value;
+
+Value CmdPing(Engine& e, const Argv& argv, ExecContext& ctx) {
+  if (argv.size() == 2) return Value::Bulk(argv[1]);
+  return Value::Simple("PONG");
+}
+
+Value CmdEcho(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return Value::Bulk(argv[1]);
+}
+
+Value CmdDbSize(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return Value::Integer(static_cast<int64_t>(e.keyspace().Size()));
+}
+
+Value CmdFlushAll(Engine& e, const Argv& argv, ExecContext& ctx) {
+  e.keyspace().Clear();
+  ctx.effects.push_back({"FLUSHALL"});
+  ctx.effects_overridden = true;
+  ctx.dirty_keys.push_back("*flushall*");
+  return Value::Ok();
+}
+
+Value CmdTime(Engine& e, const Argv& argv, ExecContext& ctx) {
+  const uint64_t secs = ctx.now_ms / 1000;
+  const uint64_t usecs = (ctx.now_ms % 1000) * 1000;
+  return Value::Array(
+      {Value::Bulk(std::to_string(secs)), Value::Bulk(std::to_string(usecs))});
+}
+
+Value CmdSelect(Engine& e, const Argv& argv, ExecContext& ctx) {
+  int64_t db;
+  if (!ParseInt64(argv[1], &db)) return ErrNotInt();
+  // Cluster-mode engines expose only database 0, like Redis Cluster.
+  if (db != 0) return Value::Error("ERR DB index is out of range");
+  return Value::Ok();
+}
+
+Value CmdCommand(Engine& e, const Argv& argv, ExecContext& ctx) {
+  if (argv.size() >= 2 && Engine::Upper(argv[1]) == "COUNT") {
+    return Value::Integer(static_cast<int64_t>(e.ListCommands().size()));
+  }
+  // COMMAND with no args: reply with per-command metadata arrays
+  // [name, arity, flags, first_key, last_key, step].
+  std::vector<Value> out;
+  for (const CommandSpec* spec : e.ListCommands()) {
+    std::vector<Value> flags;
+    flags.push_back(Value::Simple(spec->is_write ? "write" : "readonly"));
+    out.push_back(Value::Array({
+        Value::Bulk(spec->name),
+        Value::Integer(spec->arity),
+        Value::Array(std::move(flags)),
+        Value::Integer(spec->first_key),
+        Value::Integer(spec->last_key),
+        Value::Integer(spec->key_step),
+    }));
+  }
+  return Value::Array(std::move(out));
+}
+
+Value CmdInfo(Engine& e, const Argv& argv, ExecContext& ctx) {
+  std::string out;
+  out += "# Server\r\nengine_version:7.0.7-memdb\r\n";
+  out += "# Memory\r\nused_memory:" +
+         std::to_string(e.keyspace().used_memory()) + "\r\n";
+  out += "maxmemory:" + std::to_string(e.config().maxmemory_bytes) + "\r\n";
+  out += "# Keyspace\r\ndb0:keys=" + std::to_string(e.keyspace().Size()) +
+         "\r\n";
+  return Value::Bulk(std::move(out));
+}
+
+}  // namespace
+
+void RegisterServerCommands(Engine* e,
+                            const std::function<void(CommandSpec)>& add) {
+  add({"PING", -1, false, 0, 0, 0, CmdPing});
+  add({"ECHO", 2, false, 0, 0, 0, CmdEcho});
+  add({"DBSIZE", 1, false, 0, 0, 0, CmdDbSize});
+  add({"FLUSHALL", -1, true, 0, 0, 0, CmdFlushAll});
+  add({"FLUSHDB", -1, true, 0, 0, 0, CmdFlushAll});
+  add({"TIME", 1, false, 0, 0, 0, CmdTime});
+  add({"SELECT", 2, false, 0, 0, 0, CmdSelect});
+  add({"COMMAND", -1, false, 0, 0, 0, CmdCommand});
+  add({"INFO", -1, false, 0, 0, 0, CmdInfo});
+}
+
+}  // namespace memdb::engine

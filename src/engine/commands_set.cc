@@ -1,0 +1,319 @@
+// Set command family. SPOP is the paper's example of non-deterministic
+// command replication (§2.1/§3.1): the randomly chosen member is selected on
+// the primary and the *effect* — an explicit SREM — is what enters the
+// replication stream / transaction log.
+
+#include <algorithm>
+
+#include "engine/commands_common.h"
+#include "engine/engine.h"
+
+namespace memdb::engine {
+namespace {
+
+using resp::Value;
+
+Keyspace::Entry* GetOrCreateSet(Engine& e, const std::string& key,
+                                ExecContext& ctx, Value* err) {
+  Keyspace::Entry* entry = e.LookupWrite(key, ctx);
+  if (entry == nullptr) return e.keyspace().Put(key, ds::Value(ds::Set()));
+  if (entry->value.type() != ds::ValueType::kSet) {
+    *err = ErrWrongType();
+    return nullptr;
+  }
+  return entry;
+}
+
+void EraseIfEmptySet(Engine& e, const std::string& key) {
+  Keyspace::Entry* entry = e.keyspace().FindRaw(key);
+  if (entry != nullptr && entry->value.type() == ds::ValueType::kSet &&
+      entry->value.set().Empty()) {
+    e.keyspace().Erase(key);
+  }
+}
+
+Value CmdSAdd(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry = GetOrCreateSet(e, argv[1], ctx, &err);
+  if (entry == nullptr) return err;
+  int64_t added = 0;
+  for (size_t i = 2; i < argv.size(); ++i) {
+    if (entry->value.set().Add(argv[i])) ++added;
+  }
+  if (added > 0) {
+    e.Touch(argv[1], ctx);
+  } else {
+    EraseIfEmptySet(e, argv[1]);
+  }
+  return Value::Integer(added);
+}
+
+Value CmdSRem(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kSet, ctx, true, &err);
+  if (err.IsError()) return err;
+  if (entry == nullptr) return Value::Integer(0);
+  int64_t removed = 0;
+  for (size_t i = 2; i < argv.size(); ++i) {
+    if (entry->value.set().Remove(argv[i])) ++removed;
+  }
+  if (removed > 0) {
+    e.Touch(argv[1], ctx);
+    EraseIfEmptySet(e, argv[1]);
+  }
+  return Value::Integer(removed);
+}
+
+Value CmdSMembers(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kSet, ctx, false, &err);
+  if (err.IsError()) return err;
+  std::vector<Value> out;
+  if (entry != nullptr) {
+    for (auto& m : entry->value.set().Members())
+      out.push_back(Value::Bulk(std::move(m)));
+  }
+  return Value::Array(std::move(out));
+}
+
+Value CmdSIsMember(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kSet, ctx, false, &err);
+  if (err.IsError()) return err;
+  return Value::Integer(
+      entry != nullptr && entry->value.set().Contains(argv[2]) ? 1 : 0);
+}
+
+Value CmdSMIsMember(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kSet, ctx, false, &err);
+  if (err.IsError()) return err;
+  std::vector<Value> out;
+  for (size_t i = 2; i < argv.size(); ++i) {
+    out.push_back(Value::Integer(
+        entry != nullptr && entry->value.set().Contains(argv[i]) ? 1 : 0));
+  }
+  return Value::Array(std::move(out));
+}
+
+Value CmdSCard(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kSet, ctx, false, &err);
+  if (err.IsError()) return err;
+  return Value::Integer(
+      entry == nullptr ? 0 : static_cast<int64_t>(entry->value.set().Size()));
+}
+
+// SPOP key [count] — non-deterministic: replicated as explicit SREMs.
+Value CmdSPop(Engine& e, const Argv& argv, ExecContext& ctx) {
+  if (ctx.rng == nullptr) return Value::Error("ERR no entropy source");
+  int64_t count = 1;
+  const bool has_count = argv.size() == 3;
+  if (has_count && (!ParseInt64(argv[2], &count) || count < 0)) {
+    return ErrNotInt();
+  }
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kSet, ctx, true, &err);
+  if (err.IsError()) return err;
+  if (entry == nullptr) {
+    return has_count ? Value::Array({}) : Value::Null();
+  }
+  std::vector<Value> popped;
+  Argv effect = {"SREM", argv[1]};
+  std::string member;
+  for (int64_t i = 0; i < count && !entry->value.set().Empty(); ++i) {
+    entry->value.set().RandomMember(ctx.rng, &member);
+    entry->value.set().Remove(member);
+    effect.push_back(member);
+    popped.push_back(Value::Bulk(member));
+  }
+  if (!popped.empty()) {
+    e.Touch(argv[1], ctx);
+    EraseIfEmptySet(e, argv[1]);
+    ctx.effects.push_back(std::move(effect));
+  }
+  ctx.effects_overridden = true;
+  if (!has_count) {
+    return popped.empty() ? Value::Null() : std::move(popped[0]);
+  }
+  return Value::Array(std::move(popped));
+}
+
+// SRANDMEMBER key [count] — without count: one member; positive count:
+// up to that many distinct members; negative: |count| samples with
+// repetition.
+Value CmdSRandMember(Engine& e, const Argv& argv, ExecContext& ctx) {
+  if (ctx.rng == nullptr) return Value::Error("ERR no entropy source");
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kSet, ctx, false, &err);
+  if (err.IsError()) return err;
+  if (argv.size() == 2) {
+    if (entry == nullptr) return Value::Null();
+    std::string member;
+    entry->value.set().RandomMember(ctx.rng, &member);
+    return Value::Bulk(std::move(member));
+  }
+  int64_t count;
+  if (!ParseInt64(argv[2], &count)) return ErrNotInt();
+  if (entry == nullptr) return Value::Array({});
+  const auto members = entry->value.set().Members();
+  std::vector<Value> out;
+  if (count >= 0) {
+    std::vector<size_t> order(members.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    const size_t want =
+        std::min<size_t>(static_cast<size_t>(count), members.size());
+    for (size_t i = 0; i < want; ++i) {
+      const size_t j = i + ctx.rng->Uniform(order.size() - i);
+      std::swap(order[i], order[j]);
+      out.push_back(Value::Bulk(members[order[i]]));
+    }
+  } else {
+    for (int64_t i = 0; i < -count; ++i) {
+      out.push_back(Value::Bulk(members[ctx.rng->Uniform(members.size())]));
+    }
+  }
+  return Value::Array(std::move(out));
+}
+
+enum class SetOp { kInter, kUnion, kDiff };
+
+std::vector<std::string> ComputeSetOp(Engine& e, const Argv& argv,
+                                      ExecContext& ctx, size_t first_key,
+                                      SetOp op, Value* err) {
+  std::vector<std::string> acc;
+  bool first = true;
+  for (size_t i = first_key; i < argv.size(); ++i) {
+    Keyspace::Entry* entry =
+        FetchTyped(e, argv[i], ds::ValueType::kSet, ctx, false, err);
+    if (err->IsError()) return {};
+    std::vector<std::string> members =
+        entry == nullptr ? std::vector<std::string>{}
+                         : entry->value.set().Members();
+    std::sort(members.begin(), members.end());
+    if (first) {
+      acc = std::move(members);
+      first = false;
+      continue;
+    }
+    std::vector<std::string> next;
+    switch (op) {
+      case SetOp::kInter:
+        std::set_intersection(acc.begin(), acc.end(), members.begin(),
+                              members.end(), std::back_inserter(next));
+        break;
+      case SetOp::kUnion:
+        std::set_union(acc.begin(), acc.end(), members.begin(), members.end(),
+                       std::back_inserter(next));
+        break;
+      case SetOp::kDiff:
+        std::set_difference(acc.begin(), acc.end(), members.begin(),
+                            members.end(), std::back_inserter(next));
+        break;
+    }
+    acc = std::move(next);
+  }
+  return acc;
+}
+
+Value GenericSetOp(Engine& e, const Argv& argv, ExecContext& ctx, SetOp op) {
+  Value err = Value::Null();
+  auto result = ComputeSetOp(e, argv, ctx, 1, op, &err);
+  if (err.IsError()) return err;
+  std::vector<Value> out;
+  out.reserve(result.size());
+  for (auto& m : result) out.push_back(Value::Bulk(std::move(m)));
+  return Value::Array(std::move(out));
+}
+
+Value CmdSInter(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return GenericSetOp(e, argv, ctx, SetOp::kInter);
+}
+Value CmdSUnion(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return GenericSetOp(e, argv, ctx, SetOp::kUnion);
+}
+Value CmdSDiff(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return GenericSetOp(e, argv, ctx, SetOp::kDiff);
+}
+
+Value GenericSetOpStore(Engine& e, const Argv& argv, ExecContext& ctx,
+                        SetOp op) {
+  Value err = Value::Null();
+  auto result = ComputeSetOp(e, argv, ctx, 2, op, &err);
+  if (err.IsError()) return err;
+  // Destination is replaced atomically.
+  Keyspace::Entry* dst_probe = e.LookupWrite(argv[1], ctx);
+  if (result.empty()) {
+    if (dst_probe != nullptr) {
+      e.keyspace().Erase(argv[1]);
+      ctx.dirty_keys.push_back(argv[1]);
+    }
+    return Value::Integer(0);
+  }
+  ds::Set s;
+  for (const auto& m : result) s.Add(m);
+  e.keyspace().Put(argv[1], ds::Value(std::move(s)));
+  e.Touch(argv[1], ctx);
+  return Value::Integer(static_cast<int64_t>(result.size()));
+}
+
+Value CmdSInterStore(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return GenericSetOpStore(e, argv, ctx, SetOp::kInter);
+}
+Value CmdSUnionStore(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return GenericSetOpStore(e, argv, ctx, SetOp::kUnion);
+}
+Value CmdSDiffStore(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return GenericSetOpStore(e, argv, ctx, SetOp::kDiff);
+}
+
+Value CmdSMove(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* src =
+      FetchTyped(e, argv[1], ds::ValueType::kSet, ctx, true, &err);
+  if (err.IsError()) return err;
+  // Destination type check first.
+  Keyspace::Entry* dst_probe = e.LookupWrite(argv[2], ctx);
+  if (dst_probe != nullptr && dst_probe->value.type() != ds::ValueType::kSet) {
+    return ErrWrongType();
+  }
+  if (src == nullptr || !src->value.set().Remove(argv[3])) {
+    return Value::Integer(0);
+  }
+  e.Touch(argv[1], ctx);
+  EraseIfEmptySet(e, argv[1]);
+  Keyspace::Entry* dst = GetOrCreateSet(e, argv[2], ctx, &err);
+  dst->value.set().Add(argv[3]);
+  e.Touch(argv[2], ctx);
+  return Value::Integer(1);
+}
+
+}  // namespace
+
+void RegisterSetCommands(Engine* e,
+                         const std::function<void(CommandSpec)>& add) {
+  add({"SADD", -3, true, 1, 1, 1, CmdSAdd});
+  add({"SREM", -3, true, 1, 1, 1, CmdSRem});
+  add({"SMEMBERS", 2, false, 1, 1, 1, CmdSMembers});
+  add({"SISMEMBER", 3, false, 1, 1, 1, CmdSIsMember});
+  add({"SMISMEMBER", -3, false, 1, 1, 1, CmdSMIsMember});
+  add({"SCARD", 2, false, 1, 1, 1, CmdSCard});
+  add({"SPOP", -2, true, 1, 1, 1, CmdSPop});
+  add({"SRANDMEMBER", -2, false, 1, 1, 1, CmdSRandMember});
+  add({"SINTER", -2, false, 1, -1, 1, CmdSInter});
+  add({"SUNION", -2, false, 1, -1, 1, CmdSUnion});
+  add({"SDIFF", -2, false, 1, -1, 1, CmdSDiff});
+  add({"SINTERSTORE", -3, true, 1, -1, 1, CmdSInterStore});
+  add({"SUNIONSTORE", -3, true, 1, -1, 1, CmdSUnionStore});
+  add({"SDIFFSTORE", -3, true, 1, -1, 1, CmdSDiffStore});
+  add({"SMOVE", 4, true, 1, 2, 1, CmdSMove});
+}
+
+}  // namespace memdb::engine

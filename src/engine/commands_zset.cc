@@ -1,0 +1,414 @@
+// Sorted-set command family, backed by ds::ZSet.
+
+#include <algorithm>
+
+#include "engine/commands_common.h"
+#include "engine/engine.h"
+
+namespace memdb::engine {
+namespace {
+
+using resp::Value;
+
+Keyspace::Entry* GetOrCreateZSet(Engine& e, const std::string& key,
+                                 ExecContext& ctx, Value* err) {
+  Keyspace::Entry* entry = e.LookupWrite(key, ctx);
+  if (entry == nullptr) return e.keyspace().Put(key, ds::Value(ds::ZSet()));
+  if (entry->value.type() != ds::ValueType::kZSet) {
+    *err = ErrWrongType();
+    return nullptr;
+  }
+  return entry;
+}
+
+void EraseIfEmptyZSet(Engine& e, const std::string& key) {
+  Keyspace::Entry* entry = e.keyspace().FindRaw(key);
+  if (entry != nullptr && entry->value.type() == ds::ValueType::kZSet &&
+      entry->value.zset().Empty()) {
+    e.keyspace().Erase(key);
+  }
+}
+
+// Parses a ZRANGEBYSCORE-style bound: "5", "(5", "inf", "-inf", "+inf".
+bool ParseScoreBound(const std::string& s, double* value, bool* exclusive) {
+  *exclusive = false;
+  std::string body = s;
+  if (!body.empty() && body[0] == '(') {
+    *exclusive = true;
+    body = body.substr(1);
+  }
+  return ParseDouble(body, value);
+}
+
+// ZADD key [NX|XX] [GT|LT] [CH] [INCR] score member [score member ...]
+Value CmdZAdd(Engine& e, const Argv& argv, ExecContext& ctx) {
+  bool nx = false, xx = false, gt = false, lt = false, ch = false,
+       incr = false;
+  size_t i = 2;
+  for (; i < argv.size(); ++i) {
+    const std::string opt = Engine::Upper(argv[i]);
+    if (opt == "NX") {
+      nx = true;
+    } else if (opt == "XX") {
+      xx = true;
+    } else if (opt == "GT") {
+      gt = true;
+    } else if (opt == "LT") {
+      lt = true;
+    } else if (opt == "CH") {
+      ch = true;
+    } else if (opt == "INCR") {
+      incr = true;
+    } else {
+      break;
+    }
+  }
+  if ((nx && xx) || (gt && lt) || (nx && (gt || lt))) {
+    return Value::Error(
+        "ERR GT, LT, and/or NX options at the same time are not compatible");
+  }
+  const size_t pairs_start = i;
+  if (pairs_start >= argv.size() || (argv.size() - pairs_start) % 2 != 0) {
+    return ErrSyntax();
+  }
+  if (incr && argv.size() - pairs_start != 2) {
+    return Value::Error(
+        "ERR INCR option supports a single increment-element pair");
+  }
+  // Validate scores before mutating.
+  std::vector<std::pair<double, std::string>> updates;
+  for (size_t j = pairs_start; j + 1 < argv.size(); j += 2) {
+    double score;
+    if (!ParseDouble(argv[j], &score)) return ErrNotFloat();
+    updates.emplace_back(score, argv[j + 1]);
+  }
+
+  Value err = Value::Null();
+  Keyspace::Entry* entry = GetOrCreateZSet(e, argv[1], ctx, &err);
+  if (entry == nullptr) return err;
+  ds::ZSet& z = entry->value.zset();
+
+  int64_t added = 0, changed = 0;
+  double incr_result = 0;
+  bool incr_skipped = false;
+  // Deterministic effect with resolved scores (INCR and GT/LT resolve to
+  // absolute scores so replicas converge bit-identically).
+  Argv effect = {"ZADD", argv[1]};
+  for (auto& [score, member] : updates) {
+    double existing;
+    const bool exists = z.Score(member, &existing);
+    double target = score;
+    if (incr) {
+      target = exists ? existing + score : score;
+      if ((nx && exists) || (xx && !exists) ||
+          (gt && exists && target <= existing) ||
+          (lt && exists && target >= existing)) {
+        incr_skipped = true;
+        continue;
+      }
+      incr_result = target;
+    } else {
+      if ((nx && exists) || (xx && !exists)) continue;
+      if (exists && ((gt && target <= existing) || (lt && target >= existing)))
+        continue;
+    }
+    const ds::ZSet::AddOutcome outcome = z.Add(member, target);
+    if (outcome == ds::ZSet::AddOutcome::kAdded) ++added;
+    if (outcome != ds::ZSet::AddOutcome::kUnchanged) ++changed;
+    effect.push_back(FormatDouble(target));
+    effect.push_back(member);
+  }
+  if (effect.size() > 2) {
+    e.Touch(argv[1], ctx);
+    ctx.effects.push_back(std::move(effect));
+  } else {
+    EraseIfEmptyZSet(e, argv[1]);
+  }
+  ctx.effects_overridden = true;
+  if (incr) {
+    if (incr_skipped) return Value::Null();
+    return Value::Bulk(FormatDouble(incr_result));
+  }
+  return Value::Integer(ch ? changed : added);
+}
+
+Value CmdZIncrBy(Engine& e, const Argv& argv, ExecContext& ctx) {
+  double delta;
+  if (!ParseDouble(argv[2], &delta)) return ErrNotFloat();
+  Value err = Value::Null();
+  Keyspace::Entry* entry = GetOrCreateZSet(e, argv[1], ctx, &err);
+  if (entry == nullptr) return err;
+  double existing = 0;
+  entry->value.zset().Score(argv[3], &existing);
+  const double target = existing + delta;
+  if (std::isnan(target)) {
+    EraseIfEmptyZSet(e, argv[1]);
+    return Value::Error("ERR resulting score is not a number (NaN)");
+  }
+  entry->value.zset().Add(argv[3], target);
+  e.Touch(argv[1], ctx);
+  ctx.effects.push_back({"ZADD", argv[1], FormatDouble(target), argv[3]});
+  ctx.effects_overridden = true;
+  return Value::Bulk(FormatDouble(target));
+}
+
+Value CmdZScore(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kZSet, ctx, false, &err);
+  if (err.IsError()) return err;
+  double score;
+  if (entry == nullptr || !entry->value.zset().Score(argv[2], &score)) {
+    return Value::Null();
+  }
+  return Value::Bulk(FormatDouble(score));
+}
+
+Value CmdZMScore(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kZSet, ctx, false, &err);
+  if (err.IsError()) return err;
+  std::vector<Value> out;
+  for (size_t i = 2; i < argv.size(); ++i) {
+    double score;
+    if (entry != nullptr && entry->value.zset().Score(argv[i], &score)) {
+      out.push_back(Value::Bulk(FormatDouble(score)));
+    } else {
+      out.push_back(Value::Null());
+    }
+  }
+  return Value::Array(std::move(out));
+}
+
+Value CmdZCard(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kZSet, ctx, false, &err);
+  if (err.IsError()) return err;
+  return Value::Integer(
+      entry == nullptr ? 0 : static_cast<int64_t>(entry->value.zset().Size()));
+}
+
+Value CmdZRem(Engine& e, const Argv& argv, ExecContext& ctx) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kZSet, ctx, true, &err);
+  if (err.IsError()) return err;
+  if (entry == nullptr) return Value::Integer(0);
+  int64_t removed = 0;
+  for (size_t i = 2; i < argv.size(); ++i) {
+    if (entry->value.zset().Remove(argv[i])) ++removed;
+  }
+  if (removed > 0) {
+    e.Touch(argv[1], ctx);
+    EraseIfEmptyZSet(e, argv[1]);
+  }
+  return Value::Integer(removed);
+}
+
+Value GenericZRank(Engine& e, const Argv& argv, ExecContext& ctx,
+                   bool reverse) {
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kZSet, ctx, false, &err);
+  if (err.IsError()) return err;
+  size_t rank;
+  if (entry == nullptr || !entry->value.zset().Rank(argv[2], reverse, &rank)) {
+    return Value::Null();
+  }
+  return Value::Integer(static_cast<int64_t>(rank));
+}
+
+Value CmdZRank(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return GenericZRank(e, argv, ctx, false);
+}
+Value CmdZRevRank(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return GenericZRank(e, argv, ctx, true);
+}
+
+Value EncodeScored(std::vector<ds::ScoredMember> items, bool withscores) {
+  std::vector<Value> out;
+  out.reserve(items.size() * (withscores ? 2 : 1));
+  for (auto& sm : items) {
+    out.push_back(Value::Bulk(std::move(sm.member)));
+    if (withscores) out.push_back(Value::Bulk(FormatDouble(sm.score)));
+  }
+  return Value::Array(std::move(out));
+}
+
+// ZRANGE key start stop [REV] [WITHSCORES] — rank form only (the BYSCORE
+// form is covered by ZRANGEBYSCORE).
+Value GenericZRange(Engine& e, const Argv& argv, ExecContext& ctx,
+                    bool reverse) {
+  int64_t start, stop;
+  if (!ParseInt64(argv[2], &start) || !ParseInt64(argv[3], &stop)) {
+    return ErrNotInt();
+  }
+  bool withscores = false;
+  for (size_t i = 4; i < argv.size(); ++i) {
+    const std::string opt = Engine::Upper(argv[i]);
+    if (opt == "WITHSCORES") {
+      withscores = true;
+    } else if (opt == "REV") {
+      reverse = true;
+    } else {
+      return ErrSyntax();
+    }
+  }
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kZSet, ctx, false, &err);
+  if (err.IsError()) return err;
+  if (entry == nullptr) return Value::Array({});
+  const size_t n = entry->value.zset().Size();
+  start = NormalizeIndex(start, n);
+  stop = NormalizeIndex(stop, n);
+  if (start < 0) start = 0;
+  if (start >= static_cast<int64_t>(n) || start > stop) {
+    return Value::Array({});
+  }
+  std::vector<ds::ScoredMember> items;
+  entry->value.zset().RangeByRank(static_cast<size_t>(start),
+                                  static_cast<size_t>(stop), reverse, &items);
+  return EncodeScored(std::move(items), withscores);
+}
+
+Value CmdZRange(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return GenericZRange(e, argv, ctx, false);
+}
+Value CmdZRevRange(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return GenericZRange(e, argv, ctx, true);
+}
+
+Value GenericZRangeByScore(Engine& e, const Argv& argv, ExecContext& ctx,
+                           bool reverse) {
+  ds::ScoreRange range;
+  const std::string& lo = reverse ? argv[3] : argv[2];
+  const std::string& hi = reverse ? argv[2] : argv[3];
+  if (!ParseScoreBound(lo, &range.min, &range.min_exclusive) ||
+      !ParseScoreBound(hi, &range.max, &range.max_exclusive)) {
+    return Value::Error("ERR min or max is not a float");
+  }
+  bool withscores = false;
+  if (argv.size() == 5 && Engine::Upper(argv[4]) == "WITHSCORES") {
+    withscores = true;
+  } else if (argv.size() > 4) {
+    return ErrSyntax();
+  }
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kZSet, ctx, false, &err);
+  if (err.IsError()) return err;
+  if (entry == nullptr) return Value::Array({});
+  std::vector<ds::ScoredMember> items;
+  entry->value.zset().RangeByScore(range, &items);
+  if (reverse) std::reverse(items.begin(), items.end());
+  return EncodeScored(std::move(items), withscores);
+}
+
+Value CmdZRangeByScore(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return GenericZRangeByScore(e, argv, ctx, false);
+}
+Value CmdZRevRangeByScore(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return GenericZRangeByScore(e, argv, ctx, true);
+}
+
+Value CmdZCount(Engine& e, const Argv& argv, ExecContext& ctx) {
+  ds::ScoreRange range;
+  if (!ParseScoreBound(argv[2], &range.min, &range.min_exclusive) ||
+      !ParseScoreBound(argv[3], &range.max, &range.max_exclusive)) {
+    return Value::Error("ERR min or max is not a float");
+  }
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kZSet, ctx, false, &err);
+  if (err.IsError()) return err;
+  return Value::Integer(
+      entry == nullptr
+          ? 0
+          : static_cast<int64_t>(entry->value.zset().CountInRange(range)));
+}
+
+Value CmdZRemRangeByScore(Engine& e, const Argv& argv, ExecContext& ctx) {
+  ds::ScoreRange range;
+  if (!ParseScoreBound(argv[2], &range.min, &range.min_exclusive) ||
+      !ParseScoreBound(argv[3], &range.max, &range.max_exclusive)) {
+    return Value::Error("ERR min or max is not a float");
+  }
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kZSet, ctx, true, &err);
+  if (err.IsError()) return err;
+  if (entry == nullptr) return Value::Integer(0);
+  const size_t removed = entry->value.zset().RemoveRangeByScore(range);
+  if (removed > 0) {
+    e.Touch(argv[1], ctx);
+    EraseIfEmptyZSet(e, argv[1]);
+  }
+  return Value::Integer(static_cast<int64_t>(removed));
+}
+
+// ZPOPMIN/ZPOPMAX key [count] — deterministic (lowest/highest), replicates
+// as explicit ZREM so replicas and the log stay effect-based.
+Value GenericZPop(Engine& e, const Argv& argv, ExecContext& ctx, bool min) {
+  int64_t count = 1;
+  if (argv.size() == 3 && (!ParseInt64(argv[2], &count) || count < 0)) {
+    return ErrNotInt();
+  }
+  Value err = Value::Null();
+  Keyspace::Entry* entry =
+      FetchTyped(e, argv[1], ds::ValueType::kZSet, ctx, true, &err);
+  if (err.IsError()) return err;
+  if (entry == nullptr) return Value::Array({});
+  ds::ZSet& z = entry->value.zset();
+  std::vector<ds::ScoredMember> victims;
+  const size_t n = std::min(static_cast<size_t>(count), z.Size());
+  if (n > 0) z.RangeByRank(0, n - 1, /*reverse=*/!min, &victims);
+  Argv effect = {"ZREM", argv[1]};
+  std::vector<Value> out;
+  for (const auto& sm : victims) {
+    z.Remove(sm.member);
+    effect.push_back(sm.member);
+    out.push_back(Value::Bulk(sm.member));
+    out.push_back(Value::Bulk(FormatDouble(sm.score)));
+  }
+  if (!victims.empty()) {
+    e.Touch(argv[1], ctx);
+    EraseIfEmptyZSet(e, argv[1]);
+    ctx.effects.push_back(std::move(effect));
+  }
+  ctx.effects_overridden = true;
+  return Value::Array(std::move(out));
+}
+
+Value CmdZPopMin(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return GenericZPop(e, argv, ctx, true);
+}
+Value CmdZPopMax(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return GenericZPop(e, argv, ctx, false);
+}
+
+}  // namespace
+
+void RegisterZSetCommands(Engine* e,
+                          const std::function<void(CommandSpec)>& add) {
+  add({"ZADD", -4, true, 1, 1, 1, CmdZAdd});
+  add({"ZINCRBY", 4, true, 1, 1, 1, CmdZIncrBy});
+  add({"ZSCORE", 3, false, 1, 1, 1, CmdZScore});
+  add({"ZMSCORE", -3, false, 1, 1, 1, CmdZMScore});
+  add({"ZCARD", 2, false, 1, 1, 1, CmdZCard});
+  add({"ZREM", -3, true, 1, 1, 1, CmdZRem});
+  add({"ZRANK", 3, false, 1, 1, 1, CmdZRank});
+  add({"ZREVRANK", 3, false, 1, 1, 1, CmdZRevRank});
+  add({"ZRANGE", -4, false, 1, 1, 1, CmdZRange});
+  add({"ZREVRANGE", -4, false, 1, 1, 1, CmdZRevRange});
+  add({"ZRANGEBYSCORE", -4, false, 1, 1, 1, CmdZRangeByScore});
+  add({"ZREVRANGEBYSCORE", -4, false, 1, 1, 1, CmdZRevRangeByScore});
+  add({"ZCOUNT", 4, false, 1, 1, 1, CmdZCount});
+  add({"ZREMRANGEBYSCORE", 4, true, 1, 1, 1, CmdZRemRangeByScore});
+  add({"ZPOPMIN", -2, true, 1, 1, 1, CmdZPopMin});
+  add({"ZPOPMAX", -2, true, 1, 1, 1, CmdZPopMax});
+}
+
+}  // namespace memdb::engine

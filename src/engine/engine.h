@@ -1,0 +1,153 @@
+// Engine: the in-memory execution engine — the role OSS Redis plays in the
+// paper. Executes commands against a Keyspace and emits a *deterministic
+// effect stream* (the replication stream of §3.1): most write commands
+// replicate verbatim, while non-deterministic ones (SPOP, SRANDMEMBER-driven
+// mutations, relative expiries) are rewritten into deterministic effects.
+//
+// The engine is deliberately unaware of durability, clustering, and
+// networking; MemoryDB nodes (src/memorydb) and the Redis baseline
+// (src/redisbaseline) both embed it and consume its effect stream.
+
+#ifndef MEMDB_ENGINE_ENGINE_H_
+#define MEMDB_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/keyspace.h"
+#include "resp/resp.h"
+
+namespace memdb::engine {
+
+using Argv = std::vector<std::string>;
+
+// Who is running the command; controls lazy-expiry behaviour (§2.1: replicas
+// never expire keys themselves, they wait for the primary's DEL).
+enum class Role {
+  kPrimary,       // reads+writes; lazy expiry deletes and emits DEL effects
+  kReplicaApply,  // applying replicated effects; expiry checks bypassed
+  kReplicaRead,   // serving reads; expired keys invisible but not deleted
+};
+
+struct ExecContext {
+  uint64_t now_ms = 0;
+  Role role = Role::kPrimary;
+  Rng* rng = nullptr;  // required for SPOP / SRANDMEMBER / RANDOMKEY
+
+  // -- outputs ------------------------------------------------------------
+  // Replication effects produced by the commands executed under this
+  // context (already deterministic; ready for the transaction log).
+  std::vector<Argv> effects;
+  // Keys whose value or expiry changed (drives the client blocking
+  // tracker's key-level hazard detection, §3.2).
+  std::vector<std::string> dirty_keys;
+
+  // Internal: set by handlers that emit custom effects.
+  bool effects_overridden = false;
+  size_t effects_mark = 0;
+};
+
+struct CommandSpec {
+  using Handler = resp::Value (*)(class Engine&, const Argv&, ExecContext&);
+
+  std::string name;
+  // Redis arity convention: positive = exact argc, negative = minimum.
+  int arity = 0;
+  bool is_write = false;
+  // Key positions (Redis style): first/last argv index holding keys, step
+  // between them; last = -1 means "through the end". 0/0/0 = no keys.
+  int first_key = 0;
+  int last_key = 0;
+  int key_step = 0;
+  Handler handler = nullptr;
+};
+
+class Engine {
+ public:
+  struct Config {
+    // 0 = unlimited. Writes beyond this fail with OOM (noeviction policy).
+    uint64_t maxmemory_bytes = 0;
+    uint64_t rng_seed = 0x9e3779b9;
+  };
+
+  Engine();  // default configuration
+  explicit Engine(Config config);
+
+  // Executes one command. Fills ctx->effects / ctx->dirty_keys for writes.
+  resp::Value Execute(const Argv& argv, ExecContext* ctx);
+
+  // Convenience for replicas: applies one replicated effect command.
+  resp::Value Apply(const Argv& argv, uint64_t now_ms);
+
+  // Active expiry cycle (primary only): removes up to `limit` expired keys,
+  // emitting DEL effects into ctx. Returns number expired.
+  size_t ActiveExpire(ExecContext* ctx, size_t limit);
+
+  Keyspace& keyspace() { return keyspace_; }
+  const Keyspace& keyspace() const { return keyspace_; }
+  Rng& rng() { return rng_; }
+  const Config& config() const { return config_; }
+  void set_maxmemory(uint64_t bytes) { config_.maxmemory_bytes = bytes; }
+
+  const CommandSpec* FindCommand(const std::string& name) const;
+  // All registered commands (drives the consistency-test generator, which
+  // mirrors the paper's "parse the API specification" approach, §7.2.2.2).
+  std::vector<const CommandSpec*> ListCommands() const;
+
+  // Extracts the keys a command addresses, per its key spec.
+  static std::vector<std::string> CommandKeys(const CommandSpec& spec,
+                                              const Argv& argv);
+
+  static std::string Upper(const std::string& s);
+
+  // ---- helpers shared by command implementations (internal) -------------
+  // Read lookup honoring role-specific expiry semantics.
+  Keyspace::Entry* LookupRead(const std::string& key, ExecContext& ctx);
+  // Write lookup: on the primary an expired key is deleted (DEL effect).
+  Keyspace::Entry* LookupWrite(const std::string& key, ExecContext& ctx);
+  // Marks a key dirty and refreshes its memory accounting.
+  void Touch(const std::string& key, ExecContext& ctx);
+  // True if a write of `additional` bytes would exceed maxmemory.
+  bool WouldExceedMemory() const;
+
+ private:
+  void RegisterAll();
+  void Register(CommandSpec spec);
+  // Deletes an expired key on the primary and replicates the removal.
+  void ExpireNow(const std::string& key, ExecContext& ctx);
+
+  Config config_;
+  Keyspace keyspace_;
+  Rng rng_;
+  std::map<std::string, CommandSpec> table_;  // keyed by uppercase name
+};
+
+// Per-category registration, implemented in commands_*.cc.
+void RegisterStringCommands(Engine* e,
+                            const std::function<void(CommandSpec)>& add);
+void RegisterKeyCommands(Engine* e,
+                         const std::function<void(CommandSpec)>& add);
+void RegisterListCommands(Engine* e,
+                          const std::function<void(CommandSpec)>& add);
+void RegisterHashCommands(Engine* e,
+                          const std::function<void(CommandSpec)>& add);
+void RegisterSetCommands(Engine* e,
+                         const std::function<void(CommandSpec)>& add);
+void RegisterZSetCommands(Engine* e,
+                          const std::function<void(CommandSpec)>& add);
+void RegisterServerCommands(Engine* e,
+                            const std::function<void(CommandSpec)>& add);
+void RegisterBitmapCommands(Engine* e,
+                            const std::function<void(CommandSpec)>& add);
+void RegisterHllCommands(Engine* e,
+                         const std::function<void(CommandSpec)>& add);
+void RegisterExtendedCommands(Engine* e,
+                              const std::function<void(CommandSpec)>& add);
+
+}  // namespace memdb::engine
+
+#endif  // MEMDB_ENGINE_ENGINE_H_

@@ -1,0 +1,108 @@
+#include "engine/keyspace.h"
+
+namespace memdb::engine {
+
+Keyspace::Entry* Keyspace::FindRaw(const std::string& key) {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+const Keyspace::Entry* Keyspace::FindRaw(const std::string& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+Keyspace::Entry* Keyspace::Find(const std::string& key, uint64_t now_ms) {
+  Entry* e = FindRaw(key);
+  if (e == nullptr || IsLogicallyExpired(*e, now_ms)) return nullptr;
+  return e;
+}
+
+const Keyspace::Entry* Keyspace::Find(const std::string& key,
+                                      uint64_t now_ms) const {
+  const Entry* e = FindRaw(key);
+  if (e == nullptr || IsLogicallyExpired(*e, now_ms)) return nullptr;
+  return e;
+}
+
+Keyspace::Entry* Keyspace::Put(const std::string& key, ds::Value value) {
+  Erase(key);
+  auto [it, inserted] = map_.emplace(key, Entry(std::move(value)));
+  it->second.cached_mem = it->second.value.ApproxMemory() + key.size() + 48;
+  used_memory_ += it->second.cached_mem;
+  slot_keys_[KeyHashSlot(key)].insert(key);
+  return &it->second;
+}
+
+bool Keyspace::Erase(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  used_memory_ -= it->second.cached_mem;
+  slot_keys_[KeyHashSlot(key)].erase(key);
+  map_.erase(it);
+  return true;
+}
+
+bool Keyspace::Rename(const std::string& src, const std::string& dst) {
+  auto it = map_.find(src);
+  if (it == map_.end()) return false;
+  ds::Value v = std::move(it->second.value);
+  const uint64_t expire = it->second.expire_at_ms;
+  Erase(src);
+  Entry* e = Put(dst, std::move(v));
+  e->expire_at_ms = expire;
+  return true;
+}
+
+void Keyspace::Clear() {
+  map_.clear();
+  for (auto& s : slot_keys_) s.clear();
+  used_memory_ = 0;
+}
+
+void Keyspace::OnValueMutated(const std::string& key) {
+  Entry* e = FindRaw(key);
+  if (e == nullptr) return;
+  const size_t new_mem = e->value.ApproxMemory() + key.size() + 48;
+  used_memory_ += new_mem;
+  used_memory_ -= e->cached_mem;
+  e->cached_mem = new_mem;
+}
+
+void Keyspace::SetExpiry(const std::string& key, uint64_t expire_at_ms) {
+  Entry* e = FindRaw(key);
+  if (e != nullptr) e->expire_at_ms = expire_at_ms;
+}
+
+std::string Keyspace::RandomKey(uint64_t random_draw) const {
+  if (map_.empty()) return "";
+  // Deterministic pick: walk to the (draw % size)-th bucket entry. O(n) but
+  // RANDOMKEY is rare; acceptable.
+  size_t idx = static_cast<size_t>(random_draw % map_.size());
+  auto it = map_.begin();
+  std::advance(it, static_cast<long>(idx));
+  return it->first;
+}
+
+const std::set<std::string>& Keyspace::KeysInSlot(uint16_t slot) const {
+  return slot_keys_[slot];
+}
+
+void Keyspace::ForEach(
+    const std::function<void(const std::string&, const Entry&)>& fn) const {
+  for (const auto& [k, e] : map_) fn(k, e);
+}
+
+std::vector<std::string> Keyspace::ExpiredKeys(uint64_t now_ms,
+                                               size_t limit) const {
+  std::vector<std::string> out;
+  for (const auto& [k, e] : map_) {
+    if (IsLogicallyExpired(e, now_ms)) {
+      out.push_back(k);
+      if (out.size() >= limit) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace memdb::engine

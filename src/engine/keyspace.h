@@ -1,0 +1,86 @@
+// Keyspace: the engine's key -> value dictionary, with per-key expiry,
+// CRC16 slot tracking (for cluster mode and slot migration), and
+// approximate memory accounting (for maxmemory and the fork/COW model).
+
+#ifndef MEMDB_ENGINE_KEYSPACE_H_
+#define MEMDB_ENGINE_KEYSPACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/crc.h"
+#include "ds/value.h"
+
+namespace memdb::engine {
+
+class Keyspace {
+ public:
+  struct Entry {
+    ds::Value value;
+    // Absolute expiry in milliseconds of engine time; 0 = no expiry.
+    uint64_t expire_at_ms = 0;
+    // Cached ApproxMemory of `value`, maintained by Keyspace.
+    size_t cached_mem = 0;
+
+    explicit Entry(ds::Value v) : value(std::move(v)) {}
+  };
+
+  // Lookup that ignores expiry (used by replication/migration internals).
+  Entry* FindRaw(const std::string& key);
+  const Entry* FindRaw(const std::string& key) const;
+
+  // Lookup honoring expiry: an entry past its expiry at `now_ms` is treated
+  // as absent. Does NOT delete it (deletion is the caller's decision so that
+  // primaries can replicate the removal and replicas can wait for it).
+  Entry* Find(const std::string& key, uint64_t now_ms);
+  const Entry* Find(const std::string& key, uint64_t now_ms) const;
+
+  bool IsLogicallyExpired(const Entry& e, uint64_t now_ms) const {
+    return e.expire_at_ms != 0 && e.expire_at_ms <= now_ms;
+  }
+
+  // Inserts or replaces. Returns the entry.
+  Entry* Put(const std::string& key, ds::Value value);
+  // Removes the key. Returns true if it existed.
+  bool Erase(const std::string& key);
+  // Renames; dst is overwritten. Returns false if src missing.
+  bool Rename(const std::string& src, const std::string& dst);
+
+  void Clear();
+
+  // Recomputes the cached memory of `key` after in-place mutation of its
+  // value. Call after any write through Find/FindRaw.
+  void OnValueMutated(const std::string& key);
+  void SetExpiry(const std::string& key, uint64_t expire_at_ms);
+
+  size_t Size() const { return map_.size(); }
+  size_t used_memory() const { return used_memory_; }
+
+  // Uniform random existing key; empty if keyspace is empty.
+  std::string RandomKey(uint64_t random_draw) const;
+
+  // All keys currently mapped to `slot` (migration support).
+  const std::set<std::string>& KeysInSlot(uint16_t slot) const;
+
+  // Iterates every live entry (expiry not consulted).
+  void ForEach(
+      const std::function<void(const std::string&, const Entry&)>& fn) const;
+
+  // Keys whose expiry has passed at now_ms, up to `limit` (active expiry
+  // cycle support).
+  std::vector<std::string> ExpiredKeys(uint64_t now_ms, size_t limit) const;
+
+ private:
+  std::unordered_map<std::string, Entry> map_;
+  std::vector<std::set<std::string>> slot_keys_{
+      static_cast<size_t>(kNumSlots)};
+  size_t used_memory_ = 0;
+};
+
+}  // namespace memdb::engine
+
+#endif  // MEMDB_ENGINE_KEYSPACE_H_

@@ -1,0 +1,723 @@
+#include "memorydb/node.h"
+
+#include <algorithm>
+
+#include "common/crc.h"
+
+namespace memdb::memorydb {
+
+using sim::Duration;
+using sim::Message;
+using sim::NodeId;
+using resp::Value;
+
+int CompareEngineVersions(const std::string& a, const std::string& b) {
+  size_t ia = 0, ib = 0;
+  while (ia < a.size() || ib < b.size()) {
+    long na = 0, nb = 0;
+    while (ia < a.size() && a[ia] != '.') na = na * 10 + (a[ia++] - '0');
+    while (ib < b.size() && b[ib] != '.') nb = nb * 10 + (b[ib++] - '0');
+    if (na != nb) return na < nb ? -1 : 1;
+    if (ia < a.size()) ++ia;
+    if (ib < b.size()) ++ib;
+  }
+  return 0;
+}
+
+Node::Node(sim::Simulation* sim, NodeId id, NodeConfig config)
+    : Actor(sim, id),
+      config_(std::move(config)),
+      engine_([&] {
+        engine::Engine::Config ec;
+        ec.maxmemory_bytes = config_.maxmemory_bytes;
+        ec.rng_seed = 0x9e3779b9 ^ id;
+        return ec;
+      }()),
+      log_(this, config_.log_replicas),
+      io_pool_(&sim->scheduler(), config_.io_threads),
+      workloop_(&sim->scheduler(), 1) {
+  if (config_.object_store != sim::kInvalidNode) {
+    s3_ = storage::StorageClient(this, config_.object_store);
+  }
+  On(client::kDbCommand, [this](const Message& m) { HandleCommand(m); });
+  On(client::kDbMulti, [this](const Message& m) { HandleMulti(m); });
+  RegisterSlotHandlers();
+
+  last_lease_observed_ = Now();
+  StartLoops();
+  // Every node starts life as a recovering replica (§4.2); the designated
+  // bootstrap node then campaigns immediately without waiting out a backoff.
+  StartRecovery();
+}
+
+void Node::StartLoops() {
+  // Timers are incarnation-guarded, so these loops must be re-armed after
+  // every restart.
+  //
+  // Replica log tailing.
+  Periodic(config_.replica_poll_interval, [this] {
+    if (role_ == DbRole::kReplica) PollLog();
+  });
+  // Lease renewal (primary).
+  Periodic(config_.lease_renew_interval, [this] { RenewLease(); });
+  // Lease expiry check — a primary that cannot renew voluntarily stops
+  // serving at the end of its lease (§4.1.3).
+  Periodic(50 * sim::kMs, [this] { CheckLease(); });
+  // Election eligibility check (replicas).
+  Periodic(100 * sim::kMs, [this] { MaybeCampaign(); });
+  // Active expiry cycle (primary).
+  Periodic(config_.active_expire_interval, [this] {
+    if (role_ != DbRole::kPrimary) return;
+    engine::ExecContext ctx;
+    ctx.now_ms = Now() / 1000;
+    ctx.rng = &engine_.rng();
+    engine_.ActiveExpire(&ctx, 20);
+    if (!ctx.effects.empty()) {
+      PendingRecord rec;
+      rec.batch_seq = next_batch_seq_++;
+      rec.payload = EncodeEffectBatch(ctx.effects);
+      for (const auto& k : ctx.dirty_keys) key_hazards_[k] = rec.batch_seq;
+      EnqueueRecord(std::move(rec));
+    }
+  });
+}
+
+void Node::OnRestart() {
+  Actor::OnRestart();
+  ++epoch_;
+  engine_.keyspace().Clear();
+  role_ = DbRole::kReplica;
+  known_primary_ = sim::kInvalidNode;
+  applied_index_ = 0;
+  predicted_tail_ = 0;
+  caught_up_ = false;
+  poll_in_flight_ = false;
+  version_blocked_ = false;
+  running_checksum_ = 0;
+  data_records_seen_ = 0;
+  checksum_violation_ = false;
+  pipeline_.clear();
+  append_in_flight_ = false;
+  acked_batch_seq_ = next_batch_seq_;
+  key_hazards_.clear();
+  deferred_reads_.clear();
+  lease_deadline_ = 0;
+  last_lease_observed_ = Now();
+  stepping_down_ = false;
+  stats_ = Stats{};
+  StartLoops();
+  // A restarted process comes back as a recovering replica (§4.2): restore
+  // from the latest snapshot, then replay the log.
+  StartRecovery();
+}
+
+// ---------------------------------------------------------------- requests
+
+void Node::ReplyValue(const Message& m, const Value& v) {
+  Reply(m, v.Encode());
+}
+
+void Node::HandleCommand(const Message& m) {
+  client::DbRequest req;
+  if (!client::DbRequest::Decode(m.payload, &req) || req.argv.empty()) {
+    ReplyValue(m, Value::Error("ERR protocol error"));
+    return;
+  }
+  ++stats_.commands;
+  const std::string name = engine::Engine::Upper(req.argv[0]);
+  // Session/cluster commands answered without touching the engine thread.
+  if (name == "READONLY" || name == "READWRITE") {
+    ReplyValue(m, Value::Ok());
+    return;
+  }
+  if (name == "WAIT") {
+    // All acknowledged writes are already durable across AZs; WAIT is
+    // trivially satisfied (§3).
+    ReplyValue(m, Value::Integer(1));
+    return;
+  }
+
+  const engine::CommandSpec* spec = engine_.FindCommand(name);
+  if (spec == nullptr) {
+    ReplyValue(m, Value::Error("ERR unknown command '" + req.argv[0] + "'"));
+    return;
+  }
+  const bool is_write = spec->is_write;
+  // Accumulate nanosecond costs into whole scheduler microseconds.
+  io_cost_carry_ns_ += config_.io_op_cost_ns;
+  const Duration io_cost = io_cost_carry_ns_ / 1000;
+  io_cost_carry_ns_ %= 1000;
+  engine_cost_carry_ns_ += is_write ? config_.engine_write_cost_ns
+                                    : config_.engine_read_cost_ns;
+  const Duration engine_cost = engine_cost_carry_ns_ / 1000;
+  engine_cost_carry_ns_ %= 1000;
+
+  const uint64_t epoch = epoch_;
+  io_pool_.SubmitAnd(io_cost, [this, m, req = std::move(req), is_write,
+                               engine_cost, epoch]() mutable {
+    if (!alive() || epoch != epoch_) return;
+    workloop_.SubmitAnd(engine_cost, [this, m, req = std::move(req), is_write,
+                                      epoch]() mutable {
+      if (!alive() || epoch != epoch_) return;
+      switch (role_) {
+        case DbRole::kPrimary:
+          ExecuteOnPrimary(m, {req.argv}, /*multi=*/false);
+          return;
+        case DbRole::kReplica:
+          if (req.readonly && !is_write) {
+            ExecuteReadOnReplica(m, req.argv);
+          } else {
+            const sim::NodeId hint =
+                known_primary_ != sim::kInvalidNode ? known_primary_ : id();
+            const uint16_t slot =
+                req.argv.size() > 1 ? KeyHashSlot(req.argv[1]) : 0;
+            ReplyValue(m, Value::Error(client::MovedError(slot, hint)));
+          }
+          return;
+        case DbRole::kRecovering:
+          ReplyValue(m, Value::Error(
+                            "LOADING MemoryDB is loading the dataset in "
+                            "memory"));
+          return;
+      }
+    });
+  });
+}
+
+void Node::HandleMulti(const Message& m) {
+  client::DbMultiRequest req;
+  if (!client::DbMultiRequest::Decode(m.payload, &req) ||
+      req.commands.empty()) {
+    ReplyValue(m, Value::Error("ERR protocol error"));
+    return;
+  }
+  ++stats_.commands;
+  const Duration engine_cost =
+      std::max<Duration>(1, config_.engine_write_cost_ns / 1000) *
+      req.commands.size();
+  const uint64_t epoch = epoch_;
+  io_pool_.SubmitAnd(std::max<Duration>(1, config_.io_op_cost_ns / 1000),
+                     [this, m, req = std::move(req), engine_cost,
+                      epoch]() mutable {
+                       if (!alive() || epoch != epoch_) return;
+                       workloop_.SubmitAnd(
+                           engine_cost,
+                           [this, m, req = std::move(req), epoch]() mutable {
+                             if (!alive() || epoch != epoch_) return;
+                             if (role_ != DbRole::kPrimary) {
+                               ReplyValue(
+                                   m, Value::Error(client::MovedError(
+                                          0, known_primary_ == sim::kInvalidNode
+                                                 ? id()
+                                                 : known_primary_)));
+                               return;
+                             }
+                             ExecuteOnPrimary(m, req.commands, /*multi=*/true);
+                           });
+                     });
+}
+
+void Node::ExecuteOnPrimary(const Message& m,
+                            const std::vector<engine::Argv>& commands,
+                            bool multi) {
+  std::vector<std::string> read_keys;
+  uint16_t slot = 0;
+  bool has_write = false;
+  for (const engine::Argv& argv : commands) {
+    const engine::CommandSpec* spec = engine_.FindCommand(argv[0]);
+    if (spec != nullptr && spec->is_write) has_write = true;
+  }
+  Value verdict = CheckSlotAccess(commands, has_write, &read_keys, &slot);
+  if (verdict.IsError()) {
+    ReplyValue(m, verdict);
+    return;
+  }
+
+  engine::ExecContext ctx;
+  ctx.now_ms = Now() / 1000;
+  ctx.role = engine::Role::kPrimary;
+  ctx.rng = &engine_.rng();
+
+  std::vector<Value> replies;
+  for (const engine::Argv& argv : commands) {
+    replies.push_back(engine_.Execute(argv, &ctx));
+  }
+  Value final_reply =
+      multi ? Value::Array(std::move(replies)) : std::move(replies[0]);
+
+  // Source side of a live migration: mutations of already-transferred keys
+  // ride along to the target (§5.2 "replication stream mutations of keys
+  // already transmitted").
+  if (!ctx.effects.empty() && !read_keys.empty()) {
+    auto it = slots_.find(slot);
+    if (it != slots_.end() && it->second.state == SlotState::kMigrating) {
+      ForwardEffects(slot, ctx.effects);
+    }
+  }
+
+  if (!ctx.effects.empty()) {
+    ++stats_.writes;
+    // Chunk this command's effects into the record pipeline; the reply is
+    // parked until the record is durable in a majority of AZs (§3.2).
+    PendingRecord rec;
+    rec.batch_seq = next_batch_seq_++;
+    rec.payload = EncodeEffectBatch(ctx.effects);
+    rec.replies.push_back(PendingReply{m, std::move(final_reply)});
+    for (const auto& k : ctx.dirty_keys) key_hazards_[k] = rec.batch_seq;
+    EnqueueRecord(std::move(rec));
+    return;
+  }
+
+  // Non-mutating (or no-op): consult the tracker for key-level hazards.
+  const uint64_t hazard = HazardFor(read_keys);
+  if (hazard > acked_batch_seq_) {
+    ++stats_.reads_deferred_by_tracker;
+    deferred_reads_.emplace(hazard,
+                            PendingReply{m, std::move(final_reply)});
+    return;
+  }
+  ReplyValue(m, final_reply);
+}
+
+void Node::ExecuteReadOnReplica(const Message& m, const engine::Argv& argv) {
+  engine::ExecContext ctx;
+  ctx.now_ms = Now() / 1000;
+  ctx.role = engine::Role::kReplicaRead;
+  ctx.rng = &engine_.rng();
+  // Replica reads never block: data is only visible once committed (§3.2).
+  ReplyValue(m, engine_.Execute(argv, &ctx));
+}
+
+// ---------------------------------------------------------------- tracker
+
+uint64_t Node::HazardFor(const std::vector<std::string>& keys) const {
+  uint64_t hazard = 0;
+  for (const std::string& k : keys) {
+    auto it = key_hazards_.find(k);
+    if (it != key_hazards_.end()) hazard = std::max(hazard, it->second);
+  }
+  return hazard;
+}
+
+void Node::ReleaseUpTo(uint64_t batch_seq) {
+  while (!deferred_reads_.empty() &&
+         deferred_reads_.begin()->first <= batch_seq) {
+    ReplyValue(deferred_reads_.begin()->second.request,
+               deferred_reads_.begin()->second.reply);
+    deferred_reads_.erase(deferred_reads_.begin());
+  }
+  for (auto it = key_hazards_.begin(); it != key_hazards_.end();) {
+    if (it->second <= batch_seq) {
+      it = key_hazards_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- pipeline
+
+std::string Node::EncodeEffectBatch(const std::vector<engine::Argv>& effects) {
+  std::string out;
+  PutLengthPrefixed(&out, config_.engine_version);
+  for (const engine::Argv& argv : effects) {
+    PutVarint64(&out, argv.size());
+    for (const std::string& a : argv) PutLengthPrefixed(&out, a);
+  }
+  return out;
+}
+
+bool Node::DecodeEffectBatch(const std::string& payload, std::string* version,
+                             std::vector<engine::Argv>* effects) {
+  Decoder dec(payload);
+  if (!dec.GetLengthPrefixed(version)) return false;
+  while (!dec.Empty()) {
+    uint64_t argc;
+    if (!dec.GetVarint64(&argc) || argc == 0) return false;
+    engine::Argv argv(argc);
+    for (uint64_t i = 0; i < argc; ++i) {
+      if (!dec.GetLengthPrefixed(&argv[i])) return false;
+    }
+    effects->push_back(std::move(argv));
+  }
+  return true;
+}
+
+void Node::EnqueueRecord(PendingRecord record) {
+  // Group commit: coalesce into the last not-yet-in-flight data record.
+  const bool front_in_flight = append_in_flight_;
+  if (record.type == txlog::RecordType::kData && !pipeline_.empty()) {
+    PendingRecord& back = pipeline_.back();
+    const bool back_is_front = (pipeline_.size() == 1);
+    if (back.type == txlog::RecordType::kData &&
+        !(back_is_front && front_in_flight)) {
+      // Strip the version header of the incoming batch before appending.
+      Decoder dec(record.payload);
+      std::string version;
+      dec.GetLengthPrefixed(&version);
+      back.payload.append(record.payload.substr(dec.Position()));
+      back.data_records += record.data_records;
+      back.batch_seq = std::max(back.batch_seq, record.batch_seq);
+      for (auto& r : record.replies) back.replies.push_back(std::move(r));
+      FlushPipeline();
+      return;
+    }
+  }
+  pipeline_.push_back(std::move(record));
+  FlushPipeline();
+}
+
+void Node::FlushPipeline() {
+  if (append_in_flight_ || pipeline_.empty() || role_ != DbRole::kPrimary) {
+    return;
+  }
+  append_in_flight_ = true;
+  PendingRecord& rec = pipeline_.front();
+  if (rec.type == txlog::RecordType::kChecksum && rec.payload.empty()) {
+    PutFixed64(&rec.payload, running_checksum_);
+    PutVarint64(&rec.payload, data_records_seen_);
+  }
+  txlog::LogRecord r;
+  r.type = rec.type;
+  r.writer = id();
+  r.request_id = next_request_id_++;
+  r.payload = rec.payload;
+  const uint64_t epoch = epoch_;
+  log_.Append(predicted_tail_, std::move(r),
+              [this, epoch](const Status& s, uint64_t index) {
+                if (!alive() || epoch != epoch_) return;
+                OnAppendResult(s, index);
+              });
+}
+
+void Node::OnAppendResult(const Status& s, uint64_t index) {
+  append_in_flight_ = false;
+  if (s.ok()) {
+    PendingRecord rec = std::move(pipeline_.front());
+    pipeline_.pop_front();
+    ++stats_.records_appended;
+    predicted_tail_ = index;
+    applied_index_ = index;
+    if (rec.type == txlog::RecordType::kData) {
+      running_checksum_ = Crc64(running_checksum_, rec.payload);
+      data_records_seen_ += 1;
+      data_since_checksum_ += 1;
+      if (data_since_checksum_ >= config_.checksum_every) {
+        data_since_checksum_ = 0;
+        PendingRecord csum;
+        csum.type = txlog::RecordType::kChecksum;
+        csum.batch_seq = next_batch_seq_++;
+        csum.data_records = 0;
+        // Payload is filled at flush time: by then every record ahead of it
+        // in the pipeline has committed, so the running checksum matches
+        // the record's position in the log.
+        pipeline_.push_back(std::move(csum));
+      }
+    } else if (rec.type == txlog::RecordType::kLease) {
+      if (rec.payload == "release") {
+        // Collaborative handover (§5.2): the release is durable; replicas
+        // observing it campaign immediately. Stop serving now.
+        acked_batch_seq_ = std::max(acked_batch_seq_, rec.batch_seq);
+        for (PendingReply& pr : rec.replies) ReplyValue(pr.request, pr.reply);
+        Demote("collaborative handover");
+        return;
+      }
+      lease_deadline_ = Now() + config_.lease_duration;
+    }
+    acked_batch_seq_ = std::max(acked_batch_seq_, rec.batch_seq);
+    for (PendingReply& pr : rec.replies) ReplyValue(pr.request, pr.reply);
+    ReleaseUpTo(acked_batch_seq_);
+    FlushPipeline();
+    return;
+  }
+  if (s.IsConditionFailed()) {
+    ResyncAfterConditionFailure();
+    return;
+  }
+  // Log unreachable (Unavailable/TimedOut after retries): keep trying while
+  // the lease lasts; CheckLease() demotes us if this goes on too long.
+  After(30 * sim::kMs, [this] {
+    if (role_ == DbRole::kPrimary) FlushPipeline();
+  });
+}
+
+void Node::ResyncAfterConditionFailure() {
+  const uint64_t epoch = epoch_;
+  log_.Read(
+      predicted_tail_ + 1, 256,
+      [this, epoch](const Status& s, const txlog::wire::ClientReadResponse& r) {
+        if (!alive() || epoch != epoch_ || role_ != DbRole::kPrimary) return;
+        if (!s.ok()) {
+          After(30 * sim::kMs, [this] {
+            if (role_ == DbRole::kPrimary) ResyncAfterConditionFailure();
+          });
+          return;
+        }
+        for (const txlog::LogEntry& e : r.entries) {
+          if ((e.record.type == txlog::RecordType::kLeadership ||
+               e.record.type == txlog::RecordType::kData ||
+               e.record.type == txlog::RecordType::kLease) &&
+              e.record.writer != id()) {
+            // A different node wrote to our log: we have been superseded.
+            Demote("fenced by foreign log entry");
+            return;
+          }
+          predicted_tail_ = e.index;
+        }
+        if (r.entries.empty()) {
+          // Tail moved past our prediction but nothing committed yet
+          // (log-service view change in progress). Wait and retry.
+          After(20 * sim::kMs, [this] {
+            if (role_ == DbRole::kPrimary) ResyncAfterConditionFailure();
+          });
+          return;
+        }
+        FlushPipeline();
+      });
+}
+
+// ---------------------------------------------------------------- roles
+
+void Node::RenewLease() {
+  if (role_ != DbRole::kPrimary || stepping_down_) return;
+  for (const PendingRecord& r : pipeline_) {
+    if (r.type == txlog::RecordType::kLease) return;  // one at a time
+  }
+  PendingRecord rec;
+  rec.type = txlog::RecordType::kLease;
+  rec.batch_seq = next_batch_seq_++;
+  rec.data_records = 0;
+  EnqueueRecord(std::move(rec));
+}
+
+void Node::CheckLease() {
+  if (role_ == DbRole::kPrimary && Now() > lease_deadline_) {
+    Demote(stepping_down_ ? "stepped down" : "lease expired");
+  }
+}
+
+void Node::BecomePrimary(uint64_t leadership_index) {
+  ++epoch_;
+  poll_in_flight_ = false;
+  role_ = DbRole::kPrimary;
+  known_primary_ = id();
+  ++stats_.promotions;
+  predicted_tail_ = leadership_index;
+  applied_index_ = leadership_index;
+  lease_deadline_ = Now() + config_.lease_duration;
+  stepping_down_ = false;
+  append_in_flight_ = false;
+  RenewLease();
+}
+
+void Node::Demote(const std::string& reason) {
+  ++epoch_;
+  ++stats_.demotions;
+  role_ = DbRole::kRecovering;
+  append_in_flight_ = false;
+  poll_in_flight_ = false;
+  // Writes executed locally but never acknowledged must not become visible;
+  // their clients get an error and the dataset is rebuilt from durable
+  // state (§3.2: failed commits are never acknowledged).
+  const Value err = Value::Error("UNAVAILABLE primary demoted (" + reason + ")");
+  for (PendingRecord& rec : pipeline_) {
+    for (PendingReply& pr : rec.replies) ReplyValue(pr.request, err);
+  }
+  pipeline_.clear();
+  for (auto& [seq, pr] : deferred_reads_) ReplyValue(pr.request, err);
+  deferred_reads_.clear();
+  key_hazards_.clear();
+  StartRecovery();
+}
+
+void Node::StepDown() {
+  if (role_ != DbRole::kPrimary || stepping_down_) return;
+  stepping_down_ = true;
+  // Append a durable lease release; on commit we demote and any replica
+  // observing it becomes immediately eligible to campaign.
+  PendingRecord rec;
+  rec.type = txlog::RecordType::kLease;
+  rec.payload = "release";
+  rec.batch_seq = next_batch_seq_++;
+  rec.data_records = 0;
+  EnqueueRecord(std::move(rec));
+}
+
+void Node::Campaign() {
+  if (role_ != DbRole::kReplica || version_blocked_ || !caught_up_) return;
+  const uint64_t epoch = epoch_;
+  txlog::LogRecord r;
+  r.type = txlog::RecordType::kLeadership;
+  r.writer = id();
+  r.request_id = next_request_id_++;
+  log_.Append(applied_index_, std::move(r),
+              [this, epoch](const Status& s, uint64_t index) {
+                if (!alive() || epoch != epoch_ ||
+                    role_ != DbRole::kReplica) {
+                  return;
+                }
+                if (s.ok()) {
+                  BecomePrimary(index);
+                } else {
+                  // Lost the race or not actually caught up; keep tailing.
+                  last_lease_observed_ = Now();
+                }
+              });
+}
+
+void Node::MaybeCampaign() {
+  if (role_ != DbRole::kReplica || version_blocked_) return;
+  const bool bootstrap = config_.bootstrap_as_primary &&
+                         !observed_any_lease_ && stats_.promotions == 0;
+  const bool backoff_elapsed =
+      Now() > last_lease_observed_ + config_.backoff_duration;
+  if ((bootstrap || backoff_elapsed) && caught_up_) Campaign();
+}
+
+// ---------------------------------------------------------------- replica
+
+void Node::PollLog() {
+  if (poll_in_flight_ || version_blocked_) return;
+  poll_in_flight_ = true;
+  const uint64_t epoch = epoch_;
+  log_.Read(
+      applied_index_ + 1, 256,
+      [this, epoch](const Status& s, const txlog::wire::ClientReadResponse& r) {
+        if (!alive() || epoch != epoch_) return;
+        poll_in_flight_ = false;
+        if (role_ != DbRole::kReplica) return;
+        if (!s.ok()) return;
+        if (r.first_index > applied_index_ + 1) {
+          // The log was trimmed past us; we must restore from a snapshot.
+          StartRecovery();
+          return;
+        }
+        size_t effects_applied = 0;
+        for (const txlog::LogEntry& e : r.entries) {
+          effects_applied += ApplyEntry(e);
+          if (version_blocked_) break;
+        }
+        caught_up_ = applied_index_ >= r.commit_index;
+        if (!r.entries.empty() && !caught_up_) {
+          // Replay burns replica CPU: throttle the next batch by the
+          // engine cost of what was just applied.
+          const sim::Duration replay_cost =
+              effects_applied * config_.engine_write_cost_ns / 1000;
+          After(replay_cost, [this] { PollLog(); });
+        }
+      });
+}
+
+size_t Node::ApplyEntry(const txlog::LogEntry& entry) {
+  size_t effects_applied = 0;
+  switch (entry.record.type) {
+    case txlog::RecordType::kData: {
+      std::string version;
+      std::vector<engine::Argv> effects;
+      if (!DecodeEffectBatch(entry.record.payload, &version, &effects)) {
+        checksum_violation_ = true;
+        break;
+      }
+      if (CompareEngineVersions(version, config_.engine_version) > 0) {
+        // Replication stream produced by a newer engine: stop consuming
+        // (§7.1 upgrade protection) — do not advance applied_index_.
+        version_blocked_ = true;
+        return 0;
+      }
+      for (const engine::Argv& argv : effects) {
+        engine_.Apply(argv, Now() / 1000);
+        ++effects_applied;
+      }
+      running_checksum_ = Crc64(running_checksum_, entry.record.payload);
+      ++data_records_seen_;
+      break;
+    }
+    case txlog::RecordType::kChecksum: {
+      Decoder dec(entry.record.payload);
+      uint64_t expected;
+      if (dec.GetFixed64(&expected) && expected != running_checksum_) {
+        checksum_violation_ = true;
+      }
+      break;
+    }
+    case txlog::RecordType::kLease:
+      if (entry.record.payload == "release" &&
+          entry.record.writer != id()) {
+        // The primary handed leadership over; campaign as soon as caught
+        // up. (The releaser itself waits out a normal backoff so it does
+        // not immediately reclaim the lease it just gave up.)
+        last_lease_observed_ =
+            Now() > config_.backoff_duration ? Now() - config_.backoff_duration
+                                             : 0;
+        observed_any_lease_ = true;
+        break;
+      }
+      [[fallthrough]];
+    case txlog::RecordType::kLeadership:
+      last_lease_observed_ = Now();
+      observed_any_lease_ = true;
+      known_primary_ = static_cast<NodeId>(entry.record.writer);
+      break;
+    case txlog::RecordType::kSlotOwnership:
+      // 2PC progress is durable in the log (§5.2): replicas track it so a
+      // promoted primary resumes the transfer protocol where it stopped.
+      ApplySlotOwnershipRecord(entry.record);
+      break;
+    case txlog::RecordType::kNoop:
+      break;
+  }
+  applied_index_ = entry.index;
+  return effects_applied;
+}
+
+// ---------------------------------------------------------------- recovery
+
+void Node::StartRecovery() {
+  ++stats_.recoveries;
+  role_ = DbRole::kRecovering;
+  const uint64_t epoch = ++epoch_;
+  engine_.keyspace().Clear();
+  applied_index_ = 0;
+  running_checksum_ = 0;
+  data_records_seen_ = 0;
+  caught_up_ = false;
+  poll_in_flight_ = false;
+
+  if (!s3_.valid()) {
+    FinishRecovery();
+    return;
+  }
+  // Fetch and load the latest snapshot, then replay the log from its
+  // recorded position — a purely local process (§4.2.1).
+  s3_.List("snap/" + config_.shard_id + "/",
+           [this, epoch](const Status& s, const std::vector<std::string>& keys) {
+             if (!alive() || epoch != epoch_) return;
+             if (!s.ok() || keys.empty()) {
+               FinishRecovery();  // no snapshot yet: replay from log start
+               return;
+             }
+             s3_.Get(keys.back(), [this, epoch](const Status& gs,
+                                                const std::string& blob) {
+               if (!alive() || epoch != epoch_) return;
+               if (gs.ok()) {
+                 engine::SnapshotMeta meta;
+                 if (DeserializeSnapshot(blob, &engine_.keyspace(), &meta)
+                         .ok()) {
+                   applied_index_ = meta.log_position;
+                   running_checksum_ = meta.log_running_checksum;
+                 } else {
+                   engine_.keyspace().Clear();
+                 }
+               }
+               FinishRecovery();
+             });
+           });
+}
+
+void Node::FinishRecovery() {
+  role_ = DbRole::kReplica;
+  last_lease_observed_ = Now();
+  PollLog();
+}
+
+}  // namespace memdb::memorydb

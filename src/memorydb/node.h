@@ -1,0 +1,260 @@
+// MemoryDB node: the paper's core contribution in executable form.
+//
+// A node embeds the in-memory execution engine (src/engine) and offloads
+// durability to the shard's transaction log (src/txlog):
+//
+//  * Primary path (§3.1/§3.2): commands execute immediately on the engine;
+//    the resulting effect stream is chunked into log records (group commit)
+//    and conditionally appended. Replies are parked in the client blocking
+//    tracker until the record commits to a majority of AZs. Reads consult
+//    the tracker for key-level hazards: a read touching a key with an
+//    unacknowledged mutation is delayed until that mutation is durable.
+//
+//  * Replica path: tails the log, applies data records, observes lease
+//    renewals (starting the backoff timer), verifies the running checksum
+//    chain, and reports caught-up-ness.
+//
+//  * Leader election (§4.1): leadership is a conditional append. Only a
+//    fully caught-up replica can win; stale primaries are fenced by the
+//    precondition and self-demote at lease expiry.
+//
+//  * Recovery (§4.2.1): restore = latest snapshot from the object store +
+//    log replay; purely local, no peer interaction.
+
+#ifndef MEMDB_MEMORYDB_NODE_H_
+#define MEMDB_MEMORYDB_NODE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/db_wire.h"
+#include "engine/engine.h"
+#include "engine/snapshot.h"
+#include "sim/actor.h"
+#include "sim/queue_server.h"
+#include "storage/object_store.h"
+#include "txlog/client.h"
+
+namespace memdb::memorydb {
+
+// Version ordering for upgrade protection (§7.1): "7.1.0" > "7.0.7".
+int CompareEngineVersions(const std::string& a, const std::string& b);
+
+struct NodeConfig {
+  std::string shard_id = "shard-0";
+  std::vector<sim::NodeId> log_replicas;
+  sim::NodeId object_store = sim::kInvalidNode;
+  // Claim leadership at startup (cluster bootstrap path).
+  bool bootstrap_as_primary = false;
+
+  // Lease machinery (§4.1.3). Backoff MUST exceed the lease duration.
+  sim::Duration lease_duration = 400 * sim::kMs;
+  sim::Duration lease_renew_interval = 100 * sim::kMs;
+  sim::Duration backoff_duration = 650 * sim::kMs;
+
+  sim::Duration replica_poll_interval = 10 * sim::kMs;
+  sim::Duration active_expire_interval = 100 * sim::kMs;
+
+  // Inject a running-checksum record every N data records (§7.2.1).
+  uint64_t checksum_every = 64;
+
+  std::string engine_version = "7.0.7";
+  uint64_t maxmemory_bytes = 0;
+
+  // CPU cost model (per command), nanoseconds.
+  int io_threads = 4;
+  uint64_t io_op_cost_ns = 1000;
+  uint64_t engine_read_cost_ns = 1900;
+  uint64_t engine_write_cost_ns = 5200;
+};
+
+class Node : public sim::Actor {
+ public:
+  enum class DbRole { kReplica, kPrimary, kRecovering };
+
+  Node(sim::Simulation* sim, sim::NodeId id, NodeConfig config);
+
+  void OnRestart() override;
+
+  DbRole db_role() const { return role_; }
+  bool IsPrimary() const { return role_ == DbRole::kPrimary; }
+  uint64_t applied_index() const { return applied_index_; }
+  bool caught_up() const { return caught_up_; }
+  sim::NodeId known_primary() const { return known_primary_; }
+  uint64_t running_checksum() const { return running_checksum_; }
+  bool checksum_violation() const { return checksum_violation_; }
+  engine::Engine& engine() { return engine_; }
+  const NodeConfig& config() const { return config_; }
+
+  // Counters for tests/benches.
+  struct Stats {
+    uint64_t commands = 0;
+    uint64_t writes = 0;
+    uint64_t reads_deferred_by_tracker = 0;
+    uint64_t records_appended = 0;
+    uint64_t demotions = 0;
+    uint64_t promotions = 0;
+    uint64_t recoveries = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Triggers an election attempt now (used by collaborative leadership
+  // handover during scaling, §5.2).
+  void Campaign();
+  // Voluntarily stop renewing the lease and demote once it lapses.
+  void StepDown();
+
+  // ---- cluster slots (§5.2) ----------------------------------------------
+  // Every slot defaults to kOwned (single-shard deployments own the whole
+  // keyspace); multi-shard clusters configure ownership at provisioning and
+  // adjust it through the migration protocol.
+  enum class SlotState : uint8_t {
+    kOwned,
+    kNotOwned,
+    kMigrating,  // source side: serving, streaming to `peer`, ASK misses
+    kImporting,  // target side: accepting transferred data + writes
+    kBlocked,    // source side: ownership handshake in progress (§5.2)
+  };
+  void SetSlotState(uint16_t slot, SlotState state,
+                    sim::NodeId peer = sim::kInvalidNode);
+  SlotState slot_state(uint16_t slot) const;
+
+ private:
+  struct PendingReply {
+    sim::Message request;
+    resp::Value reply;
+  };
+  // One chunk of the replication stream awaiting commit.
+  struct PendingRecord {
+    uint64_t batch_seq = 0;
+    std::string payload;        // encoded effect batch
+    std::vector<PendingReply> replies;
+    uint64_t data_records = 1;  // 0 for lease/checksum records
+    txlog::RecordType type = txlog::RecordType::kData;
+  };
+
+  // ---- request plumbing ---------------------------------------------------
+  void HandleCommand(const sim::Message& m);
+  void HandleMulti(const sim::Message& m);
+  void ExecuteOnPrimary(const sim::Message& m,
+                        const std::vector<engine::Argv>& commands,
+                        bool multi);
+  void ExecuteReadOnReplica(const sim::Message& m, const engine::Argv& argv);
+  void ReplyValue(const sim::Message& m, const resp::Value& v);
+
+  // ---- tracker (§3.2) -----------------------------------------------------
+  void ReleaseUpTo(uint64_t batch_seq);
+  uint64_t HazardFor(const std::vector<std::string>& keys) const;
+
+  // ---- append pipeline ----------------------------------------------------
+  void EnqueueRecord(PendingRecord record);
+  void FlushPipeline();
+  void OnAppendResult(const Status& s, uint64_t index);
+  void ResyncAfterConditionFailure();
+
+  // ---- roles --------------------------------------------------------------
+  void BecomePrimary(uint64_t leadership_index);
+  void Demote(const std::string& reason);
+  void RenewLease();
+  void CheckLease();
+
+  // ---- replica ------------------------------------------------------------
+  void PollLog();
+  // Applies one entry; returns the number of effect commands applied (the
+  // replay CPU cost driver).
+  size_t ApplyEntry(const txlog::LogEntry& entry);
+  void MaybeCampaign();
+
+  // ---- recovery -----------------------------------------------------------
+  void StartRecovery();
+  void FinishRecovery();
+  void StartLoops();
+
+  // ---- slot migration (node_slots.cc) --------------------------------------
+  struct SlotInfo {
+    SlotState state = SlotState::kOwned;
+    sim::NodeId peer = sim::kInvalidNode;
+    bool stream_done = false;
+  };
+  void RegisterSlotHandlers();
+  // Validates slot ownership / cross-slot rules for a command batch; fills
+  // *keys; returns an error Value (MOVED/ASK/TRYAGAIN/CROSSSLOT) or Null.
+  resp::Value CheckSlotAccess(const std::vector<engine::Argv>& commands,
+                              bool has_write, std::vector<std::string>* keys,
+                              uint16_t* slot_out);
+  // Applies effects locally and appends them to the log (import path).
+  void ApplyAndReplicate(const std::vector<engine::Argv>& effects);
+  void StreamMigratingSlot(uint16_t slot);
+  void PumpMigrationQueue(uint16_t slot);
+  void ForwardEffects(uint16_t slot, const std::vector<engine::Argv>& effects);
+  void HandleSlotOwnership(const sim::Message& m);
+  void WaitForDrainThenReply(const sim::Message& m, uint16_t slot);
+  void ApplySlotOwnershipRecord(const txlog::LogRecord& record);
+  void BackgroundDeleteSlot(uint16_t slot);
+
+  std::map<uint16_t, SlotInfo> slots_;
+  // Per-slot FIFO of migration messages (dumps + forwarded effects); one
+  // outstanding RPC at a time preserves ordering.
+  std::map<uint16_t, std::deque<std::pair<std::string, std::string>>>
+      migration_queue_;
+  std::map<uint16_t, bool> migration_rpc_inflight_;
+
+  std::string EncodeEffectBatch(const std::vector<engine::Argv>& effects);
+  bool DecodeEffectBatch(const std::string& payload, std::string* version,
+                         std::vector<engine::Argv>* effects);
+
+  NodeConfig config_;
+  engine::Engine engine_;
+  txlog::TxLogClient log_;
+  storage::StorageClient s3_;
+  sim::QueueServer io_pool_;
+  sim::QueueServer workloop_;
+
+  DbRole role_ = DbRole::kReplica;
+  sim::NodeId known_primary_ = sim::kInvalidNode;
+
+  // Log positions.
+  uint64_t applied_index_ = 0;    // replica: last applied entry
+  uint64_t predicted_tail_ = 0;   // primary: tail after in-flight appends
+  bool caught_up_ = false;
+  bool poll_in_flight_ = false;
+  bool version_blocked_ = false;  // saw a stream from a newer engine (§7.1)
+
+  // Running checksum over data-record payloads, and verification state.
+  uint64_t running_checksum_ = 0;
+  uint64_t data_records_seen_ = 0;
+  bool checksum_violation_ = false;
+
+  // Append pipeline (group commit).
+  std::deque<PendingRecord> pipeline_;
+  bool append_in_flight_ = false;
+  uint64_t next_batch_seq_ = 1;
+  uint64_t acked_batch_seq_ = 0;
+  uint64_t next_request_id_ = 1;
+  uint64_t data_since_checksum_ = 0;
+
+  // Key-level hazards: key -> batch_seq of the latest unacked mutation.
+  std::map<std::string, uint64_t> key_hazards_;
+  // Reads deferred on a hazard: batch_seq -> parked replies.
+  std::multimap<uint64_t, PendingReply> deferred_reads_;
+
+  // Lease state.
+  sim::Time lease_deadline_ = 0;
+  sim::Time last_lease_observed_ = 0;
+  bool observed_any_lease_ = false;
+  bool stepping_down_ = false;
+
+  Stats stats_;
+  uint64_t epoch_ = 0;  // bumped on role change; stale callbacks check it
+  // Sub-microsecond cost accumulation (the scheduler's tick is 1 us).
+  uint64_t engine_cost_carry_ns_ = 0;
+  uint64_t io_cost_carry_ns_ = 0;
+};
+
+}  // namespace memdb::memorydb
+
+#endif  // MEMDB_MEMORYDB_NODE_H_

@@ -1,0 +1,499 @@
+#include "redisbaseline/baseline_node.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/crc.h"
+
+namespace memdb::redisbaseline {
+
+using sim::Duration;
+using sim::Message;
+using sim::NodeId;
+using resp::Value;
+
+BaselineNode::BaselineNode(sim::Simulation* sim, NodeId id,
+                           BaselineConfig config)
+    : Actor(sim, id),
+      config_(std::move(config)),
+      engine_([&] {
+        engine::Engine::Config ec;
+        ec.maxmemory_bytes = config_.maxmemory_bytes;
+        ec.rng_seed = 0x517cc1b7 ^ id;
+        return ec;
+      }()),
+      io_pool_(&sim->scheduler(), config_.io_threads),
+      workloop_(&sim->scheduler(), 1),
+      disk_(&sim->scheduler(), 1) {
+  role_ = config_.start_as_primary ? DbRole::kPrimary : DbRole::kReplica;
+  if (config_.start_as_primary) primary_ = id;
+  last_primary_seen_ = Now();
+
+  On(client::kDbCommand, [this](const Message& m) { HandleCommand(m); });
+  On(client::kDbMulti, [this](const Message& m) { HandleMulti(m); });
+  On("bl.replicate", [this](const Message& m) { HandleReplicate(m); });
+  On("bl.fullsync", [this](const Message& m) { HandleFullSyncRequest(m); });
+  On("bl.claim", [this](const Message& m) { HandleClaim(m); });
+  On("bl.new_primary", [this](const Message& m) { HandleNewPrimary(m); });
+  On("bl.ping", [this](const Message& m) {
+    if (role_ == DbRole::kPrimary) Reply(m, std::to_string(repl_offset_));
+  });
+  On("bl.who_primary", [this](const Message& m) {
+    Reply(m, primary_ == sim::kInvalidNode ? "" : std::to_string(primary_));
+  });
+
+  Periodic(config_.repl_flush_interval, [this] { FlushReplication(); });
+  Periodic(config_.ping_interval, [this] { PingPrimary(); });
+  if (config_.aof_mode == BaselineConfig::AofMode::kEverySec) {
+    Periodic(1 * sim::kSec, [this] {
+      if (aof_unsynced_ > 0) {
+        disk_.Submit(config_.fsync_cost);
+        aof_unsynced_ = 0;
+      }
+    });
+  }
+  Periodic(10 * sim::kMs, [this] { BgSaveTick(); });
+}
+
+void BaselineNode::OnRestart() {
+  Actor::OnRestart();
+  ++epoch_;
+  engine_.keyspace().Clear();
+  role_ = DbRole::kReplica;  // rejoins as an empty replica and full-syncs
+  repl_offset_ = 0;
+  pending_stream_.clear();
+  last_primary_seen_ = Now();
+  failover_in_progress_ = false;
+  syncing_ = false;
+  aof_unsynced_ = 0;
+  bgsave_running_ = false;
+  cow_bytes_ = 0;
+  stats_ = Stats{};
+  primary_ = sim::kInvalidNode;
+  // Re-arm loops (timers die with the old incarnation).
+  Periodic(config_.repl_flush_interval, [this] { FlushReplication(); });
+  Periodic(config_.ping_interval, [this] { PingPrimary(); });
+  Periodic(10 * sim::kMs, [this] { BgSaveTick(); });
+  RequestFullSync();
+}
+
+void BaselineNode::SetPeers(std::vector<NodeId> peers) {
+  peers_ = std::move(peers);
+}
+
+void BaselineNode::SetPrimary(NodeId primary) {
+  primary_ = primary;
+  if (primary == id()) {
+    role_ = DbRole::kPrimary;
+  } else {
+    role_ = DbRole::kReplica;
+    last_primary_seen_ = Now();
+  }
+}
+
+// ---------------------------------------------------------------- memory
+
+uint64_t BaselineNode::resident_bytes() const {
+  uint64_t resident = engine_.keyspace().used_memory() +
+                      config_.synthetic_dataset_bytes + cow_bytes_;
+  if (bgsave_running_) {
+    // The child's dump file accumulates in the page cache while it is
+    // being written, competing with the dataset for DRAM.
+    resident += static_cast<uint64_t>(
+        static_cast<double>(bgsave_done_bytes_) *
+        config_.dump_page_cache_fraction);
+  }
+  return resident;
+}
+
+uint64_t BaselineNode::swap_bytes() const {
+  const uint64_t resident = resident_bytes();
+  return resident > config_.ram_bytes ? resident - config_.ram_bytes : 0;
+}
+
+Duration BaselineNode::SwapPenalty() {
+  const uint64_t swapped = swap_bytes();
+  if (swapped == 0) return 0;
+  // Probability that this operation touches a swapped-out page grows with
+  // the swapped fraction; a hit serializes behind the single disk queue,
+  // which is what turns ~8% swap into an effective outage (§6.2.1).
+  const double frac = static_cast<double>(swapped) /
+                      static_cast<double>(resident_bytes());
+  if (engine_.rng().NextDouble() < frac * 4.0) {
+    const sim::Time done = disk_.Submit(config_.swap_page_io);
+    return done > Now() ? done - Now() : 0;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------- requests
+
+void BaselineNode::HandleCommand(const Message& m) {
+  client::DbRequest req;
+  if (!client::DbRequest::Decode(m.payload, &req) || req.argv.empty()) {
+    Reply(m, Value::Error("ERR protocol error").Encode());
+    return;
+  }
+  ++stats_.commands;
+  const std::string name = engine::Engine::Upper(req.argv[0]);
+  if (name == "READONLY" || name == "READWRITE") {
+    Reply(m, Value::Ok().Encode());
+    return;
+  }
+  if (name == "WAIT") {
+    Reply(m, Value::Integer(static_cast<int64_t>(peers_.size())).Encode());
+    return;
+  }
+  if (name == "BGSAVE") {
+    StartBgSave();
+    Reply(m, Value::Simple("Background saving started").Encode());
+    return;
+  }
+  const engine::CommandSpec* spec = engine_.FindCommand(name);
+  if (spec == nullptr) {
+    Reply(m, Value::Error("ERR unknown command '" + req.argv[0] + "'").Encode());
+    return;
+  }
+  const bool is_write = spec->is_write;
+  io_cost_carry_ns_ += config_.io_op_cost_ns;
+  const Duration io_cost = io_cost_carry_ns_ / 1000;
+  io_cost_carry_ns_ %= 1000;
+  engine_cost_carry_ns_ += is_write ? config_.engine_write_cost_ns
+                                    : config_.engine_read_cost_ns;
+  const Duration engine_cost = engine_cost_carry_ns_ / 1000;
+  engine_cost_carry_ns_ %= 1000;
+  const uint64_t epoch = epoch_;
+  io_pool_.SubmitAnd(io_cost, [this, m, req = std::move(req), is_write,
+                               engine_cost, epoch]() mutable {
+    if (!alive() || epoch != epoch_) return;
+    const Duration swap_stall = SwapPenalty();
+    workloop_.SubmitAnd(
+        engine_cost + swap_stall,
+        [this, m, req = std::move(req), is_write, epoch]() mutable {
+          if (!alive() || epoch != epoch_) return;
+          if (role_ == DbRole::kReplica) {
+            if (req.readonly && !is_write) {
+              engine::ExecContext ctx;
+              ctx.now_ms = Now() / 1000;
+              ctx.role = engine::Role::kReplicaRead;
+              ctx.rng = &engine_.rng();
+              Reply(m, engine_.Execute(req.argv, &ctx).Encode());
+            } else {
+              const NodeId hint =
+                  primary_ != sim::kInvalidNode ? primary_ : id();
+              const uint16_t slot =
+                  req.argv.size() > 1 ? KeyHashSlot(req.argv[1]) : 0;
+              Reply(m,
+                    Value::Error(client::MovedError(slot, hint)).Encode());
+            }
+            return;
+          }
+          ExecutePrimary(m, {req.argv}, /*multi=*/false);
+        });
+  });
+}
+
+void BaselineNode::HandleMulti(const Message& m) {
+  client::DbMultiRequest req;
+  if (!client::DbMultiRequest::Decode(m.payload, &req) ||
+      req.commands.empty()) {
+    Reply(m, Value::Error("ERR protocol error").Encode());
+    return;
+  }
+  ++stats_.commands;
+  const uint64_t epoch = epoch_;
+  const Duration engine_cost =
+      std::max<Duration>(1, config_.engine_write_cost_ns / 1000) *
+      req.commands.size();
+  io_pool_.SubmitAnd(
+      std::max<Duration>(1, config_.io_op_cost_ns / 1000),
+      [this, m, req = std::move(req), engine_cost, epoch]() mutable {
+        if (!alive() || epoch != epoch_) return;
+        workloop_.SubmitAnd(engine_cost, [this, m, req = std::move(req),
+                                          epoch]() mutable {
+          if (!alive() || epoch != epoch_) return;
+          if (role_ != DbRole::kPrimary) {
+            Reply(m, Value::Error(client::MovedError(
+                                      0, primary_ == sim::kInvalidNode
+                                             ? id()
+                                             : primary_))
+                         .Encode());
+            return;
+          }
+          ExecutePrimary(m, req.commands, /*multi=*/true);
+        });
+      });
+}
+
+void BaselineNode::ExecutePrimary(const Message& m,
+                                  const std::vector<engine::Argv>& commands,
+                                  bool multi) {
+  engine::ExecContext ctx;
+  ctx.now_ms = Now() / 1000;
+  ctx.role = engine::Role::kPrimary;
+  ctx.rng = &engine_.rng();
+  std::vector<Value> replies;
+  for (const engine::Argv& argv : commands) {
+    replies.push_back(engine_.Execute(argv, &ctx));
+  }
+  Value final_reply =
+      multi ? Value::Array(std::move(replies)) : std::move(replies[0]);
+
+  if (!ctx.effects.empty()) {
+    ++stats_.writes;
+    ++stats_.acked_then_unreplicated;
+    // COW: a write during BGSave dirties pages the child has not yet
+    // serialized; they get copied (§6.2).
+    if (bgsave_running_ && bgsave_total_bytes_ > 0) {
+      const double remaining =
+          1.0 - static_cast<double>(bgsave_done_bytes_) /
+                    static_cast<double>(bgsave_total_bytes_);
+      if (engine_.rng().NextDouble() < remaining) {
+        cow_bytes_ += config_.page_bytes;
+      }
+    }
+    // Buffer the effects for asynchronous replication...
+    for (const engine::Argv& argv : ctx.effects) {
+      PutVarint64(&pending_stream_, argv.size());
+      for (const std::string& a : argv) PutLengthPrefixed(&pending_stream_, a);
+    }
+    // ...and persist per AOF policy.
+    AppendAof(ctx.effects);
+    if (config_.aof_mode == BaselineConfig::AofMode::kAlways) {
+      // fsync before acknowledging: the only mode in which Redis writes
+      // are locally durable (§2.2.1).
+      const sim::Time done = disk_.Submit(config_.fsync_cost);
+      After(done > Now() ? done - Now() : 0, [this, m, final_reply] {
+        Reply(m, final_reply.Encode());
+      });
+      return;
+    }
+  }
+  // Asynchronous replication: the client is acknowledged immediately; the
+  // effects may not have reached any replica yet (§2.2.2).
+  Reply(m, final_reply.Encode());
+}
+
+void BaselineNode::AppendAof(const std::vector<engine::Argv>& effects) {
+  if (config_.aof_mode == BaselineConfig::AofMode::kOff) return;
+  for (const engine::Argv& argv : effects) {
+    for (const std::string& a : argv) aof_unsynced_ += a.size() + 16;
+  }
+}
+
+// ---------------------------------------------------------------- replication
+
+void BaselineNode::FlushReplication() {
+  if (role_ != DbRole::kPrimary || pending_stream_.empty()) return;
+  stats_.acked_then_unreplicated = 0;
+  std::string batch;
+  PutFixed64(&batch, repl_offset_);
+  repl_offset_ += pending_stream_.size();
+  batch += pending_stream_;
+  pending_stream_.clear();
+  for (NodeId peer : peers_) {
+    if (peer != id()) Send(peer, "bl.replicate", batch);
+  }
+}
+
+void BaselineNode::HandleReplicate(const Message& m) {
+  if (role_ != DbRole::kReplica || syncing_) return;
+  last_primary_seen_ = Now();
+  primary_ = m.from;
+  Decoder dec(m.payload);
+  uint64_t from_offset;
+  if (!dec.GetFixed64(&from_offset)) return;
+  if (from_offset != repl_offset_) {
+    // Lost part of the stream: full resynchronization.
+    RequestFullSync();
+    return;
+  }
+  while (!dec.Empty()) {
+    uint64_t argc;
+    if (!dec.GetVarint64(&argc)) break;
+    engine::Argv argv(argc);
+    bool ok = true;
+    for (uint64_t i = 0; i < argc && ok; ++i) {
+      ok = dec.GetLengthPrefixed(&argv[i]);
+    }
+    if (!ok) break;
+    engine_.Apply(argv, Now() / 1000);
+  }
+  repl_offset_ = from_offset + (m.payload.size() - 8);
+}
+
+void BaselineNode::RequestFullSync() {
+  if (syncing_ || primary_ == sim::kInvalidNode || primary_ == id()) return;
+  syncing_ = true;
+  ++stats_.full_syncs;
+  const uint64_t epoch = epoch_;
+  Rpc(primary_, "bl.fullsync", "", 10 * sim::kSec,
+      [this, epoch](const Status& s, const std::string& body) {
+        if (!alive() || epoch != epoch_) return;
+        syncing_ = false;
+        if (!s.ok()) return;  // retried on next replicate mismatch
+        Decoder dec(body);
+        uint64_t offset;
+        std::string blob;
+        if (!dec.GetFixed64(&offset) || !dec.GetLengthPrefixed(&blob)) return;
+        engine::SnapshotMeta meta;
+        if (DeserializeSnapshot(blob, &engine_.keyspace(), &meta).ok()) {
+          repl_offset_ = offset;
+          last_primary_seen_ = Now();
+        }
+      });
+}
+
+void BaselineNode::HandleFullSyncRequest(const Message& m) {
+  if (role_ != DbRole::kPrimary) return;
+  // Flush what is buffered so the snapshot offset is the stream position.
+  FlushReplication();
+  engine::SnapshotMeta meta;
+  std::string out;
+  PutFixed64(&out, repl_offset_);
+  PutLengthPrefixed(&out, SerializeSnapshot(engine_.keyspace(), meta));
+  Reply(m, std::move(out));
+}
+
+// ---------------------------------------------------------------- failover
+
+void BaselineNode::PingPrimary() {
+  if (role_ != DbRole::kReplica || syncing_) return;
+  if (primary_ == sim::kInvalidNode) {
+    // Topology discovery after a restart: ask any peer who leads.
+    if (peers_.empty()) return;
+    const NodeId peer =
+        peers_[engine_.rng().Uniform(peers_.size())];
+    if (peer == id()) return;
+    const uint64_t epoch = epoch_;
+    Rpc(peer, "bl.who_primary", "", 300 * sim::kMs,
+        [this, epoch](const Status& s, const std::string& body) {
+          if (!alive() || epoch != epoch_ || !s.ok() || body.empty()) return;
+          const NodeId discovered =
+              static_cast<NodeId>(std::stoul(body));
+          if (discovered != id() && primary_ == sim::kInvalidNode) {
+            primary_ = discovered;
+            last_primary_seen_ = Now();
+            RequestFullSync();
+          }
+        });
+    return;
+  }
+  const uint64_t epoch = epoch_;
+  Rpc(primary_, "bl.ping", "", config_.ping_interval,
+      [this, epoch](const Status& s, const std::string&) {
+        if (!alive() || epoch != epoch_) return;
+        if (s.ok()) {
+          last_primary_seen_ = Now();
+        } else {
+          MaybeStartFailover();
+        }
+      });
+}
+
+void BaselineNode::MaybeStartFailover() {
+  if (role_ != DbRole::kReplica || failover_in_progress_) return;
+  if (Now() < last_primary_seen_ + config_.failure_timeout) return;
+  failover_in_progress_ = true;
+  // Ranked election from this node's local view (§4.1: "no guarantee that
+  // the elected replica observed all committed updates").
+  struct Tally {
+    int responses = 0;
+    int total = 0;
+    bool lost = false;
+  };
+  auto tally = std::make_shared<Tally>();
+  std::vector<NodeId> voters;
+  for (NodeId peer : peers_) {
+    if (peer != id() && peer != primary_) voters.push_back(peer);
+  }
+  tally->total = static_cast<int>(voters.size());
+  if (voters.empty()) {
+    Promote();
+    return;
+  }
+  const uint64_t epoch = epoch_;
+  for (NodeId peer : voters) {
+    Rpc(peer, "bl.claim", std::to_string(repl_offset_), 300 * sim::kMs,
+        [this, epoch, tally, peer](const Status& s, const std::string& body) {
+          if (!alive() || epoch != epoch_) return;
+          ++tally->responses;
+          if (s.ok() && !body.empty()) {
+            const uint64_t peer_offset = std::stoull(body);
+            // A peer with more data outranks us; ties break on node id so
+            // concurrent claimants cannot both promote.
+            if (peer_offset > repl_offset_ ||
+                (peer_offset == repl_offset_ && peer > id())) {
+              tally->lost = true;
+            }
+          }
+          if (tally->responses == tally->total) {
+            if (!tally->lost && role_ == DbRole::kReplica) {
+              Promote();
+            } else {
+              failover_in_progress_ = false;
+            }
+          }
+        });
+  }
+}
+
+void BaselineNode::HandleClaim(const Message& m) {
+  // Report our replication offset; the claimant self-ranks.
+  Reply(m, std::to_string(repl_offset_));
+  // If the claimant outranks us, adopt a grace period so we do not race.
+  last_primary_seen_ = Now();
+}
+
+void BaselineNode::Promote() {
+  role_ = DbRole::kPrimary;
+  primary_ = id();
+  failover_in_progress_ = false;
+  ++stats_.promotions;
+  pending_stream_.clear();
+  for (NodeId peer : peers_) {
+    if (peer != id()) Send(peer, "bl.new_primary", "");
+  }
+}
+
+void BaselineNode::HandleNewPrimary(const Message& m) {
+  if (m.from == id()) return;
+  role_ = DbRole::kReplica;
+  primary_ = m.from;
+  last_primary_seen_ = Now();
+  failover_in_progress_ = false;
+  // The new primary's dataset wins; resync to it (acked writes that never
+  // reached it are permanently lost — the §2.2.1 failure mode).
+  repl_offset_ = 0;
+  engine_.keyspace().Clear();
+  RequestFullSync();
+}
+
+// ---------------------------------------------------------------- bgsave
+
+void BaselineNode::StartBgSave() {
+  if (bgsave_running_) return;
+  bgsave_running_ = true;
+  cow_bytes_ = 0;
+  bgsave_total_bytes_ = resident_bytes();
+  bgsave_done_bytes_ = 0;
+  // fork(): clone the page table — the workloop stalls ~12 ms per GB
+  // (§6.2.1 reports exactly this measurement).
+  const uint64_t gb = bgsave_total_bytes_ >> 30;
+  const Duration fork_stall =
+      std::max<uint64_t>(1, gb) * config_.fork_us_per_gb;
+  workloop_.StallUntil(Now() + fork_stall);
+}
+
+void BaselineNode::BgSaveTick() {
+  if (!bgsave_running_) return;
+  // The child serializes at a fixed rate; the parent pays COW on writes.
+  bgsave_done_bytes_ += config_.bgsave_bytes_per_sec / 100;  // per 10 ms
+  if (bgsave_done_bytes_ >= bgsave_total_bytes_) {
+    bgsave_running_ = false;
+    cow_bytes_ = 0;  // child exits; copied pages are released
+    ++stats_.bgsaves_completed;
+  }
+}
+
+}  // namespace memdb::redisbaseline

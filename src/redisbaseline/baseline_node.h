@@ -1,0 +1,168 @@
+// BaselineNode: an OSS-Redis-like node, the comparison system for every
+// experiment in the paper's evaluation. Shares the execution engine with
+// MemoryDB but keeps Redis' durability model (§2):
+//
+//  * asynchronous replication — the primary acknowledges writes before the
+//    effects reach any replica, so a failover can lose acknowledged writes;
+//  * ranked failover — on primary timeout the most-up-to-date replica (by
+//    replication offset, from each node's local view) promotes itself;
+//    there is no fencing, so this can elect a stale node;
+//  * optional AOF persistence (always / everysec fsync);
+//  * fork-based BGSave with the copy-on-write and swap behaviour that
+//    Figure 6 measures: fork stalls the workloop ~12 ms per GB of resident
+//    memory, dirty pages are copied while the child serializes, and once
+//    resident memory exceeds DRAM the node pages through a single disk
+//    queue and throughput collapses.
+
+#ifndef MEMDB_REDISBASELINE_BASELINE_NODE_H_
+#define MEMDB_REDISBASELINE_BASELINE_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "client/db_wire.h"
+#include "engine/engine.h"
+#include "engine/snapshot.h"
+#include "sim/actor.h"
+#include "sim/queue_server.h"
+
+namespace memdb::redisbaseline {
+
+struct BaselineConfig {
+  bool start_as_primary = false;
+
+  // --- replication ---------------------------------------------------------
+  sim::Duration repl_flush_interval = 1 * sim::kMs;
+  sim::Duration ping_interval = 100 * sim::kMs;
+  sim::Duration failure_timeout = 600 * sim::kMs;
+
+  // --- AOF -----------------------------------------------------------------
+  enum class AofMode { kOff, kEverySec, kAlways };
+  AofMode aof_mode = AofMode::kOff;
+  sim::Duration fsync_cost = 800;  // us, per fsync on the local disk
+
+  // --- memory / BGSave model ----------------------------------------------
+  uint64_t ram_bytes = 16ULL << 30;
+  uint64_t maxmemory_bytes = 0;
+  // Extra resident bytes representing a large prefilled dataset without
+  // materializing it (keeps host-machine memory sane in benchmarks).
+  uint64_t synthetic_dataset_bytes = 0;
+  // Page-table clone cost of fork(): ~12 ms per GB (paper §6.2.1).
+  uint64_t fork_us_per_gb = 12000;
+  // Child serialization throughput during BGSave.
+  uint64_t bgsave_bytes_per_sec = 150ULL << 20;
+  uint64_t page_bytes = 4096;
+  // Fraction of dump-file bytes written so far that linger in the OS page
+  // cache while BGSave runs; together with COW this is what pushes the
+  // resident set past DRAM in the paper's memory-constrained setup.
+  double dump_page_cache_fraction = 0.35;
+  // Cost of paging in/out one page once swapping starts.
+  sim::Duration swap_page_io = 8 * sim::kMs;
+
+  // --- CPU model -----------------------------------------------------------
+  int io_threads = 4;
+  uint64_t io_op_cost_ns = 1000;
+  uint64_t engine_read_cost_ns = 1900;
+  uint64_t engine_write_cost_ns = 3100;
+};
+
+class BaselineNode : public sim::Actor {
+ public:
+  enum class DbRole { kPrimary, kReplica };
+
+  BaselineNode(sim::Simulation* sim, sim::NodeId id, BaselineConfig config);
+
+  void OnRestart() override;
+
+  // Wires the (static) replication topology; every node learns all peers.
+  void SetPeers(std::vector<sim::NodeId> peers);
+  void SetPrimary(sim::NodeId primary);
+
+  DbRole db_role() const { return role_; }
+  bool IsPrimary() const { return role_ == DbRole::kPrimary; }
+  uint64_t repl_offset() const { return repl_offset_; }
+  engine::Engine& engine() { return engine_; }
+
+  // --- BGSave (fig 6) ------------------------------------------------------
+  void StartBgSave();
+  bool bgsave_running() const { return bgsave_running_; }
+  // Resident set: dataset + COW copies accumulated by the running BGSave.
+  uint64_t resident_bytes() const;
+  uint64_t swap_bytes() const;
+  uint64_t cow_bytes() const { return cow_bytes_; }
+
+  struct Stats {
+    uint64_t commands = 0;
+    uint64_t writes = 0;
+    uint64_t acked_then_unreplicated = 0;  // written but not yet flushed
+    uint64_t promotions = 0;
+    uint64_t full_syncs = 0;
+    uint64_t bgsaves_completed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void HandleCommand(const sim::Message& m);
+  void HandleMulti(const sim::Message& m);
+  void ExecutePrimary(const sim::Message& m,
+                      const std::vector<engine::Argv>& commands, bool multi);
+  // Extra engine-side latency from swapping, if any (fig 6 mechanism).
+  sim::Duration SwapPenalty();
+
+  // Replication.
+  void FlushReplication();
+  void HandleReplicate(const sim::Message& m);
+  void RequestFullSync();
+  void HandleFullSyncRequest(const sim::Message& m);
+
+  // Failure detection + ranked failover (no fencing, §2.2).
+  void PingPrimary();
+  void MaybeStartFailover();
+  void Promote();
+  void HandleClaim(const sim::Message& m);
+  void HandleNewPrimary(const sim::Message& m);
+
+  // AOF.
+  void AppendAof(const std::vector<engine::Argv>& effects);
+
+  // BGSave progress bookkeeping.
+  void BgSaveTick();
+
+  BaselineConfig config_;
+  engine::Engine engine_;
+  sim::QueueServer io_pool_;
+  sim::QueueServer workloop_;
+  sim::QueueServer disk_;
+
+  DbRole role_ = DbRole::kReplica;
+  sim::NodeId primary_ = sim::kInvalidNode;
+  std::vector<sim::NodeId> peers_;  // every other node in the shard
+
+  // Replication state.
+  uint64_t repl_offset_ = 0;  // primary: bytes produced; replica: applied
+  std::string pending_stream_;  // effects not yet flushed to replicas
+  sim::Time last_primary_seen_ = 0;
+  bool failover_in_progress_ = false;
+  bool syncing_ = false;
+
+  // AOF state.
+  uint64_t aof_unsynced_ = 0;
+
+  // BGSave state.
+  bool bgsave_running_ = false;
+  uint64_t bgsave_total_bytes_ = 0;
+  uint64_t bgsave_done_bytes_ = 0;
+  uint64_t cow_bytes_ = 0;
+
+  Stats stats_;
+  uint64_t epoch_ = 0;
+  // Sub-microsecond cost accumulation (the scheduler's tick is 1 us).
+  uint64_t engine_cost_carry_ns_ = 0;
+  uint64_t io_cost_carry_ns_ = 0;
+};
+
+}  // namespace memdb::redisbaseline
+
+#endif  // MEMDB_REDISBASELINE_BASELINE_NODE_H_

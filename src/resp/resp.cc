@@ -1,0 +1,270 @@
+#include "resp/resp.h"
+
+#include <charconv>
+
+namespace memdb::resp {
+
+Value Value::Simple(std::string s) {
+  Value v;
+  v.type = Type::kSimpleString;
+  v.str = std::move(s);
+  return v;
+}
+
+Value Value::Error(std::string s) {
+  Value v;
+  v.type = Type::kError;
+  v.str = std::move(s);
+  return v;
+}
+
+Value Value::Integer(int64_t i) {
+  Value v;
+  v.type = Type::kInteger;
+  v.integer = i;
+  return v;
+}
+
+Value Value::Bulk(std::string s) {
+  Value v;
+  v.type = Type::kBulkString;
+  v.str = std::move(s);
+  return v;
+}
+
+Value Value::Null() { return Value(); }
+
+Value Value::Array(std::vector<Value> elems) {
+  Value v;
+  v.type = Type::kArray;
+  v.array = std::move(elems);
+  return v;
+}
+
+void Value::EncodeTo(std::string* out) const {
+  switch (type) {
+    case Type::kSimpleString:
+      out->push_back('+');
+      out->append(str);
+      out->append("\r\n");
+      break;
+    case Type::kError:
+      out->push_back('-');
+      out->append(str);
+      out->append("\r\n");
+      break;
+    case Type::kInteger:
+      out->push_back(':');
+      out->append(std::to_string(integer));
+      out->append("\r\n");
+      break;
+    case Type::kBulkString:
+      out->push_back('$');
+      out->append(std::to_string(str.size()));
+      out->append("\r\n");
+      out->append(str);
+      out->append("\r\n");
+      break;
+    case Type::kNull:
+      out->append("$-1\r\n");
+      break;
+    case Type::kArray:
+      out->push_back('*');
+      out->append(std::to_string(array.size()));
+      out->append("\r\n");
+      for (const Value& e : array) e.EncodeTo(out);
+      break;
+  }
+}
+
+std::string Value::Encode() const {
+  std::string out;
+  EncodeTo(&out);
+  return out;
+}
+
+std::string Value::ToString() const {
+  switch (type) {
+    case Type::kSimpleString:
+      return "+" + str;
+    case Type::kError:
+      return "-" + str;
+    case Type::kInteger:
+      return std::to_string(integer);
+    case Type::kBulkString:
+      return "\"" + str + "\"";
+    case Type::kNull:
+      return "(nil)";
+    case Type::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < array.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += array[i].ToString();
+      }
+      return out + "]";
+    }
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type != other.type) return false;
+  switch (type) {
+    case Type::kSimpleString:
+    case Type::kError:
+    case Type::kBulkString:
+      return str == other.str;
+    case Type::kInteger:
+      return integer == other.integer;
+    case Type::kNull:
+      return true;
+    case Type::kArray:
+      return array == other.array;
+  }
+  return false;
+}
+
+std::string EncodeCommand(const std::vector<std::string>& args) {
+  std::string out;
+  out.push_back('*');
+  out.append(std::to_string(args.size()));
+  out.append("\r\n");
+  for (const std::string& a : args) {
+    out.push_back('$');
+    out.append(std::to_string(a.size()));
+    out.append("\r\n");
+    out.append(a);
+    out.append("\r\n");
+  }
+  return out;
+}
+
+void Decoder::Feed(Slice data) {
+  Compact();
+  buffer_.append(data.data(), data.size());
+}
+
+void Decoder::Compact() {
+  // Avoid unbounded growth: drop consumed prefix when it dominates.
+  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+bool Decoder::ReadLine(size_t* pos, std::string* line) {
+  size_t p = *pos;
+  while (p + 1 < buffer_.size()) {
+    if (buffer_[p] == '\r' && buffer_[p + 1] == '\n') {
+      line->assign(buffer_, *pos, p - *pos);
+      *pos = p + 2;
+      return true;
+    }
+    ++p;
+  }
+  return false;
+}
+
+namespace {
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+}  // namespace
+
+Status Decoder::ParseAt(size_t* pos, Value* value) {
+  if (*pos >= buffer_.size()) return Status::NotFound("need more data");
+  const char marker = buffer_[*pos];
+  size_t p = *pos + 1;
+  std::string line;
+  switch (marker) {
+    case '+':
+      if (!ReadLine(&p, &line)) return Status::NotFound("need more data");
+      *value = Value::Simple(std::move(line));
+      *pos = p;
+      return Status::OK();
+    case '-':
+      if (!ReadLine(&p, &line)) return Status::NotFound("need more data");
+      *value = Value::Error(std::move(line));
+      *pos = p;
+      return Status::OK();
+    case ':': {
+      if (!ReadLine(&p, &line)) return Status::NotFound("need more data");
+      int64_t n;
+      if (!ParseInt(line, &n))
+        return Status::Corruption("bad integer: " + line);
+      *value = Value::Integer(n);
+      *pos = p;
+      return Status::OK();
+    }
+    case '$': {
+      if (!ReadLine(&p, &line)) return Status::NotFound("need more data");
+      int64_t len;
+      if (!ParseInt(line, &len) || len < -1)
+        return Status::Corruption("bad bulk length: " + line);
+      if (len == -1) {
+        *value = Value::Null();
+        *pos = p;
+        return Status::OK();
+      }
+      const size_t need = static_cast<size_t>(len) + 2;
+      if (buffer_.size() - p < need) return Status::NotFound("need more data");
+      if (buffer_[p + static_cast<size_t>(len)] != '\r' ||
+          buffer_[p + static_cast<size_t>(len) + 1] != '\n') {
+        return Status::Corruption("bulk string missing CRLF terminator");
+      }
+      *value = Value::Bulk(buffer_.substr(p, static_cast<size_t>(len)));
+      *pos = p + need;
+      return Status::OK();
+    }
+    case '*': {
+      if (!ReadLine(&p, &line)) return Status::NotFound("need more data");
+      int64_t n;
+      if (!ParseInt(line, &n) || n < -1)
+        return Status::Corruption("bad array length: " + line);
+      if (n == -1) {
+        *value = Value::Null();
+        *pos = p;
+        return Status::OK();
+      }
+      std::vector<Value> elems;
+      elems.reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        Value elem;
+        MEMDB_RETURN_IF_ERROR(ParseAt(&p, &elem));
+        elems.push_back(std::move(elem));
+      }
+      *value = Value::Array(std::move(elems));
+      *pos = p;
+      return Status::OK();
+    }
+    default:
+      return Status::Corruption(std::string("unexpected marker byte '") +
+                                marker + "'");
+  }
+}
+
+Status Decoder::TryParse(Value* value) {
+  size_t pos = consumed_;
+  Status s = ParseAt(&pos, value);
+  if (s.ok()) consumed_ = pos;
+  return s;
+}
+
+Status Decoder::TryParseCommand(std::vector<std::string>* argv) {
+  Value v;
+  MEMDB_RETURN_IF_ERROR(TryParse(&v));
+  if (v.type != Type::kArray)
+    return Status::Corruption("command must be an array");
+  argv->clear();
+  argv->reserve(v.array.size());
+  for (Value& e : v.array) {
+    if (e.type != Type::kBulkString)
+      return Status::Corruption("command elements must be bulk strings");
+    argv->push_back(std::move(e.str));
+  }
+  return Status::OK();
+}
+
+}  // namespace memdb::resp

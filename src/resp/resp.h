@@ -1,0 +1,89 @@
+// RESP2 (REdis Serialization Protocol) value model, encoder, and an
+// incremental decoder. Used at three places in the system: the client/server
+// command boundary, the replication stream chunker (effects are encoded as
+// RESP command arrays, exactly like the Redis replication stream), and
+// benchmark drivers.
+
+#ifndef MEMDB_RESP_RESP_H_
+#define MEMDB_RESP_RESP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace memdb::resp {
+
+enum class Type : uint8_t {
+  kSimpleString,  // +OK\r\n
+  kError,         // -ERR ...\r\n
+  kInteger,       // :42\r\n
+  kBulkString,    // $5\r\nhello\r\n
+  kNull,          // $-1\r\n (null bulk) / *-1\r\n (null array)
+  kArray,         // *2\r\n...
+};
+
+// A parsed RESP value. Value-semantic tree.
+struct Value {
+  Type type = Type::kNull;
+  std::string str;            // simple string / error / bulk payload
+  int64_t integer = 0;        // integer payload
+  std::vector<Value> array;   // array elements
+
+  static Value Simple(std::string s);
+  static Value Error(std::string s);
+  static Value Integer(int64_t v);
+  static Value Bulk(std::string s);
+  static Value Null();
+  static Value Array(std::vector<Value> elems);
+  // The ubiquitous +OK.
+  static Value Ok() { return Simple("OK"); }
+
+  bool IsError() const { return type == Type::kError; }
+  bool IsNull() const { return type == Type::kNull; }
+
+  // Serializes this value in RESP2 wire format, appending to *out.
+  void EncodeTo(std::string* out) const;
+  std::string Encode() const;
+
+  // Human-readable form for logs/tests (not wire format).
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const;
+};
+
+// Encodes a command (array of bulk strings) — the client->server direction.
+std::string EncodeCommand(const std::vector<std::string>& args);
+
+// Incremental decoder: feed bytes as they "arrive", pull complete values.
+class Decoder {
+ public:
+  // Appends bytes to the internal buffer.
+  void Feed(Slice data);
+
+  // Attempts to parse one complete value. Returns:
+  //  - OK and sets *value if a full value was consumed,
+  //  - NotFound if more bytes are needed,
+  //  - Corruption on malformed input (protocol error).
+  Status TryParse(Value* value);
+
+  // Parses a full command array into argv strings (all elements must be
+  // bulk strings). Same return contract as TryParse.
+  Status TryParseCommand(std::vector<std::string>* argv);
+
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  Status ParseAt(size_t* pos, Value* value);
+  bool ReadLine(size_t* pos, std::string* line);
+  void Compact();
+
+  std::string buffer_;
+  size_t consumed_ = 0;
+};
+
+}  // namespace memdb::resp
+
+#endif  // MEMDB_RESP_RESP_H_

@@ -1,0 +1,116 @@
+#include "sim/actor.h"
+
+#include <utility>
+
+namespace memdb::sim {
+
+Actor::Actor(Simulation* sim, NodeId id) : sim_(sim), id_(id) {
+  sim_->RegisterActor(id_, this);
+}
+
+Actor::~Actor() { sim_->UnregisterActor(id_, this); }
+
+bool Actor::alive() const { return sim_->host(id_)->alive; }
+
+void Actor::OnRestart() {
+  for (auto& [rpc_id, pending] : pending_rpcs_) {
+    pending.timeout_timer.Cancel();
+  }
+  pending_rpcs_.clear();
+}
+
+void Actor::On(std::string type, Handler handler) {
+  handlers_[std::move(type)] = std::move(handler);
+}
+
+void Actor::Deliver(const Message& m) {
+  if (m.is_response) {
+    auto it = pending_rpcs_.find(m.rpc_id);
+    if (it == pending_rpcs_.end()) return;  // late reply after timeout
+    PendingRpc pending = std::move(it->second);
+    pending_rpcs_.erase(it);
+    pending.timeout_timer.Cancel();
+    Status status = m.status_code == 0
+                        ? Status::OK()
+                        : Status(static_cast<StatusCode>(m.status_code),
+                                 m.payload);
+    pending.cb(status, m.payload);
+    return;
+  }
+  auto it = handlers_.find(m.type);
+  if (it != handlers_.end()) it->second(m);
+}
+
+TimerHandle Actor::After(Duration d, std::function<void()> fn) {
+  const uint64_t inc = incarnation();
+  Simulation* sim = sim_;
+  const NodeId id = id_;
+  return sim_->scheduler().After(d, [sim, id, inc, fn = std::move(fn)]() {
+    const Host* host = sim->host(id);
+    if (!host->alive || host->incarnation != inc) return;
+    fn();
+  });
+}
+
+void Actor::Periodic(Duration every, std::function<void()> fn) {
+  After(every, [this, every, fn]() {
+    fn();
+    Periodic(every, fn);
+  });
+}
+
+void Actor::Send(NodeId to, std::string type, std::string payload) {
+  Message m;
+  m.from = id_;
+  m.to = to;
+  m.type = std::move(type);
+  m.payload = std::move(payload);
+  sim_->network().Send(std::move(m));
+}
+
+void Actor::Rpc(NodeId to, std::string type, std::string payload,
+                Duration timeout, RpcCallback cb) {
+  const uint64_t rpc_id = next_rpc_id_++;
+  Message m;
+  m.from = id_;
+  m.to = to;
+  m.type = std::move(type);
+  m.payload = std::move(payload);
+  m.rpc_id = rpc_id;
+  PendingRpc pending;
+  pending.cb = std::move(cb);
+  pending.timeout_timer = After(timeout, [this, rpc_id]() {
+    auto it = pending_rpcs_.find(rpc_id);
+    if (it == pending_rpcs_.end()) return;
+    PendingRpc p = std::move(it->second);
+    pending_rpcs_.erase(it);
+    p.cb(Status::TimedOut("rpc timed out"), "");
+  });
+  pending_rpcs_.emplace(rpc_id, std::move(pending));
+  sim_->network().Send(std::move(m));
+}
+
+void Actor::Reply(const Message& request, std::string payload) {
+  Message m;
+  m.from = id_;
+  m.to = request.from;
+  m.type = request.type;
+  m.payload = std::move(payload);
+  m.rpc_id = request.rpc_id;
+  m.is_response = true;
+  sim_->network().Send(std::move(m));
+}
+
+void Actor::ReplyError(const Message& request, const Status& status) {
+  Message m;
+  m.from = id_;
+  m.to = request.from;
+  m.type = request.type;
+  m.payload = status.message();
+  m.rpc_id = request.rpc_id;
+  m.is_response = true;
+  m.status_code = static_cast<uint8_t>(status.code());
+  sim_->network().Send(std::move(m));
+}
+
+}  // namespace memdb::sim

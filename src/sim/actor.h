@@ -1,0 +1,91 @@
+// Actor: base class for every simulated process (database node, transaction
+// log replica, monitoring service, client...). Provides guarded timers
+// (no-ops after crash/restart), one-way sends, and an RPC facility with
+// timeouts. One actor per host.
+
+#ifndef MEMDB_SIM_ACTOR_H_
+#define MEMDB_SIM_ACTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "sim/simulation.h"
+#include "sim/types.h"
+
+namespace memdb::sim {
+
+class Actor {
+ public:
+  using RpcCallback =
+      std::function<void(const Status&, const std::string& payload)>;
+  using Handler = std::function<void(const Message&)>;
+
+  Actor(Simulation* sim, NodeId id);
+  virtual ~Actor();
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  NodeId id() const { return id_; }
+  Simulation* simulation() const { return sim_; }
+  Time Now() const { return sim_->Now(); }
+  bool alive() const;
+
+  // Called by the network on delivery. Dispatches to registered handlers;
+  // responses are routed to the pending RPC callback.
+  void Deliver(const Message& m);
+
+  // Called by Simulation::Restart before the host comes back. Default
+  // implementation clears pending RPCs; subclasses reset volatile state
+  // (an in-memory database restarts empty).
+  virtual void OnRestart();
+
+  // The messaging surface is public so that reusable components (e.g. the
+  // transaction-log client) can be composed into an actor and send RPCs on
+  // its behalf.
+
+  // Registers a handler for one-way and request messages of `type`.
+  void On(std::string type, Handler handler);
+
+  // Schedules `fn` after `d`; the call is skipped if this incarnation has
+  // crashed or been superseded by the time it fires.
+  TimerHandle After(Duration d, std::function<void()> fn);
+
+  // Runs `fn` every `every` microseconds (first run after `every`),
+  // for the lifetime of this incarnation.
+  void Periodic(Duration every, std::function<void()> fn);
+
+  // Fire-and-forget message.
+  void Send(NodeId to, std::string type, std::string payload);
+
+  // Request/response. `cb` is invoked exactly once: with the peer's reply,
+  // or with Status::TimedOut if no response arrives within `timeout`.
+  void Rpc(NodeId to, std::string type, std::string payload, Duration timeout,
+           RpcCallback cb);
+
+  // Replies to a request message (must carry a non-zero rpc_id).
+  void Reply(const Message& request, std::string payload);
+  void ReplyError(const Message& request, const Status& status);
+
+  // Current incarnation of the underlying host.
+  uint64_t incarnation() const { return sim_->host(id_)->incarnation; }
+
+ private:
+  struct PendingRpc {
+    RpcCallback cb;
+    TimerHandle timeout_timer;
+  };
+
+  Simulation* sim_;
+  NodeId id_;
+  std::map<std::string, Handler> handlers_;
+  std::map<uint64_t, PendingRpc> pending_rpcs_;
+  uint64_t next_rpc_id_ = 1;
+};
+
+}  // namespace memdb::sim
+
+#endif  // MEMDB_SIM_ACTOR_H_

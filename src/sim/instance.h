@@ -1,0 +1,35 @@
+// Instance profiles: the resource model for a simulated EC2-style host.
+// The r7g catalog used by the paper's evaluation lives in
+// bench_support/instances.h; this header defines the shape.
+
+#ifndef MEMDB_SIM_INSTANCE_H_
+#define MEMDB_SIM_INSTANCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.h"
+
+namespace memdb::sim {
+
+struct InstanceProfile {
+  std::string name = "generic";
+  int vcpus = 2;
+  uint64_t memory_bytes = 16ULL << 30;
+  // Background IO threads available to the engine (Redis "io-threads" /
+  // MemoryDB Enhanced IO). The engine decides how to use them.
+  int io_threads = 1;
+  // Network bandwidth in megabits/s (affects bulk transfers).
+  uint64_t net_mbps = 10000;
+  // Cost, on the single-threaded engine workloop, of executing one simple
+  // command (GET/SET of a small value), in nanoseconds. Tuned so large
+  // instances sustain hundreds of K op/s as in the paper.
+  uint64_t engine_op_cost_ns = 1500;
+  // Cost, on an IO thread, of performing the socket read+parse+write for one
+  // request, in nanoseconds.
+  uint64_t io_op_cost_ns = 2000;
+};
+
+}  // namespace memdb::sim
+
+#endif  // MEMDB_SIM_INSTANCE_H_

@@ -1,0 +1,75 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "sim/actor.h"
+#include "sim/simulation.h"
+
+namespace memdb::sim {
+
+namespace {
+std::pair<NodeId, NodeId> OrderedPair(NodeId a, NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+}  // namespace
+
+bool Network::LinkUp(NodeId a, NodeId b) const {
+  if (isolated_.count(a) || isolated_.count(b)) return false;
+  return down_links_.find(OrderedPair(a, b)) == down_links_.end();
+}
+
+void Network::SetLinkDown(NodeId a, NodeId b, bool down) {
+  if (down) {
+    down_links_.insert(OrderedPair(a, b));
+  } else {
+    down_links_.erase(OrderedPair(a, b));
+  }
+}
+
+void Network::Isolate(NodeId node) { isolated_.insert(node); }
+void Network::Heal(NodeId node) { isolated_.erase(node); }
+
+Duration Network::DeliveryLatency(NodeId from, NodeId to, size_t bytes) {
+  Duration base;
+  if (from == to) {
+    base = config_.local_us;
+  } else if (sim_->host(from)->az == sim_->host(to)->az) {
+    base = config_.same_az_us;
+  } else {
+    base = config_.cross_az_us;
+  }
+  Duration jitter =
+      config_.jitter_us > 0 ? rng_.Uniform(config_.jitter_us + 1) : 0;
+  Duration transfer = 0;
+  if (bytes > config_.bulk_threshold_bytes && config_.link_mbps > 0) {
+    // bytes * 8 bits / (mbps * 1e6 bits/s) seconds -> microseconds.
+    transfer = static_cast<Duration>(static_cast<double>(bytes) * 8.0 /
+                                     static_cast<double>(config_.link_mbps));
+  }
+  return base + jitter + transfer;
+}
+
+void Network::Send(Message m) {
+  ++messages_sent_;
+  const Host* from = sim_->host(m.from);
+  const Host* to = sim_->host(m.to);
+  if (!from->alive || !to->alive || !LinkUp(m.from, m.to) ||
+      (config_.drop_probability > 0 &&
+       rng_.NextDouble() < config_.drop_probability)) {
+    ++messages_dropped_;
+    return;
+  }
+  const Duration latency = DeliveryLatency(m.from, m.to, m.payload.size());
+  const uint64_t target_incarnation = to->incarnation;
+  Simulation* sim = sim_;
+  const NodeId to_id = m.to;
+  sim_->scheduler().After(latency, [sim, to_id, target_incarnation,
+                                    msg = std::move(m)]() {
+    const Host* host = sim->host(to_id);
+    if (!host->alive || host->incarnation != target_incarnation) return;
+    Actor* actor = sim->ActorFor(to_id);
+    if (actor != nullptr) actor->Deliver(msg);
+  });
+}
+
+}  // namespace memdb::sim

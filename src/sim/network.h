@@ -1,0 +1,70 @@
+// Simulated network: delivers messages between hosts with an AZ-aware
+// latency model, supports partitions, link failures, and message drops.
+
+#ifndef MEMDB_SIM_NETWORK_H_
+#define MEMDB_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <set>
+#include <utility>
+
+#include "common/rng.h"
+#include "sim/types.h"
+
+namespace memdb::sim {
+
+class Simulation;
+
+struct NetworkConfig {
+  // One-way latencies in microseconds.
+  Duration same_az_us = 50;
+  Duration cross_az_us = 300;
+  Duration local_us = 5;  // same host (loopback)
+  // Uniform jitter added on top, [0, jitter_us].
+  Duration jitter_us = 20;
+  // Per-link bandwidth for bulk payloads, megabits/s. Payloads below
+  // `bulk_threshold_bytes` are treated as latency-only.
+  uint64_t link_mbps = 10000;
+  uint64_t bulk_threshold_bytes = 16 * 1024;
+  // Probability of dropping any given message (chaos testing).
+  double drop_probability = 0.0;
+};
+
+class Network {
+ public:
+  Network(Simulation* sim, NetworkConfig config, uint64_t seed)
+      : sim_(sim), config_(config), rng_(seed) {}
+
+  // Queues `m` for delivery. Messages to/from dead hosts or across a
+  // severed link are silently dropped (callers observe RPC timeouts).
+  void Send(Message m);
+
+  // Link control. Pairs are unordered.
+  void SetLinkDown(NodeId a, NodeId b, bool down);
+  // Severs all links between `node` and every other host.
+  void Isolate(NodeId node);
+  void Heal(NodeId node);
+  void HealAll() { down_links_.clear(); isolated_.clear(); }
+
+  bool LinkUp(NodeId a, NodeId b) const;
+
+  NetworkConfig* mutable_config() { return &config_; }
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  Duration DeliveryLatency(NodeId from, NodeId to, size_t bytes);
+
+  Simulation* sim_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::set<std::pair<NodeId, NodeId>> down_links_;
+  std::set<NodeId> isolated_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace memdb::sim
+
+#endif  // MEMDB_SIM_NETWORK_H_

@@ -1,0 +1,58 @@
+#include "sim/scheduler.h"
+
+namespace memdb::sim {
+
+void TimerHandle::Cancel() {
+  if (flag_) flag_->cancelled = true;
+}
+
+bool TimerHandle::Pending() const {
+  return flag_ && !flag_->cancelled && !flag_->fired;
+}
+
+TimerHandle Scheduler::At(Time t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  auto flag = std::make_shared<TimerHandle::Flag>();
+  queue_.push(Event{t, next_seq_++, std::move(fn), flag});
+  return TimerHandle(std::move(flag));
+}
+
+void Scheduler::Fire(Event& e) {
+  now_ = e.time;
+  if (!e.flag->cancelled) {
+    e.flag->fired = true;
+    ++events_fired_;
+    e.fn();
+  }
+}
+
+uint64_t Scheduler::Run(uint64_t limit) {
+  uint64_t fired = 0;
+  while (!queue_.empty() && fired < limit) {
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    const bool counts = !e.flag->cancelled;
+    Fire(e);
+    if (counts) ++fired;
+  }
+  return fired;
+}
+
+void Scheduler::RunUntil(Time t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    Fire(e);
+  }
+  if (now_ < t) now_ = t;
+}
+
+bool Scheduler::Step() {
+  if (queue_.empty()) return false;
+  Event e = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  Fire(e);
+  return true;
+}
+
+}  // namespace memdb::sim

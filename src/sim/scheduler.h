@@ -1,0 +1,88 @@
+// Discrete-event scheduler with virtual time. Single-threaded and fully
+// deterministic: two runs with the same seed and the same actor code produce
+// identical event orders.
+
+#ifndef MEMDB_SIM_SCHEDULER_H_
+#define MEMDB_SIM_SCHEDULER_H_
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace memdb::sim {
+
+// Handle to a scheduled event; allows cancellation. Default-constructed
+// handles are inert.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  // Cancels the event if it has not fired yet. Safe to call repeatedly.
+  void Cancel();
+  bool Pending() const;
+
+ private:
+  friend class Scheduler;
+  struct Flag {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit TimerHandle(std::shared_ptr<Flag> flag) : flag_(std::move(flag)) {}
+  std::shared_ptr<Flag> flag_;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  Time Now() const { return now_; }
+
+  // Schedule `fn` to run at absolute virtual time `t` (clamped to >= Now()).
+  TimerHandle At(Time t, std::function<void()> fn);
+  // Schedule `fn` after `d` microseconds.
+  TimerHandle After(Duration d, std::function<void()> fn) {
+    return At(now_ + d, std::move(fn));
+  }
+
+  // Runs events until the queue is empty or `limit` events have fired.
+  // Returns the number of events fired.
+  uint64_t Run(uint64_t limit = ~0ULL);
+  // Runs events with timestamps <= t, then advances Now() to t.
+  void RunUntil(Time t);
+  void RunFor(Duration d) { RunUntil(now_ + d); }
+  // Runs a single event; returns false if the queue is empty.
+  bool Step();
+
+  bool Empty() const { return queue_.empty(); }
+  uint64_t events_fired() const { return events_fired_; }
+
+ private:
+  struct Event {
+    Time time;
+    uint64_t seq;  // tie-break for determinism
+    std::function<void()> fn;
+    std::shared_ptr<TimerHandle::Flag> flag;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Fire(Event& e);
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_fired_ = 0;
+};
+
+}  // namespace memdb::sim
+
+#endif  // MEMDB_SIM_SCHEDULER_H_

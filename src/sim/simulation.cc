@@ -1,0 +1,62 @@
+#include "sim/simulation.h"
+
+#include "sim/actor.h"
+
+namespace memdb::sim {
+
+Simulation::Simulation(uint64_t seed, NetworkConfig net_config)
+    : network_(this, net_config, seed ^ 0x6e657477ULL), rng_(seed) {}
+
+Simulation::~Simulation() = default;
+
+NodeId Simulation::AddHost(AzId az, InstanceProfile profile) {
+  const NodeId id = static_cast<NodeId>(hosts_.size());
+  auto host = std::make_unique<Host>();
+  host->id = id;
+  host->az = az;
+  host->profile = std::move(profile);
+  hosts_.push_back(std::move(host));
+  actors_.push_back(nullptr);
+  return id;
+}
+
+void Simulation::Crash(NodeId id) { hosts_[id]->alive = false; }
+
+void Simulation::Restart(NodeId id) {
+  Host* h = hosts_[id].get();
+  h->alive = true;
+  ++h->incarnation;
+  if (actors_[id] != nullptr) actors_[id]->OnRestart();
+}
+
+void Simulation::PartitionAz(AzId az) {
+  for (const auto& a : hosts_) {
+    if (a->az != az) continue;
+    for (const auto& b : hosts_) {
+      if (b->az == az) continue;
+      network_.SetLinkDown(a->id, b->id, true);
+    }
+  }
+}
+
+void Simulation::HealAz(AzId az) {
+  for (const auto& a : hosts_) {
+    if (a->az != az) continue;
+    for (const auto& b : hosts_) {
+      if (b->az == az) continue;
+      network_.SetLinkDown(a->id, b->id, false);
+    }
+  }
+}
+
+void Simulation::RegisterActor(NodeId id, Actor* actor) {
+  actors_[id] = actor;
+}
+
+void Simulation::UnregisterActor(NodeId id, Actor* actor) {
+  if (actors_[id] == actor) actors_[id] = nullptr;
+}
+
+Actor* Simulation::ActorFor(NodeId id) const { return actors_[id]; }
+
+}  // namespace memdb::sim

@@ -1,0 +1,85 @@
+// Simulation: the root object owning the scheduler, the network, and the
+// host table. Actors (src/sim/actor.h) attach to hosts and exchange
+// messages; tests and benchmarks drive virtual time and inject failures.
+
+#ifndef MEMDB_SIM_SIMULATION_H_
+#define MEMDB_SIM_SIMULATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/instance.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "sim/types.h"
+
+namespace memdb::sim {
+
+class Actor;
+
+struct Host {
+  NodeId id = kInvalidNode;
+  AzId az = 0;
+  InstanceProfile profile;
+  bool alive = true;
+  // Bumped on every restart; in-flight messages addressed to a previous
+  // incarnation are dropped (the "socket" no longer exists).
+  uint64_t incarnation = 1;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed = 42,
+                      NetworkConfig net_config = NetworkConfig());
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // --- topology -----------------------------------------------------------
+  NodeId AddHost(AzId az, InstanceProfile profile = InstanceProfile());
+  Host* host(NodeId id) { return hosts_[id].get(); }
+  const Host* host(NodeId id) const { return hosts_[id].get(); }
+  size_t num_hosts() const { return hosts_.size(); }
+
+  // --- failure injection --------------------------------------------------
+  // Crash: the host's actor stops receiving messages and all its pending
+  // timers become no-ops. State held by the actor object survives in C++
+  // but actors must treat a restart as a fresh process (see Actor).
+  void Crash(NodeId id);
+  // Restart: host becomes reachable again with a new incarnation. The
+  // owning layer is responsible for resetting/recreating the actor.
+  void Restart(NodeId id);
+  bool IsAlive(NodeId id) const { return hosts_[id]->alive; }
+
+  // Partitions an AZ away from the rest of the cluster.
+  void PartitionAz(AzId az);
+  void HealAz(AzId az);
+
+  // --- access -------------------------------------------------------------
+  Scheduler& scheduler() { return scheduler_; }
+  Network& network() { return network_; }
+  Rng& rng() { return rng_; }
+  Time Now() const { return scheduler_.Now(); }
+
+  void RunFor(Duration d) { scheduler_.RunFor(d); }
+  void RunUntil(Time t) { scheduler_.RunUntil(t); }
+  uint64_t Run(uint64_t limit = ~0ULL) { return scheduler_.Run(limit); }
+
+  // --- actor registry (used by Actor and Network) --------------------------
+  void RegisterActor(NodeId id, Actor* actor);
+  void UnregisterActor(NodeId id, Actor* actor);
+  Actor* ActorFor(NodeId id) const;
+
+ private:
+  Scheduler scheduler_;
+  Network network_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<Actor*> actors_;  // indexed by NodeId; may hold nullptr
+};
+
+}  // namespace memdb::sim
+
+#endif  // MEMDB_SIM_SIMULATION_H_

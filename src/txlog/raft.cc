@@ -1,0 +1,448 @@
+#include "txlog/raft.h"
+
+#include <algorithm>
+
+#include "txlog/wire.h"
+
+namespace memdb::txlog {
+
+using sim::Duration;
+using sim::Message;
+using sim::NodeId;
+
+RaftReplica::RaftReplica(sim::Simulation* sim, NodeId id,
+                         std::vector<NodeId> peers,
+                         std::shared_ptr<RaftPersistentState> persistent,
+                         RaftOptions options)
+    : Actor(sim, id),
+      peers_(std::move(peers)),
+      persistent_(std::move(persistent)),
+      options_(options),
+      rng_(sim->rng().Next() ^ id),
+      disk_(&sim->scheduler(), 1) {
+  On(wire::kVoteReq, [this](const Message& m) { HandleVoteRequest(m); });
+  On(wire::kAppendEntriesReq,
+     [this](const Message& m) { HandleAppendEntriesRequest(m); });
+  On(wire::kClientAppend, [this](const Message& m) { HandleClientAppend(m); });
+  On(wire::kClientRead, [this](const Message& m) { HandleClientRead(m); });
+  On(wire::kClientTail, [this](const Message& m) { HandleClientTail(m); });
+  On(wire::kClientTrim, [this](const Message& m) { HandleClientTrim(m); });
+  // On process start, everything already fsynced counts as durable.
+  durable_index_ = last_index();
+  ResetElectionTimer();
+}
+
+void RaftReplica::OnRestart() {
+  Actor::OnRestart();
+  // Volatile state resets; persistent_ (the disk) survives.
+  role_ = RaftRole::kFollower;
+  leader_hint_ = sim::kInvalidNode;
+  commit_index_ = 0;
+  durable_index_ = last_index();
+  votes_received_ = 0;
+  ++election_epoch_;
+  next_index_.clear();
+  match_index_.clear();
+  append_inflight_.clear();
+  pending_appends_.clear();
+  barrier_index_ = 0;
+  heartbeat_loop_running_ = false;  // the periodic timer died with the crash
+  ResetElectionTimer();
+}
+
+uint64_t RaftReplica::last_index() const {
+  return persistent_->base_index + persistent_->log.size();
+}
+
+const LogEntry* RaftReplica::EntryAt(uint64_t index) const {
+  if (index <= persistent_->base_index || index > last_index()) return nullptr;
+  return &persistent_->log[index - persistent_->base_index - 1];
+}
+
+uint64_t RaftReplica::TermAt(uint64_t index) const {
+  if (index == 0) return 0;
+  if (index == persistent_->base_index) return persistent_->base_term;
+  const LogEntry* e = EntryAt(index);
+  return e == nullptr ? 0 : e->term;
+}
+
+void RaftReplica::TruncateSuffixFrom(uint64_t index) {
+  while (last_index() >= index && !persistent_->log.empty()) {
+    persistent_->log.pop_back();
+  }
+  durable_index_ = std::min(durable_index_, last_index());
+}
+
+std::vector<LogEntry> RaftReplica::CommittedEntries(uint64_t from,
+                                                    size_t count) const {
+  std::vector<LogEntry> out;
+  for (uint64_t i = std::max(from, persistent_->base_index + 1);
+       i <= commit_index_ && out.size() < count; ++i) {
+    const LogEntry* e = EntryAt(i);
+    if (e == nullptr) break;
+    out.push_back(*e);
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- elections
+
+void RaftReplica::ResetElectionTimer() {
+  election_timer_.Cancel();
+  const Duration timeout =
+      rng_.UniformRange(options_.election_timeout_min,
+                        options_.election_timeout_max);
+  election_timer_ = After(timeout, [this] { StartElection(); });
+}
+
+void RaftReplica::BecomeFollower(uint64_t term) {
+  if (term > persistent_->current_term) {
+    persistent_->current_term = term;
+    persistent_->voted_for = sim::kInvalidNode;
+  }
+  const bool was_leader = (role_ == RaftRole::kLeader);
+  role_ = RaftRole::kFollower;
+  ++election_epoch_;
+  if (was_leader) {
+    FailPendingAppends(Status::Unavailable("log leadership lost"));
+  }
+  ResetElectionTimer();
+}
+
+void RaftReplica::StartElection() {
+  role_ = RaftRole::kCandidate;
+  ++persistent_->current_term;
+  persistent_->voted_for = id();
+  votes_received_ = 1;  // self
+  const uint64_t epoch = ++election_epoch_;
+  ResetElectionTimer();
+
+  wire::VoteRequest req;
+  req.term = persistent_->current_term;
+  req.candidate = id();
+  req.last_log_index = last_index();
+  req.last_log_term = TermAt(last_index());
+  const std::string payload = req.Encode();
+  for (NodeId peer : peers_) {
+    Rpc(peer, wire::kVoteReq, payload, options_.rpc_timeout,
+        [this, epoch](const Status& s, const std::string& body) {
+          if (!s.ok() || epoch != election_epoch_ ||
+              role_ != RaftRole::kCandidate) {
+            return;
+          }
+          wire::VoteResponse resp;
+          if (!wire::VoteResponse::Decode(body, &resp)) return;
+          if (resp.term > persistent_->current_term) {
+            BecomeFollower(resp.term);
+            return;
+          }
+          if (resp.granted && resp.term == persistent_->current_term) {
+            if (++votes_received_ >
+                static_cast<int>(peers_.size() + 1) / 2) {
+              BecomeLeader();
+            }
+          }
+        });
+  }
+}
+
+void RaftReplica::HandleVoteRequest(const Message& m) {
+  wire::VoteRequest req;
+  if (!wire::VoteRequest::Decode(m.payload, &req)) return;
+  if (req.term > persistent_->current_term) BecomeFollower(req.term);
+
+  wire::VoteResponse resp;
+  resp.term = persistent_->current_term;
+  const bool up_to_date =
+      req.last_log_term > TermAt(last_index()) ||
+      (req.last_log_term == TermAt(last_index()) &&
+       req.last_log_index >= last_index());
+  if (req.term == persistent_->current_term &&
+      (persistent_->voted_for == sim::kInvalidNode ||
+       persistent_->voted_for == req.candidate) &&
+      up_to_date) {
+    persistent_->voted_for = req.candidate;
+    resp.granted = true;
+    ResetElectionTimer();
+  }
+  Reply(m, resp.Encode());
+}
+
+void RaftReplica::BecomeLeader() {
+  role_ = RaftRole::kLeader;
+  leader_hint_ = id();
+  ++election_epoch_;
+  election_timer_.Cancel();
+  next_index_.clear();
+  match_index_.clear();
+  append_inflight_.clear();
+  for (NodeId peer : peers_) {
+    next_index_[peer] = last_index() + 1;
+    match_index_[peer] = 0;
+    append_inflight_[peer] = false;
+  }
+  // Barrier no-op: conditional appends wait until an entry of this term
+  // commits, which establishes the true tail (Raft leader completeness).
+  LogRecord noop;
+  noop.type = RecordType::kNoop;
+  AppendToLocalLog(std::move(noop));
+  barrier_index_ = last_index();
+  BroadcastAppendEntries();
+  if (!heartbeat_loop_running_) {
+    heartbeat_loop_running_ = true;
+    Periodic(options_.heartbeat_interval, [this] {
+      if (role_ == RaftRole::kLeader) BroadcastAppendEntries();
+    });
+  }
+}
+
+// --------------------------------------------------------------- leader ops
+
+void RaftReplica::AppendToLocalLog(LogRecord record) {
+  LogEntry entry;
+  entry.term = persistent_->current_term;
+  entry.index = last_index() + 1;
+  entry.record = std::move(record);
+  persistent_->log.push_back(std::move(entry));
+  const uint64_t upto = last_index();
+  disk_.SubmitAnd(options_.disk_write_us, [this, upto] {
+    if (!alive()) return;
+    durable_index_ = std::max(durable_index_, std::min(upto, last_index()));
+    if (role_ == RaftRole::kLeader) AdvanceCommitIndex();
+  });
+}
+
+void RaftReplica::BroadcastAppendEntries() {
+  for (NodeId peer : peers_) SendAppendEntries(peer);
+}
+
+void RaftReplica::SendAppendEntries(NodeId peer) {
+  if (role_ != RaftRole::kLeader || append_inflight_[peer]) return;
+  const uint64_t next = next_index_[peer];
+  // If the follower is behind our truncated prefix it must restore from a
+  // snapshot; we keep probing at the base (migration/recovery layers handle
+  // snapshot installs at the DB level).
+  wire::AppendEntriesRequest req;
+  req.term = persistent_->current_term;
+  req.leader = id();
+  req.prev_index = next - 1;
+  req.prev_term = TermAt(next - 1);
+  req.commit_index = commit_index_;
+  for (uint64_t i = next; i <= last_index() && req.entries.size() < 64; ++i) {
+    const LogEntry* e = EntryAt(i);
+    if (e == nullptr) break;
+    req.entries.push_back(*e);
+  }
+  append_inflight_[peer] = true;
+  const uint64_t epoch = election_epoch_;
+  Rpc(peer, wire::kAppendEntriesReq, req.Encode(), options_.rpc_timeout,
+      [this, peer, epoch](const Status& s, const std::string& body) {
+        if (epoch != election_epoch_ || role_ != RaftRole::kLeader) return;
+        append_inflight_[peer] = false;
+        if (!s.ok()) return;  // retry on next heartbeat
+        wire::AppendEntriesResponse resp;
+        if (!wire::AppendEntriesResponse::Decode(body, &resp)) return;
+        if (resp.term > persistent_->current_term) {
+          BecomeFollower(resp.term);
+          return;
+        }
+        if (resp.success) {
+          match_index_[peer] = std::max(match_index_[peer], resp.match_index);
+          next_index_[peer] = match_index_[peer] + 1;
+          AdvanceCommitIndex();
+        } else {
+          next_index_[peer] =
+              std::max<uint64_t>(1, std::min(resp.match_index + 1,
+                                             next_index_[peer] - 1));
+        }
+        if (next_index_[peer] <= last_index()) SendAppendEntries(peer);
+      });
+}
+
+void RaftReplica::AdvanceCommitIndex() {
+  if (role_ != RaftRole::kLeader) return;
+  std::vector<uint64_t> matches;
+  matches.push_back(durable_index_);
+  for (const auto& [peer, match] : match_index_) matches.push_back(match);
+  std::sort(matches.begin(), matches.end(), std::greater<uint64_t>());
+  const uint64_t majority_match = matches[matches.size() / 2];
+  if (majority_match > commit_index_ &&
+      TermAt(majority_match) == persistent_->current_term) {
+    commit_index_ = majority_match;
+    MaybeAckClients();
+  }
+}
+
+void RaftReplica::MaybeAckClients() {
+  while (!pending_appends_.empty() &&
+         pending_appends_.begin()->first <= commit_index_) {
+    auto it = pending_appends_.begin();
+    wire::ClientAppendResponse resp;
+    resp.result = wire::ClientResult::kOk;
+    resp.index = it->first;
+    resp.leader_hint = id();
+    Reply(it->second, resp.Encode());
+    pending_appends_.erase(it);
+  }
+}
+
+void RaftReplica::FailPendingAppends(const Status& status) {
+  for (auto& [index, msg] : pending_appends_) {
+    wire::ClientAppendResponse resp;
+    resp.result = wire::ClientResult::kUnavailable;
+    resp.leader_hint = leader_hint_;
+    Reply(msg, resp.Encode());
+  }
+  pending_appends_.clear();
+}
+
+// --------------------------------------------------------------- followers
+
+void RaftReplica::HandleAppendEntriesRequest(const Message& m) {
+  wire::AppendEntriesRequest req;
+  if (!wire::AppendEntriesRequest::Decode(m.payload, &req)) return;
+
+  wire::AppendEntriesResponse resp;
+  if (req.term < persistent_->current_term) {
+    resp.term = persistent_->current_term;
+    resp.success = false;
+    Reply(m, resp.Encode());
+    return;
+  }
+  if (req.term > persistent_->current_term ||
+      role_ != RaftRole::kFollower) {
+    BecomeFollower(req.term);
+  }
+  leader_hint_ = req.leader;
+  ResetElectionTimer();
+  resp.term = persistent_->current_term;
+
+  // Consistency check on the previous entry.
+  if (req.prev_index > last_index() ||
+      (req.prev_index > persistent_->base_index &&
+       TermAt(req.prev_index) != req.prev_term)) {
+    resp.success = false;
+    resp.match_index = std::min(req.prev_index == 0 ? 0 : req.prev_index - 1,
+                                last_index());
+    Reply(m, resp.Encode());
+    return;
+  }
+
+  // Append new entries, resolving conflicts by truncation.
+  uint64_t appended_upto = req.prev_index;
+  for (const LogEntry& e : req.entries) {
+    const LogEntry* existing = EntryAt(e.index);
+    if (existing != nullptr) {
+      if (existing->term == e.term) {
+        appended_upto = e.index;
+        continue;  // already have it
+      }
+      TruncateSuffixFrom(e.index);
+    }
+    if (e.index == last_index() + 1) {
+      persistent_->log.push_back(e);
+      appended_upto = e.index;
+    }
+  }
+
+  const uint64_t match = appended_upto;
+  const uint64_t leader_commit = req.commit_index;
+  // Ack only after the batch is durable locally (this is the multi-AZ
+  // durability guarantee: commit requires 2 of 3 AZ fsyncs).
+  const Duration cost =
+      options_.disk_write_us * std::max<uint64_t>(1, req.entries.size());
+  disk_.SubmitAnd(cost, [this, m, match, leader_commit] {
+    if (!alive()) return;
+    durable_index_ = std::max(durable_index_, std::min(match, last_index()));
+    commit_index_ =
+        std::max(commit_index_, std::min(leader_commit, durable_index_));
+    wire::AppendEntriesResponse out;
+    out.term = persistent_->current_term;
+    out.success = true;
+    out.match_index = match;
+    Reply(m, out.Encode());
+  });
+}
+
+// --------------------------------------------------------------- client API
+
+void RaftReplica::HandleClientAppend(const Message& m) {
+  wire::ClientAppendRequest req;
+  if (!wire::ClientAppendRequest::Decode(m.payload, &req)) {
+    ReplyError(m, Status::InvalidArgument("bad append request"));
+    return;
+  }
+  wire::ClientAppendResponse resp;
+  resp.leader_hint = leader_hint_;
+  if (role_ != RaftRole::kLeader) {
+    resp.result = wire::ClientResult::kNotLeader;
+    Reply(m, resp.Encode());
+    return;
+  }
+  if (commit_index_ < barrier_index_) {
+    resp.result = wire::ClientResult::kUnavailable;
+    resp.leader_hint = id();
+    Reply(m, resp.Encode());
+    return;
+  }
+  if (req.prev_index != wire::kUnconditional &&
+      req.prev_index != last_index()) {
+    resp.result = wire::ClientResult::kConditionFailed;
+    resp.index = last_index();
+    resp.leader_hint = id();
+    Reply(m, resp.Encode());
+    return;
+  }
+  AppendToLocalLog(std::move(req.record));
+  pending_appends_.emplace(last_index(), m);
+  BroadcastAppendEntries();
+}
+
+void RaftReplica::HandleClientRead(const Message& m) {
+  wire::ClientReadRequest req;
+  if (!wire::ClientReadRequest::Decode(m.payload, &req)) {
+    ReplyError(m, Status::InvalidArgument("bad read request"));
+    return;
+  }
+  wire::ClientReadResponse resp;
+  resp.commit_index = commit_index_;
+  resp.first_index = persistent_->base_index + 1;
+  const size_t cap = std::min<uint64_t>(req.max_count, options_.max_read_batch);
+  resp.entries = CommittedEntries(req.from_index, cap);
+  Reply(m, resp.Encode());
+}
+
+void RaftReplica::HandleClientTail(const Message& m) {
+  wire::ClientTailResponse resp;
+  resp.commit_index = commit_index_;
+  resp.last_index = last_index();
+  resp.leader_hint = leader_hint_;
+  if (role_ != RaftRole::kLeader) {
+    resp.result = wire::ClientResult::kNotLeader;
+  } else if (commit_index_ < barrier_index_) {
+    resp.result = wire::ClientResult::kUnavailable;
+  } else {
+    resp.result = wire::ClientResult::kOk;
+  }
+  Reply(m, resp.Encode());
+}
+
+void RaftReplica::HandleClientTrim(const Message& m) {
+  wire::ClientReadRequest req;  // reuse: from_index = trim-up-to
+  if (!wire::ClientReadRequest::Decode(m.payload, &req)) return;
+  uint64_t upto = std::min(req.from_index, commit_index_);
+  if (role_ == RaftRole::kLeader) {
+    // Never trim entries a follower may still need for catch-up.
+    for (const auto& [peer, match] : match_index_) {
+      upto = std::min(upto, match);
+    }
+  }
+  while (persistent_->base_index < upto && !persistent_->log.empty()) {
+    persistent_->base_term = persistent_->log.front().term;
+    persistent_->log.pop_front();
+    ++persistent_->base_index;
+  }
+  Reply(m, "");
+}
+
+}  // namespace memdb::txlog

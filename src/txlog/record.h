@@ -1,0 +1,78 @@
+// Log record and entry types for the transaction log service.
+//
+// The service stores opaque, typed records. MemoryDB layers meaning on top:
+// data records carry chunks of the replication stream; leadership and lease
+// records implement the paper's §4.1 election; checksum records implement
+// the §7.2.1 verification chain; slot-ownership records implement the §5.2
+// 2PC migration protocol.
+
+#ifndef MEMDB_TXLOG_RECORD_H_
+#define MEMDB_TXLOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/status.h"
+
+namespace memdb::txlog {
+
+enum class RecordType : uint8_t {
+  kNoop = 0,        // internal barrier appended by a new log-service leader
+  kData = 1,        // replication-stream chunk
+  kLeadership = 2,  // DB leader election claim (§4.1.1)
+  kLease = 3,       // DB lease renewal / heartbeat (§4.1.3, §4.2)
+  kChecksum = 4,    // running-checksum injection (§7.2.1)
+  kSlotOwnership = 5,  // 2PC slot ownership transfer message (§5.2)
+};
+
+struct LogRecord {
+  RecordType type = RecordType::kData;
+  // Identity of the database node that appended the record (its sim NodeId);
+  // 0 for service-internal records.
+  uint64_t writer = 0;
+  // Writer-local unique id; lets a writer resolve indeterminate appends by
+  // re-reading the log after a timeout.
+  uint64_t request_id = 0;
+  std::string payload;
+
+  void EncodeTo(std::string* out) const {
+    out->push_back(static_cast<char>(type));
+    PutVarint64(out, writer);
+    PutVarint64(out, request_id);
+    PutLengthPrefixed(out, payload);
+  }
+
+  static bool DecodeFrom(Decoder* dec, LogRecord* out) {
+    uint64_t type_raw;
+    if (!dec->GetVarint64(&type_raw) || type_raw > 5) return false;
+    out->type = static_cast<RecordType>(type_raw);
+    return dec->GetVarint64(&out->writer) &&
+           dec->GetVarint64(&out->request_id) &&
+           dec->GetLengthPrefixed(&out->payload);
+  }
+};
+
+// A committed log entry as seen by readers. `index` is the client-visible
+// entry identifier used in conditional-append preconditions.
+struct LogEntry {
+  uint64_t term = 0;
+  uint64_t index = 0;
+  LogRecord record;
+
+  void EncodeTo(std::string* out) const {
+    PutVarint64(out, term);
+    PutVarint64(out, index);
+    record.EncodeTo(out);
+  }
+
+  static bool DecodeFrom(Decoder* dec, LogEntry* out) {
+    return dec->GetVarint64(&out->term) && dec->GetVarint64(&out->index) &&
+           LogRecord::DecodeFrom(dec, &out->record);
+  }
+};
+
+}  // namespace memdb::txlog
+
+#endif  // MEMDB_TXLOG_RECORD_H_

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/linearizability.h"
+#include "check/tester.h"
+#include "memorydb/shard.h"
+#include "redisbaseline/baseline_node.h"
+#include "sim/simulation.h"
+#include "storage/object_store.h"
+
+namespace memdb::check {
+namespace {
+
+using resp::Value;
+using sim::kMs;
+using sim::kSec;
+using sim::NodeId;
+
+Operation Op(const std::vector<std::string>& input, Value output,
+             uint64_t invoke, uint64_t ret) {
+  Operation op;
+  op.input = input;
+  op.output = std::move(output);
+  op.invoke_time = invoke;
+  op.return_time = ret;
+  return op;
+}
+
+// ------------------------------------------------------------- unit tests
+
+TEST(LinearizabilityTest, EmptyHistoryIsLinearizable) {
+  EXPECT_TRUE(CheckKvHistory({}).linearizable);
+}
+
+TEST(LinearizabilityTest, SequentialReadYourWrite) {
+  std::vector<Operation> h = {
+      Op({"SET", "x", "1"}, Value::Ok(), 0, 10),
+      Op({"GET", "x"}, Value::Bulk("1"), 20, 30),
+  };
+  EXPECT_TRUE(CheckKvHistory(h).linearizable);
+}
+
+TEST(LinearizabilityTest, StaleReadAfterAckedWriteViolates) {
+  std::vector<Operation> h = {
+      Op({"SET", "x", "1"}, Value::Ok(), 0, 10),
+      Op({"SET", "x", "2"}, Value::Ok(), 20, 30),
+      Op({"GET", "x"}, Value::Bulk("1"), 40, 50),  // lost the second write
+  };
+  CheckResult r = CheckKvHistory(h);
+  EXPECT_TRUE(r.conclusive);
+  EXPECT_FALSE(r.linearizable);
+}
+
+TEST(LinearizabilityTest, ConcurrentWritesEitherOrderOk) {
+  std::vector<Operation> h = {
+      Op({"SET", "x", "a"}, Value::Ok(), 0, 100),
+      Op({"SET", "x", "b"}, Value::Ok(), 0, 100),  // concurrent
+      Op({"GET", "x"}, Value::Bulk("a"), 200, 210),
+  };
+  EXPECT_TRUE(CheckKvHistory(h).linearizable);
+  h[2].output = Value::Bulk("b");
+  EXPECT_TRUE(CheckKvHistory(h).linearizable);
+  h[2].output = Value::Bulk("c");
+  EXPECT_FALSE(CheckKvHistory(h).linearizable);
+}
+
+TEST(LinearizabilityTest, ReadMustFallWithinWriteWindow) {
+  // The read overlaps the write, so it may see either old or new value.
+  std::vector<Operation> h = {
+      Op({"SET", "x", "new"}, Value::Ok(), 50, 150),
+      Op({"GET", "x"}, Value::Null(), 60, 70),  // old (absent) value: ok
+  };
+  EXPECT_TRUE(CheckKvHistory(h).linearizable);
+  // But a read strictly after the write's return must see it.
+  h[1] = Op({"GET", "x"}, Value::Null(), 200, 210);
+  EXPECT_FALSE(CheckKvHistory(h).linearizable);
+}
+
+TEST(LinearizabilityTest, IndeterminateWriteMayOrMayNotApply) {
+  // A timed-out SET can be linearized anywhere after invoke — or never
+  // observed (placed after everything).
+  std::vector<Operation> h = {
+      Op({"SET", "x", "1"}, Value::Ok(), 0, 10),
+      Op({"SET", "x", "2"}, Value::Null(), 20, kNeverReturned),  // timeout
+      Op({"GET", "x"}, Value::Bulk("1"), 30, 40),  // did not apply (yet)
+  };
+  EXPECT_TRUE(CheckKvHistory(h).linearizable);
+  h[2].output = Value::Bulk("2");  // applied before the read
+  EXPECT_TRUE(CheckKvHistory(h).linearizable);
+  h[2].output = Value::Bulk("3");  // never written by anyone
+  EXPECT_FALSE(CheckKvHistory(h).linearizable);
+}
+
+TEST(LinearizabilityTest, CounterSemantics) {
+  std::vector<Operation> h = {
+      Op({"INCR", "c"}, Value::Integer(1), 0, 10),
+      Op({"INCR", "c"}, Value::Integer(2), 20, 30),
+      Op({"GET", "c"}, Value::Bulk("2"), 40, 50),
+  };
+  EXPECT_TRUE(CheckKvHistory(h).linearizable);
+  // Duplicate increment result = violation.
+  h[1].output = Value::Integer(1);
+  EXPECT_FALSE(CheckKvHistory(h).linearizable);
+}
+
+TEST(LinearizabilityTest, AppendOrderObservable) {
+  std::vector<Operation> h = {
+      Op({"APPEND", "x", "a"}, Value::Integer(1), 0, 100),
+      Op({"APPEND", "x", "b"}, Value::Integer(2), 0, 100),  // concurrent
+      Op({"GET", "x"}, Value::Bulk("ab"), 200, 210),
+  };
+  EXPECT_TRUE(CheckKvHistory(h).linearizable);
+  h[2].output = Value::Bulk("ba");
+  // "ba" requires b first, but then b's APPEND must return length 1, not 2.
+  EXPECT_FALSE(CheckKvHistory(h).linearizable);
+}
+
+TEST(LinearizabilityTest, PerKeyPartitioning) {
+  // Violation confined to one key is found even among other keys' traffic.
+  std::vector<Operation> h = {
+      Op({"SET", "a", "1"}, Value::Ok(), 0, 10),
+      Op({"SET", "b", "1"}, Value::Ok(), 0, 10),
+      Op({"GET", "a"}, Value::Bulk("1"), 20, 30),
+      Op({"GET", "b"}, Value::Bulk("999"), 20, 30),
+  };
+  EXPECT_FALSE(CheckKvHistory(h).linearizable);
+}
+
+TEST(LinearizabilityTest, DelAndExists) {
+  std::vector<Operation> h = {
+      Op({"SET", "x", "1"}, Value::Ok(), 0, 10),
+      Op({"EXISTS", "x"}, Value::Integer(1), 20, 30),
+      Op({"DEL", "x"}, Value::Integer(1), 40, 50),
+      Op({"EXISTS", "x"}, Value::Integer(0), 60, 70),
+      Op({"DEL", "x"}, Value::Integer(0), 80, 90),
+  };
+  EXPECT_TRUE(CheckKvHistory(h).linearizable);
+}
+
+// ------------------------------------------------------------- generator
+
+TEST(CommandGeneratorTest, ModelSubsetOnly) {
+  engine::Engine spec;
+  CommandGenerator::Options opts;
+  CommandGenerator gen(spec, opts, 42);
+  for (int i = 0; i < 200; ++i) {
+    auto argv = gen.Next();
+    ASSERT_FALSE(argv.empty());
+    const std::string& c = argv[0];
+    EXPECT_TRUE(c == "GET" || c == "SET" || c == "DEL" || c == "APPEND" ||
+                c == "INCR" || c == "EXISTS")
+        << c;
+  }
+}
+
+TEST(CommandGeneratorTest, FullApiGeneratesValidArity) {
+  engine::Engine spec;
+  CommandGenerator::Options opts;
+  opts.model_commands_only = false;
+  CommandGenerator gen(spec, opts, 43);
+  engine::Engine scratch;
+  int wrong_arity = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto argv = gen.Next();
+    engine::ExecContext ctx;
+    ctx.now_ms = 1;
+    ctx.rng = &scratch.rng();
+    Value v = scratch.Execute(argv, &ctx);
+    if (v.IsError() &&
+        v.str.find("wrong number of arguments") != std::string::npos) {
+      ++wrong_arity;
+    }
+  }
+  // The generator respects arity specs (odd-pair commands like MSET/HSET
+  // may still occasionally mismatch).
+  EXPECT_LT(wrong_arity, 400);
+}
+
+// ------------------------------------------------------------ end to end
+
+TEST(ConsistencyE2E, MemoryDbLinearizableUnderFailover) {
+  sim::Simulation sim(909);
+  storage::ObjectStore s3(&sim, sim.AddHost(0));
+  memorydb::Shard::Options so;
+  so.num_replicas = 2;
+  so.object_store = s3.id();
+  memorydb::Shard shard(&sim, so);
+  sim.RunFor(3 * kSec);
+
+  std::vector<std::unique_ptr<HistoryClient>> clients;
+  for (int c = 0; c < 4; ++c) {
+    HistoryClient::Options ho;
+    ho.client_id = c;
+    ho.total_ops = 120;
+    ho.seed = 1000 + static_cast<uint64_t>(c);
+    CommandGenerator::Options gen;
+    gen.unique_values = true;
+    clients.push_back(std::make_unique<HistoryClient>(
+        &sim, sim.AddHost(0), shard.node_ids(), ho, gen));
+  }
+  // Crash the primary mid-workload, restart it later.
+  sim.RunFor(150 * kMs);
+  memorydb::Node* primary = shard.Primary();
+  ASSERT_NE(primary, nullptr);
+  size_t primary_idx = 0;
+  for (size_t i = 0; i < shard.num_nodes(); ++i) {
+    if (shard.node(i) == primary) primary_idx = i;
+  }
+  shard.CrashNode(primary_idx);
+  sim.RunFor(2 * kSec);
+  shard.RestartNode(primary_idx);
+
+  for (int t = 0; t < 120000; ++t) {
+    bool all_done = true;
+    for (auto& c : clients) all_done &= c->finished();
+    if (all_done) break;
+    sim.RunFor(5 * kMs);
+  }
+  std::vector<Operation> history;
+  for (auto& c : clients) {
+    ASSERT_TRUE(c->finished());
+    for (const Operation& op : c->history()) history.push_back(op);
+  }
+  ASSERT_GT(history.size(), 200u);
+  CheckResult r = CheckKvHistory(history);
+  EXPECT_TRUE(r.conclusive);
+  EXPECT_TRUE(r.linearizable)
+      << "MemoryDB produced a non-linearizable history";
+}
+
+TEST(ConsistencyE2E, BaselineViolatesLinearizabilityOnFailover) {
+  // Aggregate across seeds: asynchronous replication loses acked writes on
+  // failover, which the checker flags as a linearizability violation.
+  int violations = 0;
+  for (uint64_t seed = 1; seed <= 5 && violations == 0; ++seed) {
+    sim::Simulation sim(seed);
+    std::vector<NodeId> ids;
+    std::vector<std::unique_ptr<redisbaseline::BaselineNode>> nodes;
+    for (int i = 0; i < 3; ++i) {
+      redisbaseline::BaselineConfig c;
+      c.start_as_primary = (i == 0);
+      c.repl_flush_interval = 40 * kMs;  // wide loss window
+      const NodeId id = sim.AddHost(static_cast<sim::AzId>(i % 3));
+      ids.push_back(id);
+      nodes.push_back(
+          std::make_unique<redisbaseline::BaselineNode>(&sim, id, c));
+    }
+    for (auto& n : nodes) {
+      n->SetPeers(ids);
+      n->SetPrimary(ids[0]);
+    }
+    std::vector<std::unique_ptr<HistoryClient>> clients;
+    for (int c = 0; c < 4; ++c) {
+      HistoryClient::Options ho;
+      ho.client_id = c;
+      ho.total_ops = 400;  // keep traffic flowing well past the failover
+      ho.max_think_time = 1 * kMs;
+      ho.rpc_timeout = 200 * kMs;
+      ho.seed = seed * 100 + static_cast<uint64_t>(c);
+      CommandGenerator::Options gen;
+      gen.unique_values = true;  // lost writes cannot be masked
+      clients.push_back(std::make_unique<HistoryClient>(
+          &sim, sim.AddHost(0), ids, ho, gen));
+    }
+    sim.RunFor(100 * kMs);
+    sim.Crash(ids[0]);  // kill the primary mid-burst
+    for (int t = 0; t < 120000; ++t) {
+      bool all_done = true;
+      for (auto& c : clients) all_done &= c->finished();
+      if (all_done) break;
+      sim.RunFor(5 * kMs);
+    }
+    std::vector<Operation> history;
+    for (auto& c : clients) {
+      if (!c->finished()) continue;
+      for (const Operation& op : c->history()) history.push_back(op);
+    }
+    CheckResult r = CheckKvHistory(history);
+    if (r.conclusive && !r.linearizable) ++violations;
+  }
+  EXPECT_GT(violations, 0)
+      << "expected at least one acked-write-loss violation across seeds";
+}
+
+}  // namespace
+}  // namespace memdb::check

@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/coding.h"
+#include "common/crc.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace memdb {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+
+  EXPECT_TRUE(Status::WrongType().IsWrongType());
+  EXPECT_TRUE(Status::ConditionFailed().IsConditionFailed());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::TimedOut().IsTimedOut());
+  EXPECT_TRUE(Status::Corruption("bad crc").IsCorruption());
+  EXPECT_TRUE(Status::Moved("MOVED 1 n2").IsMoved());
+  EXPECT_TRUE(Status::Ask("ASK 1 n2").IsAsk());
+}
+
+TEST(StatusTest, ResultValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(StatusTest, ResultError) {
+  Result<int> r = Status::NotFound();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UseReturnIfError(int x) {
+  MEMDB_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(UseReturnIfError(1).ok());
+  EXPECT_FALSE(UseReturnIfError(-1).ok());
+}
+
+Result<int> Doubled(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return 2 * x;
+}
+
+Result<int> UseAssignOrReturn(int x) {
+  MEMDB_ASSIGN_OR_RETURN(int v, Doubled(x));
+  return v + 1;
+}
+
+TEST(StatusTest, AssignOrReturnMacro) {
+  auto ok = UseAssignOrReturn(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  EXPECT_FALSE(UseAssignOrReturn(-3).ok());
+}
+
+// ---------------------------------------------------------------- Slice
+
+TEST(SliceTest, Basics) {
+  std::string s = "hello";
+  Slice sl(s);
+  EXPECT_EQ(sl.size(), 5u);
+  EXPECT_EQ(sl.ToString(), "hello");
+  EXPECT_EQ(sl, Slice("hello"));
+  EXPECT_NE(sl, Slice("hellO"));
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+}
+
+// ---------------------------------------------------------------- CRC
+
+TEST(CrcTest, Crc16KnownVector) {
+  // "123456789" -> 0x31C3 for CRC16-CCITT/XMODEM (value in the Redis
+  // Cluster specification).
+  EXPECT_EQ(Crc16("123456789", 9), 0x31C3);
+}
+
+TEST(CrcTest, Crc16EmptyIsZero) { EXPECT_EQ(Crc16("", 0), 0); }
+
+TEST(CrcTest, Crc64Properties) {
+  // Streaming equals one-shot.
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  uint64_t one_shot = Crc64(0, data.data(), data.size());
+  uint64_t streamed = 0;
+  for (char c : data) streamed = Crc64(streamed, &c, 1);
+  EXPECT_EQ(one_shot, streamed);
+  EXPECT_NE(one_shot, 0u);
+  // Sensitivity to single-bit change.
+  std::string data2 = data;
+  data2[7] ^= 1;
+  EXPECT_NE(Crc64(0, data2.data(), data2.size()), one_shot);
+}
+
+TEST(CrcTest, HashSlotInRangeAndStable) {
+  std::set<uint16_t> slots;
+  for (int i = 0; i < 1000; ++i) {
+    std::string key = "key:" + std::to_string(i);
+    uint16_t slot = KeyHashSlot(key);
+    EXPECT_LT(slot, kNumSlots);
+    EXPECT_EQ(slot, KeyHashSlot(key));  // deterministic
+    slots.insert(slot);
+  }
+  // Keys should spread over many slots.
+  EXPECT_GT(slots.size(), 800u);
+}
+
+TEST(CrcTest, HashTagsRouteToSameSlot) {
+  EXPECT_EQ(KeyHashSlot("{user1000}.following"),
+            KeyHashSlot("{user1000}.followers"));
+  EXPECT_EQ(KeyHashSlot("foo{bar}baz"), KeyHashSlot("{bar}"));
+  // Empty tag means the whole key is hashed.
+  const std::string k = "foo{}{bar}";
+  EXPECT_EQ(KeyHashSlot(k), Crc16(k.data(), k.size()) % 16384);
+  // Only the first '{' opens a tag.
+  EXPECT_EQ(KeyHashSlot("foo{{bar}}zap"), KeyHashSlot("{{bar}"));
+}
+
+// ---------------------------------------------------------------- Coding
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed16(&buf, 0xBEEF);
+  PutFixed32(&buf, 0xDEADBEEFu);
+  PutFixed64(&buf, 0x0123456789ABCDEFULL);
+  Decoder dec(buf);
+  uint16_t a;
+  uint32_t b;
+  uint64_t c;
+  ASSERT_TRUE(dec.GetFixed16(&a));
+  ASSERT_TRUE(dec.GetFixed32(&b));
+  ASSERT_TRUE(dec.GetFixed64(&c));
+  EXPECT_EQ(a, 0xBEEF);
+  EXPECT_EQ(b, 0xDEADBEEFu);
+  EXPECT_EQ(c, 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(dec.Empty());
+}
+
+TEST(CodingTest, VarintRoundTrip) {
+  std::string buf;
+  const uint64_t values[] = {0,       1,        127,        128,
+                             300,     16383,    16384,      1ULL << 32,
+                             ~0ULL,   42,       (1ULL << 56) + 3};
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  Decoder dec(buf);
+  for (uint64_t v : values) {
+    uint64_t got;
+    ASSERT_TRUE(dec.GetVarint64(&got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(dec.Empty());
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  Decoder dec(buf);
+  std::string a, b, c;
+  ASSERT_TRUE(dec.GetLengthPrefixed(&a));
+  ASSERT_TRUE(dec.GetLengthPrefixed(&b));
+  ASSERT_TRUE(dec.GetLengthPrefixed(&c));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, std::string(1000, 'x'));
+}
+
+TEST(CodingTest, DoubleRoundTrip) {
+  std::string buf;
+  PutDouble(&buf, 3.14159);
+  PutDouble(&buf, -0.0);
+  PutDouble(&buf, 1e300);
+  Decoder dec(buf);
+  double a, b, c;
+  ASSERT_TRUE(dec.GetDouble(&a));
+  ASSERT_TRUE(dec.GetDouble(&b));
+  ASSERT_TRUE(dec.GetDouble(&c));
+  EXPECT_DOUBLE_EQ(a, 3.14159);
+  EXPECT_DOUBLE_EQ(b, -0.0);
+  EXPECT_DOUBLE_EQ(c, 1e300);
+}
+
+TEST(CodingTest, TruncatedInputFails) {
+  std::string buf;
+  PutFixed64(&buf, 1);
+  Decoder dec(Slice(buf.data(), 4));
+  uint64_t v;
+  EXPECT_FALSE(dec.GetFixed64(&v));
+
+  std::string buf2;
+  PutLengthPrefixed(&buf2, "hello world");
+  Decoder dec2(Slice(buf2.data(), 3));
+  std::string s;
+  EXPECT_FALSE(dec2.GetLengthPrefixed(&s));
+}
+
+TEST(CodingTest, VarintOverlongFails) {
+  std::string buf(11, '\xff');  // never terminates within 10 bytes
+  Decoder dec(buf);
+  uint64_t v;
+  EXPECT_FALSE(dec.GetVarint64(&v));
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  bool all_equal = true;
+  bool any_diff_seed = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t x = a.Next(), y = b.Next(), z = c.Next();
+    all_equal &= (x == y);
+    any_diff_seed |= (x != z);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    uint64_t v = rng.UniformRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, RandomStringLengthAndCharset) {
+  Rng rng(9);
+  std::string s = rng.RandomString(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char ch : s) EXPECT_TRUE(isalnum(static_cast<unsigned char>(ch)));
+}
+
+TEST(RngTest, SkewedStaysInRange) {
+  Rng rng(11);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.Skewed(100, 0.7);
+    ASSERT_LT(v, 100u);
+    counts[v]++;
+  }
+  // Skew should favor small values: far more mass below 10 than the 10%
+  // a uniform distribution would place there.
+  int low = 0;
+  for (auto& [v, n] : counts) {
+    if (v < 10) low += n;
+  }
+  EXPECT_GT(low, 2500);
+}
+
+// ---------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(h.Mean(), 500.5, 0.01);
+  // Bucketed percentiles: allow ~5% relative error.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 500.0, 30.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.99)), 990.0, 50.0);
+  EXPECT_EQ(h.Percentile(1.0), 1000u);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.99), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, MergeMatchesCombined) {
+  Histogram a, b, combined;
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng.Uniform(100000);
+    (i % 2 == 0 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_EQ(a.Percentile(0.5), combined.Percentile(0.5));
+  EXPECT_EQ(a.Percentile(0.99), combined.Percentile(0.99));
+}
+
+TEST(HistogramTest, LargeValues) {
+  Histogram h;
+  h.Record(3'600'000'000ULL);  // one hour in us
+  EXPECT_EQ(h.max(), 3'600'000'000ULL);
+  EXPECT_EQ(h.Percentile(1.0), 3'600'000'000ULL);
+  double p50 = static_cast<double>(h.Percentile(0.5));
+  EXPECT_NEAR(p50, 3.6e9, 3.6e9 * 0.04);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(10);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+}  // namespace
+}  // namespace memdb

@@ -1,0 +1,422 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ds/hash.h"
+#include "ds/quicklist.h"
+#include "ds/set.h"
+#include "ds/value.h"
+#include "ds/zset.h"
+
+namespace memdb::ds {
+namespace {
+
+// ---------------------------------------------------------------- QuickList
+
+TEST(QuickListTest, PushPopBothEnds) {
+  QuickList l;
+  l.PushBack("b");
+  l.PushFront("a");
+  l.PushBack("c");
+  EXPECT_EQ(l.Size(), 3u);
+  std::string v;
+  ASSERT_TRUE(l.PopFront(&v));
+  EXPECT_EQ(v, "a");
+  ASSERT_TRUE(l.PopBack(&v));
+  EXPECT_EQ(v, "c");
+  ASSERT_TRUE(l.PopFront(&v));
+  EXPECT_EQ(v, "b");
+  EXPECT_FALSE(l.PopFront(&v));
+  EXPECT_FALSE(l.PopBack(&v));
+}
+
+TEST(QuickListTest, SpansManyChunks) {
+  QuickList l;
+  for (int i = 0; i < 1000; ++i) l.PushBack(std::to_string(i));
+  EXPECT_EQ(l.Size(), 1000u);
+  std::string v;
+  for (int i = 0; i < 1000; i += 97) {
+    ASSERT_TRUE(l.Index(static_cast<size_t>(i), &v));
+    EXPECT_EQ(v, std::to_string(i));
+  }
+  EXPECT_FALSE(l.Index(1000, &v));
+}
+
+TEST(QuickListTest, PushFrontOrdering) {
+  QuickList l;
+  for (int i = 0; i < 300; ++i) l.PushFront(std::to_string(i));
+  std::string v;
+  ASSERT_TRUE(l.Index(0, &v));
+  EXPECT_EQ(v, "299");
+  ASSERT_TRUE(l.Index(299, &v));
+  EXPECT_EQ(v, "0");
+}
+
+TEST(QuickListTest, SetReplacesElement) {
+  QuickList l;
+  for (int i = 0; i < 10; ++i) l.PushBack("x");
+  EXPECT_TRUE(l.Set(5, "y"));
+  std::string v;
+  ASSERT_TRUE(l.Index(5, &v));
+  EXPECT_EQ(v, "y");
+  EXPECT_FALSE(l.Set(10, "z"));
+}
+
+TEST(QuickListTest, Range) {
+  QuickList l;
+  for (int i = 0; i < 300; ++i) l.PushBack(std::to_string(i));
+  std::vector<std::string> out;
+  l.Range(100, 104, &out);
+  EXPECT_EQ(out, (std::vector<std::string>{"100", "101", "102", "103", "104"}));
+  out.clear();
+  l.Range(298, 500, &out);  // stop clamped
+  EXPECT_EQ(out, (std::vector<std::string>{"298", "299"}));
+}
+
+TEST(QuickListTest, RemoveFromHead) {
+  QuickList l;
+  for (const char* s : {"a", "b", "a", "c", "a"}) l.PushBack(s);
+  EXPECT_EQ(l.Remove(2, "a"), 2u);
+  EXPECT_EQ(l.ToVector(), (std::vector<std::string>{"b", "c", "a"}));
+}
+
+TEST(QuickListTest, RemoveFromTail) {
+  QuickList l;
+  for (const char* s : {"a", "b", "a", "c", "a"}) l.PushBack(s);
+  EXPECT_EQ(l.Remove(-2, "a"), 2u);
+  EXPECT_EQ(l.ToVector(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(QuickListTest, RemoveAll) {
+  QuickList l;
+  for (const char* s : {"a", "b", "a", "c", "a"}) l.PushBack(s);
+  EXPECT_EQ(l.Remove(0, "a"), 3u);
+  EXPECT_EQ(l.ToVector(), (std::vector<std::string>{"b", "c"}));
+  EXPECT_EQ(l.Remove(0, "zzz"), 0u);
+}
+
+TEST(QuickListTest, InsertAround) {
+  QuickList l;
+  for (const char* s : {"a", "b", "c"}) l.PushBack(s);
+  EXPECT_TRUE(l.InsertAround("b", /*before=*/true, "x"));
+  EXPECT_TRUE(l.InsertAround("b", /*before=*/false, "y"));
+  EXPECT_EQ(l.ToVector(), (std::vector<std::string>{"a", "x", "b", "y", "c"}));
+  EXPECT_FALSE(l.InsertAround("nope", true, "z"));
+}
+
+TEST(QuickListTest, Trim) {
+  QuickList l;
+  for (int i = 0; i < 500; ++i) l.PushBack(std::to_string(i));
+  l.Trim(100, 102);
+  EXPECT_EQ(l.ToVector(), (std::vector<std::string>{"100", "101", "102"}));
+  l.Trim(2, 1);  // empty range clears
+  EXPECT_EQ(l.Size(), 0u);
+}
+
+TEST(QuickListTest, MemoryAccountingMonotonic) {
+  QuickList l;
+  size_t empty = l.ApproxMemory();
+  for (int i = 0; i < 100; ++i) l.PushBack("payload");
+  EXPECT_GT(l.ApproxMemory(), empty);
+  std::string v;
+  for (int i = 0; i < 100; ++i) l.PopFront(&v);
+  EXPECT_EQ(l.ApproxMemory(), empty);
+}
+
+// ---------------------------------------------------------------- Hash
+
+TEST(HashTest, SetGetDel) {
+  Hash h;
+  EXPECT_TRUE(h.Set("f1", "v1"));
+  EXPECT_FALSE(h.Set("f1", "v2"));  // overwrite
+  std::string v;
+  ASSERT_TRUE(h.Get("f1", &v));
+  EXPECT_EQ(v, "v2");
+  EXPECT_TRUE(h.Has("f1"));
+  EXPECT_TRUE(h.Del("f1"));
+  EXPECT_FALSE(h.Del("f1"));
+  EXPECT_FALSE(h.Get("f1", &v));
+  EXPECT_EQ(h.Size(), 0u);
+}
+
+TEST(HashTest, StartsListpackUpgradesOnCount) {
+  Hash h;
+  for (size_t i = 0; i < Hash::kMaxListpackEntries; ++i) {
+    h.Set("f" + std::to_string(i), "v");
+  }
+  EXPECT_TRUE(h.listpack_encoded());
+  h.Set("one-more", "v");
+  EXPECT_FALSE(h.listpack_encoded());
+  // All fields survive the upgrade.
+  EXPECT_EQ(h.Size(), Hash::kMaxListpackEntries + 1);
+  std::string v;
+  EXPECT_TRUE(h.Get("f0", &v));
+  EXPECT_TRUE(h.Get("one-more", &v));
+}
+
+TEST(HashTest, UpgradesOnLargeValue) {
+  Hash h;
+  h.Set("small", "v");
+  EXPECT_TRUE(h.listpack_encoded());
+  h.Set("big", std::string(Hash::kMaxListpackValueLen + 1, 'x'));
+  EXPECT_FALSE(h.listpack_encoded());
+  std::string v;
+  EXPECT_TRUE(h.Get("small", &v));
+}
+
+TEST(HashTest, ItemsListpackPreservesInsertionOrder) {
+  Hash h;
+  h.Set("z", "1");
+  h.Set("a", "2");
+  auto items = h.Items();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].first, "z");
+  EXPECT_EQ(items[1].first, "a");
+}
+
+TEST(HashTest, ItemsTableSorted) {
+  Hash h;
+  for (int i = 200; i > 0; --i) h.Set("f" + std::to_string(i), "v");
+  auto items = h.Items();
+  EXPECT_TRUE(std::is_sorted(
+      items.begin(), items.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+}
+
+// ---------------------------------------------------------------- Set
+
+TEST(SetTest, IntsetBasics) {
+  Set s;
+  EXPECT_TRUE(s.Add("3"));
+  EXPECT_TRUE(s.Add("1"));
+  EXPECT_TRUE(s.Add("2"));
+  EXPECT_FALSE(s.Add("2"));
+  EXPECT_TRUE(s.intset_encoded());
+  EXPECT_TRUE(s.Contains("1"));
+  EXPECT_FALSE(s.Contains("9"));
+  EXPECT_EQ(s.Members(), (std::vector<std::string>{"1", "2", "3"}));  // sorted
+  EXPECT_TRUE(s.Remove("2"));
+  EXPECT_FALSE(s.Remove("2"));
+  EXPECT_EQ(s.Size(), 2u);
+}
+
+TEST(SetTest, UpgradeOnNonInteger) {
+  Set s;
+  s.Add("10");
+  s.Add("20");
+  EXPECT_TRUE(s.intset_encoded());
+  s.Add("abc");
+  EXPECT_FALSE(s.intset_encoded());
+  EXPECT_TRUE(s.Contains("10"));
+  EXPECT_TRUE(s.Contains("abc"));
+  EXPECT_EQ(s.Size(), 3u);
+}
+
+TEST(SetTest, UpgradeOnSize) {
+  Set s;
+  for (size_t i = 0; i <= Set::kMaxIntsetEntries; ++i) {
+    s.Add(std::to_string(i));
+  }
+  EXPECT_FALSE(s.intset_encoded());
+  EXPECT_EQ(s.Size(), Set::kMaxIntsetEntries + 1);
+  EXPECT_TRUE(s.Contains("0"));
+}
+
+TEST(SetTest, NonCanonicalIntegersAreStrings) {
+  Set s;
+  s.Add("007");
+  EXPECT_FALSE(s.intset_encoded());  // "007" != "7"
+  EXPECT_TRUE(s.Contains("007"));
+  EXPECT_FALSE(s.Contains("7"));
+}
+
+TEST(SetTest, RandomMemberCoversSet) {
+  Set s;
+  for (int i = 0; i < 10; ++i) s.Add(std::to_string(i));
+  Rng rng(3);
+  std::set<std::string> seen;
+  std::string m;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(s.RandomMember(&rng, &m));
+    EXPECT_TRUE(s.Contains(m));
+    seen.insert(m);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all members eventually picked
+  Set empty;
+  EXPECT_FALSE(empty.RandomMember(&rng, &m));
+}
+
+// ---------------------------------------------------------------- ZSet
+
+TEST(ZSetTest, AddScoreRemove) {
+  ZSet z;
+  EXPECT_EQ(z.Add("a", 1.0), ZSet::AddOutcome::kAdded);
+  EXPECT_EQ(z.Add("a", 1.0), ZSet::AddOutcome::kUnchanged);
+  EXPECT_EQ(z.Add("a", 2.0), ZSet::AddOutcome::kUpdated);
+  double score;
+  ASSERT_TRUE(z.Score("a", &score));
+  EXPECT_EQ(score, 2.0);
+  EXPECT_TRUE(z.Remove("a"));
+  EXPECT_FALSE(z.Remove("a"));
+  EXPECT_FALSE(z.Score("a", &score));
+  EXPECT_EQ(z.Size(), 0u);
+}
+
+TEST(ZSetTest, RankAscendingAndReverse) {
+  ZSet z;
+  z.Add("low", 1);
+  z.Add("mid", 2);
+  z.Add("high", 3);
+  size_t r;
+  ASSERT_TRUE(z.Rank("low", false, &r));
+  EXPECT_EQ(r, 0u);
+  ASSERT_TRUE(z.Rank("high", false, &r));
+  EXPECT_EQ(r, 2u);
+  ASSERT_TRUE(z.Rank("high", true, &r));
+  EXPECT_EQ(r, 0u);
+  EXPECT_FALSE(z.Rank("missing", false, &r));
+}
+
+TEST(ZSetTest, TieBrokenByMember) {
+  ZSet z;
+  z.Add("b", 5);
+  z.Add("a", 5);
+  z.Add("c", 5);
+  std::vector<ScoredMember> out;
+  z.RangeByRank(0, 2, false, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].member, "a");
+  EXPECT_EQ(out[1].member, "b");
+  EXPECT_EQ(out[2].member, "c");
+}
+
+TEST(ZSetTest, RangeByRankReverse) {
+  ZSet z;
+  for (int i = 0; i < 10; ++i) z.Add("m" + std::to_string(i), i);
+  std::vector<ScoredMember> out;
+  z.RangeByRank(0, 2, true, &out);  // top three
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].member, "m9");
+  EXPECT_EQ(out[1].member, "m8");
+  EXPECT_EQ(out[2].member, "m7");
+}
+
+TEST(ZSetTest, RangeByScoreInclusiveExclusive) {
+  ZSet z;
+  for (int i = 1; i <= 5; ++i) z.Add("m" + std::to_string(i), i);
+  ScoreRange r;
+  r.min = 2;
+  r.max = 4;
+  std::vector<ScoredMember> out;
+  z.RangeByScore(r, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.front().member, "m2");
+  EXPECT_EQ(out.back().member, "m4");
+
+  r.min_exclusive = true;
+  r.max_exclusive = true;
+  out.clear();
+  z.RangeByScore(r, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].member, "m3");
+}
+
+TEST(ZSetTest, CountAndRemoveRange) {
+  ZSet z;
+  for (int i = 0; i < 100; ++i) z.Add("m" + std::to_string(i), i);
+  ScoreRange r;
+  r.min = 10;
+  r.max = 19;
+  EXPECT_EQ(z.CountInRange(r), 10u);
+  EXPECT_EQ(z.RemoveRangeByScore(r), 10u);
+  EXPECT_EQ(z.Size(), 90u);
+  EXPECT_EQ(z.CountInRange(r), 0u);
+}
+
+TEST(ZSetTest, LargeRandomizedAgainstReferenceModel) {
+  ZSet z;
+  std::map<std::string, double> model;
+  Rng rng(17);
+  for (int op = 0; op < 20000; ++op) {
+    std::string member = "m" + std::to_string(rng.Uniform(500));
+    double score = static_cast<double>(rng.Uniform(1000));
+    switch (rng.Uniform(3)) {
+      case 0:
+      case 1:
+        z.Add(member, score);
+        model[member] = score;
+        break;
+      case 2:
+        EXPECT_EQ(z.Remove(member), model.erase(member) > 0);
+        break;
+    }
+  }
+  ASSERT_EQ(z.Size(), model.size());
+  // Full ascending range must match the model sorted by (score, member).
+  std::vector<ScoredMember> out;
+  z.RangeByRank(0, z.Size() - 1, false, &out);
+  std::vector<ScoredMember> expected;
+  for (const auto& [m, s] : model) expected.push_back({m, s});
+  std::sort(expected.begin(), expected.end(),
+            [](const ScoredMember& a, const ScoredMember& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.member < b.member;
+            });
+  ASSERT_EQ(out.size(), expected.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], expected[i]) << "at rank " << i;
+  }
+  // Spot-check ranks.
+  for (size_t i = 0; i < expected.size(); i += 37) {
+    size_t r;
+    ASSERT_TRUE(z.Rank(expected[i].member, false, &r));
+    EXPECT_EQ(r, i);
+  }
+}
+
+TEST(ZSetTest, MoveSemantics) {
+  ZSet a;
+  a.Add("x", 1);
+  ZSet b = std::move(a);
+  double s;
+  EXPECT_TRUE(b.Score("x", &s));
+  EXPECT_EQ(a.Size(), 0u);  // NOLINT: moved-from is valid-empty by design
+  a.Add("y", 2);
+  EXPECT_EQ(a.Size(), 1u);
+}
+
+// ---------------------------------------------------------------- Value
+
+TEST(ValueTest, TypesAndNames) {
+  Value s(std::string("x"));
+  EXPECT_EQ(s.type(), ValueType::kString);
+  EXPECT_TRUE(s.IsString());
+  EXPECT_STREQ(ValueTypeName(s.type()), "string");
+
+  Value l{QuickList()};
+  EXPECT_EQ(l.type(), ValueType::kList);
+  Value h{Hash()};
+  EXPECT_EQ(h.type(), ValueType::kHash);
+  Value st{Set()};
+  EXPECT_EQ(st.type(), ValueType::kSet);
+  Value z{ZSet()};
+  EXPECT_EQ(z.type(), ValueType::kZSet);
+  EXPECT_STREQ(ValueTypeName(z.type()), "zset");
+}
+
+TEST(ValueTest, ApproxMemoryGrowsWithContent) {
+  Value v(std::string(1000, 'x'));
+  EXPECT_GE(v.ApproxMemory(), 1000u);
+  Value z{ZSet()};
+  size_t before = z.ApproxMemory();
+  for (int i = 0; i < 100; ++i) z.zset().Add("member" + std::to_string(i), i);
+  EXPECT_GT(z.ApproxMemory(), before);
+}
+
+}  // namespace
+}  // namespace memdb::ds

@@ -1,0 +1,300 @@
+// Tests for the extended command families: bitmaps, HyperLogLog, GETEX,
+// COPY, LPOS, SINTERCARD, random-member count variants, and the sorted-set
+// store/aggregate commands.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "engine/engine.h"
+#include "engine/snapshot.h"
+
+namespace memdb::engine {
+namespace {
+
+using resp::Value;
+
+class ExtendedTest : public ::testing::Test {
+ protected:
+  Value Run(const Argv& argv, uint64_t now_ms = 1000) {
+    ctx_ = ExecContext{};
+    ctx_.now_ms = now_ms;
+    ctx_.rng = &engine_.rng();
+    return engine_.Execute(argv, &ctx_);
+  }
+  Engine engine_;
+  ExecContext ctx_;
+};
+
+// ----------------------------------------------------------------- bitmaps
+
+TEST_F(ExtendedTest, SetBitGetBit) {
+  EXPECT_EQ(Run({"SETBIT", "b", "7", "1"}), Value::Integer(0));
+  EXPECT_EQ(Run({"GETBIT", "b", "7"}), Value::Integer(1));
+  EXPECT_EQ(Run({"GETBIT", "b", "6"}), Value::Integer(0));
+  EXPECT_EQ(Run({"SETBIT", "b", "7", "0"}), Value::Integer(1));
+  EXPECT_EQ(Run({"GETBIT", "b", "7"}), Value::Integer(0));
+  // MSB-first layout: bit 0 is the top bit of byte 0.
+  Run({"SETBIT", "b2", "0", "1"});
+  EXPECT_EQ(Run({"GET", "b2"}), Value::Bulk(std::string(1, '\x80')));
+  EXPECT_EQ(Run({"GETBIT", "ghost", "100"}), Value::Integer(0));
+  EXPECT_TRUE(Run({"SETBIT", "b", "-1", "1"}).IsError());
+  EXPECT_TRUE(Run({"SETBIT", "b", "3", "2"}).IsError());
+}
+
+TEST_F(ExtendedTest, BitCountWholeAndRanges) {
+  Run({"SET", "mykey", "foobar"});
+  EXPECT_EQ(Run({"BITCOUNT", "mykey"}), Value::Integer(26));
+  EXPECT_EQ(Run({"BITCOUNT", "mykey", "0", "0"}), Value::Integer(4));
+  EXPECT_EQ(Run({"BITCOUNT", "mykey", "1", "1"}), Value::Integer(6));
+  EXPECT_EQ(Run({"BITCOUNT", "mykey", "0", "-5"}), Value::Integer(10));
+  EXPECT_EQ(Run({"BITCOUNT", "ghost"}), Value::Integer(0));
+}
+
+TEST_F(ExtendedTest, BitOps) {
+  Run({"SET", "a", "abc"});
+  Run({"SET", "b", "abd"});
+  EXPECT_EQ(Run({"BITOP", "AND", "dst", "a", "b"}), Value::Integer(3));
+  Value v = Run({"GET", "dst"});
+  EXPECT_EQ(v.str[0], 'a');
+  EXPECT_EQ(Run({"BITOP", "XOR", "dst", "a", "a"}), Value::Integer(3));
+  EXPECT_EQ(Run({"GET", "dst"}), Value::Bulk(std::string(3, '\0')));
+  EXPECT_EQ(Run({"BITOP", "NOT", "dst", "a"}), Value::Integer(3));
+  EXPECT_TRUE(Run({"BITOP", "NOT", "dst", "a", "b"}).IsError());
+  EXPECT_TRUE(Run({"BITOP", "NAND", "dst", "a"}).IsError());
+}
+
+// ------------------------------------------------------------- hyperloglog
+
+TEST_F(ExtendedTest, PfAddCountApproximates) {
+  for (int i = 0; i < 10000; ++i) {
+    Run({"PFADD", "hll", "element-" + std::to_string(i)});
+  }
+  Value v = Run({"PFCOUNT", "hll"});
+  ASSERT_EQ(v.type, resp::Type::kInteger);
+  // HLL with 16384 registers has ~0.81% standard error; allow 5%.
+  EXPECT_NEAR(static_cast<double>(v.integer), 10000.0, 500.0);
+}
+
+TEST_F(ExtendedTest, PfAddIdempotentForSeenElements) {
+  EXPECT_EQ(Run({"PFADD", "hll", "x"}), Value::Integer(1));
+  EXPECT_EQ(Run({"PFADD", "hll", "x"}), Value::Integer(0));
+  EXPECT_EQ(Run({"PFCOUNT", "hll"}), Value::Integer(1));
+  Run({"PFADD", "hll", "y", "z"});
+  EXPECT_EQ(Run({"PFCOUNT", "hll"}), Value::Integer(3));
+}
+
+TEST_F(ExtendedTest, PfCountSmallRangeExact) {
+  for (int i = 0; i < 100; ++i) {
+    Run({"PFADD", "hll", "e" + std::to_string(i)});
+  }
+  // Linear counting makes the small range essentially exact.
+  Value v = Run({"PFCOUNT", "hll"});
+  EXPECT_NEAR(static_cast<double>(v.integer), 100.0, 3.0);
+  EXPECT_EQ(Run({"PFCOUNT", "ghost"}), Value::Integer(0));
+}
+
+TEST_F(ExtendedTest, PfMergeUnions) {
+  for (int i = 0; i < 1000; ++i) {
+    Run({"PFADD", "h1", "a" + std::to_string(i)});
+    Run({"PFADD", "h2", "b" + std::to_string(i)});
+    Run({"PFADD", "h2", "a" + std::to_string(i)});  // overlap with h1
+  }
+  EXPECT_EQ(Run({"PFMERGE", "dst", "h1", "h2"}), Value::Ok());
+  Value merged = Run({"PFCOUNT", "dst"});
+  EXPECT_NEAR(static_cast<double>(merged.integer), 2000.0, 120.0);
+  // Multi-key PFCOUNT estimates the union without writing.
+  Value multi = Run({"PFCOUNT", "h1", "h2"});
+  EXPECT_NEAR(static_cast<double>(multi.integer), 2000.0, 120.0);
+}
+
+TEST_F(ExtendedTest, PfRejectsPlainStrings) {
+  Run({"SET", "s", "not an hll"});
+  EXPECT_TRUE(Run({"PFCOUNT", "s"}).IsError());
+  EXPECT_TRUE(Run({"PFADD", "s", "x"}).IsError());
+}
+
+// ------------------------------------------------------------------- getex
+
+TEST_F(ExtendedTest, GetExAdjustsExpiry) {
+  Run({"SET", "k", "v"});
+  EXPECT_EQ(Run({"GETEX", "k", "EX", "100"}), Value::Bulk("v"));
+  EXPECT_EQ(Run({"TTL", "k"}), Value::Integer(100));
+  EXPECT_EQ(Run({"GETEX", "k", "PERSIST"}), Value::Bulk("v"));
+  EXPECT_EQ(Run({"TTL", "k"}), Value::Integer(-1));
+  EXPECT_EQ(Run({"GETEX", "k"}), Value::Bulk("v"));  // plain GET form
+  EXPECT_EQ(Run({"GETEX", "ghost"}), Value::Null());
+  // Expiry change replicates deterministically.
+  Run({"GETEX", "k", "EX", "50"});
+  ASSERT_EQ(ctx_.effects.size(), 1u);
+  EXPECT_EQ(ctx_.effects[0][0], "PEXPIREAT");
+}
+
+TEST_F(ExtendedTest, CopyDuplicatesValueAndTtl) {
+  Run({"ZADD", "src", "1", "a", "2", "b"});
+  Run({"PEXPIRE", "src", "60000"});
+  EXPECT_EQ(Run({"COPY", "src", "dst"}), Value::Integer(1));
+  EXPECT_EQ(Run({"ZSCORE", "dst", "b"}), Value::Bulk("2"));
+  EXPECT_GT(Run({"PTTL", "dst"}).integer, 0);
+  // Existing destination requires REPLACE.
+  EXPECT_EQ(Run({"COPY", "src", "dst"}), Value::Integer(0));
+  Run({"SET", "other", "x"});
+  EXPECT_EQ(Run({"COPY", "other", "dst", "REPLACE"}), Value::Integer(1));
+  EXPECT_EQ(Run({"TYPE", "dst"}), Value::Simple("string"));
+  EXPECT_EQ(Run({"COPY", "ghost", "dst2"}), Value::Integer(0));
+}
+
+TEST_F(ExtendedTest, ExpireTimeIntrospection) {
+  Run({"SET", "k", "v"}, 5000);
+  Run({"PEXPIREAT", "k", "90000"}, 5000);
+  EXPECT_EQ(Run({"PEXPIRETIME", "k"}, 5000), Value::Integer(90000));
+  EXPECT_EQ(Run({"EXPIRETIME", "k"}, 5000), Value::Integer(90));
+  Run({"PERSIST", "k"}, 5000);
+  EXPECT_EQ(Run({"EXPIRETIME", "k"}, 5000), Value::Integer(-1));
+  EXPECT_EQ(Run({"EXPIRETIME", "ghost"}, 5000), Value::Integer(-2));
+}
+
+// -------------------------------------------------------------------- lpos
+
+TEST_F(ExtendedTest, LPosBasicRankAndCount) {
+  Run({"RPUSH", "l", "a", "b", "c", "b", "b"});
+  EXPECT_EQ(Run({"LPOS", "l", "b"}), Value::Integer(1));
+  EXPECT_EQ(Run({"LPOS", "l", "b", "RANK", "2"}), Value::Integer(3));
+  EXPECT_EQ(Run({"LPOS", "l", "b", "RANK", "-1"}), Value::Integer(4));
+  EXPECT_EQ(Run({"LPOS", "l", "b", "COUNT", "2"}),
+            Value::Array({Value::Integer(1), Value::Integer(3)}));
+  EXPECT_EQ(Run({"LPOS", "l", "b", "COUNT", "0"}),
+            Value::Array({Value::Integer(1), Value::Integer(3),
+                          Value::Integer(4)}));
+  EXPECT_EQ(Run({"LPOS", "l", "zzz"}), Value::Null());
+  EXPECT_TRUE(Run({"LPOS", "l", "b", "RANK", "0"}).IsError());
+}
+
+// -------------------------------------------------------------- sintercard
+
+TEST_F(ExtendedTest, SInterCard) {
+  Run({"SADD", "s1", "a", "b", "c", "d"});
+  Run({"SADD", "s2", "b", "c", "d", "e"});
+  EXPECT_EQ(Run({"SINTERCARD", "2", "s1", "s2"}), Value::Integer(3));
+  EXPECT_EQ(Run({"SINTERCARD", "2", "s1", "s2", "LIMIT", "2"}),
+            Value::Integer(2));
+  EXPECT_EQ(Run({"SINTERCARD", "2", "s1", "ghost"}), Value::Integer(0));
+  EXPECT_EQ(Run({"SINTERCARD", "1", "s1"}), Value::Integer(4));
+}
+
+// ------------------------------------------------------ random with counts
+
+TEST_F(ExtendedTest, SRandMemberCounts) {
+  Run({"SADD", "s", "a", "b", "c"});
+  Value distinct = Run({"SRANDMEMBER", "s", "10"});
+  EXPECT_EQ(distinct.array.size(), 3u);  // capped at set size, all distinct
+  std::set<std::string> seen;
+  for (const auto& m : distinct.array) seen.insert(m.str);
+  EXPECT_EQ(seen.size(), 3u);
+  Value repeated = Run({"SRANDMEMBER", "s", "-10"});
+  EXPECT_EQ(repeated.array.size(), 10u);
+  EXPECT_EQ(Run({"SRANDMEMBER", "ghost", "5"}), Value::Array({}));
+}
+
+TEST_F(ExtendedTest, HRandFieldCounts) {
+  Run({"HSET", "h", "f1", "v1", "f2", "v2"});
+  Value fields = Run({"HRANDFIELD", "h", "5"});
+  EXPECT_EQ(fields.array.size(), 2u);
+  Value with_values = Run({"HRANDFIELD", "h", "2", "WITHVALUES"});
+  EXPECT_EQ(with_values.array.size(), 4u);
+  Value sampled = Run({"HRANDFIELD", "h", "-5"});
+  EXPECT_EQ(sampled.array.size(), 5u);
+}
+
+TEST_F(ExtendedTest, ZRandMember) {
+  Run({"ZADD", "z", "1", "a", "2", "b"});
+  Value one = Run({"ZRANDMEMBER", "z"});
+  EXPECT_EQ(one.type, resp::Type::kBulkString);
+  Value many = Run({"ZRANDMEMBER", "z", "5", "WITHSCORES"});
+  EXPECT_EQ(many.array.size(), 4u);  // 2 members x (member, score)
+  EXPECT_EQ(Run({"ZRANDMEMBER", "ghost"}), Value::Null());
+}
+
+// ---------------------------------------------------------- zset store ops
+
+TEST_F(ExtendedTest, ZUnionStoreWeightsAggregate) {
+  Run({"ZADD", "z1", "1", "a", "2", "b"});
+  Run({"ZADD", "z2", "3", "b", "4", "c"});
+  EXPECT_EQ(Run({"ZUNIONSTORE", "dst", "2", "z1", "z2"}), Value::Integer(3));
+  EXPECT_EQ(Run({"ZSCORE", "dst", "b"}), Value::Bulk("5"));  // SUM default
+  EXPECT_EQ(Run({"ZUNIONSTORE", "dst", "2", "z1", "z2", "WEIGHTS", "10",
+                 "1"}),
+            Value::Integer(3));
+  EXPECT_EQ(Run({"ZSCORE", "dst", "a"}), Value::Bulk("10"));
+  EXPECT_EQ(Run({"ZUNIONSTORE", "dst", "2", "z1", "z2", "AGGREGATE", "MAX"}),
+            Value::Integer(3));
+  EXPECT_EQ(Run({"ZSCORE", "dst", "b"}), Value::Bulk("3"));
+  // Plain sets participate with score 1.
+  Run({"SADD", "s", "a", "x"});
+  EXPECT_EQ(Run({"ZUNIONSTORE", "dst", "2", "z1", "s"}), Value::Integer(3));
+  EXPECT_EQ(Run({"ZSCORE", "dst", "x"}), Value::Bulk("1"));
+}
+
+TEST_F(ExtendedTest, ZInterAndDiffStore) {
+  Run({"ZADD", "z1", "1", "a", "2", "b", "3", "c"});
+  Run({"ZADD", "z2", "10", "b", "20", "c", "30", "d"});
+  EXPECT_EQ(Run({"ZINTERSTORE", "inter", "2", "z1", "z2"}),
+            Value::Integer(2));
+  EXPECT_EQ(Run({"ZSCORE", "inter", "b"}), Value::Bulk("12"));
+  EXPECT_EQ(Run({"ZDIFFSTORE", "diff", "2", "z1", "z2"}), Value::Integer(1));
+  EXPECT_EQ(Run({"ZSCORE", "diff", "a"}), Value::Bulk("1"));
+  // Empty result deletes the destination.
+  Run({"SET", "marker", "x"});
+  Run({"ZADD", "empty1", "1", "only"});
+  EXPECT_EQ(Run({"ZINTERSTORE", "inter", "2", "empty1", "z2"}),
+            Value::Integer(0));
+  EXPECT_EQ(Run({"EXISTS", "inter"}), Value::Integer(0));
+}
+
+TEST_F(ExtendedTest, ZRangeStoreAndRemRangeByRank) {
+  for (int i = 0; i < 10; ++i) {
+    Run({"ZADD", "z", std::to_string(i), "m" + std::to_string(i)});
+  }
+  EXPECT_EQ(Run({"ZRANGESTORE", "top3", "z", "0", "2", "REV"}),
+            Value::Integer(3));
+  EXPECT_EQ(Run({"ZRANGE", "top3", "0", "-1"}),
+            Value::Array({Value::Bulk("m7"), Value::Bulk("m8"),
+                          Value::Bulk("m9")}));
+  EXPECT_EQ(Run({"ZREMRANGEBYRANK", "z", "0", "4"}), Value::Integer(5));
+  EXPECT_EQ(Run({"ZCARD", "z"}), Value::Integer(5));
+  EXPECT_EQ(Run({"ZRANGE", "z", "0", "0"}), Value::Array({Value::Bulk("m5")}));
+  EXPECT_EQ(Run({"ZREMRANGEBYRANK", "z", "0", "-1"}), Value::Integer(5));
+  EXPECT_EQ(Run({"EXISTS", "z"}), Value::Integer(0));
+}
+
+// Effects replayed on a replica converge for the new families too.
+TEST_F(ExtendedTest, ExtendedEffectsConverge) {
+  Engine replica;
+  std::vector<Argv> log;
+  auto run = [&](const Argv& argv) {
+    ExecContext ctx;
+    ctx.now_ms = 1000;
+    ctx.rng = &engine_.rng();
+    engine_.Execute(argv, &ctx);
+    for (auto& eff : ctx.effects) log.push_back(std::move(eff));
+  };
+  run({"SETBIT", "bits", "100", "1"});
+  run({"BITOP", "NOT", "inverted", "bits"});
+  run({"PFADD", "hll", "a", "b", "c"});
+  run({"PFMERGE", "merged", "hll"});
+  run({"ZADD", "z1", "1", "a", "2", "b"});
+  run({"ZUNIONSTORE", "zu", "2", "z1", "z1", "WEIGHTS", "2", "3"});
+  run({"COPY", "zu", "zu2"});
+  run({"GETEX", "ghost", "EX", "5"});  // no-op, no effect
+  for (const Argv& effect : log) {
+    ASSERT_FALSE(replica.Apply(effect, 1000).IsError());
+  }
+  engine::SnapshotMeta meta;
+  EXPECT_EQ(SerializeSnapshot(engine_.keyspace(), meta),
+            SerializeSnapshot(replica.keyspace(), meta));
+}
+
+}  // namespace
+}  // namespace memdb::engine

@@ -1,0 +1,244 @@
+// Parameterized / property-style sweeps over the engine: generic key
+// commands against every value type, snapshot round-trips across shapes and
+// sizes, expiry semantics across command families, and effect-replay
+// convergence per command family.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/snapshot.h"
+
+namespace memdb::engine {
+namespace {
+
+using resp::Value;
+
+// Creates a key of the given type with some content.
+void MakeKey(Engine& e, ExecContext& ctx, const std::string& type,
+             const std::string& key) {
+  Argv cmd;
+  if (type == "string") {
+    cmd = {"SET", key, "payload"};
+  } else if (type == "list") {
+    cmd = {"RPUSH", key, "a", "b", "c"};
+  } else if (type == "hash") {
+    cmd = {"HSET", key, "f1", "v1", "f2", "v2"};
+  } else if (type == "set") {
+    cmd = {"SADD", key, "m1", "m2"};
+  } else {
+    cmd = {"ZADD", key, "1", "m1", "2", "m2"};
+  }
+  ASSERT_FALSE(e.Execute(cmd, &ctx).IsError());
+}
+
+class PerTypeTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  PerTypeTest() {
+    ctx_.now_ms = 1000;
+    ctx_.rng = &engine_.rng();
+  }
+  Value Run(const Argv& argv) { return engine_.Execute(argv, &ctx_); }
+
+  Engine engine_;
+  ExecContext ctx_;
+};
+
+TEST_P(PerTypeTest, TypeReportsCorrectly) {
+  MakeKey(engine_, ctx_, GetParam(), "k");
+  EXPECT_EQ(Run({"TYPE", "k"}), Value::Simple(GetParam()));
+}
+
+TEST_P(PerTypeTest, ExistsAndDel) {
+  MakeKey(engine_, ctx_, GetParam(), "k");
+  EXPECT_EQ(Run({"EXISTS", "k"}), Value::Integer(1));
+  EXPECT_EQ(Run({"DEL", "k"}), Value::Integer(1));
+  EXPECT_EQ(Run({"EXISTS", "k"}), Value::Integer(0));
+  EXPECT_EQ(Run({"TYPE", "k"}), Value::Simple("none"));
+}
+
+TEST_P(PerTypeTest, ExpiryAppliesToEveryType) {
+  MakeKey(engine_, ctx_, GetParam(), "k");
+  EXPECT_EQ(Run({"PEXPIRE", "k", "500"}), Value::Integer(1));
+  EXPECT_EQ(Run({"EXISTS", "k"}), Value::Integer(1));
+  ctx_.now_ms += 501;
+  EXPECT_EQ(Run({"EXISTS", "k"}), Value::Integer(0));
+}
+
+TEST_P(PerTypeTest, RenameCarriesValueAndType) {
+  MakeKey(engine_, ctx_, GetParam(), "src");
+  EXPECT_EQ(Run({"RENAME", "src", "dst"}), Value::Ok());
+  EXPECT_EQ(Run({"TYPE", "dst"}), Value::Simple(GetParam()));
+  EXPECT_EQ(Run({"EXISTS", "src"}), Value::Integer(0));
+}
+
+TEST_P(PerTypeTest, DumpRestoreRoundTrip) {
+  MakeKey(engine_, ctx_, GetParam(), "orig");
+  Value dumped = Run({"DUMP", "orig"});
+  ASSERT_EQ(dumped.type, resp::Type::kBulkString);
+  EXPECT_EQ(Run({"RESTORE", "copy", "0", dumped.str}), Value::Ok());
+  EXPECT_EQ(Run({"TYPE", "copy"}), Value::Simple(GetParam()));
+  // Both serialize identically (same logical content).
+  Value d2 = Run({"DUMP", "copy"});
+  EXPECT_EQ(d2.str, dumped.str);
+  // Corrupted payloads are rejected.
+  std::string bad = dumped.str;
+  bad[0] ^= 0x40;
+  EXPECT_TRUE(Run({"RESTORE", "bad", "0", bad}).IsError());
+}
+
+TEST_P(PerTypeTest, WrongTypeErrorsFromOtherFamilies) {
+  MakeKey(engine_, ctx_, GetParam(), "k");
+  const std::vector<std::pair<std::string, Argv>> probes = {
+      {"string", {"APPEND", "k", "x"}}, {"list", {"LPUSH", "k", "x"}},
+      {"hash", {"HSET", "k", "f", "v"}}, {"set", {"SADD", "k", "x"}},
+      {"zset", {"ZADD", "k", "1", "x"}},
+  };
+  for (const auto& [family, cmd] : probes) {
+    Value v = Run(cmd);
+    if (family == GetParam()) {
+      EXPECT_FALSE(v.IsError()) << family;
+    } else {
+      EXPECT_TRUE(v.IsError()) << family << " against " << GetParam();
+      EXPECT_NE(v.str.find("WRONGTYPE"), std::string::npos);
+    }
+  }
+}
+
+TEST_P(PerTypeTest, SnapshotRoundTripPreservesType) {
+  MakeKey(engine_, ctx_, GetParam(), "k");
+  Run({"PEXPIRE", "k", "100000"});
+  SnapshotMeta meta;
+  const std::string blob = SerializeSnapshot(engine_.keyspace(), meta);
+  Engine restored;
+  SnapshotMeta m2;
+  ASSERT_TRUE(DeserializeSnapshot(blob, &restored.keyspace(), &m2).ok());
+  ExecContext ctx;
+  ctx.now_ms = 1000;
+  ctx.rng = &restored.rng();
+  EXPECT_EQ(restored.Execute({"TYPE", "k"}, &ctx), Value::Simple(GetParam()));
+  EXPECT_GT(restored.Execute({"PTTL", "k"}, &ctx).integer, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllValueTypes, PerTypeTest,
+                         ::testing::Values("string", "list", "hash", "set",
+                                           "zset"),
+                         [](const auto& info) { return info.param; });
+
+// ------------------------------------------------------ replay convergence
+
+// For each command family: run a randomized workload on a primary, replay
+// the effect stream on a replica, require byte-identical snapshots.
+class ReplayConvergenceTest
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
+
+TEST_P(ReplayConvergenceTest, PrimaryAndReplicaConverge) {
+  const auto& [family, seed] = GetParam();
+  Engine primary, replica;
+  Rng rng(seed);
+  std::vector<Argv> log;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key =
+        family + ":" + std::to_string(rng.Uniform(5));
+    Argv cmd;
+    if (family == "string") {
+      switch (rng.Uniform(4)) {
+        case 0: cmd = {"SET", key, rng.RandomString(6)}; break;
+        case 1: cmd = {"APPEND", key, "x"}; break;
+        case 2: cmd = {"INCRBYFLOAT", key + ":f", "1.5"}; break;
+        default: cmd = {"GETDEL", key}; break;
+      }
+    } else if (family == "list") {
+      switch (rng.Uniform(5)) {
+        case 0: cmd = {"LPUSH", key, rng.RandomString(4)}; break;
+        case 1: cmd = {"RPUSH", key, rng.RandomString(4)}; break;
+        case 2: cmd = {"LPOP", key}; break;
+        case 3: cmd = {"LTRIM", key, "0", "5"}; break;
+        default: cmd = {"LREM", key, "0", "x"}; break;
+      }
+    } else if (family == "hash") {
+      switch (rng.Uniform(3)) {
+        case 0:
+          cmd = {"HSET", key, "f" + std::to_string(rng.Uniform(8)),
+                 rng.RandomString(4)};
+          break;
+        case 1: cmd = {"HDEL", key, "f" + std::to_string(rng.Uniform(8))}; break;
+        default: cmd = {"HINCRBY", key, "n", "3"}; break;
+      }
+    } else if (family == "set") {
+      switch (rng.Uniform(3)) {
+        case 0: cmd = {"SADD", key, std::to_string(rng.Uniform(30))}; break;
+        case 1: cmd = {"SPOP", key}; break;
+        default: cmd = {"SMOVE", key, family + ":dst", std::to_string(rng.Uniform(30))}; break;
+      }
+    } else {  // zset
+      switch (rng.Uniform(4)) {
+        case 0:
+          cmd = {"ZADD", key, std::to_string(rng.Uniform(100)),
+                 "m" + std::to_string(rng.Uniform(10))};
+          break;
+        case 1: cmd = {"ZINCRBY", key, "2.5", "m1"}; break;
+        case 2: cmd = {"ZPOPMIN", key}; break;
+        default: cmd = {"ZREMRANGEBYSCORE", key, "0", "10"}; break;
+      }
+    }
+    ExecContext ctx;
+    ctx.now_ms = 1000 + static_cast<uint64_t>(i);
+    ctx.rng = &primary.rng();
+    primary.Execute(cmd, &ctx);
+    for (const Argv& effect : ctx.effects) log.push_back(effect);
+  }
+  for (const Argv& effect : log) {
+    ASSERT_FALSE(replica.Apply(effect, 0).IsError());
+  }
+  SnapshotMeta meta;
+  EXPECT_EQ(SerializeSnapshot(primary.keyspace(), meta),
+            SerializeSnapshot(replica.keyspace(), meta))
+      << family << " diverged with seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ReplayConvergenceTest,
+    ::testing::Combine(::testing::Values("string", "list", "hash", "set",
+                                         "zset"),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ----------------------------------------------------- snapshot size sweep
+
+class SnapshotSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SnapshotSizeTest, RoundTripAtScale) {
+  const int n = GetParam();
+  Engine e;
+  ExecContext ctx;
+  ctx.now_ms = 1;
+  ctx.rng = &e.rng();
+  for (int i = 0; i < n; ++i) {
+    e.Execute({"SET", "k" + std::to_string(i), std::string(32, 'v')}, &ctx);
+    if (i % 3 == 0) {
+      e.Execute({"ZADD", "z" + std::to_string(i % 10), std::to_string(i),
+                 "m" + std::to_string(i)},
+                &ctx);
+    }
+  }
+  SnapshotMeta meta;
+  const std::string blob = SerializeSnapshot(e.keyspace(), meta);
+  Engine restored;
+  SnapshotMeta m2;
+  ASSERT_TRUE(DeserializeSnapshot(blob, &restored.keyspace(), &m2).ok());
+  EXPECT_EQ(restored.keyspace().Size(), e.keyspace().Size());
+  EXPECT_EQ(SerializeSnapshot(restored.keyspace(), meta), blob);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SnapshotSizeTest,
+                         ::testing::Values(0, 1, 100, 5000));
+
+}  // namespace
+}  // namespace memdb::engine

@@ -1,0 +1,433 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "client/db_client.h"
+#include "memorydb/shard.h"
+#include "sim/simulation.h"
+#include "storage/object_store.h"
+
+namespace memdb::memorydb {
+namespace {
+
+using client::DbClient;
+using resp::Value;
+using sim::kMs;
+using sim::kSec;
+using sim::NodeId;
+
+class ClientActor : public sim::Actor {
+ public:
+  ClientActor(sim::Simulation* sim, NodeId id, std::vector<NodeId> nodes)
+      : Actor(sim, id), db(this, std::move(nodes)) {}
+  DbClient db;
+};
+
+class MemoryDbTest : public ::testing::Test {
+ protected:
+  void Boot(int num_replicas = 2, bool with_offbox = false,
+            uint64_t max_log_distance = 512) {
+    client_.reset();
+    shard_.reset();
+    s3_.reset();
+    sim_ = std::make_unique<sim::Simulation>(2024);
+    s3_ = std::make_unique<storage::ObjectStore>(sim_.get(),
+                                                 sim_->AddHost(0));
+    Shard::Options opts;
+    opts.num_replicas = num_replicas;
+    opts.object_store = s3_->id();
+    opts.with_offbox = with_offbox;
+    opts.scheduler_config.max_log_distance = max_log_distance;
+    shard_ = std::make_unique<Shard>(sim_.get(), opts);
+    client_ = std::make_unique<ClientActor>(sim_.get(), sim_->AddHost(0),
+                                            shard_->node_ids());
+    sim_->RunFor(3 * kSec);  // log election + shard bootstrap
+  }
+
+  Value Run(std::vector<std::string> argv, sim::Duration* latency = nullptr) {
+    Value out = Value::Error("never completed");
+    bool done = false;
+    const sim::Time start = sim_->Now();
+    client_->db.Command(std::move(argv), [&](const Value& v) {
+      out = v;
+      if (latency != nullptr) *latency = sim_->Now() - start;
+      done = true;
+    });
+    for (int i = 0; i < 30000 && !done; ++i) sim_->RunFor(1 * kMs);
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  Value RunReadonly(std::vector<std::string> argv) {
+    Value out = Value::Error("never completed");
+    bool done = false;
+    client_->db.CommandReadonly(std::move(argv), [&](const Value& v) {
+      out = v;
+      done = true;
+    });
+    for (int i = 0; i < 30000 && !done; ++i) sim_->RunFor(1 * kMs);
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  int CountPrimaries() {
+    int primaries = 0;
+    for (size_t i = 0; i < shard_->num_nodes(); ++i) {
+      if (sim_->IsAlive(shard_->node(i)->id()) &&
+          shard_->node(i)->IsPrimary()) {
+        ++primaries;
+      }
+    }
+    return primaries;
+  }
+
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<storage::ObjectStore> s3_;
+  std::unique_ptr<Shard> shard_;
+  std::unique_ptr<ClientActor> client_;
+};
+
+TEST_F(MemoryDbTest, BootstrapElectsOnePrimary) {
+  Boot();
+  EXPECT_EQ(CountPrimaries(), 1);
+  EXPECT_NE(shard_->Primary(), nullptr);
+}
+
+TEST_F(MemoryDbTest, BasicCommandsRoundTrip) {
+  Boot();
+  EXPECT_EQ(Run({"SET", "k", "v"}), Value::Ok());
+  EXPECT_EQ(Run({"GET", "k"}), Value::Bulk("v"));
+  EXPECT_EQ(Run({"INCR", "n"}), Value::Integer(1));
+  EXPECT_EQ(Run({"LPUSH", "l", "a", "b"}), Value::Integer(2));
+  EXPECT_EQ(Run({"ZADD", "z", "1", "m"}), Value::Integer(1));
+  EXPECT_EQ(Run({"GET", "missing"}), Value::Null());
+}
+
+TEST_F(MemoryDbTest, WritesPayMultiAzCommitLatency) {
+  Boot();
+  sim::Duration write_lat = 0, read_lat = 0;
+  Run({"SET", "k", "v"}, &write_lat);
+  Run({"GET", "k"}, &read_lat);
+  // A write must wait for cross-AZ quorum replication (hundreds of us at
+  // minimum); a hazard-free read is far cheaper.
+  EXPECT_GT(write_lat, 500u);
+  EXPECT_LT(read_lat, write_lat);
+}
+
+TEST_F(MemoryDbTest, EffectsReachReplicas) {
+  Boot();
+  Run({"SET", "k", "v"});
+  Run({"SADD", "s", "a", "b", "c"});
+  Run({"SPOP", "s"});
+  sim_->RunFor(1 * kSec);
+  Node* replica = shard_->AnyReplica();
+  ASSERT_NE(replica, nullptr);
+  engine::ExecContext ctx;
+  ctx.now_ms = sim_->Now() / 1000;
+  ctx.role = engine::Role::kReplicaRead;
+  ctx.rng = &replica->engine().rng();
+  EXPECT_EQ(replica->engine().Execute({"GET", "k"}, &ctx), Value::Bulk("v"));
+  EXPECT_EQ(replica->engine().Execute({"SCARD", "s"}, &ctx),
+            Value::Integer(2));
+  // Replica state must exactly match the primary (same SPOP victim).
+  Node* primary = shard_->Primary();
+  ASSERT_NE(primary, nullptr);
+  engine::SnapshotMeta meta;
+  EXPECT_EQ(SerializeSnapshot(primary->engine().keyspace(), meta),
+            SerializeSnapshot(replica->engine().keyspace(), meta));
+}
+
+TEST_F(MemoryDbTest, ReadonlyReadsServedByReplicas) {
+  Boot();
+  Run({"SET", "k", "v"});
+  sim_->RunFor(500 * kMs);
+  // Round-robin readonly reads land on replicas too; all see the value.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(RunReadonly({"GET", "k"}), Value::Bulk("v"));
+  }
+}
+
+TEST_F(MemoryDbTest, TrackerDefersHazardedReads) {
+  Boot();
+  Run({"SET", "hot", "v0"});  // settle
+  // Fire a write and immediately a read of the same key, plus a read of an
+  // unrelated key. The hazarded read must not complete before the write.
+  bool write_done = false, hot_read_done = false, cold_read_done = false;
+  sim::Time write_t = 0, hot_t = 0, cold_t = 0;
+  client_->db.Command({"SET", "hot", "v1"}, [&](const Value& v) {
+    write_done = true;
+    write_t = sim_->Now();
+    EXPECT_EQ(v, Value::Ok());
+  });
+  sim_->RunFor(50);  // let the write reach the engine but not commit
+  client_->db.Command({"GET", "hot"}, [&](const Value& v) {
+    hot_read_done = true;
+    hot_t = sim_->Now();
+    EXPECT_EQ(v, Value::Bulk("v1"));  // sees the new value...
+  });
+  client_->db.Command({"GET", "unrelated"}, [&](const Value& v) {
+    cold_read_done = true;
+    cold_t = sim_->Now();
+  });
+  sim_->RunFor(5 * kSec);
+  ASSERT_TRUE(write_done && hot_read_done && cold_read_done);
+  // ...but only after the write is durable.
+  EXPECT_GE(hot_t, write_t);
+  EXPECT_LT(cold_t, hot_t);  // unrelated read was not delayed
+  EXPECT_GE(shard_->Primary()->stats().reads_deferred_by_tracker, 1u);
+}
+
+TEST_F(MemoryDbTest, FailoverPreservesAcknowledgedWrites) {
+  Boot();
+  std::vector<std::string> acked;
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    if (Run({"SET", key, "v" + std::to_string(i)}) == Value::Ok()) {
+      acked.push_back(key);
+    }
+  }
+  ASSERT_EQ(acked.size(), 50u);
+
+  // Kill the primary.
+  Node* primary = shard_->Primary();
+  ASSERT_NE(primary, nullptr);
+  const NodeId old_primary = primary->id();
+  sim_->Crash(old_primary);
+  sim_->RunFor(3 * kSec);  // backoff + election
+
+  Node* new_primary = shard_->Primary();
+  ASSERT_NE(new_primary, nullptr);
+  EXPECT_NE(new_primary->id(), old_primary);
+  EXPECT_EQ(CountPrimaries(), 1);
+
+  // Every acknowledged write must be readable (the paper's core claim).
+  for (size_t i = 0; i < acked.size(); ++i) {
+    EXPECT_EQ(Run({"GET", acked[i]}), Value::Bulk("v" + std::to_string(i)))
+        << acked[i];
+  }
+}
+
+TEST_F(MemoryDbTest, IsolatedPrimarySelfDemotesAndIsFenced) {
+  Boot();
+  Run({"SET", "k", "v"});
+  Node* primary = shard_->Primary();
+  ASSERT_NE(primary, nullptr);
+  const NodeId old_id = primary->id();
+
+  // Cut the primary off from everything (clients, log, peers).
+  sim_->network().Isolate(old_id);
+  sim_->RunFor(3 * kSec);
+
+  // The old primary stopped serving (self-demoted at lease expiry), and a
+  // caught-up replica took over. Never two primaries.
+  EXPECT_FALSE(primary->IsPrimary());
+  EXPECT_GE(primary->stats().demotions, 1u);
+  Node* new_primary = shard_->Primary();
+  ASSERT_NE(new_primary, nullptr);
+  EXPECT_NE(new_primary->id(), old_id);
+
+  // Cluster still serves reads and writes, and retains the data.
+  EXPECT_EQ(Run({"GET", "k"}), Value::Bulk("v"));
+  EXPECT_EQ(Run({"SET", "k2", "v2"}), Value::Ok());
+
+  // Heal: the old primary rejoins as a replica and catches up.
+  sim_->network().Heal(old_id);
+  sim_->RunFor(5 * kSec);
+  EXPECT_EQ(CountPrimaries(), 1);
+  EXPECT_EQ(primary->db_role(), Node::DbRole::kReplica);
+  EXPECT_TRUE(primary->caught_up());
+}
+
+TEST_F(MemoryDbTest, LeaseDisjointnessUnderRepeatedFailovers) {
+  Boot();
+  Rng chaos(5);
+  int max_simultaneous = 0;
+  for (int round = 0; round < 8; ++round) {
+    // Crash whoever is primary.
+    for (size_t i = 0; i < shard_->num_nodes(); ++i) {
+      Node* n = shard_->node(i);
+      if (sim_->IsAlive(n->id()) && n->IsPrimary()) {
+        sim_->Crash(n->id());
+        break;
+      }
+    }
+    // Sample primary count densely through the failover window.
+    for (int t = 0; t < 300; ++t) {
+      sim_->RunFor(10 * kMs);
+      max_simultaneous = std::max(max_simultaneous, CountPrimaries());
+    }
+    // Restart everyone dead, let the dust settle.
+    for (size_t i = 0; i < shard_->num_nodes(); ++i) {
+      if (!sim_->IsAlive(shard_->node(i)->id())) shard_->RestartNode(i);
+    }
+    sim_->RunFor(2 * kSec);
+    max_simultaneous = std::max(max_simultaneous, CountPrimaries());
+  }
+  EXPECT_LE(max_simultaneous, 1) << "leader singularity violated";
+  EXPECT_EQ(Run({"SET", "final", "x"}), Value::Ok());
+}
+
+TEST_F(MemoryDbTest, RestartedNodeRecoversFromLog) {
+  Boot();
+  for (int i = 0; i < 20; ++i) {
+    Run({"SET", "k" + std::to_string(i), std::to_string(i)});
+  }
+  // Restart a replica; its memory is wiped and rebuilt from durable state.
+  Node* replica = shard_->AnyReplica();
+  ASSERT_NE(replica, nullptr);
+  size_t idx = 0;
+  for (size_t i = 0; i < shard_->num_nodes(); ++i) {
+    if (shard_->node(i) == replica) idx = i;
+  }
+  sim_->Crash(replica->id());
+  sim_->RunFor(500 * kMs);
+  shard_->RestartNode(idx);
+  sim_->RunFor(5 * kSec);
+  EXPECT_EQ(replica->db_role(), Node::DbRole::kReplica);
+  EXPECT_TRUE(replica->caught_up());
+  engine::ExecContext ctx;
+  ctx.now_ms = sim_->Now() / 1000;
+  ctx.role = engine::Role::kReplicaRead;
+  ctx.rng = &replica->engine().rng();
+  EXPECT_EQ(replica->engine().Execute({"DBSIZE"}, &ctx), Value::Integer(20));
+}
+
+TEST_F(MemoryDbTest, OffboxSnapshotAndSnapshotDominantRestore) {
+  Boot(/*num_replicas=*/2, /*with_offbox=*/true, /*max_log_distance=*/64);
+  for (int i = 0; i < 300; ++i) {
+    Run({"SET", "k" + std::to_string(i), std::to_string(i)});
+  }
+  sim_->RunFor(10 * kSec);  // scheduler cuts snapshots, trims the log
+  ASSERT_GT(shard_->offbox()->snapshots_created(), 0u);
+  EXPECT_FALSE(shard_->offbox()->verification_failed());
+  EXPECT_GT(shard_->scheduler()->last_snapshot_position(), 0u);
+
+  // A brand-new replica restores snapshot-first and joins caught up.
+  Node* newbie = shard_->AddReplica();
+  sim_->RunFor(8 * kSec);
+  EXPECT_TRUE(newbie->caught_up());
+  engine::ExecContext ctx;
+  ctx.now_ms = sim_->Now() / 1000;
+  ctx.role = engine::Role::kReplicaRead;
+  ctx.rng = &newbie->engine().rng();
+  EXPECT_EQ(newbie->engine().Execute({"DBSIZE"}, &ctx), Value::Integer(300));
+  EXPECT_FALSE(newbie->checksum_violation());
+}
+
+TEST_F(MemoryDbTest, MultiExecutesAtomically) {
+  Boot();
+  bool done = false;
+  Value reply;
+  client_->db.Multi({{"SET", "{t}a", "1"},
+                     {"INCR", "{t}counter"},
+                     {"SET", "{t}b", "2"}},
+                    [&](const Value& v) {
+                      reply = v;
+                      done = true;
+                    });
+  for (int i = 0; i < 20000 && !done; ++i) sim_->RunFor(1 * kMs);
+  ASSERT_TRUE(done);
+  ASSERT_EQ(reply.array.size(), 3u);
+  EXPECT_EQ(reply.array[1], Value::Integer(1));
+  // All-or-nothing on replicas too.
+  sim_->RunFor(1 * kSec);
+  Node* replica = shard_->AnyReplica();
+  engine::ExecContext ctx;
+  ctx.now_ms = sim_->Now() / 1000;
+  ctx.role = engine::Role::kReplicaRead;
+  ctx.rng = &replica->engine().rng();
+  EXPECT_EQ(replica->engine().Execute({"GET", "{t}a"}, &ctx),
+            Value::Bulk("1"));
+  EXPECT_EQ(replica->engine().Execute({"GET", "{t}b"}, &ctx),
+            Value::Bulk("2"));
+}
+
+TEST_F(MemoryDbTest, UpgradeProtectionBlocksOlderReplica) {
+  EXPECT_LT(CompareEngineVersions("7.0.7", "7.1.0"), 0);
+  EXPECT_GT(CompareEngineVersions("7.10.0", "7.9.9"), 0);
+  EXPECT_EQ(CompareEngineVersions("7.0.7", "7.0.7"), 0);
+
+  // Bring up a shard whose primary speaks a newer engine version.
+  client_.reset();
+  shard_.reset();
+  s3_.reset();
+  sim_ = std::make_unique<sim::Simulation>(77);
+  s3_ = std::make_unique<storage::ObjectStore>(sim_.get(), sim_->AddHost(0));
+  Shard::Options opts;
+  opts.num_replicas = 0;
+  opts.object_store = s3_->id();
+  opts.node_template.engine_version = "7.1.0";
+  shard_ = std::make_unique<Shard>(sim_.get(), opts);
+  client_ = std::make_unique<ClientActor>(sim_.get(), sim_->AddHost(0),
+                                          shard_->node_ids());
+  sim_->RunFor(3 * kSec);
+  ASSERT_NE(shard_->Primary(), nullptr);
+
+  // An old-version replica joins and must stop consuming the stream (§7.1).
+  NodeConfig old_version;
+  old_version.engine_version = "7.0.7";
+  NodeConfig tmpl = old_version;
+  // Reuse shard wiring manually.
+  tmpl.shard_id = shard_->id();
+  tmpl.log_replicas = shard_->log().replica_ids();
+  tmpl.object_store = s3_->id();
+  auto old_replica = std::make_unique<Node>(sim_.get(), sim_->AddHost(2),
+                                            std::move(tmpl));
+  Run({"SET", "k", "v"});
+  sim_->RunFor(3 * kSec);
+  EXPECT_FALSE(old_replica->caught_up());
+  engine::ExecContext ctx;
+  ctx.now_ms = sim_->Now() / 1000;
+  ctx.role = engine::Role::kReplicaRead;
+  ctx.rng = &old_replica->engine().rng();
+  EXPECT_EQ(old_replica->engine().Execute({"GET", "k"}, &ctx), Value::Null());
+}
+
+TEST_F(MemoryDbTest, CollaborativeLeadershipHandover) {
+  Boot();
+  Run({"SET", "k", "v"});
+  Node* primary = shard_->Primary();
+  ASSERT_NE(primary, nullptr);
+  // Instance-type scaling decommissions the primary last, using a
+  // collaborative handover (§5.2): step down, let a replica take over.
+  primary->StepDown();
+  sim_->RunFor(4 * kSec);
+  Node* new_primary = shard_->Primary();
+  ASSERT_NE(new_primary, nullptr);
+  EXPECT_NE(new_primary, primary);
+  EXPECT_EQ(Run({"GET", "k"}), Value::Bulk("v"));
+  EXPECT_EQ(CountPrimaries(), 1);
+}
+
+TEST_F(MemoryDbTest, WritesAreLinearizableAcrossCrashSequence) {
+  Boot();
+  // Counter increments with failovers in between; committed increments
+  // must never be lost (monotonic counter, no regressions).
+  int64_t highest_acked = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      Value v = Run({"INCR", "counter"});
+      if (v.type == resp::Type::kInteger) {
+        EXPECT_GT(v.integer, highest_acked) << "counter regressed";
+        highest_acked = v.integer;
+      }
+    }
+    Node* primary = shard_->Primary();
+    ASSERT_NE(primary, nullptr);
+    sim_->Crash(primary->id());
+    sim_->RunFor(3 * kSec);
+    for (size_t i = 0; i < shard_->num_nodes(); ++i) {
+      if (!sim_->IsAlive(shard_->node(i)->id())) shard_->RestartNode(i);
+    }
+    sim_->RunFor(2 * kSec);
+  }
+  Value final = Run({"GET", "counter"});
+  ASSERT_EQ(final.type, resp::Type::kBulkString);
+  EXPECT_GE(std::stoll(final.str), highest_acked);
+}
+
+}  // namespace
+}  // namespace memdb::memorydb

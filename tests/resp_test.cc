@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "resp/resp.h"
+
+namespace memdb::resp {
+namespace {
+
+TEST(RespEncodeTest, SimpleString) {
+  EXPECT_EQ(Value::Simple("OK").Encode(), "+OK\r\n");
+}
+
+TEST(RespEncodeTest, Error) {
+  EXPECT_EQ(Value::Error("ERR boom").Encode(), "-ERR boom\r\n");
+}
+
+TEST(RespEncodeTest, Integer) {
+  EXPECT_EQ(Value::Integer(42).Encode(), ":42\r\n");
+  EXPECT_EQ(Value::Integer(-7).Encode(), ":-7\r\n");
+}
+
+TEST(RespEncodeTest, BulkString) {
+  EXPECT_EQ(Value::Bulk("hello").Encode(), "$5\r\nhello\r\n");
+  EXPECT_EQ(Value::Bulk("").Encode(), "$0\r\n\r\n");
+  // Binary-safe.
+  EXPECT_EQ(Value::Bulk(std::string("a\0b", 3)).Encode(),
+            std::string("$3\r\na\0b\r\n", 9));
+}
+
+TEST(RespEncodeTest, Null) { EXPECT_EQ(Value::Null().Encode(), "$-1\r\n"); }
+
+TEST(RespEncodeTest, Array) {
+  Value v = Value::Array({Value::Bulk("GET"), Value::Bulk("k")});
+  EXPECT_EQ(v.Encode(), "*2\r\n$3\r\nGET\r\n$1\r\nk\r\n");
+}
+
+TEST(RespEncodeTest, NestedArray) {
+  Value v = Value::Array({Value::Integer(1), Value::Array({Value::Simple("a")})});
+  EXPECT_EQ(v.Encode(), "*2\r\n:1\r\n*1\r\n+a\r\n");
+}
+
+TEST(RespEncodeTest, EncodeCommand) {
+  EXPECT_EQ(EncodeCommand({"SET", "key", "val"}),
+            "*3\r\n$3\r\nSET\r\n$3\r\nkey\r\n$3\r\nval\r\n");
+}
+
+Value ParseOne(const std::string& wire) {
+  Decoder d;
+  d.Feed(wire);
+  Value v;
+  Status s = d.TryParse(&v);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return v;
+}
+
+TEST(RespDecodeTest, RoundTripAllTypes) {
+  const Value values[] = {
+      Value::Simple("PONG"),
+      Value::Error("ERR x"),
+      Value::Integer(-123456789),
+      Value::Bulk("payload with \r\n inside"),
+      Value::Null(),
+      Value::Array({Value::Integer(1), Value::Bulk("two"),
+                    Value::Array({Value::Simple("three")})}),
+  };
+  for (const Value& v : values) {
+    EXPECT_EQ(ParseOne(v.Encode()), v) << v.ToString();
+  }
+}
+
+TEST(RespDecodeTest, IncrementalFeed) {
+  const std::string wire = EncodeCommand({"SET", "key", "value"});
+  Decoder d;
+  Value v;
+  // Feed one byte at a time; must report NotFound until complete.
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    d.Feed(Slice(wire.data() + i, 1));
+    Status s = d.TryParse(&v);
+    EXPECT_TRUE(s.IsNotFound()) << "at byte " << i << ": " << s.ToString();
+  }
+  d.Feed(Slice(wire.data() + wire.size() - 1, 1));
+  ASSERT_TRUE(d.TryParse(&v).ok());
+  EXPECT_EQ(v.array.size(), 3u);
+}
+
+TEST(RespDecodeTest, MultipleValuesInOneBuffer) {
+  Decoder d;
+  d.Feed(Value::Simple("a").Encode() + Value::Integer(2).Encode() +
+         Value::Bulk("c").Encode());
+  Value v;
+  ASSERT_TRUE(d.TryParse(&v).ok());
+  EXPECT_EQ(v, Value::Simple("a"));
+  ASSERT_TRUE(d.TryParse(&v).ok());
+  EXPECT_EQ(v, Value::Integer(2));
+  ASSERT_TRUE(d.TryParse(&v).ok());
+  EXPECT_EQ(v, Value::Bulk("c"));
+  EXPECT_TRUE(d.TryParse(&v).IsNotFound());
+}
+
+TEST(RespDecodeTest, TryParseCommand) {
+  Decoder d;
+  d.Feed(EncodeCommand({"HSET", "h", "f", "v"}));
+  std::vector<std::string> argv;
+  ASSERT_TRUE(d.TryParseCommand(&argv).ok());
+  EXPECT_EQ(argv, (std::vector<std::string>{"HSET", "h", "f", "v"}));
+}
+
+TEST(RespDecodeTest, CommandRejectsNonArray) {
+  Decoder d;
+  d.Feed("+OK\r\n");
+  std::vector<std::string> argv;
+  EXPECT_TRUE(d.TryParseCommand(&argv).IsCorruption());
+}
+
+TEST(RespDecodeTest, MalformedMarkerIsCorruption) {
+  Decoder d;
+  d.Feed("!bogus\r\n");
+  Value v;
+  EXPECT_TRUE(d.TryParse(&v).IsCorruption());
+}
+
+TEST(RespDecodeTest, BadIntegerIsCorruption) {
+  Decoder d;
+  d.Feed(":12a\r\n");
+  Value v;
+  EXPECT_TRUE(d.TryParse(&v).IsCorruption());
+}
+
+TEST(RespDecodeTest, BulkMissingTerminatorIsCorruption) {
+  Decoder d;
+  d.Feed("$3\r\nabcXY");
+  Value v;
+  EXPECT_TRUE(d.TryParse(&v).IsCorruption());
+}
+
+TEST(RespDecodeTest, NullArrayDecodesAsNull) {
+  EXPECT_TRUE(ParseOne("*-1\r\n").IsNull());
+}
+
+TEST(RespDecodeTest, LargeBulk) {
+  std::string big(1 << 20, 'z');
+  EXPECT_EQ(ParseOne(Value::Bulk(big).Encode()).str, big);
+}
+
+TEST(RespDecodeTest, BufferCompactionKeepsParsing) {
+  Decoder d;
+  Value v;
+  for (int i = 0; i < 2000; ++i) {
+    d.Feed(Value::Bulk("item" + std::to_string(i)).Encode());
+    ASSERT_TRUE(d.TryParse(&v).ok());
+    EXPECT_EQ(v.str, "item" + std::to_string(i));
+  }
+  EXPECT_EQ(d.buffered(), 0u);
+}
+
+TEST(RespValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "(nil)");
+  EXPECT_EQ(Value::Integer(3).ToString(), "3");
+  EXPECT_EQ(Value::Array({Value::Integer(1), Value::Bulk("x")}).ToString(),
+            "[1, \"x\"]");
+}
+
+}  // namespace
+}  // namespace memdb::resp

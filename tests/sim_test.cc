@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/actor.h"
+#include "sim/queue_server.h"
+#include "sim/scheduler.h"
+#include "sim/simulation.h"
+
+namespace memdb::sim {
+namespace {
+
+// ---------------------------------------------------------------- Scheduler
+
+TEST(SchedulerTest, RunsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.At(30, [&] { order.push_back(3); });
+  s.At(10, [&] { order.push_back(1); });
+  s.At(20, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), 30u);
+}
+
+TEST(SchedulerTest, SameTimeIsFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) s.At(5, [&order, i] { order.push_back(i); });
+  s.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SchedulerTest, CancelPreventsFiring) {
+  Scheduler s;
+  int fired = 0;
+  TimerHandle h = s.After(10, [&] { ++fired; });
+  EXPECT_TRUE(h.Pending());
+  h.Cancel();
+  s.Run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(h.Pending());
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClock) {
+  Scheduler s;
+  int fired = 0;
+  s.At(100, [&] { ++fired; });
+  s.At(300, [&] { ++fired; });
+  s.RunUntil(200);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.Now(), 200u);
+  s.RunUntil(400);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerTest, EventsScheduledFromEventsRun) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) s.After(10, recurse);
+  };
+  s.After(10, recurse);
+  s.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.Now(), 50u);
+}
+
+TEST(SchedulerTest, PastTimeClampsToNow) {
+  Scheduler s;
+  s.At(100, [] {});
+  s.Run();
+  Time fired_at = 0;
+  s.At(50, [&] { fired_at = s.Now(); });  // in the past
+  s.Run();
+  EXPECT_EQ(fired_at, 100u);
+}
+
+// ---------------------------------------------------------------- QueueServer
+
+TEST(QueueServerTest, SingleServerSerializes) {
+  Scheduler s;
+  QueueServer q(&s, 1);
+  EXPECT_EQ(q.Submit(10), 10u);
+  EXPECT_EQ(q.Submit(10), 20u);
+  EXPECT_EQ(q.Submit(5), 25u);
+  EXPECT_EQ(q.CurrentDelay(), 25u);  // server busy until 25, now=0
+}
+
+TEST(QueueServerTest, MultiServerParallelizes) {
+  Scheduler s;
+  QueueServer q(&s, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(q.Submit(10), 10u);
+  EXPECT_EQ(q.Submit(10), 20u);  // fifth job waits
+}
+
+TEST(QueueServerTest, IdleServerStartsAtNow) {
+  Scheduler s;
+  QueueServer q(&s, 1);
+  s.At(100, [] {});
+  s.Run();
+  EXPECT_EQ(q.Submit(10), 110u);
+}
+
+TEST(QueueServerTest, StallPushesBackWork) {
+  Scheduler s;
+  QueueServer q(&s, 2);
+  q.StallUntil(50);
+  EXPECT_EQ(q.Submit(10), 60u);
+}
+
+TEST(QueueServerTest, SubmitAndSchedulesCompletion) {
+  Scheduler s;
+  QueueServer q(&s, 1);
+  Time done = 0;
+  q.SubmitAnd(42, [&] { done = s.Now(); });
+  s.Run();
+  EXPECT_EQ(done, 42u);
+}
+
+// ---------------------------------------------------------------- Actors
+
+// Simple ping-pong actor for message tests.
+class Echo : public Actor {
+ public:
+  Echo(Simulation* sim, NodeId id) : Actor(sim, id) {
+    On("ping", [this](const Message& m) {
+      ++pings_;
+      if (m.rpc_id != 0) Reply(m, "pong:" + m.payload);
+    });
+    On("fail", [this](const Message& m) {
+      ReplyError(m, Status::Unavailable("no lease"));
+    });
+  }
+  int pings() const { return pings_; }
+
+  using Actor::Rpc;
+  using Actor::Send;
+
+ private:
+  int pings_ = 0;
+};
+
+struct SimFixture : public ::testing::Test {
+  Simulation sim{42};
+};
+
+TEST_F(SimFixture, MessageDelivery) {
+  NodeId a = sim.AddHost(0), b = sim.AddHost(1);
+  Echo ea(&sim, a), eb(&sim, b);
+  ea.Send(b, "ping", "x");
+  sim.Run();
+  EXPECT_EQ(eb.pings(), 1);
+  EXPECT_GT(sim.Now(), 0u);  // took nonzero (cross-AZ) time
+}
+
+TEST_F(SimFixture, RpcRoundTrip) {
+  NodeId a = sim.AddHost(0), b = sim.AddHost(0);
+  Echo ea(&sim, a), eb(&sim, b);
+  Status got_status = Status::Internal("never called");
+  std::string got_payload;
+  ea.Rpc(b, "ping", "hello", 1 * kSec,
+         [&](const Status& s, const std::string& p) {
+           got_status = s;
+           got_payload = p;
+         });
+  sim.Run();
+  EXPECT_TRUE(got_status.ok());
+  EXPECT_EQ(got_payload, "pong:hello");
+}
+
+TEST_F(SimFixture, RpcErrorStatusPropagates) {
+  NodeId a = sim.AddHost(0), b = sim.AddHost(0);
+  Echo ea(&sim, a), eb(&sim, b);
+  Status got = Status::OK();
+  ea.Rpc(b, "fail", "", 1 * kSec,
+         [&](const Status& s, const std::string&) { got = s; });
+  sim.Run();
+  EXPECT_TRUE(got.IsUnavailable());
+  EXPECT_EQ(got.message(), "no lease");
+}
+
+TEST_F(SimFixture, RpcToDeadNodeTimesOut) {
+  NodeId a = sim.AddHost(0), b = sim.AddHost(1);
+  Echo ea(&sim, a), eb(&sim, b);
+  sim.Crash(b);
+  Status got = Status::OK();
+  Time completed_at = 0;
+  ea.Rpc(b, "ping", "", 500 * kMs,
+         [&](const Status& s, const std::string&) {
+           got = s;
+           completed_at = sim.Now();
+         });
+  sim.Run();
+  EXPECT_TRUE(got.IsTimedOut());
+  EXPECT_EQ(completed_at, 500 * kMs);
+}
+
+TEST_F(SimFixture, PartitionBlocksTraffic) {
+  NodeId a = sim.AddHost(0), b = sim.AddHost(1);
+  Echo ea(&sim, a), eb(&sim, b);
+  sim.PartitionAz(1);
+  ea.Send(b, "ping", "");
+  sim.Run();
+  EXPECT_EQ(eb.pings(), 0);
+  sim.HealAz(1);
+  ea.Send(b, "ping", "");
+  sim.Run();
+  EXPECT_EQ(eb.pings(), 1);
+}
+
+TEST_F(SimFixture, IsolateAndHealNode) {
+  NodeId a = sim.AddHost(0), b = sim.AddHost(0);
+  Echo ea(&sim, a), eb(&sim, b);
+  sim.network().Isolate(b);
+  ea.Send(b, "ping", "");
+  sim.Run();
+  EXPECT_EQ(eb.pings(), 0);
+  sim.network().Heal(b);
+  ea.Send(b, "ping", "");
+  sim.Run();
+  EXPECT_EQ(eb.pings(), 1);
+}
+
+TEST_F(SimFixture, CrashDropsInFlightToNode) {
+  NodeId a = sim.AddHost(0), b = sim.AddHost(1);
+  Echo ea(&sim, a), eb(&sim, b);
+  ea.Send(b, "ping", "");
+  sim.Crash(b);  // crash before delivery
+  sim.Run();
+  EXPECT_EQ(eb.pings(), 0);
+}
+
+TEST_F(SimFixture, RestartDropsOldIncarnationMessages) {
+  NodeId a = sim.AddHost(0), b = sim.AddHost(1);
+  Echo ea(&sim, a), eb(&sim, b);
+  ea.Send(b, "ping", "");  // in flight to incarnation 1
+  sim.Restart(b);          // incarnation 2
+  sim.Run();
+  EXPECT_EQ(eb.pings(), 0);
+  ea.Send(b, "ping", "");
+  sim.Run();
+  EXPECT_EQ(eb.pings(), 1);
+}
+
+// Actor that counts periodic ticks.
+class Ticker : public Actor {
+ public:
+  Ticker(Simulation* sim, NodeId id) : Actor(sim, id) {
+    Periodic(100, [this] { ++ticks_; });
+  }
+  int ticks() const { return ticks_; }
+
+ private:
+  int ticks_ = 0;
+};
+
+TEST_F(SimFixture, PeriodicTimerTicksUntilCrash) {
+  NodeId a = sim.AddHost(0);
+  Ticker t(&sim, a);
+  sim.RunFor(1000);
+  EXPECT_EQ(t.ticks(), 10);
+  sim.Crash(a);
+  sim.RunFor(1000);
+  EXPECT_EQ(t.ticks(), 10);  // no ticks after crash
+}
+
+TEST_F(SimFixture, DeterministicReplay) {
+  auto run_once = [](uint64_t seed) {
+    Simulation sim(seed);
+    NodeId a = sim.AddHost(0), b = sim.AddHost(1), c = sim.AddHost(2);
+    Echo ea(&sim, a), eb(&sim, b), ec(&sim, c);
+    for (int i = 0; i < 50; ++i) {
+      ea.Send(i % 2 ? b : c, "ping", std::to_string(i));
+    }
+    sim.Run();
+    return std::make_tuple(sim.Now(), eb.pings(), ec.pings());
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  EXPECT_EQ(run_once(99), run_once(99));
+}
+
+TEST_F(SimFixture, BulkPayloadTakesLonger) {
+  NodeId a = sim.AddHost(0), b = sim.AddHost(0);
+  Echo ea(&sim, a), eb(&sim, b);
+  // Small message.
+  ea.Send(b, "ping", "x");
+  sim.Run();
+  Time small_time = sim.Now();
+  // 100 MB bulk message: at 10 Gbps this takes ~80 ms.
+  ea.Send(b, "ping", std::string(100 << 20, 'x'));
+  sim.Run();
+  Time bulk_elapsed = sim.Now() - small_time;
+  EXPECT_GT(bulk_elapsed, 50 * kMs);
+}
+
+}  // namespace
+}  // namespace memdb::sim

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "storage/object_store.h"
+
+namespace memdb::storage {
+namespace {
+
+using sim::kMs;
+using sim::kSec;
+using sim::NodeId;
+
+class ClientHost : public sim::Actor {
+ public:
+  ClientHost(sim::Simulation* sim, NodeId id, NodeId store)
+      : Actor(sim, id), s3(this, store) {}
+  StorageClient s3;
+};
+
+class StorageTest : public ::testing::Test {
+ protected:
+  StorageTest()
+      : sim_(99),
+        store_(&sim_, sim_.AddHost(0)),
+        client_(&sim_, sim_.AddHost(1), store_.id()) {}
+
+  Status PutSync(const std::string& key, std::string data) {
+    Status out = Status::Internal("pending");
+    bool done = false;
+    client_.s3.Put(key, std::move(data), [&](const Status& s) {
+      out = s;
+      done = true;
+    });
+    for (int i = 0; i < 200000 && !done; ++i) sim_.RunFor(1 * kMs);
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  Status GetSync(const std::string& key, std::string* data) {
+    Status out = Status::Internal("pending");
+    bool done = false;
+    client_.s3.Get(key, [&](const Status& s, const std::string& d) {
+      out = s;
+      *data = d;
+      done = true;
+    });
+    for (int i = 0; i < 200000 && !done; ++i) sim_.RunFor(1 * kMs);
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  std::vector<std::string> ListSync(const std::string& prefix) {
+    std::vector<std::string> out;
+    bool done = false;
+    client_.s3.List(prefix,
+                    [&](const Status& s, const std::vector<std::string>& keys) {
+                      if (s.ok()) out = keys;
+                      done = true;
+                    });
+    for (int i = 0; i < 200000 && !done; ++i) sim_.RunFor(1 * kMs);
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  sim::Simulation sim_;
+  ObjectStore store_;
+  ClientHost client_;
+};
+
+TEST_F(StorageTest, PutGetRoundTrip) {
+  ASSERT_TRUE(PutSync("a/b/c", "payload").ok());
+  std::string data;
+  ASSERT_TRUE(GetSync("a/b/c", &data).ok());
+  EXPECT_EQ(data, "payload");
+  EXPECT_EQ(store_.object_count(), 1u);
+}
+
+TEST_F(StorageTest, GetMissingIsNotFound) {
+  std::string data;
+  EXPECT_TRUE(GetSync("missing", &data).IsNotFound());
+}
+
+TEST_F(StorageTest, OverwriteReplaces) {
+  ASSERT_TRUE(PutSync("k", "v1").ok());
+  ASSERT_TRUE(PutSync("k", "v2").ok());
+  std::string data;
+  ASSERT_TRUE(GetSync("k", &data).ok());
+  EXPECT_EQ(data, "v2");
+  EXPECT_EQ(store_.object_count(), 1u);
+}
+
+TEST_F(StorageTest, ListByPrefixSorted) {
+  PutSync("snap/s1/002", "b");
+  PutSync("snap/s1/001", "a");
+  PutSync("snap/s2/001", "c");
+  PutSync("other", "d");
+  auto keys = ListSync("snap/s1/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "snap/s1/001");
+  EXPECT_EQ(keys[1], "snap/s1/002");
+  EXPECT_EQ(ListSync("snap/").size(), 3u);
+  EXPECT_TRUE(ListSync("nope/").empty());
+}
+
+TEST_F(StorageTest, BinarySafePayloads) {
+  std::string blob(1000, '\0');
+  blob[1] = '\xff';
+  blob[500] = '\r';
+  ASSERT_TRUE(PutSync("bin", blob).ok());
+  std::string data;
+  ASSERT_TRUE(GetSync("bin", &data).ok());
+  EXPECT_EQ(data, blob);
+}
+
+TEST_F(StorageTest, LargeBlobPaysBandwidth) {
+  // Small object first to measure the base latency.
+  const sim::Time t0 = sim_.Now();
+  ASSERT_TRUE(PutSync("small", "x").ok());
+  const sim::Duration small_latency = sim_.Now() - t0;
+
+  const sim::Time t1 = sim_.Now();
+  ASSERT_TRUE(PutSync("big", std::string(200 << 20, 'x')).ok());
+  const sim::Duration big_latency = sim_.Now() - t1;
+  // 200 MB at 10 Gb/s is ~160 ms of transfer.
+  EXPECT_GT(big_latency, small_latency + 100 * kMs);
+}
+
+TEST_F(StorageTest, SurvivesClientRestart) {
+  ASSERT_TRUE(PutSync("durable", "v").ok());
+  sim_.Restart(client_.id());
+  std::string data;
+  ASSERT_TRUE(GetSync("durable", &data).ok());
+  EXPECT_EQ(data, "v");
+}
+
+}  // namespace
+}  // namespace memdb::storage
