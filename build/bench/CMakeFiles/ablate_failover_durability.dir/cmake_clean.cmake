@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_failover_durability.dir/ablate_failover_durability.cc.o"
+  "CMakeFiles/ablate_failover_durability.dir/ablate_failover_durability.cc.o.d"
+  "ablate_failover_durability"
+  "ablate_failover_durability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_failover_durability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

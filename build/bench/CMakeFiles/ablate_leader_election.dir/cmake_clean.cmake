@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_leader_election.dir/ablate_leader_election.cc.o"
+  "CMakeFiles/ablate_leader_election.dir/ablate_leader_election.cc.o.d"
+  "ablate_leader_election"
+  "ablate_leader_election.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_leader_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

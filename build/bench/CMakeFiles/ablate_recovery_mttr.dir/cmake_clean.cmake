@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_recovery_mttr.dir/ablate_recovery_mttr.cc.o"
+  "CMakeFiles/ablate_recovery_mttr.dir/ablate_recovery_mttr.cc.o.d"
+  "ablate_recovery_mttr"
+  "ablate_recovery_mttr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_recovery_mttr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_slot_migration.dir/ablate_slot_migration.cc.o"
+  "CMakeFiles/ablate_slot_migration.dir/ablate_slot_migration.cc.o.d"
+  "ablate_slot_migration"
+  "ablate_slot_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_slot_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_tracker.dir/ablate_tracker.cc.o"
+  "CMakeFiles/ablate_tracker.dir/ablate_tracker.cc.o.d"
+  "ablate_tracker"
+  "ablate_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

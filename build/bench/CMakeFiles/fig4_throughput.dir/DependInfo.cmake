@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_throughput.cc" "bench/CMakeFiles/fig4_throughput.dir/fig4_throughput.cc.o" "gcc" "bench/CMakeFiles/fig4_throughput.dir/fig4_throughput.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_support/CMakeFiles/memdb_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/memdb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/memdb_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/redisbaseline/CMakeFiles/memdb_redisbaseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/memorydb/CMakeFiles/memdb_memorydb.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/memdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txlog/CMakeFiles/memdb_txlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/memdb_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/memdb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/resp/CMakeFiles/memdb_resp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ds/CMakeFiles/memdb_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

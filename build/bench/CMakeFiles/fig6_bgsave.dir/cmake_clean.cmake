@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_bgsave.dir/fig6_bgsave.cc.o"
+  "CMakeFiles/fig6_bgsave.dir/fig6_bgsave.cc.o.d"
+  "fig6_bgsave"
+  "fig6_bgsave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bgsave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_offbox.dir/fig7_offbox.cc.o"
+  "CMakeFiles/fig7_offbox.dir/fig7_offbox.cc.o.d"
+  "fig7_offbox"
+  "fig7_offbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_offbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_service.dir/catalog_service.cpp.o"
+  "CMakeFiles/catalog_service.dir/catalog_service.cpp.o.d"
+  "catalog_service"
+  "catalog_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

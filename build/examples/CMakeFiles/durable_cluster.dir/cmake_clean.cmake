@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_cluster.dir/durable_cluster.cpp.o"
+  "CMakeFiles/durable_cluster.dir/durable_cluster.cpp.o.d"
+  "durable_cluster"
+  "durable_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaderboard.dir/leaderboard.cpp.o"
+  "CMakeFiles/leaderboard.dir/leaderboard.cpp.o.d"
+  "leaderboard"
+  "leaderboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaderboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("resp")
+subdirs("ds")
+subdirs("engine")
+subdirs("txlog")
+subdirs("storage")
+subdirs("cluster")
+subdirs("memorydb")
+subdirs("redisbaseline")
+subdirs("client")
+subdirs("check")
+subdirs("bench_support")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memdb_bench_support.dir/driver.cc.o"
+  "CMakeFiles/memdb_bench_support.dir/driver.cc.o.d"
+  "CMakeFiles/memdb_bench_support.dir/fixtures.cc.o"
+  "CMakeFiles/memdb_bench_support.dir/fixtures.cc.o.d"
+  "CMakeFiles/memdb_bench_support.dir/instances.cc.o"
+  "CMakeFiles/memdb_bench_support.dir/instances.cc.o.d"
+  "libmemdb_bench_support.a"
+  "libmemdb_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memdb_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memdb_check.dir/linearizability.cc.o"
+  "CMakeFiles/memdb_check.dir/linearizability.cc.o.d"
+  "CMakeFiles/memdb_check.dir/tester.cc.o"
+  "CMakeFiles/memdb_check.dir/tester.cc.o.d"
+  "libmemdb_check.a"
+  "libmemdb_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memdb_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/db_client.cc" "src/client/CMakeFiles/memdb_client.dir/db_client.cc.o" "gcc" "src/client/CMakeFiles/memdb_client.dir/db_client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/resp/CMakeFiles/memdb_resp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

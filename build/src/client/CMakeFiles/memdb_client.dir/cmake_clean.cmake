@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memdb_client.dir/db_client.cc.o"
+  "CMakeFiles/memdb_client.dir/db_client.cc.o.d"
+  "libmemdb_client.a"
+  "libmemdb_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memdb_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

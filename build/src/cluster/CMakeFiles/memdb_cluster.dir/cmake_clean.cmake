@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memdb_cluster.dir/cluster.cc.o"
+  "CMakeFiles/memdb_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/memdb_cluster.dir/migration.cc.o"
+  "CMakeFiles/memdb_cluster.dir/migration.cc.o.d"
+  "CMakeFiles/memdb_cluster.dir/monitoring.cc.o"
+  "CMakeFiles/memdb_cluster.dir/monitoring.cc.o.d"
+  "libmemdb_cluster.a"
+  "libmemdb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memdb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

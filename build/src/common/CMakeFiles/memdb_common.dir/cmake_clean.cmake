@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memdb_common.dir/coding.cc.o"
+  "CMakeFiles/memdb_common.dir/coding.cc.o.d"
+  "CMakeFiles/memdb_common.dir/crc.cc.o"
+  "CMakeFiles/memdb_common.dir/crc.cc.o.d"
+  "CMakeFiles/memdb_common.dir/histogram.cc.o"
+  "CMakeFiles/memdb_common.dir/histogram.cc.o.d"
+  "CMakeFiles/memdb_common.dir/status.cc.o"
+  "CMakeFiles/memdb_common.dir/status.cc.o.d"
+  "libmemdb_common.a"
+  "libmemdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ds/hash.cc" "src/ds/CMakeFiles/memdb_ds.dir/hash.cc.o" "gcc" "src/ds/CMakeFiles/memdb_ds.dir/hash.cc.o.d"
+  "/root/repo/src/ds/quicklist.cc" "src/ds/CMakeFiles/memdb_ds.dir/quicklist.cc.o" "gcc" "src/ds/CMakeFiles/memdb_ds.dir/quicklist.cc.o.d"
+  "/root/repo/src/ds/set.cc" "src/ds/CMakeFiles/memdb_ds.dir/set.cc.o" "gcc" "src/ds/CMakeFiles/memdb_ds.dir/set.cc.o.d"
+  "/root/repo/src/ds/value.cc" "src/ds/CMakeFiles/memdb_ds.dir/value.cc.o" "gcc" "src/ds/CMakeFiles/memdb_ds.dir/value.cc.o.d"
+  "/root/repo/src/ds/zset.cc" "src/ds/CMakeFiles/memdb_ds.dir/zset.cc.o" "gcc" "src/ds/CMakeFiles/memdb_ds.dir/zset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

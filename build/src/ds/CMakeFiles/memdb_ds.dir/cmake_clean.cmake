@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memdb_ds.dir/hash.cc.o"
+  "CMakeFiles/memdb_ds.dir/hash.cc.o.d"
+  "CMakeFiles/memdb_ds.dir/quicklist.cc.o"
+  "CMakeFiles/memdb_ds.dir/quicklist.cc.o.d"
+  "CMakeFiles/memdb_ds.dir/set.cc.o"
+  "CMakeFiles/memdb_ds.dir/set.cc.o.d"
+  "CMakeFiles/memdb_ds.dir/value.cc.o"
+  "CMakeFiles/memdb_ds.dir/value.cc.o.d"
+  "CMakeFiles/memdb_ds.dir/zset.cc.o"
+  "CMakeFiles/memdb_ds.dir/zset.cc.o.d"
+  "libmemdb_ds.a"
+  "libmemdb_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memdb_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

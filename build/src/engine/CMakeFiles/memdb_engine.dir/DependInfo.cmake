@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/commands_bitmap.cc" "src/engine/CMakeFiles/memdb_engine.dir/commands_bitmap.cc.o" "gcc" "src/engine/CMakeFiles/memdb_engine.dir/commands_bitmap.cc.o.d"
+  "/root/repo/src/engine/commands_extended.cc" "src/engine/CMakeFiles/memdb_engine.dir/commands_extended.cc.o" "gcc" "src/engine/CMakeFiles/memdb_engine.dir/commands_extended.cc.o.d"
+  "/root/repo/src/engine/commands_hash.cc" "src/engine/CMakeFiles/memdb_engine.dir/commands_hash.cc.o" "gcc" "src/engine/CMakeFiles/memdb_engine.dir/commands_hash.cc.o.d"
+  "/root/repo/src/engine/commands_hll.cc" "src/engine/CMakeFiles/memdb_engine.dir/commands_hll.cc.o" "gcc" "src/engine/CMakeFiles/memdb_engine.dir/commands_hll.cc.o.d"
+  "/root/repo/src/engine/commands_key.cc" "src/engine/CMakeFiles/memdb_engine.dir/commands_key.cc.o" "gcc" "src/engine/CMakeFiles/memdb_engine.dir/commands_key.cc.o.d"
+  "/root/repo/src/engine/commands_list.cc" "src/engine/CMakeFiles/memdb_engine.dir/commands_list.cc.o" "gcc" "src/engine/CMakeFiles/memdb_engine.dir/commands_list.cc.o.d"
+  "/root/repo/src/engine/commands_server.cc" "src/engine/CMakeFiles/memdb_engine.dir/commands_server.cc.o" "gcc" "src/engine/CMakeFiles/memdb_engine.dir/commands_server.cc.o.d"
+  "/root/repo/src/engine/commands_set.cc" "src/engine/CMakeFiles/memdb_engine.dir/commands_set.cc.o" "gcc" "src/engine/CMakeFiles/memdb_engine.dir/commands_set.cc.o.d"
+  "/root/repo/src/engine/commands_string.cc" "src/engine/CMakeFiles/memdb_engine.dir/commands_string.cc.o" "gcc" "src/engine/CMakeFiles/memdb_engine.dir/commands_string.cc.o.d"
+  "/root/repo/src/engine/commands_zset.cc" "src/engine/CMakeFiles/memdb_engine.dir/commands_zset.cc.o" "gcc" "src/engine/CMakeFiles/memdb_engine.dir/commands_zset.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/engine/CMakeFiles/memdb_engine.dir/engine.cc.o" "gcc" "src/engine/CMakeFiles/memdb_engine.dir/engine.cc.o.d"
+  "/root/repo/src/engine/keyspace.cc" "src/engine/CMakeFiles/memdb_engine.dir/keyspace.cc.o" "gcc" "src/engine/CMakeFiles/memdb_engine.dir/keyspace.cc.o.d"
+  "/root/repo/src/engine/snapshot.cc" "src/engine/CMakeFiles/memdb_engine.dir/snapshot.cc.o" "gcc" "src/engine/CMakeFiles/memdb_engine.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ds/CMakeFiles/memdb_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/resp/CMakeFiles/memdb_resp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memdb_engine.dir/commands_bitmap.cc.o"
+  "CMakeFiles/memdb_engine.dir/commands_bitmap.cc.o.d"
+  "CMakeFiles/memdb_engine.dir/commands_extended.cc.o"
+  "CMakeFiles/memdb_engine.dir/commands_extended.cc.o.d"
+  "CMakeFiles/memdb_engine.dir/commands_hash.cc.o"
+  "CMakeFiles/memdb_engine.dir/commands_hash.cc.o.d"
+  "CMakeFiles/memdb_engine.dir/commands_hll.cc.o"
+  "CMakeFiles/memdb_engine.dir/commands_hll.cc.o.d"
+  "CMakeFiles/memdb_engine.dir/commands_key.cc.o"
+  "CMakeFiles/memdb_engine.dir/commands_key.cc.o.d"
+  "CMakeFiles/memdb_engine.dir/commands_list.cc.o"
+  "CMakeFiles/memdb_engine.dir/commands_list.cc.o.d"
+  "CMakeFiles/memdb_engine.dir/commands_server.cc.o"
+  "CMakeFiles/memdb_engine.dir/commands_server.cc.o.d"
+  "CMakeFiles/memdb_engine.dir/commands_set.cc.o"
+  "CMakeFiles/memdb_engine.dir/commands_set.cc.o.d"
+  "CMakeFiles/memdb_engine.dir/commands_string.cc.o"
+  "CMakeFiles/memdb_engine.dir/commands_string.cc.o.d"
+  "CMakeFiles/memdb_engine.dir/commands_zset.cc.o"
+  "CMakeFiles/memdb_engine.dir/commands_zset.cc.o.d"
+  "CMakeFiles/memdb_engine.dir/engine.cc.o"
+  "CMakeFiles/memdb_engine.dir/engine.cc.o.d"
+  "CMakeFiles/memdb_engine.dir/keyspace.cc.o"
+  "CMakeFiles/memdb_engine.dir/keyspace.cc.o.d"
+  "CMakeFiles/memdb_engine.dir/snapshot.cc.o"
+  "CMakeFiles/memdb_engine.dir/snapshot.cc.o.d"
+  "libmemdb_engine.a"
+  "libmemdb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memdb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memdb_memorydb.dir/node.cc.o"
+  "CMakeFiles/memdb_memorydb.dir/node.cc.o.d"
+  "CMakeFiles/memdb_memorydb.dir/node_slots.cc.o"
+  "CMakeFiles/memdb_memorydb.dir/node_slots.cc.o.d"
+  "CMakeFiles/memdb_memorydb.dir/offbox.cc.o"
+  "CMakeFiles/memdb_memorydb.dir/offbox.cc.o.d"
+  "CMakeFiles/memdb_memorydb.dir/shard.cc.o"
+  "CMakeFiles/memdb_memorydb.dir/shard.cc.o.d"
+  "libmemdb_memorydb.a"
+  "libmemdb_memorydb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memdb_memorydb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memdb_redisbaseline.dir/baseline_node.cc.o"
+  "CMakeFiles/memdb_redisbaseline.dir/baseline_node.cc.o.d"
+  "libmemdb_redisbaseline.a"
+  "libmemdb_redisbaseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memdb_redisbaseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

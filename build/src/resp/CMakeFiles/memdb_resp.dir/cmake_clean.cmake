@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memdb_resp.dir/resp.cc.o"
+  "CMakeFiles/memdb_resp.dir/resp.cc.o.d"
+  "libmemdb_resp.a"
+  "libmemdb_resp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memdb_resp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

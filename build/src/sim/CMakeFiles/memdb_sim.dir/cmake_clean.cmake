@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memdb_sim.dir/actor.cc.o"
+  "CMakeFiles/memdb_sim.dir/actor.cc.o.d"
+  "CMakeFiles/memdb_sim.dir/network.cc.o"
+  "CMakeFiles/memdb_sim.dir/network.cc.o.d"
+  "CMakeFiles/memdb_sim.dir/scheduler.cc.o"
+  "CMakeFiles/memdb_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/memdb_sim.dir/simulation.cc.o"
+  "CMakeFiles/memdb_sim.dir/simulation.cc.o.d"
+  "libmemdb_sim.a"
+  "libmemdb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memdb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

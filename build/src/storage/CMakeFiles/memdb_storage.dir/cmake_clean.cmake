@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memdb_storage.dir/object_store.cc.o"
+  "CMakeFiles/memdb_storage.dir/object_store.cc.o.d"
+  "libmemdb_storage.a"
+  "libmemdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

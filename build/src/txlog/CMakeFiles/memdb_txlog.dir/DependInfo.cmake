@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txlog/client.cc" "src/txlog/CMakeFiles/memdb_txlog.dir/client.cc.o" "gcc" "src/txlog/CMakeFiles/memdb_txlog.dir/client.cc.o.d"
+  "/root/repo/src/txlog/group.cc" "src/txlog/CMakeFiles/memdb_txlog.dir/group.cc.o" "gcc" "src/txlog/CMakeFiles/memdb_txlog.dir/group.cc.o.d"
+  "/root/repo/src/txlog/raft.cc" "src/txlog/CMakeFiles/memdb_txlog.dir/raft.cc.o" "gcc" "src/txlog/CMakeFiles/memdb_txlog.dir/raft.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memdb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memdb_txlog.dir/client.cc.o"
+  "CMakeFiles/memdb_txlog.dir/client.cc.o.d"
+  "CMakeFiles/memdb_txlog.dir/group.cc.o"
+  "CMakeFiles/memdb_txlog.dir/group.cc.o.d"
+  "CMakeFiles/memdb_txlog.dir/raft.cc.o"
+  "CMakeFiles/memdb_txlog.dir/raft.cc.o.d"
+  "libmemdb_txlog.a"
+  "libmemdb_txlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memdb_txlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

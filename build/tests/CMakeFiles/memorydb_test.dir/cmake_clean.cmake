@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memorydb_test.dir/memorydb_test.cc.o"
+  "CMakeFiles/memorydb_test.dir/memorydb_test.cc.o.d"
+  "memorydb_test"
+  "memorydb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memorydb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resp_test.dir/resp_test.cc.o"
+  "CMakeFiles/resp_test.dir/resp_test.cc.o.d"
+  "resp_test"
+  "resp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;memdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;15;memdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(resp_test "/root/repo/build/tests/resp_test")
+set_tests_properties(resp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;18;memdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ds_test "/root/repo/build/tests/ds_test")
+set_tests_properties(ds_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;memdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(engine_test "/root/repo/build/tests/engine_test")
+set_tests_properties(engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;24;memdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(txlog_test "/root/repo/build/tests/txlog_test")
+set_tests_properties(txlog_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;27;memdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(memorydb_test "/root/repo/build/tests/memorydb_test")
+set_tests_properties(memorydb_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;30;memdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cluster_test "/root/repo/build/tests/cluster_test")
+set_tests_properties(cluster_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;33;memdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(baseline_test "/root/repo/build/tests/baseline_test")
+set_tests_properties(baseline_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;36;memdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(check_test "/root/repo/build/tests/check_test")
+set_tests_properties(check_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;39;memdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(storage_test "/root/repo/build/tests/storage_test")
+set_tests_properties(storage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;42;memdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(engine_param_test "/root/repo/build/tests/engine_param_test")
+set_tests_properties(engine_param_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;45;memdb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(engine_extended_test "/root/repo/build/tests/engine_extended_test")
+set_tests_properties(engine_extended_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;48;memdb_test;/root/repo/tests/CMakeLists.txt;0;")
