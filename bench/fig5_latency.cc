@@ -1,7 +1,11 @@
 // Figure 5 — latency vs offered throughput on r7g.16xlarge (§6.1.2.2).
 //
 // Open-loop load at increasing offered rates; we report p50 and p99 for
-// (a) read-only, (b) write-only, and (c) 80/20 mixed workloads.
+// (a) read-only, (b) write-only, and (c) 80/20 mixed workloads. For MemoryDB
+// the primary's own write_commit_latency_us histogram is printed alongside
+// (srv columns) so the client-observed numbers can be cross-checked against
+// the server-side commit path, and every MemoryDB point's node-side metrics
+// are dumped to fig5_node_metrics.json.
 //
 // Expected shape (paper): reads — both sub-ms p50 and <2 ms p99;
 // writes — Redis sub-ms p50 / up to 3 ms p99, MemoryDB ~3 ms p50 (every
@@ -9,11 +13,13 @@
 // p99 up to 2 ms (Redis) vs 4 ms (MemoryDB).
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_support/driver.h"
 #include "bench_support/fixtures.h"
 #include "bench_support/instances.h"
+#include "bench_support/metrics_json.h"
 
 namespace memdb::bench {
 namespace {
@@ -22,15 +28,20 @@ constexpr uint64_t kPrefillKeys = 50'000;
 constexpr sim::Duration kWarmup = 200 * sim::kMs;
 constexpr sim::Duration kMeasure = 500 * sim::kMs;
 
+std::vector<std::string> g_json_rows;
+
 struct Point {
   uint64_t offered;
   double p50_ms, p99_ms;
   double achieved;
+  // Server-side commit latency (MemoryDB primary only; 0 when absent).
+  double srv_p50_ms = 0, srv_p99_ms = 0;
 };
 
 template <typename Fixture>
 Point MeasureAt(Fixture& f, sim::NodeId primary, uint64_t offered,
-                double set_ratio, uint64_t seed) {
+                double set_ratio, uint64_t seed,
+                memorydb::Node* server = nullptr) {
   LoadDriver::Options opts;
   opts.set_ratio = set_ratio;
   opts.value_bytes = 100;
@@ -41,6 +52,8 @@ Point MeasureAt(Fixture& f, sim::NodeId primary, uint64_t offered,
   driver.Start();
   f.sim->RunFor(kWarmup);
   driver.ResetStats();
+  // Scope the server-side histograms to the measurement window too.
+  if (server != nullptr) server->metrics().ResetAll();
   f.sim->RunFor(kMeasure);
   driver.Stop();
   Histogram combined;
@@ -51,15 +64,23 @@ Point MeasureAt(Fixture& f, sim::NodeId primary, uint64_t offered,
   p.p50_ms = static_cast<double>(combined.Percentile(0.50)) / 1000.0;
   p.p99_ms = static_cast<double>(combined.Percentile(0.99)) / 1000.0;
   p.achieved = driver.Throughput();
+  if (server != nullptr) {
+    const Histogram* h =
+        server->metrics().FindHistogram("write_commit_latency_us");
+    if (h != nullptr && h->count() > 0) {
+      p.srv_p50_ms = static_cast<double>(h->Percentile(0.50)) / 1000.0;
+      p.srv_p99_ms = static_cast<double>(h->Percentile(0.99)) / 1000.0;
+    }
+  }
   return p;
 }
 
-void RunPanel(const char* title, double set_ratio,
+void RunPanel(const char* title, const char* slug, double set_ratio,
               const std::vector<uint64_t>& rates) {
   std::printf("\n%s\n", title);
-  std::printf("%-12s | %10s %9s %9s | %10s %9s %9s\n", "offered",
+  std::printf("%-12s | %10s %9s %9s | %10s %9s %9s %9s %9s\n", "offered",
               "redis[op/s]", "p50[ms]", "p99[ms]", "memdb[op/s]", "p50[ms]",
-              "p99[ms]");
+              "p99[ms]", "srv p50", "srv p99");
   const InstanceModel& m = R7g("r7g.16xlarge");
   for (uint64_t rate : rates) {
     RedisFixture rf = RedisFixture::Create(m, RedisFixture::Params{});
@@ -68,14 +89,42 @@ void RunPanel(const char* title, double set_ratio,
 
     MemDbFixture mf = MemDbFixture::Create(m, MemDbFixture::Params{});
     mf.Prefill(kPrefillKeys, 100);
-    Point memdb = MeasureAt(mf, mf.primary->id(), rate, set_ratio, 12);
+    Point memdb =
+        MeasureAt(mf, mf.primary->id(), rate, set_ratio, 12, mf.primary);
 
-    std::printf("%-12llu | %10.0f %9.2f %9.2f | %10.0f %9.2f %9.2f\n",
-                static_cast<unsigned long long>(rate), redis.achieved,
-                redis.p50_ms, redis.p99_ms, memdb.achieved, memdb.p50_ms,
-                memdb.p99_ms);
+    std::printf(
+        "%-12llu | %10.0f %9.2f %9.2f | %10.0f %9.2f %9.2f %9.2f %9.2f\n",
+        static_cast<unsigned long long>(rate), redis.achieved, redis.p50_ms,
+        redis.p99_ms, memdb.achieved, memdb.p50_ms, memdb.p99_ms,
+        memdb.srv_p50_ms, memdb.srv_p99_ms);
     std::fflush(stdout);
+
+    g_json_rows.push_back(
+        "{\"panel\":\"" + std::string(slug) +
+        "\",\"offered\":" + std::to_string(rate) +
+        ",\"client_p50_ms\":" + std::to_string(memdb.p50_ms) +
+        ",\"client_p99_ms\":" + std::to_string(memdb.p99_ms) +
+        ",\"server\":" +
+        MetricsJson(mf.primary->metrics(),
+                    {"write_commit_latency_us", "append_latency_us",
+                     "cmd_latency_us"},
+                    {"node_records_appended_total",
+                     "node_reads_deferred_total"}) +
+        "}");
   }
+}
+
+void WriteJson(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < g_json_rows.size(); ++i) {
+    std::fprintf(f, "  %s%s\n", g_json_rows[i].c_str(),
+                 i + 1 < g_json_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nnode-side metrics written to %s\n", path);
 }
 
 }  // namespace
@@ -84,13 +133,14 @@ void RunPanel(const char* title, double set_ratio,
 int main() {
   std::printf(
       "Figure 5: latency vs offered throughput, r7g.16xlarge, 100B values\n");
-  memdb::bench::RunPanel("(a) read-only", 0.0,
+  memdb::bench::RunPanel("(a) read-only", "read-only", 0.0,
                          {50'000, 100'000, 200'000, 300'000, 400'000,
                           480'000});
-  memdb::bench::RunPanel("(b) write-only", 1.0,
+  memdb::bench::RunPanel("(b) write-only", "write-only", 1.0,
                          {25'000, 50'000, 100'000, 150'000, 180'000,
                           250'000});
-  memdb::bench::RunPanel("(c) mixed 80%% GET / 20%% SET", 0.2,
+  memdb::bench::RunPanel("(c) mixed 80%% GET / 20%% SET", "mixed-80-20", 0.2,
                          {50'000, 100'000, 200'000, 300'000, 400'000});
+  memdb::bench::WriteJson("fig5_node_metrics.json");
   return 0;
 }

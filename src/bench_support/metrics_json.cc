@@ -1,0 +1,36 @@
+#include "bench_support/metrics_json.h"
+
+namespace memdb::bench {
+
+std::string MetricsJson(const MetricsRegistry& reg,
+                        const std::vector<std::string>& histograms,
+                        const std::vector<std::string>& counters) {
+  std::string out = "{";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",";
+    first = false;
+  };
+  for (const std::string& name : histograms) {
+    for (const auto& [labels, h] : reg.HistogramSeries(name)) {
+      sep();
+      out += "\"" + MetricsRegistry::SeriesName(name, labels) + "\":{";
+      out += "\"count\":" + std::to_string(h->count());
+      out += ",\"sum_us\":" + std::to_string(h->sum());
+      out += ",\"p50_us\":" + std::to_string(h->Percentile(0.50));
+      out += ",\"p99_us\":" + std::to_string(h->Percentile(0.99));
+      out += "}";
+    }
+  }
+  for (const std::string& name : counters) {
+    for (const auto& [labels, c] : reg.CounterSeries(name)) {
+      sep();
+      out += "\"" + MetricsRegistry::SeriesName(name, labels) +
+             "\":" + std::to_string(c->value());
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace memdb::bench

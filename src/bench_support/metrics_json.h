@@ -1,0 +1,26 @@
+// Node-side metrics as JSON for benchmark output files. Benchmarks scrape a
+// node's MetricsRegistry after a measurement window and emit the selected
+// series so offline analysis can cross-check client-observed latency against
+// server-side histograms (e.g. fig5 client p99 vs write_commit_latency_us).
+
+#ifndef MEMDB_BENCH_SUPPORT_METRICS_JSON_H_
+#define MEMDB_BENCH_SUPPORT_METRICS_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace memdb::bench {
+
+// Renders the named histogram families (every labeled series of each) and
+// counter families from `reg` as one JSON object:
+//   {"write_commit_latency_us":{"count":12,"sum_us":3400,"p50_us":210,
+//    "p99_us":900},"node_records_appended_total":12,...}
+std::string MetricsJson(const MetricsRegistry& reg,
+                        const std::vector<std::string>& histograms,
+                        const std::vector<std::string>& counters = {});
+
+}  // namespace memdb::bench
+
+#endif  // MEMDB_BENCH_SUPPORT_METRICS_JSON_H_

@@ -1,11 +1,16 @@
 #include "cluster/monitoring.h"
 
+#include <algorithm>
+
 namespace memdb::cluster {
 
 MonitoringService::MonitoringService(sim::Simulation* sim, sim::NodeId id,
                                      Config config)
     : Actor(sim, id), config_(config) {
-  Periodic(config_.poll_interval, [this] { PollAll(); });
+  Periodic(config_.poll_interval, [this] {
+    PollAll();
+    if (config_.scrape_metrics) ScrapeAll();
+  });
 }
 
 void MonitoringService::Watch(sim::NodeId node) { watched_.push_back(node); }
@@ -32,6 +37,59 @@ void MonitoringService::PollAll() {
           }
         });
   }
+}
+
+void MonitoringService::ScrapeAll() {
+  for (sim::NodeId node : watched_) {
+    Rpc(node, "db.metrics", "", 2 * sim::kSec,
+        [this, node](const Status& s, const std::string& exposition) {
+          NodeHealth& h = health_[node];
+          if (!s.ok()) {
+            h.reachable = false;
+            return;
+          }
+          ++scrapes_;
+          h.reachable = true;
+          h.scraped_at = Now();
+          double v = 0;
+          if (MetricsRegistry::ParseSeries(exposition, "node_role", &v)) {
+            h.role = static_cast<int64_t>(v);
+          }
+          if (MetricsRegistry::ParseSeries(exposition, "node_applied_index",
+                                           &v)) {
+            h.applied_index = static_cast<int64_t>(v);
+          }
+          if (MetricsRegistry::ParseSeries(exposition, "node_replication_lag",
+                                           &v)) {
+            h.replication_lag = static_cast<int64_t>(v);
+          }
+          if (MetricsRegistry::ParseSeries(
+                  exposition,
+                  "write_commit_latency_us{quantile=\"0.99\"}", &v)) {
+            h.commit_p99_us = v;
+          }
+        });
+  }
+}
+
+MonitoringService::ClusterHealth MonitoringService::ClusterSnapshot() const {
+  ClusterHealth out;
+  out.nodes_watched = watched_.size();
+  for (const auto& [node, h] : health_) {
+    if (!h.reachable) continue;
+    ++out.nodes_reachable;
+    if (h.role == 1) {
+      ++out.primaries;
+    } else if (h.role == 0) {
+      ++out.replicas;
+    } else if (h.role == 2) {
+      ++out.loading;
+    }
+    out.max_replication_lag = std::max(out.max_replication_lag,
+                                       h.replication_lag);
+    out.max_commit_p99_us = std::max(out.max_commit_p99_us, h.commit_p99_us);
+  }
+  return out;
 }
 
 }  // namespace memdb::cluster

@@ -3,6 +3,11 @@
 // internal view (the simulator's liveness ground truth stands in for peer
 // gossip), and repairs nodes it declares failed by restarting/replacing
 // them. Repaired nodes come back as recovering replicas.
+//
+// It also scrapes each node's metrics endpoint ("db.metrics", Prometheus
+// text exposition) on the same cadence and folds the per-node series into a
+// cluster-wide health snapshot: role census, worst replication lag, worst
+// server-side commit p99.
 
 #ifndef MEMDB_CLUSTER_MONITORING_H_
 #define MEMDB_CLUSTER_MONITORING_H_
@@ -10,6 +15,7 @@
 #include <map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "sim/actor.h"
 
 namespace memdb::cluster {
@@ -21,6 +27,29 @@ class MonitoringService : public sim::Actor {
     // Consecutive failed polls before declaring a node failed.
     int failure_threshold = 2;
     bool auto_repair = true;
+    // Scrape "db.metrics" alongside the health probe.
+    bool scrape_metrics = true;
+  };
+
+  // Last successful scrape of one node, parsed from its exposition text.
+  struct NodeHealth {
+    bool reachable = false;
+    int64_t role = -1;  // node_role gauge: 1 primary, 0 replica, 2 loading
+    int64_t applied_index = 0;
+    int64_t replication_lag = 0;
+    double commit_p99_us = 0;  // write_commit_latency_us{quantile="0.99"}
+    sim::Time scraped_at = 0;
+  };
+
+  // Aggregate over the latest scrape of every watched node.
+  struct ClusterHealth {
+    size_t nodes_watched = 0;
+    size_t nodes_reachable = 0;
+    size_t primaries = 0;
+    size_t replicas = 0;
+    size_t loading = 0;
+    int64_t max_replication_lag = 0;
+    double max_commit_p99_us = 0;
   };
 
   MonitoringService(sim::Simulation* sim, sim::NodeId id, Config config);
@@ -33,13 +62,22 @@ class MonitoringService : public sim::Actor {
     return it == failures_.end() ? 0 : it->second;
   }
 
+  const std::map<sim::NodeId, NodeHealth>& node_health() const {
+    return health_;
+  }
+  ClusterHealth ClusterSnapshot() const;
+  uint64_t scrapes() const { return scrapes_; }
+
  private:
   void PollAll();
+  void ScrapeAll();
 
   Config config_;
   std::vector<sim::NodeId> watched_;
   std::map<sim::NodeId, int> failures_;
+  std::map<sim::NodeId, NodeHealth> health_;
   uint64_t repairs_ = 0;
+  uint64_t scrapes_ = 0;
 };
 
 }  // namespace memdb::cluster

@@ -1,0 +1,115 @@
+// MetricsRegistry: the per-process observability hub. Every node-like actor
+// (MemoryDB node, Raft replica, monitoring service) owns one; composed
+// components (the engine inside a node) can share their owner's registry so
+// a single scrape covers the whole process.
+//
+// Three instrument kinds, all named and optionally labeled:
+//   * Counter   — monotonically increasing uint64 (events, bytes),
+//   * Gauge     — instantaneous int64 (queue depths, role, indices),
+//   * Histogram — log-bucketed latency distribution (common/histogram.h).
+//
+// Instruments are created on first use and live as long as the registry;
+// returned pointers are stable, so hot paths look them up once. Snapshots
+// capture every scalar series for delta computation across a measurement
+// window, and ExpositionText() renders the whole registry in Prometheus
+// text format (histograms as <name>_count/_sum plus quantile gauges).
+
+#ifndef MEMDB_COMMON_METRICS_H_
+#define MEMDB_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace memdb {
+
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_ = v; }
+  void Add(int64_t delta) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  // Label sets are small (0-2 pairs); order is normalized internally so
+  // {a=1,b=2} and {b=2,a=1} name the same series.
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {});
+
+  // Lookup without creation; nullptr if the series does not exist yet.
+  const Counter* FindCounter(const std::string& name,
+                             const Labels& labels = {}) const;
+  const Gauge* FindGauge(const std::string& name,
+                         const Labels& labels = {}) const;
+  const Histogram* FindHistogram(const std::string& name,
+                                 const Labels& labels = {}) const;
+
+  // All series registered under `name`, with their labels (exposition order).
+  std::vector<std::pair<Labels, const Counter*>> CounterSeries(
+      const std::string& name) const;
+  std::vector<std::pair<Labels, const Histogram*>> HistogramSeries(
+      const std::string& name) const;
+
+  // Point-in-time capture of every scalar series. Histograms contribute
+  // their count and sum (as "<name>_count" / "<name>_sum" keys), so deltas
+  // across a window are meaningful for all three instrument kinds.
+  struct Snapshot {
+    std::map<std::string, int64_t> values;  // fully-qualified series -> value
+  };
+  Snapshot TakeSnapshot() const;
+  // later - earlier, per series (missing-in-earlier counts as 0).
+  static Snapshot Delta(const Snapshot& later, const Snapshot& earlier);
+
+  // Zeroes every instrument in place (process-restart semantics). Instrument
+  // pointers handed out earlier remain valid.
+  void ResetAll();
+
+  // Prometheus text exposition of the full registry.
+  std::string ExpositionText() const;
+
+  // Parses one series value back out of exposition text; used by scrapers
+  // (cluster monitoring) and tests. `series` is the fully-qualified name,
+  // e.g. `node_role` or `cmd_latency_us_count{cmd="SET"}`. Returns false if
+  // the series is absent.
+  static bool ParseSeries(const std::string& exposition,
+                          const std::string& series, double* out);
+
+  // Fully-qualified series name: name{k="v",...} (or bare name).
+  static std::string SeriesName(const std::string& name, const Labels& labels);
+
+ private:
+  static Labels Normalized(Labels labels);
+
+  // Keyed by (metric name, normalized labels) so series of one family are
+  // contiguous for exposition.
+  using Key = std::pair<std::string, Labels>;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace memdb
+
+#endif  // MEMDB_COMMON_METRICS_H_

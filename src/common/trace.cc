@@ -1,0 +1,37 @@
+#include "common/trace.h"
+
+#include <algorithm>
+
+namespace memdb {
+
+void TraceLog::Record(uint64_t trace_id, std::string stage, uint64_t at_us,
+                      uint64_t detail) {
+  if (trace_id == 0) return;  // untraced work (service-internal records)
+  spans_.push_back(TraceSpan{trace_id, std::move(stage), at_us, detail});
+  if (spans_.size() > capacity_) spans_.pop_front();
+}
+
+std::vector<TraceSpan> TraceLog::ForTrace(uint64_t trace_id) const {
+  std::vector<TraceSpan> out;
+  for (const TraceSpan& s : spans_) {
+    if (s.trace_id == trace_id) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<TraceSpan> TraceLog::Reconstruct(
+    uint64_t trace_id, std::initializer_list<const TraceLog*> logs) {
+  std::vector<TraceSpan> out;
+  for (const TraceLog* log : logs) {
+    if (log == nullptr) continue;
+    std::vector<TraceSpan> part = log->ForTrace(trace_id);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     return a.at_us < b.at_us;
+                   });
+  return out;
+}
+
+}  // namespace memdb

@@ -1,0 +1,64 @@
+// Write-path tracing (§3.1/§3.2 observability). A trace follows one client
+// command through the stages of the durable write path:
+//
+//   cmd.receive -> pipeline.enqueue -> append.issue -> log.append.receive
+//     -> log.durable.local / log.follower.durable -> log.quorum.commit
+//     -> append.ack -> cmd.release
+//
+// (reads that hit a tracker hazard record read.hazard_defer / read.release
+// instead of the append stages.)
+//
+// Each actor on the path — the database node and every log replica — owns a
+// TraceLog and records the stages it executes, stamped with the simulation
+// clock. The trace id is allocated at command receipt and carried through
+// the record pipeline and the log wire format (LogRecord::trace_id), so a
+// test or operator can merge the span logs of all actors and reconstruct a
+// single write's causal chain end to end.
+
+#ifndef MEMDB_COMMON_TRACE_H_
+#define MEMDB_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace memdb {
+
+struct TraceSpan {
+  uint64_t trace_id = 0;
+  std::string stage;
+  uint64_t at_us = 0;    // simulation clock at recording time
+  uint64_t detail = 0;   // stage-specific (log index, recording node id, ...)
+};
+
+class TraceLog {
+ public:
+  // Bounded ring: oldest spans are dropped once `capacity` is exceeded, so
+  // long-running nodes pay a constant memory cost.
+  explicit TraceLog(size_t capacity = 8192) : capacity_(capacity) {}
+
+  void Record(uint64_t trace_id, std::string stage, uint64_t at_us,
+              uint64_t detail = 0);
+
+  const std::deque<TraceSpan>& spans() const { return spans_; }
+  void Clear() { spans_.clear(); }
+
+  // All spans of one trace, in recording order.
+  std::vector<TraceSpan> ForTrace(uint64_t trace_id) const;
+
+  // Merges the given logs' spans for one trace, sorted by timestamp (stable
+  // across logs for equal stamps). This is the reconstruction entry point:
+  // pass the node's log plus the log replicas' logs.
+  static std::vector<TraceSpan> Reconstruct(
+      uint64_t trace_id, std::initializer_list<const TraceLog*> logs);
+
+ private:
+  size_t capacity_;
+  std::deque<TraceSpan> spans_;
+};
+
+}  // namespace memdb
+
+#endif  // MEMDB_COMMON_TRACE_H_

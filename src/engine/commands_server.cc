@@ -2,6 +2,9 @@
 // session concerns (WAIT, READONLY, MULTI/EXEC queueing) live in the node
 // layers, which intercept those commands before dispatching here.
 
+#include <cctype>
+#include <cstdio>
+
 #include "engine/commands_common.h"
 #include "engine/engine.h"
 
@@ -68,15 +71,102 @@ Value CmdCommand(Engine& e, const Argv& argv, ExecContext& ctx) {
   return Value::Array(std::move(out));
 }
 
+std::string LowerName(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
 Value CmdInfo(Engine& e, const Argv& argv, ExecContext& ctx) {
+  static const ServerInfo kDefaultInfo;
+  const ServerInfo& srv = ctx.server != nullptr ? *ctx.server : kDefaultInfo;
+  const std::string section =
+      argv.size() >= 2 ? Engine::Upper(argv[1]) : std::string();
+  auto want = [&](const char* s) { return section.empty() || section == s; };
+  const MetricsRegistry& reg = e.metrics();
   std::string out;
-  out += "# Server\r\nengine_version:7.0.7-memdb\r\n";
-  out += "# Memory\r\nused_memory:" +
-         std::to_string(e.keyspace().used_memory()) + "\r\n";
-  out += "maxmemory:" + std::to_string(e.config().maxmemory_bytes) + "\r\n";
-  out += "# Keyspace\r\ndb0:keys=" + std::to_string(e.keyspace().Size()) +
-         "\r\n";
+
+  if (want("SERVER")) {
+    out += "# Server\r\n";
+    out += "engine_version:" + srv.engine_version + "\r\n";
+    out += "engine:memorydb\r\n";
+    out += "node_id:" + std::to_string(srv.node_id) + "\r\n";
+  }
+  if (want("REPLICATION")) {
+    out += "# Replication\r\n";
+    out += "role:" + srv.role + "\r\n";
+    out += "applied_index:" + std::to_string(srv.applied_index) + "\r\n";
+  }
+  if (want("MEMORY")) {
+    out += "# Memory\r\nused_memory:" +
+           std::to_string(e.keyspace().used_memory()) + "\r\n";
+    out += "maxmemory:" + std::to_string(e.config().maxmemory_bytes) + "\r\n";
+  }
+  if (want("STATS")) {
+    uint64_t total_calls = 0;
+    for (const auto& [labels, c] : reg.CounterSeries("engine_commands_total")) {
+      total_calls += c->value();
+    }
+    out += "# Stats\r\n";
+    out += "total_commands_processed:" + std::to_string(total_calls) + "\r\n";
+    // Node-level counters appear once the embedding layer shares its
+    // registry (zero for a bare engine).
+    for (const auto& [metric, field] :
+         {std::pair<const char*, const char*>{"node_records_appended_total",
+                                              "total_records_appended"},
+          std::pair<const char*, const char*>{"node_reads_deferred_total",
+                                              "reads_deferred_by_tracker"}}) {
+      const Counter* c = reg.FindCounter(metric);
+      out += std::string(field) + ":" +
+             std::to_string(c == nullptr ? 0 : c->value()) + "\r\n";
+    }
+  }
+  if (want("COMMANDSTATS")) {
+    out += "# Commandstats\r\n";
+    for (const auto& [labels, c] : reg.CounterSeries("engine_commands_total")) {
+      if (c->value() == 0 || labels.empty()) continue;
+      const std::string& cmd = labels.front().second;
+      const Histogram* h = reg.FindHistogram("cmd_latency_us", labels);
+      const uint64_t usec = h == nullptr ? 0 : h->sum();
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "cmdstat_%s:calls=%llu,usec=%llu,usec_per_call=%.2f\r\n",
+                    LowerName(cmd).c_str(),
+                    static_cast<unsigned long long>(c->value()),
+                    static_cast<unsigned long long>(usec),
+                    c->value() == 0
+                        ? 0.0
+                        : static_cast<double>(usec) /
+                              static_cast<double>(c->value()));
+      out += line;
+    }
+  }
+  if (want("LATENCYSTATS")) {
+    out += "# Latencystats\r\n";
+    for (const auto& [labels, h] : reg.HistogramSeries("cmd_latency_us")) {
+      if (h->count() == 0 || labels.empty()) continue;
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "latency_percentiles_usec_%s:p50=%llu,p99=%llu,"
+                    "p99.9=%llu\r\n",
+                    LowerName(labels.front().second).c_str(),
+                    static_cast<unsigned long long>(h->Percentile(0.50)),
+                    static_cast<unsigned long long>(h->Percentile(0.99)),
+                    static_cast<unsigned long long>(h->Percentile(0.999)));
+      out += line;
+    }
+  }
+  if (want("KEYSPACE")) {
+    out += "# Keyspace\r\ndb0:keys=" + std::to_string(e.keyspace().Size()) +
+           "\r\n";
+  }
   return Value::Bulk(std::move(out));
+}
+
+// Prometheus text exposition of the process registry (engine series plus
+// whatever the embedding node records into the shared registry).
+Value CmdMetrics(Engine& e, const Argv& argv, ExecContext& ctx) {
+  return Value::Bulk(e.metrics().ExpositionText());
 }
 
 }  // namespace
@@ -92,6 +182,7 @@ void RegisterServerCommands(Engine* e,
   add({"SELECT", 2, false, 0, 0, 0, CmdSelect});
   add({"COMMAND", -1, false, 0, 0, 0, CmdCommand});
   add({"INFO", -1, false, 0, 0, 0, CmdInfo});
+  add({"METRICS", 1, false, 0, 0, 0, CmdMetrics});
 }
 
 }  // namespace memdb::engine

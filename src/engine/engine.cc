@@ -65,6 +65,11 @@ void Engine::RegisterAll() {
   RegisterExtendedCommands(this, add);
 }
 
+void Engine::set_metrics(MetricsRegistry* registry) {
+  metrics_override_ = registry;
+  calls_cache_.clear();  // counters live in the old registry
+}
+
 const CommandSpec* Engine::FindCommand(const std::string& name) const {
   auto it = table_.find(Upper(name));
   return it == table_.end() ? nullptr : &it->second;
@@ -136,6 +141,14 @@ resp::Value Engine::Execute(const Argv& argv, ExecContext* ctx) {
   }
   if (spec->is_write && ctx->role == Role::kPrimary && WouldExceedMemory()) {
     return ErrOom();
+  }
+  if (ctx->role != Role::kReplicaApply) {
+    Counter*& calls = calls_cache_[spec];
+    if (calls == nullptr) {
+      calls = metrics().GetCounter("engine_commands_total",
+                                   {{"cmd", spec->name}});
+    }
+    calls->Increment();
   }
   ctx->effects_overridden = false;
   ctx->effects_mark = ctx->effects.size();

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "engine/keyspace.h"
 #include "resp/resp.h"
@@ -24,6 +25,16 @@
 namespace memdb::engine {
 
 using Argv = std::vector<std::string>;
+
+// Identity of the embedding server process, surfaced through INFO. The node
+// layer (MemoryDB or the Redis baseline) fills this from its own
+// configuration and role state; a bare engine reports defaults.
+struct ServerInfo {
+  std::string engine_version = "7.0.7";
+  std::string role = "master";  // "master" | "replica" | "loading"
+  uint64_t node_id = 0;
+  uint64_t applied_index = 0;   // last applied transaction-log entry
+};
 
 // Who is running the command; controls lazy-expiry behaviour (§2.1: replicas
 // never expire keys themselves, they wait for the primary's DEL).
@@ -37,6 +48,8 @@ struct ExecContext {
   uint64_t now_ms = 0;
   Role role = Role::kPrimary;
   Rng* rng = nullptr;  // required for SPOP / SRANDMEMBER / RANDOMKEY
+  // Server identity for INFO; nullptr when running the engine standalone.
+  const ServerInfo* server = nullptr;
 
   // -- outputs ------------------------------------------------------------
   // Replication effects produced by the commands executed under this
@@ -93,6 +106,17 @@ class Engine {
   const Config& config() const { return config_; }
   void set_maxmemory(uint64_t bytes) { config_.maxmemory_bytes = bytes; }
 
+  // The registry backing Commandstats/Latencystats and the METRICS command.
+  // An embedding node shares its own registry so engine- and node-level
+  // series appear in one scrape; a bare engine uses a private one.
+  MetricsRegistry& metrics() {
+    return metrics_override_ != nullptr ? *metrics_override_ : own_metrics_;
+  }
+  const MetricsRegistry& metrics() const {
+    return metrics_override_ != nullptr ? *metrics_override_ : own_metrics_;
+  }
+  void set_metrics(MetricsRegistry* registry);
+
   const CommandSpec* FindCommand(const std::string& name) const;
   // All registered commands (drives the consistency-test generator, which
   // mirrors the paper's "parse the API specification" approach, §7.2.2.2).
@@ -124,6 +148,11 @@ class Engine {
   Keyspace keyspace_;
   Rng rng_;
   std::map<std::string, CommandSpec> table_;  // keyed by uppercase name
+
+  MetricsRegistry own_metrics_;
+  MetricsRegistry* metrics_override_ = nullptr;
+  // Per-spec cached calls counters so the hot path avoids name lookups.
+  std::map<const CommandSpec*, Counter*> calls_cache_;
 };
 
 // Per-category registration, implemented in commands_*.cc.

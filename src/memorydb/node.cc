@@ -43,6 +43,35 @@ Node::Node(sim::Simulation* sim, NodeId id, NodeConfig config)
   On(client::kDbMulti, [this](const Message& m) { HandleMulti(m); });
   RegisterSlotHandlers();
 
+  // One registry for the whole process: the engine shares it, so INFO
+  // Commandstats/Latencystats and METRICS read node- and engine-level
+  // series from the same place.
+  engine_.set_metrics(&metrics_);
+  server_info_.engine_version = config_.engine_version;
+  server_info_.node_id = id;
+  write_commit_hist_ = metrics_.GetHistogram("write_commit_latency_us");
+  append_hist_ = metrics_.GetHistogram("append_latency_us");
+  lease_renew_hist_ = metrics_.GetHistogram("lease_renew_latency_us");
+  election_hist_ = metrics_.GetHistogram("election_latency_us");
+  pipeline_depth_gauge_ = metrics_.GetGauge("node_pipeline_depth");
+  tracker_keys_gauge_ = metrics_.GetGauge("node_tracker_keys");
+  deferred_reads_gauge_ = metrics_.GetGauge("node_deferred_reads");
+  role_gauge_ = metrics_.GetGauge("node_role");
+  reads_deferred_counter_ = metrics_.GetCounter("node_reads_deferred_total");
+  records_appended_counter_ =
+      metrics_.GetCounter("node_records_appended_total");
+  SyncRoleInfo();
+  // Scrape endpoint for the monitoring service: refresh the point-in-time
+  // gauges, then expose the registry.
+  On("db.metrics", [this](const Message& m) {
+    SyncRoleInfo();
+    metrics_.GetGauge("node_applied_index")
+        ->Set(static_cast<int64_t>(applied_index_));
+    metrics_.GetGauge("node_caught_up")->Set(caught_up_ ? 1 : 0);
+    SyncDepthGauges();
+    Reply(m, metrics_.ExpositionText());
+  });
+
   last_lease_observed_ = Now();
   StartLoops();
   // Every node starts life as a recovering replica (§4.2); the designated
@@ -68,9 +97,7 @@ void Node::StartLoops() {
   // Active expiry cycle (primary).
   Periodic(config_.active_expire_interval, [this] {
     if (role_ != DbRole::kPrimary) return;
-    engine::ExecContext ctx;
-    ctx.now_ms = Now() / 1000;
-    ctx.rng = &engine_.rng();
+    engine::ExecContext ctx = MakeContext(engine::Role::kPrimary);
     engine_.ActiveExpire(&ctx, 20);
     if (!ctx.effects.empty()) {
       PendingRecord rec;
@@ -105,6 +132,11 @@ void Node::OnRestart() {
   last_lease_observed_ = Now();
   stepping_down_ = false;
   stats_ = Stats{};
+  // A restarted process starts its observability state from zero; cached
+  // instrument pointers stay valid because ResetAll zeroes in place.
+  metrics_.ResetAll();
+  trace_.Clear();
+  campaign_started_at_ = 0;
   StartLoops();
   // A restarted process comes back as a recovering replica (§4.2): restore
   // from the latest snapshot, then replay the log.
@@ -115,6 +147,56 @@ void Node::OnRestart() {
 
 void Node::ReplyValue(const Message& m, const Value& v) {
   Reply(m, v.Encode());
+}
+
+void Node::FinishCommand(const PendingReply& pr, const char* stage) {
+  if (pr.trace.id != 0) {
+    trace_.Record(pr.trace.id, stage, Now());
+    FamilyHistogram(pr.trace.family)->Record(Now() - pr.trace.received_at);
+  }
+  ReplyValue(pr.request, pr.reply);
+}
+
+Histogram* Node::FamilyHistogram(const std::string& family) {
+  auto it = family_hists_.find(family);
+  if (it != family_hists_.end()) return it->second;
+  Histogram* h = metrics_.GetHistogram("cmd_latency_us", {{"cmd", family}});
+  family_hists_.emplace(family, h);
+  return h;
+}
+
+void Node::SyncDepthGauges() {
+  pipeline_depth_gauge_->Set(static_cast<int64_t>(pipeline_.size()));
+  tracker_keys_gauge_->Set(static_cast<int64_t>(key_hazards_.size()));
+  deferred_reads_gauge_->Set(static_cast<int64_t>(deferred_reads_.size()));
+}
+
+void Node::SyncRoleInfo() {
+  switch (role_) {
+    case DbRole::kPrimary:
+      server_info_.role = "master";
+      role_gauge_->Set(1);
+      break;
+    case DbRole::kReplica:
+      server_info_.role = "replica";
+      role_gauge_->Set(0);
+      break;
+    case DbRole::kRecovering:
+      server_info_.role = "loading";
+      role_gauge_->Set(2);
+      break;
+  }
+  server_info_.applied_index = applied_index_;
+}
+
+engine::ExecContext Node::MakeContext(engine::Role role) {
+  server_info_.applied_index = applied_index_;
+  engine::ExecContext ctx;
+  ctx.now_ms = Now() / 1000;
+  ctx.role = role;
+  ctx.rng = &engine_.rng();
+  ctx.server = &server_info_;
+  return ctx;
 }
 
 void Node::HandleCommand(const Message& m) {
@@ -142,6 +224,8 @@ void Node::HandleCommand(const Message& m) {
     ReplyValue(m, Value::Error("ERR unknown command '" + req.argv[0] + "'"));
     return;
   }
+  ReqTrace rt{NewTraceId(), Now(), name};
+  trace_.Record(rt.id, "cmd.receive", Now());
   const bool is_write = spec->is_write;
   // Accumulate nanosecond costs into whole scheduler microseconds.
   io_cost_carry_ns_ += config_.io_op_cost_ns;
@@ -154,18 +238,18 @@ void Node::HandleCommand(const Message& m) {
 
   const uint64_t epoch = epoch_;
   io_pool_.SubmitAnd(io_cost, [this, m, req = std::move(req), is_write,
-                               engine_cost, epoch]() mutable {
+                               engine_cost, epoch, rt]() mutable {
     if (!alive() || epoch != epoch_) return;
     workloop_.SubmitAnd(engine_cost, [this, m, req = std::move(req), is_write,
-                                      epoch]() mutable {
+                                      epoch, rt = std::move(rt)]() mutable {
       if (!alive() || epoch != epoch_) return;
       switch (role_) {
         case DbRole::kPrimary:
-          ExecuteOnPrimary(m, {req.argv}, /*multi=*/false);
+          ExecuteOnPrimary(m, {req.argv}, /*multi=*/false, rt);
           return;
         case DbRole::kReplica:
           if (req.readonly && !is_write) {
-            ExecuteReadOnReplica(m, req.argv);
+            ExecuteReadOnReplica(m, req.argv, rt);
           } else {
             const sim::NodeId hint =
                 known_primary_ != sim::kInvalidNode ? known_primary_ : id();
@@ -192,17 +276,20 @@ void Node::HandleMulti(const Message& m) {
     return;
   }
   ++stats_.commands;
+  ReqTrace rt{NewTraceId(), Now(), "MULTI"};
+  trace_.Record(rt.id, "cmd.receive", Now());
   const Duration engine_cost =
       std::max<Duration>(1, config_.engine_write_cost_ns / 1000) *
       req.commands.size();
   const uint64_t epoch = epoch_;
   io_pool_.SubmitAnd(std::max<Duration>(1, config_.io_op_cost_ns / 1000),
-                     [this, m, req = std::move(req), engine_cost,
-                      epoch]() mutable {
+                     [this, m, req = std::move(req), engine_cost, epoch,
+                      rt]() mutable {
                        if (!alive() || epoch != epoch_) return;
                        workloop_.SubmitAnd(
                            engine_cost,
-                           [this, m, req = std::move(req), epoch]() mutable {
+                           [this, m, req = std::move(req), epoch,
+                            rt = std::move(rt)]() mutable {
                              if (!alive() || epoch != epoch_) return;
                              if (role_ != DbRole::kPrimary) {
                                ReplyValue(
@@ -212,14 +299,15 @@ void Node::HandleMulti(const Message& m) {
                                                  : known_primary_)));
                                return;
                              }
-                             ExecuteOnPrimary(m, req.commands, /*multi=*/true);
+                             ExecuteOnPrimary(m, req.commands, /*multi=*/true,
+                                              rt);
                            });
                      });
 }
 
 void Node::ExecuteOnPrimary(const Message& m,
                             const std::vector<engine::Argv>& commands,
-                            bool multi) {
+                            bool multi, const ReqTrace& rt) {
   std::vector<std::string> read_keys;
   uint16_t slot = 0;
   bool has_write = false;
@@ -233,10 +321,7 @@ void Node::ExecuteOnPrimary(const Message& m,
     return;
   }
 
-  engine::ExecContext ctx;
-  ctx.now_ms = Now() / 1000;
-  ctx.role = engine::Role::kPrimary;
-  ctx.rng = &engine_.rng();
+  engine::ExecContext ctx = MakeContext(engine::Role::kPrimary);
 
   std::vector<Value> replies;
   for (const engine::Argv& argv : commands) {
@@ -262,8 +347,10 @@ void Node::ExecuteOnPrimary(const Message& m,
     PendingRecord rec;
     rec.batch_seq = next_batch_seq_++;
     rec.payload = EncodeEffectBatch(ctx.effects);
-    rec.replies.push_back(PendingReply{m, std::move(final_reply)});
+    rec.trace_id = rt.id;
+    rec.replies.push_back(PendingReply{m, std::move(final_reply), rt});
     for (const auto& k : ctx.dirty_keys) key_hazards_[k] = rec.batch_seq;
+    trace_.Record(rt.id, "pipeline.enqueue", Now());
     EnqueueRecord(std::move(rec));
     return;
   }
@@ -272,20 +359,21 @@ void Node::ExecuteOnPrimary(const Message& m,
   const uint64_t hazard = HazardFor(read_keys);
   if (hazard > acked_batch_seq_) {
     ++stats_.reads_deferred_by_tracker;
+    reads_deferred_counter_->Increment();
+    trace_.Record(rt.id, "read.hazard_defer", Now(), hazard);
     deferred_reads_.emplace(hazard,
-                            PendingReply{m, std::move(final_reply)});
+                            PendingReply{m, std::move(final_reply), rt});
+    SyncDepthGauges();
     return;
   }
-  ReplyValue(m, final_reply);
+  FinishCommand(PendingReply{m, std::move(final_reply), rt}, "cmd.reply");
 }
 
-void Node::ExecuteReadOnReplica(const Message& m, const engine::Argv& argv) {
-  engine::ExecContext ctx;
-  ctx.now_ms = Now() / 1000;
-  ctx.role = engine::Role::kReplicaRead;
-  ctx.rng = &engine_.rng();
+void Node::ExecuteReadOnReplica(const Message& m, const engine::Argv& argv,
+                                const ReqTrace& rt) {
+  engine::ExecContext ctx = MakeContext(engine::Role::kReplicaRead);
   // Replica reads never block: data is only visible once committed (§3.2).
-  ReplyValue(m, engine_.Execute(argv, &ctx));
+  FinishCommand(PendingReply{m, engine_.Execute(argv, &ctx), rt}, "cmd.reply");
 }
 
 // ---------------------------------------------------------------- tracker
@@ -302,8 +390,7 @@ uint64_t Node::HazardFor(const std::vector<std::string>& keys) const {
 void Node::ReleaseUpTo(uint64_t batch_seq) {
   while (!deferred_reads_.empty() &&
          deferred_reads_.begin()->first <= batch_seq) {
-    ReplyValue(deferred_reads_.begin()->second.request,
-               deferred_reads_.begin()->second.reply);
+    FinishCommand(deferred_reads_.begin()->second, "read.release");
     deferred_reads_.erase(deferred_reads_.begin());
   }
   for (auto it = key_hazards_.begin(); it != key_hazards_.end();) {
@@ -313,6 +400,7 @@ void Node::ReleaseUpTo(uint64_t batch_seq) {
       ++it;
     }
   }
+  SyncDepthGauges();
 }
 
 // ---------------------------------------------------------------- pipeline
@@ -344,6 +432,7 @@ bool Node::DecodeEffectBatch(const std::string& payload, std::string* version,
 }
 
 void Node::EnqueueRecord(PendingRecord record) {
+  if (record.enqueued_at == 0) record.enqueued_at = Now();
   // Group commit: coalesce into the last not-yet-in-flight data record.
   const bool front_in_flight = append_in_flight_;
   if (record.type == txlog::RecordType::kData && !pipeline_.empty()) {
@@ -359,11 +448,13 @@ void Node::EnqueueRecord(PendingRecord record) {
       back.data_records += record.data_records;
       back.batch_seq = std::max(back.batch_seq, record.batch_seq);
       for (auto& r : record.replies) back.replies.push_back(std::move(r));
+      SyncDepthGauges();
       FlushPipeline();
       return;
     }
   }
   pipeline_.push_back(std::move(record));
+  SyncDepthGauges();
   FlushPipeline();
 }
 
@@ -377,10 +468,15 @@ void Node::FlushPipeline() {
     PutFixed64(&rec.payload, running_checksum_);
     PutVarint64(&rec.payload, data_records_seen_);
   }
+  rec.issued_at = Now();
+  trace_.Record(rec.trace_id, "append.issue", Now(), predicted_tail_);
   txlog::LogRecord r;
   r.type = rec.type;
   r.writer = id();
   r.request_id = next_request_id_++;
+  // The trace id rides the wire so log replicas stamp spans under the same
+  // id the node used; coalesced batches keep the first command's id.
+  r.trace_id = rec.trace_id;
   r.payload = rec.payload;
   const uint64_t epoch = epoch_;
   log_.Append(predicted_tail_, std::move(r),
@@ -396,6 +492,9 @@ void Node::OnAppendResult(const Status& s, uint64_t index) {
     PendingRecord rec = std::move(pipeline_.front());
     pipeline_.pop_front();
     ++stats_.records_appended;
+    records_appended_counter_->Increment();
+    append_hist_->Record(Now() - rec.issued_at);
+    trace_.Record(rec.trace_id, "append.ack", Now(), index);
     predicted_tail_ = index;
     applied_index_ = index;
     if (rec.type == txlog::RecordType::kData) {
@@ -418,14 +517,22 @@ void Node::OnAppendResult(const Status& s, uint64_t index) {
         // Collaborative handover (§5.2): the release is durable; replicas
         // observing it campaign immediately. Stop serving now.
         acked_batch_seq_ = std::max(acked_batch_seq_, rec.batch_seq);
-        for (PendingReply& pr : rec.replies) ReplyValue(pr.request, pr.reply);
+        for (PendingReply& pr : rec.replies) {
+          FinishCommand(pr, "cmd.release");
+        }
         Demote("collaborative handover");
         return;
       }
+      lease_renew_hist_->Record(Now() - rec.enqueued_at);
       lease_deadline_ = Now() + config_.lease_duration;
     }
     acked_batch_seq_ = std::max(acked_batch_seq_, rec.batch_seq);
-    for (PendingReply& pr : rec.replies) ReplyValue(pr.request, pr.reply);
+    for (PendingReply& pr : rec.replies) {
+      if (rec.type == txlog::RecordType::kData && pr.trace.id != 0) {
+        write_commit_hist_->Record(Now() - pr.trace.received_at);
+      }
+      FinishCommand(pr, "cmd.release");
+    }
     ReleaseUpTo(acked_batch_seq_);
     FlushPipeline();
     return;
@@ -502,6 +609,12 @@ void Node::BecomePrimary(uint64_t leadership_index) {
   role_ = DbRole::kPrimary;
   known_primary_ = id();
   ++stats_.promotions;
+  if (campaign_started_at_ != 0) {
+    election_hist_->Record(Now() - campaign_started_at_);
+    campaign_started_at_ = 0;
+  }
+  metrics_.GetCounter("node_promotions_total")->Increment();
+  SyncRoleInfo();
   predicted_tail_ = leadership_index;
   applied_index_ = leadership_index;
   lease_deadline_ = Now() + config_.lease_duration;
@@ -527,6 +640,8 @@ void Node::Demote(const std::string& reason) {
   for (auto& [seq, pr] : deferred_reads_) ReplyValue(pr.request, err);
   deferred_reads_.clear();
   key_hazards_.clear();
+  metrics_.GetCounter("node_demotions_total")->Increment();
+  SyncDepthGauges();
   StartRecovery();
 }
 
@@ -545,6 +660,8 @@ void Node::StepDown() {
 
 void Node::Campaign() {
   if (role_ != DbRole::kReplica || version_blocked_ || !caught_up_) return;
+  campaign_started_at_ = Now();
+  metrics_.GetCounter("node_campaigns_total")->Increment();
   const uint64_t epoch = epoch_;
   txlog::LogRecord r;
   r.type = txlog::RecordType::kLeadership;
@@ -597,6 +714,15 @@ void Node::PollLog() {
           effects_applied += ApplyEntry(e);
           if (version_blocked_) break;
         }
+        if (effects_applied > 0) {
+          metrics_.GetCounter("node_effects_applied_total")
+              ->Increment(effects_applied);
+        }
+        metrics_.GetGauge("node_replication_lag")
+            ->Set(static_cast<int64_t>(
+                r.commit_index > applied_index_
+                    ? r.commit_index - applied_index_
+                    : 0));
         caught_up_ = applied_index_ >= r.commit_index;
         if (!r.entries.empty() && !caught_up_) {
           // Replay burns replica CPU: throttle the next batch by the
@@ -675,6 +801,7 @@ size_t Node::ApplyEntry(const txlog::LogEntry& entry) {
 void Node::StartRecovery() {
   ++stats_.recoveries;
   role_ = DbRole::kRecovering;
+  SyncRoleInfo();
   const uint64_t epoch = ++epoch_;
   engine_.keyspace().Clear();
   applied_index_ = 0;
@@ -716,6 +843,7 @@ void Node::StartRecovery() {
 
 void Node::FinishRecovery() {
   role_ = DbRole::kReplica;
+  SyncRoleInfo();
   last_lease_observed_ = Now();
   PollLog();
 }

@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "client/db_wire.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "engine/engine.h"
 #include "engine/snapshot.h"
 #include "sim/actor.h"
@@ -102,6 +104,16 @@ class Node : public sim::Actor {
   };
   const Stats& stats() const { return stats_; }
 
+  // Observability. The registry is shared with the embedded engine (so INFO
+  // Commandstats/Latencystats and METRICS cover both layers) and scraped by
+  // the monitoring service via the `db.metrics` RPC. The trace log records
+  // the write-path stages this node executes; merge it with the log
+  // replicas' trace logs (TraceLog::Reconstruct) to follow one write end to
+  // end.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  const TraceLog& trace_log() const { return trace_; }
+
   // Triggers an election attempt now (used by collaborative leadership
   // handover during scaling, §5.2).
   void Campaign();
@@ -124,9 +136,17 @@ class Node : public sim::Actor {
   SlotState slot_state(uint16_t slot) const;
 
  private:
+  // Per-request trace context, allocated at command receipt and carried to
+  // the final reply so per-family latency and span logs line up.
+  struct ReqTrace {
+    uint64_t id = 0;
+    sim::Time received_at = 0;
+    std::string family;  // uppercase command name ("SET", "MULTI", ...)
+  };
   struct PendingReply {
     sim::Message request;
     resp::Value reply;
+    ReqTrace trace;
   };
   // One chunk of the replication stream awaiting commit.
   struct PendingRecord {
@@ -135,6 +155,9 @@ class Node : public sim::Actor {
     std::vector<PendingReply> replies;
     uint64_t data_records = 1;  // 0 for lease/checksum records
     txlog::RecordType type = txlog::RecordType::kData;
+    uint64_t trace_id = 0;      // trace of the command that opened the record
+    sim::Time enqueued_at = 0;
+    sim::Time issued_at = 0;    // append RPC issue time
   };
 
   // ---- request plumbing ---------------------------------------------------
@@ -142,9 +165,19 @@ class Node : public sim::Actor {
   void HandleMulti(const sim::Message& m);
   void ExecuteOnPrimary(const sim::Message& m,
                         const std::vector<engine::Argv>& commands,
-                        bool multi);
-  void ExecuteReadOnReplica(const sim::Message& m, const engine::Argv& argv);
+                        bool multi, const ReqTrace& rt);
+  void ExecuteReadOnReplica(const sim::Message& m, const engine::Argv& argv,
+                            const ReqTrace& rt);
   void ReplyValue(const sim::Message& m, const resp::Value& v);
+  // Records the final span + per-family latency, then replies.
+  void FinishCommand(const PendingReply& pr, const char* stage);
+
+  // ---- observability ------------------------------------------------------
+  uint64_t NewTraceId() { return (uint64_t{id()} << 32) | next_trace_id_++; }
+  Histogram* FamilyHistogram(const std::string& family);
+  void SyncDepthGauges();
+  void SyncRoleInfo();
+  engine::ExecContext MakeContext(engine::Role role);
 
   // ---- tracker (§3.2) -----------------------------------------------------
   void ReleaseUpTo(uint64_t batch_seq);
@@ -253,6 +286,24 @@ class Node : public sim::Actor {
   // Sub-microsecond cost accumulation (the scheduler's tick is 1 us).
   uint64_t engine_cost_carry_ns_ = 0;
   uint64_t io_cost_carry_ns_ = 0;
+
+  // ---- observability state ------------------------------------------------
+  MetricsRegistry metrics_;
+  TraceLog trace_;
+  engine::ServerInfo server_info_;
+  uint64_t next_trace_id_ = 1;
+  sim::Time campaign_started_at_ = 0;
+  std::map<std::string, Histogram*> family_hists_;  // cmd_latency_us{cmd=}
+  Histogram* write_commit_hist_ = nullptr;  // receive -> durable ack
+  Histogram* append_hist_ = nullptr;        // append issue -> ack
+  Histogram* lease_renew_hist_ = nullptr;
+  Histogram* election_hist_ = nullptr;      // campaign -> promoted
+  Gauge* pipeline_depth_gauge_ = nullptr;
+  Gauge* tracker_keys_gauge_ = nullptr;
+  Gauge* deferred_reads_gauge_ = nullptr;
+  Gauge* role_gauge_ = nullptr;
+  Counter* reads_deferred_counter_ = nullptr;
+  Counter* records_appended_counter_ = nullptr;
 };
 
 }  // namespace memdb::memorydb

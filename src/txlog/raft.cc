@@ -29,6 +29,14 @@ RaftReplica::RaftReplica(sim::Simulation* sim, NodeId id,
   On(wire::kClientTrim, [this](const Message& m) { HandleClientTrim(m); });
   // On process start, everything already fsynced counts as durable.
   durable_index_ = last_index();
+  elections_started_ = metrics_.GetCounter("raft_elections_started_total");
+  leader_elected_ = metrics_.GetCounter("raft_leader_elected_total");
+  client_appends_ = metrics_.GetCounter("raft_client_appends_total");
+  entries_replicated_ = metrics_.GetCounter("raft_entries_replicated_total");
+  term_gauge_ = metrics_.GetGauge("raft_term");
+  commit_gauge_ = metrics_.GetGauge("raft_commit_index");
+  commit_latency_ = metrics_.GetHistogram("raft_append_commit_latency_us");
+  term_gauge_->Set(static_cast<int64_t>(persistent_->current_term));
   ResetElectionTimer();
 }
 
@@ -45,6 +53,7 @@ void RaftReplica::OnRestart() {
   match_index_.clear();
   append_inflight_.clear();
   pending_appends_.clear();
+  append_received_at_.clear();
   barrier_index_ = 0;
   heartbeat_loop_running_ = false;  // the periodic timer died with the crash
   ResetElectionTimer();
@@ -99,6 +108,7 @@ void RaftReplica::BecomeFollower(uint64_t term) {
   if (term > persistent_->current_term) {
     persistent_->current_term = term;
     persistent_->voted_for = sim::kInvalidNode;
+    term_gauge_->Set(static_cast<int64_t>(term));
   }
   const bool was_leader = (role_ == RaftRole::kLeader);
   role_ = RaftRole::kFollower;
@@ -112,6 +122,8 @@ void RaftReplica::BecomeFollower(uint64_t term) {
 void RaftReplica::StartElection() {
   role_ = RaftRole::kCandidate;
   ++persistent_->current_term;
+  elections_started_->Increment();
+  term_gauge_->Set(static_cast<int64_t>(persistent_->current_term));
   persistent_->voted_for = id();
   votes_received_ = 1;  // self
   const uint64_t epoch = ++election_epoch_;
@@ -171,6 +183,7 @@ void RaftReplica::HandleVoteRequest(const Message& m) {
 void RaftReplica::BecomeLeader() {
   role_ = RaftRole::kLeader;
   leader_hint_ = id();
+  leader_elected_->Increment();
   ++election_epoch_;
   election_timer_.Cancel();
   next_index_.clear();
@@ -203,11 +216,13 @@ void RaftReplica::AppendToLocalLog(LogRecord record) {
   entry.term = persistent_->current_term;
   entry.index = last_index() + 1;
   entry.record = std::move(record);
+  const uint64_t trace_id = entry.record.trace_id;
   persistent_->log.push_back(std::move(entry));
   const uint64_t upto = last_index();
-  disk_.SubmitAnd(options_.disk_write_us, [this, upto] {
+  disk_.SubmitAnd(options_.disk_write_us, [this, upto, trace_id] {
     if (!alive()) return;
     durable_index_ = std::max(durable_index_, std::min(upto, last_index()));
+    trace_.Record(trace_id, "log.durable.local", Now(), upto);
     if (role_ == RaftRole::kLeader) AdvanceCommitIndex();
   });
 }
@@ -249,6 +264,12 @@ void RaftReplica::SendAppendEntries(NodeId peer) {
         if (resp.success) {
           match_index_[peer] = std::max(match_index_[peer], resp.match_index);
           next_index_[peer] = match_index_[peer] + 1;
+          Gauge*& lag = peer_lag_gauges_[peer];
+          if (lag == nullptr) {
+            lag = metrics_.GetGauge("raft_replication_lag",
+                                    {{"peer", std::to_string(peer)}});
+          }
+          lag->Set(static_cast<int64_t>(last_index() - match_index_[peer]));
           AdvanceCommitIndex();
         } else {
           next_index_[peer] =
@@ -269,6 +290,7 @@ void RaftReplica::AdvanceCommitIndex() {
   if (majority_match > commit_index_ &&
       TermAt(majority_match) == persistent_->current_term) {
     commit_index_ = majority_match;
+    commit_gauge_->Set(static_cast<int64_t>(commit_index_));
     MaybeAckClients();
   }
 }
@@ -277,6 +299,15 @@ void RaftReplica::MaybeAckClients() {
   while (!pending_appends_.empty() &&
          pending_appends_.begin()->first <= commit_index_) {
     auto it = pending_appends_.begin();
+    const LogEntry* e = EntryAt(it->first);
+    if (e != nullptr) {
+      trace_.Record(e->record.trace_id, "log.quorum.commit", Now(), it->first);
+    }
+    auto recv = append_received_at_.find(it->first);
+    if (recv != append_received_at_.end()) {
+      commit_latency_->Record(Now() - recv->second);
+      append_received_at_.erase(recv);
+    }
     wire::ClientAppendResponse resp;
     resp.result = wire::ClientResult::kOk;
     resp.index = it->first;
@@ -294,6 +325,7 @@ void RaftReplica::FailPendingAppends(const Status& status) {
     Reply(msg, resp.Encode());
   }
   pending_appends_.clear();
+  append_received_at_.clear();
 }
 
 // --------------------------------------------------------------- followers
@@ -330,6 +362,9 @@ void RaftReplica::HandleAppendEntriesRequest(const Message& m) {
 
   // Append new entries, resolving conflicts by truncation.
   uint64_t appended_upto = req.prev_index;
+  // (trace_id, index) of entries newly persisted by this call, stamped as
+  // follower-durable once the modeled fsync completes.
+  std::vector<std::pair<uint64_t, uint64_t>> traced;
   for (const LogEntry& e : req.entries) {
     const LogEntry* existing = EntryAt(e.index);
     if (existing != nullptr) {
@@ -341,6 +376,10 @@ void RaftReplica::HandleAppendEntriesRequest(const Message& m) {
     }
     if (e.index == last_index() + 1) {
       persistent_->log.push_back(e);
+      entries_replicated_->Increment();
+      if (e.record.trace_id != 0) {
+        traced.emplace_back(e.record.trace_id, e.index);
+      }
       appended_upto = e.index;
     }
   }
@@ -351,11 +390,16 @@ void RaftReplica::HandleAppendEntriesRequest(const Message& m) {
   // durability guarantee: commit requires 2 of 3 AZ fsyncs).
   const Duration cost =
       options_.disk_write_us * std::max<uint64_t>(1, req.entries.size());
-  disk_.SubmitAnd(cost, [this, m, match, leader_commit] {
+  disk_.SubmitAnd(cost, [this, m, match, leader_commit,
+                         traced = std::move(traced)] {
     if (!alive()) return;
     durable_index_ = std::max(durable_index_, std::min(match, last_index()));
     commit_index_ =
         std::max(commit_index_, std::min(leader_commit, durable_index_));
+    commit_gauge_->Set(static_cast<int64_t>(commit_index_));
+    for (const auto& [trace_id, index] : traced) {
+      trace_.Record(trace_id, "log.follower.durable", Now(), index);
+    }
     wire::AppendEntriesResponse out;
     out.term = persistent_->current_term;
     out.success = true;
@@ -393,7 +437,11 @@ void RaftReplica::HandleClientAppend(const Message& m) {
     Reply(m, resp.Encode());
     return;
   }
+  client_appends_->Increment();
+  const uint64_t trace_id = req.record.trace_id;
   AppendToLocalLog(std::move(req.record));
+  trace_.Record(trace_id, "log.append.receive", Now(), last_index());
+  append_received_at_[last_index()] = Now();
   pending_appends_.emplace(last_index(), m);
   BroadcastAppendEntries();
 }

@@ -21,7 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "sim/actor.h"
 #include "sim/queue_server.h"
 #include "txlog/record.h"
@@ -68,6 +70,13 @@ class RaftReplica : public sim::Actor {
 
   // Test/inspection helper: committed entries in [from, from+count).
   std::vector<LogEntry> CommittedEntries(uint64_t from, size_t count) const;
+
+  // Observability: per-replica metrics (elections, per-peer replication lag,
+  // append->quorum-commit latency) and the write-path span log for records
+  // carrying a trace id.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  const TraceLog& trace_log() const { return trace_; }
 
  private:
   // --- role transitions ---------------------------------------------------
@@ -123,6 +132,21 @@ class RaftReplica : public sim::Actor {
   // Index of the no-op barrier this leader appended at election; client
   // appends are deferred with Unavailable until it commits.
   uint64_t barrier_index_ = 0;
+
+  // Observability.
+  MetricsRegistry metrics_;
+  TraceLog trace_;
+  // Receipt time of client appends awaiting quorum, for the
+  // append->commit latency histogram: index -> receipt time.
+  std::map<uint64_t, sim::Time> append_received_at_;
+  std::map<sim::NodeId, Gauge*> peer_lag_gauges_;
+  Counter* elections_started_ = nullptr;
+  Counter* leader_elected_ = nullptr;
+  Counter* client_appends_ = nullptr;
+  Counter* entries_replicated_ = nullptr;
+  Gauge* term_gauge_ = nullptr;
+  Gauge* commit_gauge_ = nullptr;
+  Histogram* commit_latency_ = nullptr;
 };
 
 }  // namespace memdb::txlog

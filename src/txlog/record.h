@@ -35,12 +35,17 @@ struct LogRecord {
   // Writer-local unique id; lets a writer resolve indeterminate appends by
   // re-reading the log after a timeout.
   uint64_t request_id = 0;
+  // Write-path trace context (common/trace.h); 0 for untraced records. Log
+  // replicas stamp their append/durability/commit stages under this id so a
+  // write's causal chain spans the node and the log service.
+  uint64_t trace_id = 0;
   std::string payload;
 
   void EncodeTo(std::string* out) const {
     out->push_back(static_cast<char>(type));
     PutVarint64(out, writer);
     PutVarint64(out, request_id);
+    PutVarint64(out, trace_id);
     PutLengthPrefixed(out, payload);
   }
 
@@ -50,6 +55,7 @@ struct LogRecord {
     out->type = static_cast<RecordType>(type_raw);
     return dec->GetVarint64(&out->writer) &&
            dec->GetVarint64(&out->request_id) &&
+           dec->GetVarint64(&out->trace_id) &&
            dec->GetLengthPrefixed(&out->payload);
   }
 };

@@ -351,5 +351,37 @@ TEST_F(ClusterTest, CorruptSnapshotDetectedAndBypassed) {
   EXPECT_EQ(newbie->engine().Execute({"DBSIZE"}, &ctx), Value::Integer(20));
 }
 
+TEST_F(ClusterTest, MonitoringScrapesClusterHealth) {
+  Boot(2, /*replicas=*/1);
+  for (int i = 0; i < 20; ++i) {
+    Run({"SET", "k" + std::to_string(i), "v"});
+  }
+  // Let a couple of scrape cycles (5s cadence) land after the writes.
+  sim_->RunFor(12 * kSec);
+
+  MonitoringService* mon = cluster_->monitoring();
+  EXPECT_GT(mon->scrapes(), 0u);
+  MonitoringService::ClusterHealth health = mon->ClusterSnapshot();
+  // 2 shards x (primary + replica), all reachable.
+  EXPECT_EQ(health.nodes_watched, 4u);
+  EXPECT_EQ(health.nodes_reachable, 4u);
+  EXPECT_EQ(health.primaries, 2u);
+  EXPECT_EQ(health.replicas, 2u);
+  EXPECT_EQ(health.loading, 0u);
+  // Caught-up replicas, no load: lag is bounded.
+  EXPECT_LE(health.max_replication_lag, 4);
+  // Every shard committed writes; its primary reports a commit p99 in the
+  // multi-AZ range.
+  EXPECT_GT(health.max_commit_p99_us, 500.0);
+  EXPECT_LT(health.max_commit_p99_us, 100'000.0);
+
+  // Per-node detail: the scrape parsed each node's exposition.
+  for (const auto& [node_id, h] : mon->node_health()) {
+    EXPECT_TRUE(h.reachable);
+    EXPECT_GE(h.role, 0);
+    EXPECT_GT(h.applied_index, 0);
+  }
+}
+
 }  // namespace
 }  // namespace memdb::cluster

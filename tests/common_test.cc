@@ -7,9 +7,11 @@
 #include "common/coding.h"
 #include "common/crc.h"
 #include "common/histogram.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/trace.h"
 
 namespace memdb {
 namespace {
@@ -334,6 +336,215 @@ TEST(HistogramTest, ResetClears) {
   h.Reset();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, MergeWithEmpty) {
+  Histogram populated, empty;
+  for (uint64_t v = 1; v <= 100; ++v) populated.Record(v);
+  const uint64_t p50 = populated.Percentile(0.5);
+
+  // Empty into populated: no-op.
+  populated.Merge(empty);
+  EXPECT_EQ(populated.count(), 100u);
+  EXPECT_EQ(populated.Percentile(0.5), p50);
+
+  // Populated into empty: exact copy of the distribution.
+  empty.Merge(populated);
+  EXPECT_EQ(empty.count(), 100u);
+  EXPECT_EQ(empty.min(), populated.min());
+  EXPECT_EQ(empty.max(), populated.max());
+  EXPECT_EQ(empty.sum(), populated.sum());
+  EXPECT_EQ(empty.Percentile(0.99), populated.Percentile(0.99));
+
+  // Empty into empty stays empty.
+  Histogram a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.Percentile(0.5), 0u);
+}
+
+TEST(HistogramTest, MergePartialOverlap) {
+  // Disjoint ranges: low values in one, high in the other.
+  Histogram low, high;
+  for (uint64_t v = 1; v <= 100; ++v) low.Record(v);
+  for (uint64_t v = 10'000; v <= 10'100; ++v) high.Record(v);
+  low.Merge(high);
+  EXPECT_EQ(low.count(), 201u);
+  EXPECT_EQ(low.min(), 1u);
+  EXPECT_EQ(low.max(), 10'100u);
+  // Median sits in the low range; p99 in the high range.
+  EXPECT_LE(low.Percentile(0.45), 110u);
+  EXPECT_GE(low.Percentile(0.99), 9'000u);
+}
+
+TEST(HistogramTest, PercentileMonotonicAcrossBuckets) {
+  // A distribution spanning many power-of-two bucket boundaries; quantile
+  // results must be non-decreasing in q even where the bucket width jumps.
+  Histogram h;
+  Rng rng(7);
+  for (int i = 0; i < 20'000; ++i) h.Record(1 + rng.Uniform(1'000'000));
+  uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const uint64_t v = h.Percentile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  EXPECT_EQ(h.Percentile(1.0), h.max());
+}
+
+TEST(HistogramTest, SubBucketEdges) {
+  // Values at exact power-of-two and sub-bucket boundaries must round-trip
+  // within the documented ~3.2% relative error (1/32 sub-bucket width).
+  for (uint64_t v : {1ULL, 31ULL, 32ULL, 33ULL, 63ULL, 64ULL, 65ULL,
+                     1023ULL, 1024ULL, 1025ULL, (1ULL << 20),
+                     (1ULL << 20) + 1}) {
+    Histogram h;
+    h.Record(v);
+    const double got = static_cast<double>(h.Percentile(0.5));
+    EXPECT_NEAR(got, static_cast<double>(v), static_cast<double>(v) * 0.04)
+        << "v=" << v;
+  }
+}
+
+TEST(HistogramTest, NearUint64Max) {
+  Histogram h;
+  const uint64_t huge = ~0ULL - 1;
+  h.Record(huge);
+  h.Record(~0ULL);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ULL);
+  // Bucketed representative must stay in range (no overflow wrap to 0).
+  EXPECT_GE(h.Percentile(0.5), huge / 2);
+  EXPECT_EQ(h.Percentile(1.0), ~0ULL);
+}
+
+TEST(HistogramTest, ResetThenRecord) {
+  Histogram h;
+  for (uint64_t v = 1'000; v <= 2'000; ++v) h.Record(v);
+  h.Reset();
+  h.Record(5);
+  h.Record(7);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 5u);
+  EXPECT_EQ(h.max(), 7u);
+  EXPECT_EQ(h.sum(), 12u);
+  // Percentiles reflect only post-reset samples.
+  EXPECT_LE(h.Percentile(0.99), 8u);
+}
+
+// ---------------------------------------------------------------- Metrics
+
+TEST(MetricsRegistryTest, InstrumentsAreStableAndShared) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("requests_total", {{"op", "GET"}});
+  c->Increment(3);
+  // Same name+labels (any order) returns the same instrument.
+  EXPECT_EQ(reg.GetCounter("requests_total", {{"op", "GET"}}), c);
+  EXPECT_EQ(c->value(), 3u);
+  // Different labels make a different series.
+  EXPECT_NE(reg.GetCounter("requests_total", {{"op", "SET"}}), c);
+  // Find does not create.
+  EXPECT_EQ(reg.FindCounter("absent"), nullptr);
+  EXPECT_EQ(reg.FindCounter("requests_total", {{"op", "GET"}}), c);
+}
+
+TEST(MetricsRegistryTest, LabelOrderIsNormalized) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x", {{"a", "1"}, {"b", "2"}});
+  Counter* b = reg.GetCounter("x", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsRegistryTest, SnapshotDelta) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("ops");
+  Histogram* h = reg.GetHistogram("lat_us");
+  c->Increment(10);
+  h->Record(100);
+  auto before = reg.TakeSnapshot();
+  c->Increment(5);
+  h->Record(200);
+  auto after = reg.TakeSnapshot();
+  auto delta = MetricsRegistry::Delta(after, before);
+  EXPECT_EQ(delta.values.at("ops"), 5);
+  EXPECT_EQ(delta.values.at("lat_us_count"), 1);
+  EXPECT_EQ(delta.values.at("lat_us_sum"), 200);
+}
+
+TEST(MetricsRegistryTest, ResetAllKeepsPointersValid) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("ops");
+  Gauge* g = reg.GetGauge("depth");
+  Histogram* h = reg.GetHistogram("lat_us");
+  c->Increment(7);
+  g->Set(9);
+  h->Record(50);
+  reg.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0u);
+  // The same pointers keep working after the reset.
+  c->Increment();
+  EXPECT_EQ(reg.FindCounter("ops")->value(), 1u);
+}
+
+TEST(MetricsRegistryTest, ExpositionAndParse) {
+  MetricsRegistry reg;
+  reg.GetCounter("ops", {{"cmd", "SET"}})->Increment(42);
+  reg.GetGauge("depth")->Set(-3);
+  for (int i = 0; i < 100; ++i) reg.GetHistogram("lat_us")->Record(100);
+  const std::string text = reg.ExpositionText();
+  EXPECT_NE(text.find("# TYPE ops counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_us summary"), std::string::npos);
+  double v = 0;
+  ASSERT_TRUE(MetricsRegistry::ParseSeries(text, "ops{cmd=\"SET\"}", &v));
+  EXPECT_EQ(v, 42.0);
+  ASSERT_TRUE(MetricsRegistry::ParseSeries(text, "depth", &v));
+  EXPECT_EQ(v, -3.0);
+  ASSERT_TRUE(MetricsRegistry::ParseSeries(text, "lat_us_count", &v));
+  EXPECT_EQ(v, 100.0);
+  ASSERT_TRUE(
+      MetricsRegistry::ParseSeries(text, "lat_us{quantile=\"0.99\"}", &v));
+  EXPECT_NEAR(v, 100.0, 5.0);
+  EXPECT_FALSE(MetricsRegistry::ParseSeries(text, "absent", &v));
+}
+
+// ---------------------------------------------------------------- TraceLog
+
+TEST(TraceLogTest, RecordAndReconstruct) {
+  TraceLog node, leader;
+  const uint64_t id = 0x700000001ULL;
+  node.Record(id, "cmd.receive", 10);
+  node.Record(id, "pipeline.enqueue", 12);
+  node.Record(id, "append.issue", 15);
+  leader.Record(id, "log.append.receive", 16);
+  leader.Record(id, "log.quorum.commit", 20, /*detail=*/7);
+  node.Record(id, "append.ack", 22);
+  node.Record(id, "cmd.release", 22);
+  node.Record(999, "cmd.receive", 11);  // unrelated trace
+
+  auto spans = TraceLog::Reconstruct(id, {&node, &leader});
+  ASSERT_EQ(spans.size(), 7u);
+  const char* expected[] = {"cmd.receive",        "pipeline.enqueue",
+                            "append.issue",       "log.append.receive",
+                            "log.quorum.commit",  "append.ack",
+                            "cmd.release"};
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].stage, expected[i]) << i;
+    if (i > 0) EXPECT_GE(spans[i].at_us, spans[i - 1].at_us);
+  }
+  EXPECT_EQ(spans[4].detail, 7u);
+}
+
+TEST(TraceLogTest, ZeroIdIsIgnoredAndCapacityBounded) {
+  TraceLog log(/*capacity=*/4);
+  log.Record(0, "cmd.receive", 1);  // untraced work records nothing
+  EXPECT_TRUE(log.spans().empty());
+  for (uint64_t i = 1; i <= 10; ++i) log.Record(i, "s", i);
+  EXPECT_EQ(log.spans().size(), 4u);
+  EXPECT_EQ(log.spans().front().trace_id, 7u);  // oldest dropped
+  EXPECT_TRUE(log.ForTrace(1).empty());
+  EXPECT_EQ(log.ForTrace(10).size(), 1u);
 }
 
 }  // namespace
