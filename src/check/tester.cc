@@ -133,7 +133,7 @@ void HistoryClient::SendTo(size_t node_index,
         resp::Decoder dec;
         dec.Feed(body);
         Value out;
-        if (!dec.TryParse(&out).ok()) {
+        if (dec.Decode(&out) != resp::DecodeStatus::kOk) {
           think();
           return;
         }

@@ -100,7 +100,7 @@ void DbClient::Attempt(std::string type, std::string payload, uint16_t slot,
         resp::Decoder dec;
         dec.Feed(body);
         resp::Value value;
-        if (!dec.TryParse(&value).ok()) {
+        if (dec.Decode(&value) != resp::DecodeStatus::kOk) {
           cb(resp::Value::Error("ERR bad reply encoding"));
           return;
         }

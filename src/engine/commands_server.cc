@@ -92,6 +92,23 @@ Value CmdInfo(Engine& e, const Argv& argv, ExecContext& ctx) {
     out += "engine:memorydb\r\n";
     out += "node_id:" + std::to_string(srv.node_id) + "\r\n";
   }
+  if (want("CLIENTS")) {
+    // Backed by the net layer's gauges when a RespServer shares this
+    // registry; a bare engine (or the simulated path) reports zeros.
+    auto gauge = [&](const char* name) -> int64_t {
+      const Gauge* g = reg.FindGauge(name);
+      return g == nullptr ? 0 : g->value();
+    };
+    out += "# Clients\r\n";
+    out += "connected_clients:" +
+           std::to_string(gauge("net_connected_clients")) + "\r\n";
+    out += "blocked_clients:" + std::to_string(gauge("net_blocked_clients")) +
+           "\r\n";
+    out += "client_recent_max_input_buffer:" +
+           std::to_string(gauge("net_client_recent_max_input_buffer")) +
+           "\r\n";
+    out += "maxclients:" + std::to_string(gauge("net_maxclients")) + "\r\n";
+  }
   if (want("REPLICATION")) {
     out += "# Replication\r\n";
     out += "role:" + srv.role + "\r\n";

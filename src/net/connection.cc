@@ -1,0 +1,100 @@
+#include "net/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace memdb::net {
+
+namespace {
+// Per-ReadAndParse ceiling: with level-triggered epoll a connection that
+// still has unread bytes is simply re-reported next iteration, so bounding
+// one drain pass keeps a single firehose client from starving the batch.
+constexpr size_t kMaxReadsPerPass = 64;
+constexpr size_t kReadChunk = 16 * 1024;
+}  // namespace
+
+Connection::Connection(int fd, uint64_t id, const resp::DecodeLimits& limits)
+    : fd_(fd), id_(id) {
+  decoder_.set_limits(limits);
+}
+
+Connection::~Connection() { Close(); }
+
+void Connection::Close() {
+  if (state_ != State::kClosed) {
+    ::close(fd_);
+    state_ = State::kClosed;
+  }
+}
+
+void Connection::ReadAndParse() {
+  if (state_ != State::kOpen) return;
+  char buf[kReadChunk];
+  for (size_t pass = 0; pass < kMaxReadsPerPass; ++pass) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      bytes_in_ += static_cast<uint64_t>(n);
+      decoder_.Feed(Slice(buf, static_cast<size_t>(n)));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      peer_closed_ = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    peer_closed_ = true;  // fatal read error: treat like a hangup
+    break;
+  }
+  if (decoder_.buffered() > max_input_buffered_) {
+    max_input_buffered_ = decoder_.buffered();
+  }
+  if (!protocol_error_.empty()) return;
+  std::vector<std::string> argv;
+  std::string error;
+  for (;;) {
+    const resp::DecodeStatus st = decoder_.DecodeCommand(&argv, &error);
+    if (st == resp::DecodeStatus::kOk) {
+      pending_.push_back(std::move(argv));
+      argv.clear();
+      continue;
+    }
+    if (st == resp::DecodeStatus::kError) {
+      protocol_error_ = error.empty() ? "protocol error" : error;
+    }
+    break;
+  }
+}
+
+void Connection::FlushWrites() {
+  if (state_ == State::kClosed) return;
+  while (out_sent_ < out_.size()) {
+    const ssize_t n = ::send(fd_, out_.data() + out_sent_,
+                             out_.size() - out_sent_, MSG_NOSIGNAL);
+    if (n > 0) {
+      bytes_out_ += static_cast<uint64_t>(n);
+      out_sent_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EPIPE / ECONNRESET: the reply sink is gone. Drop the undeliverable
+    // output so the reaper sees a drained, dead connection.
+    peer_closed_ = true;
+    out_.clear();
+    out_sent_ = 0;
+    return;
+  }
+  if (out_sent_ == out_.size()) {
+    out_.clear();
+    out_sent_ = 0;
+  } else if (out_sent_ > 64 * 1024 && out_sent_ > out_.size() / 2) {
+    out_.erase(0, out_sent_);
+    out_sent_ = 0;
+  }
+}
+
+}  // namespace memdb::net

@@ -1,0 +1,77 @@
+#include "net/io_threads.h"
+
+namespace memdb::net {
+
+IoThreadPool::IoThreadPool(int extra_threads)
+    : stride_(static_cast<size_t>(extra_threads < 0 ? 0 : extra_threads) +
+              1) {
+  for (int i = 0; i < extra_threads; ++i) {
+    // Worker i owns slice i+1; the caller owns slice 0.
+    workers_.emplace_back(
+        [this, i] { WorkerMain(static_cast<size_t>(i) + 1); });
+  }
+}
+
+IoThreadPool::~IoThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void IoThreadPool::Run(size_t jobs, const std::function<void(size_t)>& fn) {
+  if (jobs == 0) return;
+  const size_t stride = stride_;
+  if (workers_.empty() || jobs == 1) {
+    for (size_t i = 0; i < jobs; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    jobs_ = jobs;
+    completed_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  size_t ran = 0;
+  for (size_t i = 0; i < jobs; i += stride) {
+    fn(i);
+    ++ran;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  completed_ += ran;
+  done_cv_.wait(lock, [this] { return completed_ == jobs_; });
+  fn_ = nullptr;
+}
+
+void IoThreadPool::WorkerMain(size_t slice) {
+  const size_t stride = stride_;
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(size_t)>* fn;
+    size_t jobs;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (generation_ != seen_generation && fn_ != nullptr);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      fn = fn_;
+      jobs = jobs_;
+    }
+    size_t ran = 0;
+    for (size_t i = slice; i < jobs; i += stride) {
+      (*fn)(i);
+      ++ran;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    completed_ += ran;
+    if (completed_ == jobs_) done_cv_.notify_all();
+  }
+}
+
+}  // namespace memdb::net

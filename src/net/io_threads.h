@@ -1,0 +1,60 @@
+// IoThreadPool: the fork/join worker pool behind the server's io-threads
+// mode (paper §Enhanced I/O Multiplexing; Redis' io-threads). The loop
+// thread posts a batch of independent jobs (read+parse one connection,
+// flush one connection); jobs are statically partitioned — worker w takes
+// indices w+1, w+1+stride, ... and the caller takes 0, stride, ... — and
+// Run() returns only after every job finished, a barrier that also
+// publishes all connection state back to the caller. Static slices (rather
+// than a shared claim cursor) make it impossible for a worker that wakes
+// late to touch a later generation's jobs with a stale closure.
+//
+// With zero extra threads the pool degenerates to an inline loop, so the
+// single-threaded configuration pays no synchronization cost.
+
+#ifndef MEMDB_NET_IO_THREADS_H_
+#define MEMDB_NET_IO_THREADS_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace memdb::net {
+
+class IoThreadPool {
+ public:
+  // `extra_threads` workers are spawned in addition to the calling thread.
+  explicit IoThreadPool(int extra_threads);
+  ~IoThreadPool();
+  IoThreadPool(const IoThreadPool&) = delete;
+  IoThreadPool& operator=(const IoThreadPool&) = delete;
+
+  // Runs fn(0..jobs-1) across the workers plus the calling thread and
+  // returns when all jobs completed. Only the loop thread may call this;
+  // fn must not recurse into Run().
+  void Run(size_t jobs, const std::function<void(size_t)>& fn);
+
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+ private:
+  void WorkerMain(size_t slice);
+
+  const size_t stride_;  // workers + caller; fixed before threads spawn
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;  // bumped per Run(); workers run each gen once
+  bool stop_ = false;
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t jobs_ = 0;
+  size_t completed_ = 0;
+};
+
+}  // namespace memdb::net
+
+#endif  // MEMDB_NET_IO_THREADS_H_

@@ -1,0 +1,72 @@
+#include "net/listener.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace memdb::net {
+
+Status Listener::Open(const std::string& addr, uint16_t port, int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  if (::inet_pton(AF_INET, addr.c_str(), &sa.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad bind address: " + addr);
+  }
+  if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&sa), sizeof(sa)) != 0) {
+    Status s = Status::Unavailable(std::string("bind ") + addr + ":" +
+                                   std::to_string(port) + ": " +
+                                   std::strerror(errno));
+    Close();
+    return s;
+  }
+  if (::listen(fd_, backlog) != 0) {
+    Status s = Status::Internal(std::string("listen: ") +
+                                std::strerror(errno));
+    Close();
+    return s;
+  }
+  // Recover the kernel-assigned port when the caller bound port 0.
+  struct sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+  return Status::OK();
+}
+
+int Listener::Accept() {
+  const int fd =
+      ::accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace memdb::net

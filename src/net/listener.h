@@ -1,0 +1,42 @@
+// Listener: a non-blocking TCP accept socket. Binds, listens with a
+// configurable backlog, and hands out already-non-blocking connection fds.
+
+#ifndef MEMDB_NET_LISTENER_H_
+#define MEMDB_NET_LISTENER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace memdb::net {
+
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Binds `addr:port` (IPv4 dotted quad; port 0 = kernel-assigned) and
+  // starts listening. After success, port() reports the bound port.
+  Status Open(const std::string& addr, uint16_t port, int backlog);
+
+  // Accepts one pending connection as a non-blocking, TCP_NODELAY fd.
+  // Returns -1 when no connection is pending (EAGAIN) or on a transient
+  // accept error — callers just retry on the next readiness event.
+  int Accept();
+
+  void Close();
+
+  int fd() const { return fd_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace memdb::net
+
+#endif  // MEMDB_NET_LISTENER_H_

@@ -1,0 +1,288 @@
+#include "net/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+namespace memdb::net {
+
+namespace {
+// Rolling window for the client_recent_max_input_buffer gauge.
+constexpr uint64_t kInputHwmWindowMs = 5000;
+// Active-expiry cadence and per-cycle victim cap (Redis-like).
+constexpr uint64_t kExpireEveryMs = 100;
+constexpr size_t kExpirePerCycle = 20;
+}  // namespace
+
+RespServer::RespServer(engine::Engine* engine, ServerConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  engine_->set_metrics(&metrics_);
+  connected_clients_ = metrics_.GetGauge("net_connected_clients");
+  blocked_clients_ = metrics_.GetGauge("net_blocked_clients");
+  recent_max_input_ =
+      metrics_.GetGauge("net_client_recent_max_input_buffer");
+  maxclients_gauge_ = metrics_.GetGauge("net_maxclients");
+  maxclients_gauge_->Set(static_cast<int64_t>(config_.maxclients));
+  bytes_in_ = metrics_.GetCounter("net_input_bytes_total");
+  bytes_out_ = metrics_.GetCounter("net_output_bytes_total");
+  accepted_ = metrics_.GetCounter("net_connections_accepted_total");
+  closed_ = metrics_.GetCounter("net_connections_closed_total");
+  evicted_ = metrics_.GetCounter("net_evicted_clients_total");
+  rejected_ = metrics_.GetCounter("net_rejected_connections_total");
+  protocol_errors_ = metrics_.GetCounter("net_protocol_errors_total");
+  batch_commands_ = metrics_.GetHistogram("net_batch_commands");
+}
+
+RespServer::~RespServer() { Stop(); }
+
+uint64_t RespServer::NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+Status RespServer::Start() {
+  MEMDB_RETURN_IF_ERROR(loop_.Init());
+  MEMDB_RETURN_IF_ERROR(listener_.Open(config_.bind_address, config_.port,
+                                       config_.tcp_backlog));
+  MEMDB_RETURN_IF_ERROR(loop_.Add(listener_.fd(), kReadable, &listener_));
+  const int extra = config_.io_threads > 1 ? config_.io_threads - 1 : 0;
+  pool_ = std::make_unique<IoThreadPool>(extra);
+  input_hwm_window_start_ms_ = NowMs();
+  started_ = true;
+  loop_thread_ = std::thread([this] { LoopMain(); });
+  return Status::OK();
+}
+
+void RespServer::Stop() {
+  if (!started_) return;
+  stop_requested_.store(true, std::memory_order_release);
+  loop_.Wakeup();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  started_ = false;
+  // The loop has exited: tear down every connection and the accept socket.
+  for (auto& [ptr, owned] : connections_) owned->Close();
+  connections_.clear();
+  listener_.Close();
+  pool_.reset();  // joins io threads
+  connected_clients_->Set(0);
+}
+
+void RespServer::AcceptPending() {
+  for (;;) {
+    const int fd = listener_.Accept();
+    if (fd < 0) return;
+    if (connections_.size() >= config_.maxclients) {
+      // Same shape Redis uses: tell the client why, then hang up.
+      static const char kErr[] = "-ERR max number of clients reached\r\n";
+      [[maybe_unused]] ssize_t n =
+          ::send(fd, kErr, sizeof(kErr) - 1, MSG_NOSIGNAL);
+      ::close(fd);
+      rejected_->Increment();
+      continue;
+    }
+    auto conn =
+        std::make_unique<Connection>(fd, next_conn_id_++, config_.decode);
+    Connection* raw = conn.get();
+    if (!loop_.Add(fd, kReadable, raw).ok()) {
+      continue;  // conn destructor closes the fd
+    }
+    connections_.emplace(raw, std::move(conn));
+    accepted_->Increment();
+    connected_clients_->Set(static_cast<int64_t>(connections_.size()));
+  }
+}
+
+void RespServer::ExecutePending(Connection* c, uint64_t now_ms) {
+  engine::ExecContext ctx;
+  ctx.now_ms = now_ms;
+  ctx.role = engine::Role::kPrimary;
+  ctx.rng = &engine_->rng();
+  ctx.server = &server_info_;
+  std::string encoded;
+  for (const std::vector<std::string>& argv : c->pending()) {
+    if (c->state() != Connection::State::kOpen) break;
+    if (!argv.empty() && engine::Engine::Upper(argv[0]) == "QUIT") {
+      c->QueueOutput("+OK\r\n");
+      c->set_state(Connection::State::kClosing);
+      break;
+    }
+    const engine::CommandSpec* spec =
+        argv.empty() ? nullptr : engine_->FindCommand(argv[0]);
+    const auto t0 = std::chrono::steady_clock::now();
+    const resp::Value reply = engine_->Execute(argv, &ctx);
+    if (spec != nullptr) {
+      Histogram*& h = latency_cache_[spec];
+      if (h == nullptr) {
+        h = metrics_.GetHistogram("cmd_latency_us", {{"cmd", spec->name}});
+      }
+      h->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    }
+    // The standalone server has no transaction log attached; the effect
+    // stream is dropped (a durable deployment redirects it, §3.1).
+    ctx.effects.clear();
+    ctx.dirty_keys.clear();
+    encoded.clear();
+    reply.EncodeTo(&encoded);
+    c->QueueOutput(encoded);
+    if (c->output_pending() > config_.output_hard_bytes) {
+      break;  // hard limit: housekeeping evicts before any flush
+    }
+  }
+  c->pending().clear();
+}
+
+void RespServer::DispatchBatch(const std::vector<Connection*>& readable,
+                               uint64_t now_ms) {
+  size_t batch = 0;
+  for (Connection* c : readable) {
+    bytes_in_->Increment(c->TakeBytesIn());
+    const size_t hwm = c->TakeMaxInputBuffered();
+    if (hwm > input_hwm_cur_) input_hwm_cur_ = hwm;
+    batch += c->pending().size();
+  }
+  if (batch > 0) batch_commands_->Record(static_cast<uint64_t>(batch));
+  for (Connection* c : readable) {
+    if (!c->pending().empty()) ExecutePending(c, now_ms);
+    if (!c->protocol_error().empty() && !c->protocol_error_reported()) {
+      c->QueueOutput("-ERR Protocol error: " + c->protocol_error() +
+                     "\r\n");
+      c->set_protocol_error_reported();
+      c->set_state(Connection::State::kClosing);
+      protocol_errors_->Increment();
+    }
+  }
+}
+
+void RespServer::Housekeeping(uint64_t now_ms) {
+  // Client-output-buffer limits, EPOLLOUT arming, and reaping. The scan
+  // covers every connection because a stalled client never raises another
+  // readiness event on its own.
+  std::vector<Connection*> doomed;
+  for (auto& [raw, owned] : connections_) {
+    Connection* c = raw;
+    if (c->state() == Connection::State::kClosed) {
+      doomed.push_back(c);
+      continue;
+    }
+    const size_t out = c->output_pending();
+    if (out > config_.output_hard_bytes ||
+        c->input_buffered() > config_.input_hard_bytes) {
+      evicted_->Increment();
+      doomed.push_back(c);
+      continue;
+    }
+    if (out > config_.output_soft_bytes) {
+      if (c->soft_over_since_ms == 0) {
+        c->soft_over_since_ms = now_ms;
+      } else if (now_ms - c->soft_over_since_ms >= config_.output_soft_ms) {
+        evicted_->Increment();
+        doomed.push_back(c);
+        continue;
+      }
+    } else {
+      c->soft_over_since_ms = 0;
+    }
+    if (c->peer_closed() && out == 0) {
+      doomed.push_back(c);
+      continue;
+    }
+    if (c->state() == Connection::State::kClosing && out == 0) {
+      doomed.push_back(c);
+      continue;
+    }
+    const bool want = out > 0;
+    if (want != c->want_write) {
+      c->want_write = want;
+      loop_.Modify(c->fd(), want ? (kReadable | kWritable) : kReadable, c);
+    }
+  }
+  for (Connection* c : doomed) CloseConnection(c);
+
+  // client_recent_max_input_buffer: max over the current and previous
+  // windows, so the gauge reflects "recent" peaks rather than all-time.
+  if (now_ms - input_hwm_window_start_ms_ >= kInputHwmWindowMs) {
+    input_hwm_prev_ = input_hwm_cur_;
+    input_hwm_cur_ = 0;
+    input_hwm_window_start_ms_ = now_ms;
+  }
+  recent_max_input_->Set(static_cast<int64_t>(
+      input_hwm_cur_ > input_hwm_prev_ ? input_hwm_cur_ : input_hwm_prev_));
+  blocked_clients_->Set(0);  // no blocking commands on the net path yet
+
+  if (now_ms - last_expire_ms_ >= kExpireEveryMs) {
+    last_expire_ms_ = now_ms;
+    engine::ExecContext ctx;
+    ctx.now_ms = now_ms;
+    ctx.role = engine::Role::kPrimary;
+    ctx.rng = &engine_->rng();
+    engine_->ActiveExpire(&ctx, kExpirePerCycle);
+  }
+}
+
+void RespServer::CloseConnection(Connection* c) {
+  loop_.Remove(c->fd());
+  c->Close();
+  connections_.erase(c);
+  closed_->Increment();
+  connected_clients_->Set(static_cast<int64_t>(connections_.size()));
+}
+
+void RespServer::LoopMain() {
+  std::vector<Event> events;
+  std::vector<Connection*> readable;
+  std::vector<Connection*> flushable;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    loop_.Poll(config_.loop_timeout_ms, &events);
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+
+    readable.clear();
+    flushable.clear();
+    bool accept_ready = false;
+    for (const Event& ev : events) {
+      if (ev.tag == &listener_) {
+        accept_ready = true;
+        continue;
+      }
+      Connection* c = static_cast<Connection*>(ev.tag);
+      // kClosed surfaces through read() on the next drain; treat as read-
+      // ready so the hangup is observed promptly.
+      if (ev.events & (kReadable | kClosed)) readable.push_back(c);
+      if (ev.events & kWritable) flushable.push_back(c);
+    }
+    events.clear();
+    if (accept_ready) AcceptPending();
+
+    // Stage 1 (io threads): drain sockets and decode commands.
+    pool_->Run(readable.size(),
+               [&](size_t i) { readable[i]->ReadAndParse(); });
+
+    // Stage 2 (loop thread): one batched dispatch into the engine.
+    const uint64_t now_ms = NowMs();
+    DispatchBatch(readable, now_ms);
+
+    // Stage 3 (io threads): flush whatever has output. Readable conns may
+    // have just produced replies; EPOLLOUT-ready conns have leftovers.
+    for (Connection* c : readable) {
+      if (c->output_pending() > 0 &&
+          c->output_pending() <= config_.output_hard_bytes &&
+          !c->want_write) {
+        flushable.push_back(c);
+      }
+    }
+    pool_->Run(flushable.size(),
+               [&](size_t i) { flushable[i]->FlushWrites(); });
+    for (Connection* c : flushable) {
+      bytes_out_->Increment(c->TakeBytesOut());
+    }
+
+    Housekeeping(now_ms);
+  }
+}
+
+}  // namespace memdb::net

@@ -1,0 +1,141 @@
+// RespServer: the real-socket front end for engine::Engine — the paper's
+// "enhanced I/O multiplexing" layer. One event-loop thread owns an epoll
+// instance, a TCP listener, and every Connection. Each loop iteration:
+//
+//   1. epoll_wait for readiness,
+//   2. read+parse every ready connection (fanned out to io threads),
+//   3. ONE batched dispatch of all decoded commands into the
+//      single-threaded engine (replies encoded into per-connection
+//      output buffers),
+//   4. flush output buffers (fanned out to io threads),
+//   5. housekeeping: client-output-buffer limits (soft over time / hard
+//      immediate) with slow-client eviction, EPOLLOUT arming, reaping,
+//      active expiry, gauge refresh.
+//
+// The engine runs exclusively on the loop thread; io threads only touch
+// sockets and per-connection buffers, exactly like Redis io-threads and
+// the multiplexing design in the MemoryDB paper.
+
+#ifndef MEMDB_NET_SERVER_H_
+#define MEMDB_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "engine/engine.h"
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "net/io_threads.h"
+#include "net/listener.h"
+
+namespace memdb::net {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 6379;  // 0 = kernel-assigned (tests); see RespServer::port
+  int tcp_backlog = 511;
+  size_t maxclients = 10000;
+  // Total io threads including the loop thread (Redis io-threads semantics):
+  // 1 = all socket I/O on the loop thread, N>1 spawns N-1 workers.
+  int io_threads = 1;
+
+  // Protocol guard rails applied per connection.
+  resp::DecodeLimits decode;
+  // Query buffer cap: a client whose unparsed input exceeds this is evicted.
+  size_t input_hard_bytes = 1u << 30;
+
+  // Client output buffer limits (Redis client-output-buffer-limit): a
+  // client over the soft limit for soft_ms, or over the hard limit at all,
+  // is evicted rather than allowed to stall memory.
+  size_t output_soft_bytes = 8u << 20;
+  uint64_t output_soft_ms = 1000;
+  size_t output_hard_bytes = 32u << 20;
+
+  // epoll_wait tick; bounds how stale housekeeping can get when idle.
+  int loop_timeout_ms = 100;
+};
+
+class RespServer {
+ public:
+  // The server shares its metrics registry with the engine (set_metrics),
+  // so one INFO/METRICS scrape covers engine and net series.
+  RespServer(engine::Engine* engine, ServerConfig config);
+  ~RespServer();
+  RespServer(const RespServer&) = delete;
+  RespServer& operator=(const RespServer&) = delete;
+
+  // Binds, listens, and spawns the event-loop thread. After OK, port()
+  // reports the bound port (meaningful when config.port == 0).
+  Status Start();
+
+  // Idempotent, thread-safe: wakes the loop, joins it, closes the listener
+  // and every connection, and joins the io threads.
+  void Stop();
+
+  uint16_t port() const { return listener_.port(); }
+  MetricsRegistry& metrics() { return metrics_; }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  void LoopMain();
+  void AcceptPending();
+  // Executes every pending command of every readable connection as one
+  // engine batch; encodes replies into connection output buffers.
+  void DispatchBatch(const std::vector<Connection*>& readable,
+                     uint64_t now_ms);
+  void ExecutePending(Connection* c, uint64_t now_ms);
+  void Housekeeping(uint64_t now_ms);
+  void CloseConnection(Connection* c);
+  static uint64_t NowMs();
+
+  engine::Engine* const engine_;
+  ServerConfig config_;
+  MetricsRegistry metrics_;
+  engine::ServerInfo server_info_;
+
+  EventLoop loop_;
+  Listener listener_;
+  std::unique_ptr<IoThreadPool> pool_;
+  std::unordered_map<Connection*, std::unique_ptr<Connection>> connections_;
+  uint64_t next_conn_id_ = 1;
+
+  std::thread loop_thread_;
+  std::atomic<bool> stop_requested_{false};
+  bool started_ = false;
+
+  // Instruments (all owned by metrics_, updated on the loop thread only).
+  Gauge* connected_clients_;
+  Gauge* blocked_clients_;
+  Gauge* recent_max_input_;
+  Gauge* maxclients_gauge_;
+  Counter* bytes_in_;
+  Counter* bytes_out_;
+  Counter* accepted_;
+  Counter* closed_;
+  Counter* evicted_;
+  Counter* rejected_;
+  Counter* protocol_errors_;
+  Histogram* batch_commands_;
+
+  // Rolling two-window high-water mark for client_recent_max_input_buffer.
+  size_t input_hwm_cur_ = 0;
+  size_t input_hwm_prev_ = 0;
+  uint64_t input_hwm_window_start_ms_ = 0;
+  uint64_t last_expire_ms_ = 0;
+
+  // Per-command latency histogram cache (same trick as the engine's
+  // calls_cache_): avoids a registry map lookup per command on the hot path.
+  std::map<const engine::CommandSpec*, Histogram*> latency_cache_;
+};
+
+}  // namespace memdb::net
+
+#endif  // MEMDB_NET_SERVER_H_

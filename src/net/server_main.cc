@@ -1,0 +1,103 @@
+// memorydb-server: standalone single-node server — engine::Engine behind the
+// real epoll RESP front end (net::RespServer). Serves PING/GET/SET/INFO/
+// METRICS and the rest of the engine's command table over TCP.
+//
+//   memorydb-server [--port N] [--bind ADDR] [--maxclients N]
+//                   [--tcp-backlog N] [--io-threads N] [--maxmemory-mb N]
+//
+// Runs until SIGINT/SIGTERM. With --port 0 the kernel picks a port; the
+// chosen port is printed on the "listening" banner either way.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "engine/engine.h"
+#include "net/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+bool ParseUint(const char* s, uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--bind ADDR] [--maxclients N]\n"
+               "          [--tcp-backlog N] [--io-threads N] "
+               "[--maxmemory-mb N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  memdb::net::ServerConfig config;
+  uint64_t maxmemory_mb = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    uint64_t v = 0;
+    if (arg == "--port" && has_value && ParseUint(argv[++i], &v) &&
+        v <= 65535) {
+      config.port = static_cast<uint16_t>(v);
+    } else if (arg == "--bind" && has_value) {
+      config.bind_address = argv[++i];
+    } else if (arg == "--maxclients" && has_value &&
+               ParseUint(argv[++i], &v) && v > 0) {
+      config.maxclients = v;
+    } else if (arg == "--tcp-backlog" && has_value &&
+               ParseUint(argv[++i], &v) && v > 0) {
+      config.tcp_backlog = static_cast<int>(v);
+    } else if (arg == "--io-threads" && has_value &&
+               ParseUint(argv[++i], &v) && v >= 1 && v <= 128) {
+      config.io_threads = static_cast<int>(v);
+    } else if (arg == "--maxmemory-mb" && has_value &&
+               ParseUint(argv[++i], &v)) {
+      maxmemory_mb = v;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  memdb::engine::Engine::Config engine_config;
+  engine_config.maxmemory_bytes = maxmemory_mb << 20;
+  memdb::engine::Engine engine(engine_config);
+
+  memdb::net::RespServer server(&engine, config);
+  const memdb::Status s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "memorydb-server: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "memorydb-server listening on %s:%u (maxclients=%zu, "
+      "tcp-backlog=%d, io-threads=%d)\n",
+      server.config().bind_address.c_str(), server.port(),
+      server.config().maxclients, server.config().tcp_backlog,
+      server.config().io_threads);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("memorydb-server: shutting down\n");
+  server.Stop();
+  return 0;
+}

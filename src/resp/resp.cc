@@ -203,6 +203,9 @@ Status Decoder::ParseAt(size_t* pos, Value* value) {
       int64_t len;
       if (!ParseInt(line, &len) || len < -1)
         return Status::Corruption("bad bulk length: " + line);
+      if (len > 0 && static_cast<uint64_t>(len) > limits_.max_bulk_bytes)
+        return Status::Corruption("invalid bulk length: " + line +
+                                  " exceeds proto-max-bulk-len");
       if (len == -1) {
         *value = Value::Null();
         *pos = p;
@@ -223,6 +226,8 @@ Status Decoder::ParseAt(size_t* pos, Value* value) {
       int64_t n;
       if (!ParseInt(line, &n) || n < -1)
         return Status::Corruption("bad array length: " + line);
+      if (n > 0 && static_cast<uint64_t>(n) > limits_.max_array_elems)
+        return Status::Corruption("invalid multibulk length: " + line);
       if (n == -1) {
         *value = Value::Null();
         *pos = p;
@@ -265,6 +270,57 @@ Status Decoder::TryParseCommand(std::vector<std::string>* argv) {
     argv->push_back(std::move(e.str));
   }
   return Status::OK();
+}
+
+namespace {
+DecodeStatus FromStatus(const Status& s, std::string* error) {
+  if (s.ok()) return DecodeStatus::kOk;
+  if (s.IsNotFound()) return DecodeStatus::kNeedMore;
+  if (error != nullptr) *error = s.message();
+  return DecodeStatus::kError;
+}
+}  // namespace
+
+DecodeStatus Decoder::Decode(Value* value, std::string* error) {
+  return FromStatus(TryParse(value), error);
+}
+
+DecodeStatus Decoder::DecodeCommand(std::vector<std::string>* argv,
+                                    std::string* error) {
+  for (;;) {
+    if (consumed_ >= buffer_.size()) return DecodeStatus::kNeedMore;
+    if (buffer_[consumed_] == '*') {
+      return FromStatus(TryParseCommand(argv), error);
+    }
+    // Inline command: everything up to the next newline, split on
+    // whitespace. Lines may end with bare \n (hand-typed probes) or \r\n.
+    const size_t nl = buffer_.find('\n', consumed_);
+    if (nl == std::string::npos) {
+      if (buffer_.size() - consumed_ > limits_.max_inline_bytes) {
+        if (error != nullptr) *error = "too big inline request";
+        return DecodeStatus::kError;
+      }
+      return DecodeStatus::kNeedMore;
+    }
+    size_t end = nl;
+    if (end > consumed_ && buffer_[end - 1] == '\r') --end;
+    if (end - consumed_ > limits_.max_inline_bytes) {
+      consumed_ = nl + 1;
+      if (error != nullptr) *error = "too big inline request";
+      return DecodeStatus::kError;
+    }
+    argv->clear();
+    size_t p = consumed_;
+    while (p < end) {
+      while (p < end && (buffer_[p] == ' ' || buffer_[p] == '\t')) ++p;
+      size_t tok = p;
+      while (p < end && buffer_[p] != ' ' && buffer_[p] != '\t') ++p;
+      if (p > tok) argv->push_back(buffer_.substr(tok, p - tok));
+    }
+    consumed_ = nl + 1;
+    if (!argv->empty()) return DecodeStatus::kOk;
+    // Empty line: consumed silently; keep scanning for a real command.
+  }
 }
 
 }  // namespace memdb::resp

@@ -57,6 +57,23 @@ struct Value {
 // Encodes a command (array of bulk strings) — the client->server direction.
 std::string EncodeCommand(const std::vector<std::string>& args);
 
+// Outcome of one streaming decode step. The tri-state lets socket readers
+// distinguish "wait for more bytes" from "tear the connection down".
+enum class DecodeStatus : uint8_t {
+  kOk,        // one complete frame was consumed
+  kNeedMore,  // buffer ends mid-frame; feed more bytes and retry
+  kError,     // protocol violation; the stream is unrecoverable
+};
+
+// Guard rails applied while decoding untrusted byte streams (the moral
+// equivalent of Redis' proto-max-bulk-len / multibulk limits). A frame that
+// *declares* a size beyond these is rejected before its payload is buffered.
+struct DecodeLimits {
+  size_t max_bulk_bytes = 512u << 20;   // per bulk-string payload
+  size_t max_array_elems = 1u << 20;    // per multibulk header
+  size_t max_inline_bytes = 64u << 10;  // per inline command line
+};
+
 // Incremental decoder: feed bytes as they "arrive", pull complete values.
 class Decoder {
  public:
@@ -73,6 +90,23 @@ class Decoder {
   // bulk strings). Same return contract as TryParse.
   Status TryParseCommand(std::vector<std::string>* argv);
 
+  // ---- streaming API (socket readers: net::Connection, reply pumps) -----
+  // Caps enforced by the streaming entry points below (and by TryParse for
+  // declared bulk/array sizes). Defaults are Redis-like and generous.
+  void set_limits(const DecodeLimits& limits) { limits_ = limits; }
+  const DecodeLimits& limits() const { return limits_; }
+
+  // Streaming value decode: one complete value per kOk. On kError, *error
+  // (if non-null) carries the protocol-error detail.
+  DecodeStatus Decode(Value* value, std::string* error = nullptr);
+
+  // Streaming command decode. Accepts both framings Redis accepts on the
+  // command channel: a multibulk array of bulk strings, and *inline
+  // commands* — a bare `SET k v\r\n` text line split on whitespace (empty
+  // lines are consumed and skipped, never returned). One command per kOk.
+  DecodeStatus DecodeCommand(std::vector<std::string>* argv,
+                             std::string* error = nullptr);
+
   size_t buffered() const { return buffer_.size() - consumed_; }
 
  private:
@@ -82,6 +116,7 @@ class Decoder {
 
   std::string buffer_;
   size_t consumed_ = 0;
+  DecodeLimits limits_;
 };
 
 }  // namespace memdb::resp

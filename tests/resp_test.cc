@@ -162,5 +162,118 @@ TEST(RespValueTest, ToStringForms) {
             "[1, \"x\"]");
 }
 
+// ---- streaming API (DecodeCommand / Decode) ------------------------------
+
+TEST(RespStreamTest, DecodeCommandNeedsMoreThenOk) {
+  Decoder d;
+  std::vector<std::string> argv;
+  const std::string wire = EncodeCommand({"SET", "key", "value"});
+  // Feed one byte at a time: every prefix must report kNeedMore.
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    d.Feed(Slice(wire.data() + i, 1));
+    ASSERT_EQ(d.DecodeCommand(&argv), DecodeStatus::kNeedMore) << i;
+  }
+  d.Feed(Slice(wire.data() + wire.size() - 1, 1));
+  ASSERT_EQ(d.DecodeCommand(&argv), DecodeStatus::kOk);
+  EXPECT_EQ(argv, (std::vector<std::string>{"SET", "key", "value"}));
+  EXPECT_EQ(d.DecodeCommand(&argv), DecodeStatus::kNeedMore);
+}
+
+TEST(RespStreamTest, DecodeCommandPipelined) {
+  Decoder d;
+  d.Feed(EncodeCommand({"PING"}) + EncodeCommand({"GET", "k"}));
+  std::vector<std::string> argv;
+  ASSERT_EQ(d.DecodeCommand(&argv), DecodeStatus::kOk);
+  EXPECT_EQ(argv, (std::vector<std::string>{"PING"}));
+  ASSERT_EQ(d.DecodeCommand(&argv), DecodeStatus::kOk);
+  EXPECT_EQ(argv, (std::vector<std::string>{"GET", "k"}));
+  EXPECT_EQ(d.DecodeCommand(&argv), DecodeStatus::kNeedMore);
+}
+
+TEST(RespStreamTest, InlineCommands) {
+  Decoder d;
+  std::vector<std::string> argv;
+  d.Feed("PING\r\n");
+  ASSERT_EQ(d.DecodeCommand(&argv), DecodeStatus::kOk);
+  EXPECT_EQ(argv, (std::vector<std::string>{"PING"}));
+  // Bare \n, extra whitespace, and empty lines are all accepted.
+  d.Feed("  SET  k   v \n\r\n\nGET k\r\n");
+  ASSERT_EQ(d.DecodeCommand(&argv), DecodeStatus::kOk);
+  EXPECT_EQ(argv, (std::vector<std::string>{"SET", "k", "v"}));
+  ASSERT_EQ(d.DecodeCommand(&argv), DecodeStatus::kOk);
+  EXPECT_EQ(argv, (std::vector<std::string>{"GET", "k"}));
+  EXPECT_EQ(d.DecodeCommand(&argv), DecodeStatus::kNeedMore);
+}
+
+TEST(RespStreamTest, InlineThenMultibulkMix) {
+  Decoder d;
+  d.Feed("PING\r\n" + EncodeCommand({"ECHO", "hi"}));
+  std::vector<std::string> argv;
+  ASSERT_EQ(d.DecodeCommand(&argv), DecodeStatus::kOk);
+  ASSERT_EQ(d.DecodeCommand(&argv), DecodeStatus::kOk);
+  EXPECT_EQ(argv, (std::vector<std::string>{"ECHO", "hi"}));
+}
+
+TEST(RespStreamTest, OversizedBulkRejectedBeforePayload) {
+  Decoder d;
+  DecodeLimits limits;
+  limits.max_bulk_bytes = 16;
+  d.set_limits(limits);
+  std::vector<std::string> argv;
+  std::string error;
+  // The declared length alone must trigger the error — no payload sent.
+  d.Feed("*2\r\n$3\r\nSET\r\n$1000\r\n");
+  EXPECT_EQ(d.DecodeCommand(&argv, &error), DecodeStatus::kError);
+  EXPECT_NE(error.find("proto-max-bulk-len"), std::string::npos);
+}
+
+TEST(RespStreamTest, OversizedMultibulkRejected) {
+  Decoder d;
+  DecodeLimits limits;
+  limits.max_array_elems = 8;
+  d.set_limits(limits);
+  std::vector<std::string> argv;
+  std::string error;
+  d.Feed("*100000\r\n");
+  EXPECT_EQ(d.DecodeCommand(&argv, &error), DecodeStatus::kError);
+  EXPECT_NE(error.find("multibulk"), std::string::npos);
+}
+
+TEST(RespStreamTest, OversizedInlineRejected) {
+  Decoder d;
+  DecodeLimits limits;
+  limits.max_inline_bytes = 32;
+  d.set_limits(limits);
+  std::vector<std::string> argv;
+  std::string error;
+  d.Feed(std::string(100, 'a'));  // no newline yet, already over the cap
+  EXPECT_EQ(d.DecodeCommand(&argv, &error), DecodeStatus::kError);
+  EXPECT_NE(error.find("inline"), std::string::npos);
+}
+
+TEST(RespStreamTest, ProtocolErrorSurfacesMessage) {
+  Decoder d;
+  d.Feed("*1\r\n$3\r\nabcd\r\n");  // declared 3 bytes, sent 4
+  std::vector<std::string> argv;
+  std::string error;
+  EXPECT_EQ(d.DecodeCommand(&argv, &error), DecodeStatus::kError);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(RespStreamTest, StreamingValueDecode) {
+  Decoder d;
+  Value v;
+  EXPECT_EQ(d.Decode(&v), DecodeStatus::kNeedMore);
+  d.Feed("+OK\r\n:42\r\n");
+  ASSERT_EQ(d.Decode(&v), DecodeStatus::kOk);
+  EXPECT_EQ(v.str, "OK");
+  ASSERT_EQ(d.Decode(&v), DecodeStatus::kOk);
+  EXPECT_EQ(v.integer, 42);
+  std::string error;
+  d.Feed("?bogus\r\n");
+  EXPECT_EQ(d.Decode(&v, &error), DecodeStatus::kError);
+  EXPECT_FALSE(error.empty());
+}
+
 }  // namespace
 }  // namespace memdb::resp
