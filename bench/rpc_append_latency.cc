@@ -1,0 +1,268 @@
+// rpc_append_latency: ConditionalAppend round-trip latency against an
+// in-process 3-replica transaction-log group (txlog::LogService over real
+// loopback sockets), measured through txlog::RemoteClient — the same path
+// memorydb-server's durability gate uses.
+//
+//   rpc_append_latency [ops] [pipeline_depth] [payload_bytes]
+//
+// Two modes over the same group:
+//   single    — `ops` sequential AppendSync calls; each RTT spans submit to
+//               majority-quorum commit ack.
+//   pipelined — a sliding window of `pipeline_depth` concurrent async
+//               Appends (distinct request ids, so the daemon's dedup table
+//               is exercised but never collapses them); per-append latency
+//               is issue-to-ack, throughput benefits from request-id
+//               multiplexing on one connection.
+//
+// Emits BENCH_rpc.json with p50/p99 per mode plus the client-side rpc_rtt_us
+// histogram scraped from the shared registry for cross-checking.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_support/metrics_json.h"
+#include "common/histogram.h"
+#include "common/metrics.h"
+#include "rpc/loop.h"
+#include "txlog/remote_client.h"
+#include "txlog/service.h"
+
+namespace memdb::bench {
+namespace {
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Group {
+  std::vector<std::unique_ptr<txlog::LogService>> services;
+  std::vector<std::string> endpoints;
+
+  bool Start(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      txlog::LogService::Options opt;
+      opt.node_id = i + 1;
+      opt.listen_port = 0;
+      opt.fsync = false;  // memory-only replicas; quorum still required
+      opt.heartbeat_ms = 20;
+      opt.election_min_ms = 50;
+      opt.election_max_ms = 120;
+      opt.raft_rpc_timeout_ms = 100;
+      services.push_back(std::make_unique<txlog::LogService>(opt));
+      if (!services.back()->Start().ok()) return false;
+    }
+    std::vector<std::pair<uint64_t, std::string>> membership;
+    for (size_t i = 0; i < n; ++i) {
+      endpoints.push_back("127.0.0.1:" + std::to_string(services[i]->port()));
+      membership.emplace_back(i + 1, endpoints.back());
+    }
+    for (auto& s : services) s->SetPeers(membership);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (auto& s : services) {
+        if (s->IsLeader()) return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return false;
+  }
+
+  void Stop() {
+    for (auto& s : services) s->Stop();
+  }
+};
+
+txlog::LogRecord MakeRecord(const std::string& payload) {
+  txlog::LogRecord rec;
+  rec.type = txlog::RecordType::kData;
+  rec.payload = payload;
+  return rec;
+}
+
+int RunSingle(txlog::RemoteClient& client, int ops,
+              const std::string& payload, Histogram* lat) {
+  for (int i = 0; i < ops; ++i) {
+    uint64_t index = 0;
+    const uint64_t t0 = NowUs();
+    const Status s =
+        client.AppendSync(txlog::wire::kUnconditional, MakeRecord(payload),
+                          &index);
+    if (!s.ok()) {
+      std::fprintf(stderr, "append %d failed: %s\n", i, s.ToString().c_str());
+      return 1;
+    }
+    lat->Record(NowUs() - t0);
+  }
+  return 0;
+}
+
+// Sliding window of `depth` concurrent Appends; each completion launches the
+// next pending append from the client's loop thread.
+int RunPipelined(txlog::RemoteClient& client, int ops, int depth,
+                 const std::string& payload, Histogram* lat) {
+  std::mutex mu;
+  std::condition_variable cv;
+  int issued = 0;
+  int done = 0;
+  int failed = 0;
+  std::vector<uint64_t> start_us(static_cast<size_t>(ops), 0);
+
+  std::function<void()> launch_one;
+  launch_one = [&] {
+    int id = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (issued >= ops) return;
+      id = issued++;
+      start_us[static_cast<size_t>(id)] = NowUs();
+    }
+    client.Append(
+        txlog::wire::kUnconditional, MakeRecord(payload),
+        [&, id](const Status& s, uint64_t) {
+          const uint64_t rtt = NowUs() - start_us[static_cast<size_t>(id)];
+          // Refill the window BEFORE accounting this completion: once the
+          // final ++done is visible the waiter may return and destroy these
+          // locals, so nothing may touch them after that point.
+          launch_one();
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            if (s.ok()) {
+              lat->Record(rtt);
+            } else {
+              ++failed;
+            }
+            ++done;
+          }
+          cv.notify_all();
+        });
+  };
+  for (int i = 0; i < depth && i < ops; ++i) launch_one();
+
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done == ops; });
+  if (failed != 0) {
+    std::fprintf(stderr, "%d pipelined appends failed\n", failed);
+    return 1;
+  }
+  return 0;
+}
+
+int Run(int ops, int depth, int payload_bytes) {
+  std::printf("rpc_append_latency: 3-replica log group, ops=%d depth=%d "
+              "payload=%dB\n",
+              ops, depth, payload_bytes);
+  Group group;
+  if (!group.Start(3)) {
+    std::fprintf(stderr, "log group failed to start / elect a leader\n");
+    return 1;
+  }
+
+  MetricsRegistry registry;
+  rpc::LoopThread loop;
+  if (!loop.Start().ok()) {
+    std::fprintf(stderr, "client loop failed to start\n");
+    return 1;
+  }
+  txlog::RemoteClient::Options copt;
+  copt.writer_id = 1;
+  copt.rpc_timeout_ms = 1000;
+  auto client = std::make_unique<txlog::RemoteClient>(&loop, group.endpoints,
+                                                      copt, &registry);
+  const std::string payload(static_cast<size_t>(payload_bytes), 'x');
+
+  // Warm up the leader hint so neither mode pays redirect hops in-measure.
+  uint64_t warm_index = 0;
+  (void)client->AppendSync(txlog::wire::kUnconditional, MakeRecord(payload),
+                           &warm_index);
+
+  Histogram single_lat;
+  const uint64_t single_t0 = NowUs();
+  int rc = RunSingle(*client, ops, payload, &single_lat);
+  const double single_s =
+      static_cast<double>(NowUs() - single_t0) / 1e6;
+
+  Histogram pipe_lat;
+  double pipe_s = 0;
+  if (rc == 0) {
+    const uint64_t pipe_t0 = NowUs();
+    rc = RunPipelined(*client, ops, depth, payload, &pipe_lat);
+    pipe_s = static_cast<double>(NowUs() - pipe_t0) / 1e6;
+  }
+
+  const auto report = [&](const char* mode, const Histogram& h, double secs) {
+    std::printf("  %-9s p50=%lluus p99=%lluus  %.0f appends/s\n", mode,
+                static_cast<unsigned long long>(h.Percentile(0.50)),
+                static_cast<unsigned long long>(h.Percentile(0.99)),
+                secs > 0 ? static_cast<double>(h.count()) / secs : 0);
+  };
+  if (rc == 0) {
+    report("single", single_lat, single_s);
+    report("pipelined", pipe_lat, pipe_s);
+  }
+
+  std::string json = "{";
+  json += "\"ops\":" + std::to_string(ops);
+  json += ",\"pipeline_depth\":" + std::to_string(depth);
+  json += ",\"payload_bytes\":" + std::to_string(payload_bytes);
+  json += ",\"single\":{";
+  json += "\"p50_us\":" + std::to_string(single_lat.Percentile(0.50));
+  json += ",\"p99_us\":" + std::to_string(single_lat.Percentile(0.99));
+  json += ",\"appends_per_sec\":" +
+          std::to_string(single_s > 0
+                             ? static_cast<double>(single_lat.count()) /
+                                   single_s
+                             : 0);
+  json += "},\"pipelined\":{";
+  json += "\"p50_us\":" + std::to_string(pipe_lat.Percentile(0.50));
+  json += ",\"p99_us\":" + std::to_string(pipe_lat.Percentile(0.99));
+  json += ",\"appends_per_sec\":" +
+          std::to_string(pipe_s > 0
+                             ? static_cast<double>(pipe_lat.count()) / pipe_s
+                             : 0);
+  json += "},\"client\":" +
+          MetricsJson(registry, {"rpc_rtt_us"},
+                      {"txlog_retries_total", "txlog_redirects_total"});
+  json += "}\n";
+  std::FILE* f = std::fopen("BENCH_rpc.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("  wrote BENCH_rpc.json\n");
+  }
+
+  client->Shutdown();
+  client.reset();
+  loop.Stop();
+  group.Stop();
+  return rc;
+}
+
+}  // namespace
+}  // namespace memdb::bench
+
+int main(int argc, char** argv) {
+  const int ops = argc > 1 ? std::atoi(argv[1]) : 500;
+  const int depth = argc > 2 ? std::atoi(argv[2]) : 16;
+  const int payload = argc > 3 ? std::atoi(argv[3]) : 128;
+  if (ops < 1 || depth < 1 || payload < 0) {
+    std::fprintf(stderr,
+                 "usage: rpc_append_latency [ops] [pipeline_depth] "
+                 "[payload_bytes]\n");
+    return 2;
+  }
+  return memdb::bench::Run(ops, depth, payload);
+}

@@ -1,6 +1,21 @@
 #include "bench_support/metrics_json.h"
 
 namespace memdb::bench {
+namespace {
+
+// Series names embed Prometheus label syntax (name{k="v"}); the quotes must
+// be escaped to keep them legal JSON object keys.
+std::string JsonKey(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string MetricsJson(const MetricsRegistry& reg,
                         const std::vector<std::string>& histograms,
@@ -14,7 +29,8 @@ std::string MetricsJson(const MetricsRegistry& reg,
   for (const std::string& name : histograms) {
     for (const auto& [labels, h] : reg.HistogramSeries(name)) {
       sep();
-      out += "\"" + MetricsRegistry::SeriesName(name, labels) + "\":{";
+      out += "\"" + JsonKey(MetricsRegistry::SeriesName(name, labels)) +
+             "\":{";
       out += "\"count\":" + std::to_string(h->count());
       out += ",\"sum_us\":" + std::to_string(h->sum());
       out += ",\"p50_us\":" + std::to_string(h->Percentile(0.50));
@@ -25,7 +41,7 @@ std::string MetricsJson(const MetricsRegistry& reg,
   for (const std::string& name : counters) {
     for (const auto& [labels, c] : reg.CounterSeries(name)) {
       sep();
-      out += "\"" + MetricsRegistry::SeriesName(name, labels) +
+      out += "\"" + JsonKey(MetricsRegistry::SeriesName(name, labels)) +
              "\":" + std::to_string(c->value());
     }
   }

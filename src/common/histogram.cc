@@ -6,7 +6,40 @@
 
 namespace memdb {
 
-Histogram::Histogram() : buckets_(64 * kSub, 0) {}
+namespace {
+
+// Relaxed is sufficient everywhere: instruments carry no cross-thread
+// happens-before obligations, only eventually-consistent totals.
+constexpr std::memory_order kMo = std::memory_order_relaxed;
+
+void AtomicMin(std::atomic<uint64_t>* slot, uint64_t v) {
+  uint64_t cur = slot->load(kMo);
+  while (v < cur && !slot->compare_exchange_weak(cur, v, kMo, kMo)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* slot, uint64_t v) {
+  uint64_t cur = slot->load(kMo);
+  while (v > cur && !slot->compare_exchange_weak(cur, v, kMo, kMo)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram()
+    : buckets_(std::make_unique<std::atomic<uint64_t>[]>(kBuckets)) {
+  for (size_t i = 0; i < kBuckets; ++i) buckets_[i].store(0, kMo);
+}
+
+Histogram::Histogram(const Histogram& other) : Histogram() { Merge(other); }
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this != &other) {
+    Reset();
+    Merge(other);
+  }
+  return *this;
+}
 
 int Histogram::BucketFor(uint64_t v) {
   if (v < kSub) return static_cast<int>(v);
@@ -22,62 +55,68 @@ uint64_t Histogram::BucketValue(int index) {
   if (major == 0) return static_cast<uint64_t>(sub);
   const int msb = major + kSubBits - 1;
   // Midpoint of the sub-bucket range.
-  const uint64_t base = (1ULL << msb) | (static_cast<uint64_t>(sub) << (msb - kSubBits));
+  const uint64_t base =
+      (1ULL << msb) | (static_cast<uint64_t>(sub) << (msb - kSubBits));
   const uint64_t width = 1ULL << (msb - kSubBits);
   return base + width / 2;
 }
 
 void Histogram::Record(uint64_t value_us) {
-  ++count_;
-  sum_ += value_us;
-  min_ = std::min(min_, value_us);
-  max_ = std::max(max_, value_us);
-  ++buckets_[static_cast<size_t>(BucketFor(value_us))];
+  count_.fetch_add(1, kMo);
+  sum_.fetch_add(value_us, kMo);
+  AtomicMin(&min_, value_us);
+  AtomicMax(&max_, value_us);
+  buckets_[static_cast<size_t>(BucketFor(value_us))].fetch_add(1, kMo);
 }
 
 void Histogram::Merge(const Histogram& other) {
-  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
-  count_ += other.count_;
-  sum_ += other.sum_;
-  min_ = std::min(min_, other.min_);
-  max_ = std::max(max_, other.max_);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(kMo), kMo);
+  }
+  count_.fetch_add(other.count_.load(kMo), kMo);
+  sum_.fetch_add(other.sum_.load(kMo), kMo);
+  AtomicMin(&min_, other.min_.load(kMo));
+  AtomicMax(&max_, other.max_.load(kMo));
 }
 
 void Histogram::Reset() {
-  std::fill(buckets_.begin(), buckets_.end(), 0);
-  count_ = 0;
-  sum_ = 0;
-  min_ = ~0ULL;
-  max_ = 0;
+  for (size_t i = 0; i < kBuckets; ++i) buckets_[i].store(0, kMo);
+  count_.store(0, kMo);
+  sum_.store(0, kMo);
+  min_.store(~0ULL, kMo);
+  max_.store(0, kMo);
 }
 
 double Histogram::Mean() const {
-  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  const uint64_t c = count();
+  return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
 }
 
 uint64_t Histogram::Percentile(double q) const {
-  if (count_ == 0) return 0;
-  if (q >= 1.0) return max_;
-  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+  const uint64_t c = count();
+  if (c == 0) return 0;
+  const uint64_t mx = max();
+  if (q >= 1.0) return mx;
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(c));
   uint64_t seen = 0;
-  for (size_t i = 0; i < buckets_.size(); ++i) {
-    seen += buckets_[i];
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(kMo);
     if (seen > target) {
       uint64_t v = BucketValue(static_cast<int>(i));
-      return std::clamp(v, min_, max_);
+      return std::clamp(v, min(), mx);
     }
   }
-  return max_;
+  return mx;
 }
 
 std::string Histogram::Summary() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),
                 "count=%llu mean=%.1fus p50=%lluus p99=%lluus p100=%lluus",
-                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(count()), Mean(),
                 static_cast<unsigned long long>(Percentile(0.50)),
                 static_cast<unsigned long long>(Percentile(0.99)),
-                static_cast<unsigned long long>(max_));
+                static_cast<unsigned long long>(max()));
   return buf;
 }
 

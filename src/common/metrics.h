@@ -17,6 +17,7 @@
 #ifndef MEMDB_COMMON_METRICS_H_
 #define MEMDB_COMMON_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -28,24 +29,34 @@
 
 namespace memdb {
 
+// Counter/Gauge updates are lock-free relaxed atomics: real-thread
+// components (net loop, rpc client loop, txlogd raft loop) share one
+// registry per process, and scrapes (INFO/METRICS) run concurrently with
+// the hot paths. Instrument *creation* (GetCounter & co.) is still
+// single-threaded setup-time work.
+
 class Counter {
  public:
-  void Increment(uint64_t delta = 1) { value_ += delta; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void Set(int64_t v) { value_ = v; }
-  void Add(int64_t delta) { value_ += delta; }
-  int64_t value() const { return value_; }
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
 class MetricsRegistry {

@@ -173,6 +173,43 @@ Value CmdInfo(Engine& e, const Argv& argv, ExecContext& ctx) {
       out += line;
     }
   }
+  if (want("RPC")) {
+    // Populated when the embedding layer talks to an out-of-process
+    // transaction log (rpc client instruments live in the shared registry);
+    // a bare engine or sim deployment reports an empty section.
+    out += "# Rpc\r\n";
+    for (const auto& [labels, c] : reg.CounterSeries("rpc_requests_total")) {
+      if (labels.empty() || c->value() == 0) continue;
+      const std::string& method = labels.front().second;
+      const Counter* errs = reg.FindCounter("rpc_errors_total", labels);
+      const Histogram* rtt = reg.FindHistogram("rpc_rtt_us", labels);
+      char line[192];
+      std::snprintf(line, sizeof(line),
+                    "rpc_%s:calls=%llu,errors=%llu,rtt_p50_usec=%llu,"
+                    "rtt_p99_usec=%llu\r\n",
+                    LowerName(method).c_str(),
+                    static_cast<unsigned long long>(c->value()),
+                    static_cast<unsigned long long>(
+                        errs == nullptr ? 0 : errs->value()),
+                    static_cast<unsigned long long>(
+                        rtt == nullptr ? 0 : rtt->Percentile(0.50)),
+                    static_cast<unsigned long long>(
+                        rtt == nullptr ? 0 : rtt->Percentile(0.99)));
+      out += line;
+    }
+    const Gauge* inflight = reg.FindGauge("rpc_inflight");
+    out += "rpc_inflight:" +
+           std::to_string(inflight == nullptr ? 0 : inflight->value()) +
+           "\r\n";
+    for (const char* name :
+         {"txlog_retries_total", "txlog_redirects_total",
+          "txlog_gate_appends_total", "txlog_gate_append_failures_total"}) {
+      const Counter* c = reg.FindCounter(name);
+      if (c != nullptr) {
+        out += std::string(name) + ":" + std::to_string(c->value()) + "\r\n";
+      }
+    }
+  }
   if (want("KEYSPACE")) {
     out += "# Keyspace\r\ndb0:keys=" + std::to_string(e.keyspace().Size()) +
            "\r\n";

@@ -1,0 +1,110 @@
+#include "net/remote_log_gate.h"
+
+#include <utility>
+
+namespace memdb::net {
+
+RemoteLogGate::RemoteLogGate(Options options, MetricsRegistry* registry)
+    : options_(std::move(options)) {
+  if (registry != nullptr) {
+    appends_submitted_ = registry->GetCounter("txlog_gate_appends_total");
+    appends_failed_ = registry->GetCounter("txlog_gate_append_failures_total");
+    queue_depth_ = registry->GetGauge("txlog_gate_queue_depth");
+  }
+  // RemoteClient resolves its rpc_* instruments here too — before Start()
+  // spawns the loop thread, so registry mutation stays single-threaded.
+  txlog::RemoteClient::Options copt;
+  copt.writer_id = options_.writer_id;
+  copt.rpc_timeout_ms = options_.rpc_timeout_ms;
+  copt.backoff_base_ms = options_.backoff_base_ms;
+  copt.backoff_cap_ms = options_.backoff_cap_ms;
+  copt.max_attempts = options_.max_attempts;
+  copt.max_redirects = options_.max_redirects;
+  client_ = std::make_unique<txlog::RemoteClient>(&loop_, options_.endpoints,
+                                                  copt, registry);
+}
+
+RemoteLogGate::~RemoteLogGate() { Stop(); }
+
+Status RemoteLogGate::Start(std::function<void()> on_complete) {
+  if (options_.endpoints.empty()) {
+    return Status::InvalidArgument("remote log gate needs endpoints");
+  }
+  on_complete_ = std::move(on_complete);
+  loop_.Start();
+  started_ = true;
+  return Status::OK();
+}
+
+void RemoteLogGate::Stop() {
+  if (!started_) return;
+  started_ = false;
+  client_->Shutdown();
+  loop_.Stop();
+}
+
+uint64_t RemoteLogGate::SubmitAppend(std::string payload, uint64_t trace_id) {
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  submitted_.fetch_add(1, std::memory_order_acq_rel);
+  if (appends_submitted_ != nullptr) appends_submitted_->Increment();
+  loop_.Post([this, seq, trace_id, payload = std::move(payload)]() mutable {
+    PendingAppend p;
+    p.seq = seq;
+    p.trace_id = trace_id;
+    p.payload = std::move(payload);
+    queue_.push_back(std::move(p));
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    }
+    Pump();
+  });
+  return seq;
+}
+
+std::vector<RemoteLogGate::Completion> RemoteLogGate::DrainCompletions() {
+  std::vector<Completion> out;
+  std::lock_guard<std::mutex> lock(done_mu_);
+  out.swap(done_);
+  return out;
+}
+
+void RemoteLogGate::Pump() {
+  if (append_inflight_ || queue_.empty()) return;
+  PendingAppend p = std::move(queue_.front());
+  queue_.pop_front();
+  if (queue_depth_ != nullptr) {
+    queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+  }
+  append_inflight_ = true;
+
+  txlog::LogRecord record;
+  record.type = txlog::RecordType::kData;
+  record.writer = options_.writer_id;
+  record.request_id = 0;  // stamped by RemoteClient; stable across retries
+  record.trace_id = p.trace_id;
+  record.payload = std::move(p.payload);
+  const uint64_t seq = p.seq;
+  client_->Append(txlog::wire::kUnconditional, std::move(record),
+                  [this, seq](const Status& status, uint64_t index) {
+                    OnAppendDone(seq, status, index);
+                  });
+}
+
+void RemoteLogGate::OnAppendDone(uint64_t seq, const Status& status,
+                                 uint64_t index) {
+  append_inflight_ = false;
+  if (!status.ok() && appends_failed_ != nullptr) appends_failed_->Increment();
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    Completion c;
+    c.seq = seq;
+    c.status = status;
+    c.index = index;
+    done_.push_back(std::move(c));
+  }
+  completed_.fetch_add(1, std::memory_order_acq_rel);
+  if (on_complete_) on_complete_();
+  Pump();
+}
+
+}  // namespace memdb::net

@@ -1,0 +1,122 @@
+// RemoteLogGate: connects the RESP front end to an out-of-process
+// transaction-log group (memorydb-txlogd processes) — the real-socket
+// version of the §3.1/§3.2 durability gate. The RespServer submits one
+// append per write batch and parks the client's reply; the gate reports
+// completions (commit or terminal failure) back to the server loop, which
+// releases the parked replies in order.
+//
+// Ordering: appends are strictly serialized — one in flight at a time, in
+// submission order — so the log's entry order equals local execution order
+// and completions arrive in batch-seq order. Retries, leader redirects,
+// and (writer, request_id) dedup live inside txlog::RemoteClient; the gate
+// sees each append complete exactly once.
+//
+// Threading: SubmitAppend/DrainCompletions are called from the RespServer
+// loop thread; the append machinery runs on the gate's own rpc::LoopThread;
+// the completion queue is the mutex-protected bridge between them. The
+// on_complete callback (RespServer's EventLoop::Wakeup) may be invoked from
+// the gate thread.
+
+#ifndef MEMDB_NET_REMOTE_LOG_GATE_H_
+#define MEMDB_NET_REMOTE_LOG_GATE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "rpc/loop.h"
+#include "txlog/remote_client.h"
+
+namespace memdb::net {
+
+class RemoteLogGate {
+ public:
+  struct Options {
+    std::vector<std::string> endpoints;  // host:port per txlogd replica
+    uint64_t writer_id = 1;              // this database node's identity
+    uint64_t rpc_timeout_ms = 300;
+    uint64_t backoff_base_ms = 20;
+    uint64_t backoff_cap_ms = 1000;
+    int max_attempts = 8;
+    int max_redirects = 4;
+  };
+
+  struct Completion {
+    uint64_t seq = 0;    // batch sequence handed out by SubmitAppend
+    Status status;       // OK = committed at `index`; else terminal failure
+    uint64_t index = 0;  // log index on success
+  };
+
+  // Instruments (rpc_* client metrics plus gate counters) are resolved from
+  // `registry` at construction — before any loop thread exists.
+  RemoteLogGate(Options options, MetricsRegistry* registry);
+  ~RemoteLogGate();
+  RemoteLogGate(const RemoteLogGate&) = delete;
+  RemoteLogGate& operator=(const RemoteLogGate&) = delete;
+
+  // on_complete fires (from the gate thread) whenever a completion is
+  // queued; wire it to the RespServer's EventLoop::Wakeup.
+  Status Start(std::function<void()> on_complete);
+  void Stop();
+
+  // Thread-safe. Queues one durable append carrying `payload` (an encoded
+  // effect batch) and returns its batch seq (monotonic from 1). `trace_id`
+  // rides the log record and the rpc frame (write-path tracing).
+  uint64_t SubmitAppend(std::string payload, uint64_t trace_id);
+
+  // Thread-safe; returns queued completions in batch-seq order.
+  std::vector<Completion> DrainCompletions();
+
+  // Appends submitted but not yet completed (thread-safe).
+  uint64_t inflight() const {
+    return submitted_.load(std::memory_order_acquire) -
+           completed_.load(std::memory_order_acquire);
+  }
+  size_t replica_count() const { return options_.endpoints.size(); }
+
+  // Test access to the underlying client (backoff hook, sync reads).
+  txlog::RemoteClient* client() { return client_.get(); }
+
+ private:
+  struct PendingAppend {
+    uint64_t seq = 0;
+    uint64_t trace_id = 0;
+    std::string payload;
+  };
+
+  // Gate-loop-thread only.
+  void Pump();
+  void OnAppendDone(uint64_t seq, const Status& status, uint64_t index);
+
+  Options options_;
+  rpc::LoopThread loop_;
+  std::unique_ptr<txlog::RemoteClient> client_;
+  std::function<void()> on_complete_;
+  bool started_ = false;
+
+  Counter* appends_submitted_ = nullptr;
+  Counter* appends_failed_ = nullptr;
+  Gauge* queue_depth_ = nullptr;
+
+  // Gate-loop-thread state.
+  std::deque<PendingAppend> queue_;
+  bool append_inflight_ = false;
+
+  std::atomic<uint64_t> next_seq_{1};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+
+  std::mutex done_mu_;
+  std::vector<Completion> done_;
+};
+
+}  // namespace memdb::net
+
+#endif  // MEMDB_NET_REMOTE_LOG_GATE_H_

@@ -4,6 +4,10 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/coding.h"
 
 namespace memdb::net {
 
@@ -13,6 +17,19 @@ constexpr uint64_t kInputHwmWindowMs = 5000;
 // Active-expiry cadence and per-cycle victim cap (Redis-like).
 constexpr uint64_t kExpireEveryMs = 100;
 constexpr size_t kExpirePerCycle = 20;
+
+// Same wire format as Node::EncodeEffectBatch, so log consumers decode
+// either producer: engine version, then per-effect argc + argv.
+std::string EncodeEffectBatch(const std::string& engine_version,
+                              const std::vector<engine::Argv>& effects) {
+  std::string out;
+  PutLengthPrefixed(&out, engine_version);
+  for (const engine::Argv& argv : effects) {
+    PutVarint64(&out, argv.size());
+    for (const std::string& a : argv) PutLengthPrefixed(&out, a);
+  }
+  return out;
+}
 }  // namespace
 
 RespServer::RespServer(engine::Engine* engine, ServerConfig config)
@@ -31,7 +48,9 @@ RespServer::RespServer(engine::Engine* engine, ServerConfig config)
   evicted_ = metrics_.GetCounter("net_evicted_clients_total");
   rejected_ = metrics_.GetCounter("net_rejected_connections_total");
   protocol_errors_ = metrics_.GetCounter("net_protocol_errors_total");
+  log_blocked_replies_ = metrics_.GetCounter("txlog_blocked_replies_total");
   batch_commands_ = metrics_.GetHistogram("net_batch_commands");
+  durable_ack_us_ = metrics_.GetHistogram("txlog_durable_ack_us");
 }
 
 RespServer::~RespServer() { Stop(); }
@@ -43,8 +62,27 @@ uint64_t RespServer::NowMs() {
           .count());
 }
 
+uint64_t RespServer::NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 Status RespServer::Start() {
   MEMDB_RETURN_IF_ERROR(loop_.Init());
+  if (!config_.txlog_endpoints.empty()) {
+    RemoteLogGate::Options gopt;
+    gopt.endpoints = config_.txlog_endpoints;
+    gopt.writer_id = config_.txlog_writer_id;
+    gopt.rpc_timeout_ms = config_.txlog_rpc_timeout_ms;
+    gopt.backoff_base_ms = config_.txlog_backoff_base_ms;
+    gopt.backoff_cap_ms = config_.txlog_backoff_cap_ms;
+    gopt.max_attempts = config_.txlog_max_attempts;
+    // Instruments resolve into metrics_ here, before the loop thread exists.
+    gate_ = std::make_unique<RemoteLogGate>(std::move(gopt), &metrics_);
+    MEMDB_RETURN_IF_ERROR(gate_->Start([this] { loop_.Wakeup(); }));
+  }
   MEMDB_RETURN_IF_ERROR(listener_.Open(config_.bind_address, config_.port,
                                        config_.tcp_backlog));
   MEMDB_RETURN_IF_ERROR(loop_.Add(listener_.fd(), kReadable, &listener_));
@@ -58,10 +96,23 @@ Status RespServer::Start() {
 
 void RespServer::Stop() {
   if (!started_) return;
+  if (gate_ != nullptr) {
+    // Drain: leave the loop running until every in-flight append completed
+    // and every parked reply was released (or the deadline passes — e.g.
+    // the log group lost its quorum).
+    const uint64_t deadline = NowMs() + config_.shutdown_drain_ms;
+    while ((gate_->inflight() > 0 ||
+            held_atomic_.load(std::memory_order_acquire) > 0) &&
+           NowMs() < deadline) {
+      loop_.Wakeup();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
   stop_requested_.store(true, std::memory_order_release);
   loop_.Wakeup();
   if (loop_thread_.joinable()) loop_thread_.join();
   started_ = false;
+  if (gate_ != nullptr) gate_->Stop();
   // The loop has exited: tear down every connection and the accept socket.
   for (auto& [ptr, owned] : connections_) owned->Close();
   connections_.clear();
@@ -95,6 +146,31 @@ void RespServer::AcceptPending() {
   }
 }
 
+void RespServer::Hold(Connection* c, HeldReply reply) {
+  held_[c].push_back(std::move(reply));
+  ++held_count_;
+  held_atomic_.store(held_count_, std::memory_order_release);
+  log_blocked_replies_->Increment();
+}
+
+uint64_t RespServer::HazardFor(const engine::CommandSpec* spec,
+                               const std::vector<std::string>& argv) const {
+  if (spec == nullptr || spec->key_step <= 0 || key_hazards_.empty()) {
+    return 0;
+  }
+  const int argc = static_cast<int>(argv.size());
+  int last = spec->last_key >= 0 ? spec->last_key : argc + spec->last_key;
+  if (last >= argc) last = argc - 1;
+  uint64_t hazard = 0;
+  for (int i = spec->first_key; i > 0 && i <= last; i += spec->key_step) {
+    const auto it = key_hazards_.find(argv[static_cast<size_t>(i)]);
+    if (it != key_hazards_.end() && it->second > hazard) {
+      hazard = it->second;
+    }
+  }
+  return hazard;
+}
+
 void RespServer::ExecutePending(Connection* c, uint64_t now_ms) {
   engine::ExecContext ctx;
   ctx.now_ms = now_ms;
@@ -104,11 +180,43 @@ void RespServer::ExecutePending(Connection* c, uint64_t now_ms) {
   std::string encoded;
   for (const std::vector<std::string>& argv : c->pending()) {
     if (c->state() != Connection::State::kOpen) break;
-    if (!argv.empty() && engine::Engine::Upper(argv[0]) == "QUIT") {
+    const std::string name =
+        argv.empty() ? std::string() : engine::Engine::Upper(argv[0]);
+    if (name == "QUIT") {
       c->QueueOutput("+OK\r\n");
       c->set_state(Connection::State::kClosing);
       break;
     }
+    // The connection's place in the reply order: a reply can only be sent
+    // directly if nothing older is still parked on this connection.
+    const auto held_it = held_.find(c);
+    const bool queue_behind =
+        held_it != held_.end() && !held_it->second.empty();
+
+    if (gate_ != nullptr && name == "WAIT") {
+      // WAIT semantics over the remote log: by the time this reply is
+      // released, every prior write of this connection has committed on a
+      // majority of log replicas — report that quorum size (§3).
+      encoded.clear();
+      resp::Value::Integer(
+          static_cast<int64_t>(gate_->replica_count() / 2 + 1))
+          .EncodeTo(&encoded);
+      const auto seq_it = conn_last_write_seq_.find(c);
+      const uint64_t wait_seq =
+          seq_it != conn_last_write_seq_.end() ? seq_it->second : 0;
+      if (wait_seq > done_floor_ || queue_behind) {
+        HeldReply h;
+        h.seq = queue_behind ? std::max(wait_seq, held_it->second.back().seq)
+                             : wait_seq;
+        h.kind = HeldReply::Kind::kWait;
+        h.encoded = encoded;
+        Hold(c, std::move(h));
+      } else {
+        c->QueueOutput(encoded);
+      }
+      continue;
+    }
+
     const engine::CommandSpec* spec =
         argv.empty() ? nullptr : engine_->FindCommand(argv[0]);
     const auto t0 = std::chrono::steady_clock::now();
@@ -123,18 +231,117 @@ void RespServer::ExecutePending(Connection* c, uint64_t now_ms) {
               std::chrono::steady_clock::now() - t0)
               .count()));
     }
-    // The standalone server has no transaction log attached; the effect
-    // stream is dropped (a durable deployment redirects it, §3.1).
-    ctx.effects.clear();
-    ctx.dirty_keys.clear();
     encoded.clear();
     reply.EncodeTo(&encoded);
-    c->QueueOutput(encoded);
+
+    if (gate_ == nullptr) {
+      // No transaction log attached; the effect stream is dropped and the
+      // reply returns immediately (the pre-durable standalone server).
+      c->QueueOutput(encoded);
+    } else if (!ctx.effects.empty()) {
+      // Durable write: append the effect batch to the remote log and park
+      // the reply until a majority of AZ replicas persisted it (§3.1).
+      const uint64_t trace_id = next_trace_id_++;
+      trace_.Record(trace_id, "cmd.receive", NowUs());
+      const uint64_t seq = gate_->SubmitAppend(
+          EncodeEffectBatch(server_info_.engine_version, ctx.effects),
+          trace_id);
+      trace_.Record(trace_id, "append.submit", NowUs());
+      trace_by_seq_[seq] = trace_id;
+      submit_us_by_seq_[seq] = NowUs();
+      for (const std::string& key : ctx.dirty_keys) {
+        key_hazards_[key] = seq;
+      }
+      conn_last_write_seq_[c] = seq;
+      HeldReply h;
+      h.seq = seq;
+      h.kind = HeldReply::Kind::kWrite;
+      h.encoded = encoded;
+      Hold(c, std::move(h));
+    } else {
+      // Read (or effect-less write): §3.2 — the value may exist locally
+      // but not yet be durable; park the reply behind the hazarding append
+      // so no client observes a value that could still be lost.
+      const uint64_t hazard = HazardFor(spec, argv);
+      if (hazard > done_floor_ || queue_behind) {
+        HeldReply h;
+        h.seq = queue_behind ? std::max(hazard, held_it->second.back().seq)
+                             : hazard;
+        h.kind = HeldReply::Kind::kRead;
+        h.encoded = encoded;
+        Hold(c, std::move(h));
+      } else {
+        c->QueueOutput(encoded);
+      }
+    }
+    ctx.effects.clear();
+    ctx.dirty_keys.clear();
     if (c->output_pending() > config_.output_hard_bytes) {
       break;  // hard limit: housekeeping evicts before any flush
     }
   }
   c->pending().clear();
+}
+
+void RespServer::ProcessLogCompletions(std::vector<Connection*>* released) {
+  if (gate_ == nullptr) return;
+  const std::vector<RemoteLogGate::Completion> done =
+      gate_->DrainCompletions();
+  if (done.empty()) return;
+  const uint64_t now_us = NowUs();
+  for (const RemoteLogGate::Completion& comp : done) {
+    done_floor_ = comp.seq;  // the gate completes appends in seq order
+    const auto tr = trace_by_seq_.find(comp.seq);
+    if (tr != trace_by_seq_.end()) {
+      trace_.Record(tr->second,
+                    comp.status.ok() ? "append.ack" : "append.fail", now_us);
+      trace_by_seq_.erase(tr);
+    }
+    const auto su = submit_us_by_seq_.find(comp.seq);
+    if (su != submit_us_by_seq_.end()) {
+      if (comp.status.ok()) durable_ack_us_->Record(now_us - su->second);
+      submit_us_by_seq_.erase(su);
+    }
+    if (!comp.status.ok()) {
+      failed_.insert(comp.seq);
+      std::fprintf(stderr,
+                   "memorydb-server: transaction log append %llu failed: %s\n",
+                   static_cast<unsigned long long>(comp.seq),
+                   comp.status.ToString().c_str());
+    }
+  }
+  // Hazards at or below the floor are resolved.
+  for (auto it = key_hazards_.begin(); it != key_hazards_.end();) {
+    it = it->second <= done_floor_ ? key_hazards_.erase(it) : ++it;
+  }
+  // Release parked replies in per-connection order up to the floor.
+  for (auto it = held_.begin(); it != held_.end();) {
+    Connection* c = it->first;
+    std::deque<HeldReply>& q = it->second;
+    bool progressed = false;
+    while (!q.empty() && q.front().seq <= done_floor_) {
+      HeldReply h = std::move(q.front());
+      q.pop_front();
+      --held_count_;
+      if (h.kind == HeldReply::Kind::kWrite && failed_.count(h.seq) > 0) {
+        // The write is applied locally but not in the durable log: local
+        // state has diverged. A production primary would demote and resync
+        // from the log (§3.1); here the client learns its write was not
+        // made durable and the connection is closed.
+        c->QueueOutput("-ERR transaction log unavailable\r\n");
+        c->set_state(Connection::State::kClosing);
+        held_count_ -= q.size();
+        q.clear();
+      } else {
+        c->QueueOutput(h.encoded);
+      }
+      progressed = true;
+    }
+    if (progressed) released->push_back(c);
+    it = q.empty() ? held_.erase(it) : ++it;
+  }
+  failed_.erase(failed_.begin(), failed_.upper_bound(done_floor_));
+  held_atomic_.store(held_count_, std::memory_order_release);
 }
 
 void RespServer::DispatchBatch(const std::vector<Connection*>& readable,
@@ -188,11 +395,14 @@ void RespServer::Housekeeping(uint64_t now_ms) {
     } else {
       c->soft_over_since_ms = 0;
     }
+    // A connection with parked replies is not idle: keep it open until the
+    // log catches up, even if nothing is buffered for output yet.
+    const bool parked = held_.count(c) > 0;
     if (c->peer_closed() && out == 0) {
       doomed.push_back(c);
       continue;
     }
-    if (c->state() == Connection::State::kClosing && out == 0) {
+    if (c->state() == Connection::State::kClosing && out == 0 && !parked) {
       doomed.push_back(c);
       continue;
     }
@@ -213,7 +423,8 @@ void RespServer::Housekeeping(uint64_t now_ms) {
   }
   recent_max_input_->Set(static_cast<int64_t>(
       input_hwm_cur_ > input_hwm_prev_ ? input_hwm_cur_ : input_hwm_prev_));
-  blocked_clients_->Set(0);  // no blocking commands on the net path yet
+  // Clients whose replies are parked behind the durability gate (§3.2).
+  blocked_clients_->Set(static_cast<int64_t>(held_.size()));
 
   if (now_ms - last_expire_ms_ >= kExpireEveryMs) {
     last_expire_ms_ = now_ms;
@@ -226,6 +437,13 @@ void RespServer::Housekeeping(uint64_t now_ms) {
 }
 
 void RespServer::CloseConnection(Connection* c) {
+  const auto held_it = held_.find(c);
+  if (held_it != held_.end()) {
+    held_count_ -= held_it->second.size();
+    held_.erase(held_it);
+    held_atomic_.store(held_count_, std::memory_order_release);
+  }
+  conn_last_write_seq_.erase(c);
   loop_.Remove(c->fd());
   c->Close();
   connections_.erase(c);
@@ -237,12 +455,16 @@ void RespServer::LoopMain() {
   std::vector<Event> events;
   std::vector<Connection*> readable;
   std::vector<Connection*> flushable;
+  std::vector<Connection*> released;
+  std::unordered_set<Connection*> newly_flushable;
   while (!stop_requested_.load(std::memory_order_acquire)) {
     loop_.Poll(config_.loop_timeout_ms, &events);
     if (stop_requested_.load(std::memory_order_acquire)) break;
 
     readable.clear();
     flushable.clear();
+    released.clear();
+    newly_flushable.clear();
     bool accept_ready = false;
     for (const Event& ev : events) {
       if (ev.tag == &listener_) {
@@ -266,15 +488,23 @@ void RespServer::LoopMain() {
     const uint64_t now_ms = NowMs();
     DispatchBatch(readable, now_ms);
 
-    // Stage 3 (io threads): flush whatever has output. Readable conns may
-    // have just produced replies; EPOLLOUT-ready conns have leftovers.
-    for (Connection* c : readable) {
+    // Stage 3 (loop thread): release replies whose log appends committed.
+    ProcessLogCompletions(&released);
+
+    // Stage 4 (io threads): flush whatever has output. Readable conns may
+    // have just produced replies, released conns just gained them, and
+    // EPOLLOUT-ready conns have leftovers. A connection must be flushed by
+    // exactly one io thread, hence the dedup set (EPOLLOUT conns have
+    // want_write set, so the !want_write check already excludes them).
+    const auto consider = [&](Connection* c) {
       if (c->output_pending() > 0 &&
           c->output_pending() <= config_.output_hard_bytes &&
-          !c->want_write) {
+          !c->want_write && newly_flushable.insert(c).second) {
         flushable.push_back(c);
       }
-    }
+    };
+    for (Connection* c : readable) consider(c);
+    for (Connection* c : released) consider(c);
     pool_->Run(flushable.size(),
                [&](size_t i) { flushable[i]->FlushWrites(); });
     for (Connection* c : flushable) {

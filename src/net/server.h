@@ -7,22 +7,32 @@
 //   3. ONE batched dispatch of all decoded commands into the
 //      single-threaded engine (replies encoded into per-connection
 //      output buffers),
-//   4. flush output buffers (fanned out to io threads),
-//   5. housekeeping: client-output-buffer limits (soft over time / hard
+//   4. release replies whose transaction-log appends committed,
+//   5. flush output buffers (fanned out to io threads),
+//   6. housekeeping: client-output-buffer limits (soft over time / hard
 //      immediate) with slow-client eviction, EPOLLOUT arming, reaping,
 //      active expiry, gauge refresh.
 //
 // The engine runs exclusively on the loop thread; io threads only touch
 // sockets and per-connection buffers, exactly like Redis io-threads and
 // the multiplexing design in the MemoryDB paper.
+//
+// With txlog_endpoints configured, the server becomes a durable primary
+// (§3.1/§3.2): every write's effect batch is appended to the out-of-process
+// transaction log through a RemoteLogGate, the client's reply is parked
+// until the append commits on a majority of log replicas, and reads that
+// touch a not-yet-durable key are parked behind that write (the client
+// blocking tracker, over real sockets).
 
 #ifndef MEMDB_NET_SERVER_H_
 #define MEMDB_NET_SERVER_H_
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -30,11 +40,13 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "engine/engine.h"
 #include "net/connection.h"
 #include "net/event_loop.h"
 #include "net/io_threads.h"
 #include "net/listener.h"
+#include "net/remote_log_gate.h"
 
 namespace memdb::net {
 
@@ -61,6 +73,19 @@ struct ServerConfig {
 
   // epoll_wait tick; bounds how stale housekeeping can get when idle.
   int loop_timeout_ms = 100;
+
+  // Out-of-process transaction log (memorydb-txlogd endpoints, one per
+  // simulated AZ). Empty = no durability gate: write effects are dropped
+  // and replies return immediately (the pre-durable standalone server).
+  std::vector<std::string> txlog_endpoints;
+  uint64_t txlog_writer_id = 1;
+  uint64_t txlog_rpc_timeout_ms = 300;
+  uint64_t txlog_backoff_base_ms = 20;
+  uint64_t txlog_backoff_cap_ms = 1000;
+  int txlog_max_attempts = 8;
+  // Stop() keeps the loop alive up to this long so in-flight appends can
+  // commit and their parked replies can be flushed before teardown.
+  uint64_t shutdown_drain_ms = 5000;
 };
 
 class RespServer {
@@ -73,43 +98,83 @@ class RespServer {
   RespServer& operator=(const RespServer&) = delete;
 
   // Binds, listens, and spawns the event-loop thread. After OK, port()
-  // reports the bound port (meaningful when config.port == 0).
+  // reports the bound port (meaningful when config.port == 0). When
+  // txlog_endpoints is set, also starts the RemoteLogGate.
   Status Start();
 
-  // Idempotent, thread-safe: wakes the loop, joins it, closes the listener
-  // and every connection, and joins the io threads.
+  // Idempotent, thread-safe: drains in-flight log appends (bounded by
+  // shutdown_drain_ms), wakes the loop, joins it, closes the listener and
+  // every connection, and joins the io threads.
   void Stop();
 
   uint16_t port() const { return listener_.port(); }
   MetricsRegistry& metrics() { return metrics_; }
   const ServerConfig& config() const { return config_; }
+  RemoteLogGate* gate() { return gate_.get(); }
+  // Only safe once the server is stopped (spans are loop-thread state).
+  const TraceLog& trace_log() const { return trace_; }
 
  private:
+  // A reply parked until the transaction log catches up to `seq`.
+  struct HeldReply {
+    enum class Kind : uint8_t {
+      kWrite,  // this connection's own append; errors close the connection
+      kRead,   // read behind another connection's key hazard
+      kWait,   // WAIT: reply synthesized at release time
+    };
+    uint64_t seq = 0;
+    Kind kind = Kind::kRead;
+    std::string encoded;
+  };
+
   void LoopMain();
   void AcceptPending();
   // Executes every pending command of every readable connection as one
-  // engine batch; encodes replies into connection output buffers.
+  // engine batch; encodes replies into connection output buffers (or parks
+  // them behind the durability gate).
   void DispatchBatch(const std::vector<Connection*>& readable,
                      uint64_t now_ms);
   void ExecutePending(Connection* c, uint64_t now_ms);
+  // Drains gate completions, releases parked replies in order, prunes key
+  // hazards; connections that gained output are appended to *released.
+  void ProcessLogCompletions(std::vector<Connection*>* released);
+  void Hold(Connection* c, HeldReply reply);
+  // Largest append seq hazarding any key this command touches (0 = none).
+  uint64_t HazardFor(const engine::CommandSpec* spec,
+                     const std::vector<std::string>& argv) const;
   void Housekeeping(uint64_t now_ms);
   void CloseConnection(Connection* c);
   static uint64_t NowMs();
+  static uint64_t NowUs();
 
   engine::Engine* const engine_;
   ServerConfig config_;
   MetricsRegistry metrics_;
   engine::ServerInfo server_info_;
+  TraceLog trace_;
 
   EventLoop loop_;
   Listener listener_;
   std::unique_ptr<IoThreadPool> pool_;
+  std::unique_ptr<RemoteLogGate> gate_;
   std::unordered_map<Connection*, std::unique_ptr<Connection>> connections_;
   uint64_t next_conn_id_ = 1;
 
   std::thread loop_thread_;
   std::atomic<bool> stop_requested_{false};
   bool started_ = false;
+
+  // --- durability-gate state (loop thread) ---------------------------------
+  std::unordered_map<Connection*, std::deque<HeldReply>> held_;
+  std::unordered_map<Connection*, uint64_t> conn_last_write_seq_;
+  std::unordered_map<std::string, uint64_t> key_hazards_;
+  std::unordered_map<uint64_t, uint64_t> trace_by_seq_;
+  uint64_t done_floor_ = 0;      // completions arrive in seq order
+  std::set<uint64_t> failed_;    // seqs whose append terminally failed
+  size_t held_count_ = 0;
+  uint64_t next_trace_id_ = 1;
+  // Mirror of held_count_ for the shutdown drain (written on loop thread).
+  std::atomic<uint64_t> held_atomic_{0};
 
   // Instruments (all owned by metrics_, updated on the loop thread only).
   Gauge* connected_clients_;
@@ -123,13 +188,18 @@ class RespServer {
   Counter* evicted_;
   Counter* rejected_;
   Counter* protocol_errors_;
+  Counter* log_blocked_replies_;
   Histogram* batch_commands_;
+  Histogram* durable_ack_us_;
 
   // Rolling two-window high-water mark for client_recent_max_input_buffer.
   size_t input_hwm_cur_ = 0;
   size_t input_hwm_prev_ = 0;
   uint64_t input_hwm_window_start_ms_ = 0;
   uint64_t last_expire_ms_ = 0;
+
+  // Submit timestamp per seq, for the durable-ack latency histogram.
+  std::unordered_map<uint64_t, uint64_t> submit_us_by_seq_;
 
   // Per-command latency histogram cache (same trick as the engine's
   // calls_cache_): avoids a registry map lookup per command on the hot path.

@@ -4,6 +4,14 @@
 //
 //   memorydb-server [--port N] [--bind ADDR] [--maxclients N]
 //                   [--tcp-backlog N] [--io-threads N] [--maxmemory-mb N]
+//                   [--txlog-endpoints HOST:PORT,...] [--writer-id N]
+//                   [--txlog-timeout-ms N] [--shutdown-drain-ms N]
+//
+// With --txlog-endpoints the server runs as a durable primary: every write's
+// effect batch is appended to the out-of-process transaction log group
+// (memorydb-txlogd, one endpoint per simulated AZ) and the client's reply is
+// withheld until a majority of log replicas persisted it (§3.1). On
+// shutdown, in-flight appends are drained for up to --shutdown-drain-ms.
 //
 // Runs until SIGINT/SIGTERM. With --port 0 the kernel picks a port; the
 // chosen port is printed on the "listening" banner either way.
@@ -14,6 +22,7 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "engine/engine.h"
 #include "net/server.h"
@@ -32,11 +41,28 @@ bool ParseUint(const char* s, uint64_t* out) {
   return true;
 }
 
+std::vector<std::string> SplitList(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < s.size()) out.push_back(s.substr(start));
+      break;
+    }
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--bind ADDR] [--maxclients N]\n"
                "          [--tcp-backlog N] [--io-threads N] "
-               "[--maxmemory-mb N]\n",
+               "[--maxmemory-mb N]\n"
+               "          [--txlog-endpoints HOST:PORT,...] [--writer-id N]\n"
+               "          [--txlog-timeout-ms N] [--shutdown-drain-ms N]\n",
                argv0);
   return 2;
 }
@@ -68,6 +94,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--maxmemory-mb" && has_value &&
                ParseUint(argv[++i], &v)) {
       maxmemory_mb = v;
+    } else if (arg == "--txlog-endpoints" && has_value) {
+      config.txlog_endpoints = SplitList(argv[++i]);
+    } else if (arg == "--writer-id" && has_value && ParseUint(argv[++i], &v) &&
+               v > 0) {
+      config.txlog_writer_id = v;
+    } else if (arg == "--txlog-timeout-ms" && has_value &&
+               ParseUint(argv[++i], &v) && v > 0) {
+      config.txlog_rpc_timeout_ms = v;
+    } else if (arg == "--shutdown-drain-ms" && has_value &&
+               ParseUint(argv[++i], &v)) {
+      config.shutdown_drain_ms = v;
     } else {
       return Usage(argv[0]);
     }
@@ -85,10 +122,12 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "memorydb-server listening on %s:%u (maxclients=%zu, "
-      "tcp-backlog=%d, io-threads=%d)\n",
+      "tcp-backlog=%d, io-threads=%d%s)\n",
       server.config().bind_address.c_str(), server.port(),
       server.config().maxclients, server.config().tcp_backlog,
-      server.config().io_threads);
+      server.config().io_threads,
+      config.txlog_endpoints.empty() ? ""
+                                     : ", durable: remote transaction log");
   std::fflush(stdout);
 
   std::signal(SIGINT, OnSignal);

@@ -1,0 +1,120 @@
+// rpc::Channel: a multiplexed client connection to one RPC endpoint.
+//
+// Calls are submitted from any thread; each carries a per-call deadline and
+// completes exactly once on the channel's loop thread — with the response
+// payload, or TimedOut when the deadline lapses (the call is abandoned but
+// the connection stays up; a late response is dropped by request-id), or
+// Unavailable when the connection cannot be established / resets (every
+// in-flight call fails; the next Call() reconnects lazily).
+//
+// RpcStats pre-resolves the per-method instruments from a shared registry at
+// setup time so the hot path never mutates registry maps — that keeps
+// concurrent scrapes (INFO/METRICS on another thread) race-free.
+
+#ifndef MEMDB_RPC_CHANNEL_H_
+#define MEMDB_RPC_CHANNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "rpc/frame.h"
+#include "rpc/loop.h"
+
+namespace memdb::rpc {
+
+// Pre-resolved per-method instruments (rpc_requests_total{method=},
+// rpc_errors_total{method=}, rpc_rtt_us{method=}) plus the shared
+// rpc_inflight gauge. Construct before any thread touches the registry.
+class RpcStats {
+ public:
+  struct MethodStats {
+    Counter* requests = nullptr;
+    Counter* errors = nullptr;
+    Histogram* rtt_us = nullptr;
+  };
+
+  RpcStats() = default;
+  RpcStats(MetricsRegistry* registry,
+           const std::vector<std::string>& methods);
+
+  MethodStats* For(const std::string& method);
+  Gauge* inflight() { return inflight_; }
+
+ private:
+  std::map<std::string, MethodStats> per_method_;
+  Gauge* inflight_ = nullptr;
+};
+
+class Channel {
+ public:
+  using Callback = std::function<void(Status, std::string payload)>;
+
+  Channel(LoopThread* loop, std::string host, uint16_t port,
+          RpcStats* stats = nullptr);
+  ~Channel();
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Thread-safe. cb runs exactly once, on the loop thread.
+  void Call(const std::string& method, std::string payload,
+            uint64_t timeout_ms, uint64_t trace_id, Callback cb);
+
+  // Closes the connection and fails in-flight calls with Unavailable. The
+  // channel remains usable (reconnects on the next Call). Thread-safe.
+  void Reset();
+
+  // Must be called (from any non-loop thread) before destruction while the
+  // loop is still running; fails pending calls and detaches from the loop.
+  void Shutdown();
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  enum class ConnState : uint8_t { kDisconnected, kConnecting, kConnected };
+
+  struct Pending {
+    Callback cb;
+    uint64_t timer_id = 0;
+    uint64_t sent_at_ms = 0;
+    std::string method;
+  };
+
+  // All private methods run on the loop thread.
+  void StartCall(const std::string& method, std::string&& payload,
+                 uint64_t timeout_ms, uint64_t trace_id, Callback&& cb);
+  void EnsureConnected();
+  void OnSocketReady(uint32_t events);
+  void FinishConnect();
+  void ReadFrames();
+  void Flush();
+  void FailAll(const Status& status);
+  void Complete(uint64_t request_id, const Status& status,
+                std::string&& payload);
+  void DisconnectLocked(bool reconnectable);
+
+  LoopThread* const loop_;
+  const std::string host_;
+  const uint16_t port_;
+  RpcStats* const stats_;
+
+  int fd_ = -1;
+  ConnState state_ = ConnState::kDisconnected;
+  bool want_write_ = false;
+  bool shutdown_ = false;
+  LoopThread::FdHandler handler_;
+  std::string in_;
+  std::string out_;
+  size_t out_sent_ = 0;
+  uint64_t next_request_id_ = 1;
+  std::map<uint64_t, Pending> pending_;
+};
+
+}  // namespace memdb::rpc
+
+#endif  // MEMDB_RPC_CHANNEL_H_

@@ -1,0 +1,87 @@
+// FaultInjector: deterministic fault hooks for the RPC transport, used by
+// tests to prove the retry/dedup invariants (a dropped append ack followed
+// by a retry must not double-commit) and by the partition/backoff suites.
+//
+// Faults act on the server side, at the moment a frame would be written:
+//   * DropResponses(method, n)      — swallow the next n responses,
+//   * DelayResponses(method, ms, n) — hold the next n responses for ms,
+//   * DuplicateResponses(method, n) — send the next n responses twice,
+//   * DropRequests(method, n)       — ignore the next n inbound requests
+//                                     (as if the request frame was lost).
+//
+// Thread-safe: tests arm faults from the test thread while the rpc loop
+// consults them.
+
+#ifndef MEMDB_RPC_FAULT_H_
+#define MEMDB_RPC_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace memdb::rpc {
+
+class FaultInjector {
+ public:
+  void DropResponses(const std::string& method, int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    drop_rsp_[method] += n;
+  }
+  void DelayResponses(const std::string& method, uint64_t ms, int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    delay_rsp_[method] = {ms, delay_rsp_[method].second + n};
+  }
+  void DuplicateResponses(const std::string& method, int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    dup_rsp_[method] += n;
+  }
+  void DropRequests(const std::string& method, int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    drop_req_[method] += n;
+  }
+
+  // --- transport-side queries ----------------------------------------------
+  struct ResponsePlan {
+    bool drop = false;
+    bool duplicate = false;
+    uint64_t delay_ms = 0;
+  };
+  ResponsePlan OnResponse(const std::string& method) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ResponsePlan plan;
+    if (Take(&drop_rsp_, method)) {
+      plan.drop = true;
+      return plan;
+    }
+    if (Take(&dup_rsp_, method)) plan.duplicate = true;
+    auto it = delay_rsp_.find(method);
+    if (it != delay_rsp_.end() && it->second.second > 0) {
+      --it->second.second;
+      plan.delay_ms = it->second.first;
+    }
+    return plan;
+  }
+  bool ShouldDropRequest(const std::string& method) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return Take(&drop_req_, method);
+  }
+
+ private:
+  static bool Take(std::map<std::string, int>* m, const std::string& k) {
+    auto it = m->find(k);
+    if (it == m->end() || it->second <= 0) return false;
+    --it->second;
+    return true;
+  }
+
+  std::mutex mu_;
+  std::map<std::string, int> drop_rsp_;
+  std::map<std::string, int> dup_rsp_;
+  std::map<std::string, int> drop_req_;
+  std::map<std::string, std::pair<uint64_t, int>> delay_rsp_;  // ms, count
+};
+
+}  // namespace memdb::rpc
+
+#endif  // MEMDB_RPC_FAULT_H_

@@ -1,0 +1,110 @@
+#include "rpc/frame.h"
+
+#include "common/coding.h"
+#include "common/crc.h"
+#include "common/slice.h"
+
+namespace memdb::rpc {
+
+namespace {
+// magic(4) + version/type/code/reserved(4) + request_id(8) + trace_id(8) +
+// deadline(8) + method_len(2).
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 8 + 8 + 2;
+constexpr size_t kChecksumBytes = 4;
+
+uint32_t FrameChecksum(const char* data, size_t size) {
+  return static_cast<uint32_t>(Crc64(0, data, size));
+}
+}  // namespace
+
+void EncodeFrame(const Frame& frame, std::string* out) {
+  const size_t start = out->size();
+  PutFixed32(out, 0);  // placeholder for the length field
+  PutFixed32(out, kMagic);
+  out->push_back(static_cast<char>(kVersion));
+  out->push_back(static_cast<char>(frame.type));
+  out->push_back(static_cast<char>(frame.code));
+  out->push_back(0);  // reserved
+  PutFixed64(out, frame.request_id);
+  PutFixed64(out, frame.trace_id);
+  PutFixed64(out, frame.deadline_ms);
+  PutFixed16(out, static_cast<uint16_t>(frame.method.size()));
+  out->append(frame.method);
+  out->append(frame.payload);
+  const uint32_t crc =
+      FrameChecksum(out->data() + start + 4, out->size() - start - 4);
+  PutFixed32(out, crc);
+  // Backpatch the length field.
+  const uint32_t body = static_cast<uint32_t>(out->size() - start - 4);
+  (*out)[start + 0] = static_cast<char>(body & 0xff);
+  (*out)[start + 1] = static_cast<char>((body >> 8) & 0xff);
+  (*out)[start + 2] = static_cast<char>((body >> 16) & 0xff);
+  (*out)[start + 3] = static_cast<char>((body >> 24) & 0xff);
+}
+
+FrameDecode DecodeFrame(const char* data, size_t size, size_t* consumed,
+                        Frame* out, std::string* error) {
+  if (size < 4) return FrameDecode::kNeedMore;
+  Decoder len_dec(Slice(data, 4));
+  uint32_t body_len = 0;
+  len_dec.GetFixed32(&body_len);
+  if (body_len < kHeaderBytes + kChecksumBytes ||
+      body_len > kMaxFrameBytes) {
+    *error = "invalid frame length";
+    return FrameDecode::kError;
+  }
+  if (size < 4 + static_cast<size_t>(body_len)) return FrameDecode::kNeedMore;
+
+  const char* body = data + 4;
+  Decoder dec(Slice(body, body_len));
+  uint32_t magic = 0;
+  dec.GetFixed32(&magic);
+  if (magic != kMagic) {
+    *error = "bad magic";
+    return FrameDecode::kError;
+  }
+  // version/type/code/reserved as a fixed32 to keep Decoder usage uniform.
+  const uint8_t version = static_cast<uint8_t>(body[4]);
+  const uint8_t type = static_cast<uint8_t>(body[5]);
+  const uint8_t code = static_cast<uint8_t>(body[6]);
+  if (version != kVersion) {
+    *error = "unsupported rpc version";
+    return FrameDecode::kError;
+  }
+  if (type > 1) {
+    *error = "bad frame type";
+    return FrameDecode::kError;
+  }
+  const uint32_t wire_crc =
+      FrameChecksum(body, body_len - kChecksumBytes);
+  Decoder crc_dec(Slice(body + body_len - kChecksumBytes, kChecksumBytes));
+  uint32_t got_crc = 0;
+  crc_dec.GetFixed32(&got_crc);
+  if (wire_crc != got_crc) {
+    *error = "frame checksum mismatch";
+    return FrameDecode::kError;
+  }
+
+  Decoder hd(Slice(body + 8, body_len - 8 - kChecksumBytes));
+  uint16_t method_len = 0;
+  if (!hd.GetFixed64(&out->request_id) || !hd.GetFixed64(&out->trace_id) ||
+      !hd.GetFixed64(&out->deadline_ms) || !hd.GetFixed16(&method_len)) {
+    *error = "truncated frame header";
+    return FrameDecode::kError;
+  }
+  if (hd.Remaining() < method_len) {
+    *error = "method overruns frame";
+    return FrameDecode::kError;
+  }
+  const char* rest = body + 8 + hd.Position();
+  out->type = static_cast<FrameType>(type);
+  out->code = static_cast<Code>(code);
+  out->method.assign(rest, method_len);
+  out->payload.assign(rest + method_len,
+                      body_len - 8 - kChecksumBytes - hd.Position() -
+                          method_len);
+  *consumed = 4 + static_cast<size_t>(body_len);
+  return FrameDecode::kOk;
+}
+
+}  // namespace memdb::rpc

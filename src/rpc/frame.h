@@ -1,0 +1,76 @@
+// Length-prefixed binary RPC framing for the internal service plane (the
+// wire between memorydb-server and the out-of-process transaction log, and
+// between memorydb-txlogd replicas).
+//
+// Layout (little-endian fixed-width header, then variable parts):
+//
+//   +--------+-----------------------------------------------------------+
+//   | u32    | frame length: bytes that FOLLOW this field                |
+//   | u32    | magic 'MRPC' (0x4350524D on the wire)                     |
+//   | u8     | protocol version (kVersion)                               |
+//   | u8     | type: 0 = request, 1 = response                           |
+//   | u8     | code: transport status (responses; 0 on requests)         |
+//   | u8     | reserved (0)                                              |
+//   | u64    | request id: correlates a response on a multiplexed conn   |
+//   | u64    | trace id: write-path trace context (0 = untraced)         |
+//   | u64    | deadline: caller budget in ms (requests; 0 = none)        |
+//   | u16    | method length M (requests; 0 on responses)                |
+//   | M      | method name bytes                                         |
+//   | P      | payload (application-encoded body)                        |
+//   | u32    | checksum: low 32 bits of CRC64 over magic..payload        |
+//   +--------+-----------------------------------------------------------+
+//
+// The checksum covers everything after the length field and before itself,
+// so a frame corrupted anywhere (including the header) is rejected rather
+// than dispatched.
+
+#ifndef MEMDB_RPC_FRAME_H_
+#define MEMDB_RPC_FRAME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace memdb::rpc {
+
+inline constexpr uint32_t kMagic = 0x4350524Du;  // "MRPC" little-endian
+inline constexpr uint8_t kVersion = 1;
+// Guard rail against absurd allocations from a corrupt or hostile peer.
+inline constexpr size_t kMaxFrameBytes = 64u << 20;
+
+enum class FrameType : uint8_t { kRequest = 0, kResponse = 1 };
+
+// Transport-level response codes; application-level outcomes ride in the
+// payload (e.g. txlog::wire::ClientResult).
+enum class Code : uint8_t {
+  kOk = 0,
+  kNoMethod = 1,     // no handler registered for the method
+  kShutdown = 2,     // server is stopping; call will never be served
+  kBadRequest = 3,   // handler could not decode the payload
+  kOverloaded = 4,   // server refused to queue the call
+};
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  Code code = Code::kOk;
+  uint64_t request_id = 0;
+  uint64_t trace_id = 0;
+  uint64_t deadline_ms = 0;
+  std::string method;
+  std::string payload;
+};
+
+// Appends the encoded frame to *out.
+void EncodeFrame(const Frame& frame, std::string* out);
+
+enum class FrameDecode { kOk, kNeedMore, kError };
+
+// Attempts to decode one frame from data[0, size). On kOk, *consumed is the
+// total bytes of the frame. On kError, *error describes the problem (bad
+// magic/version/checksum/limits) and the connection must be dropped — the
+// stream cannot be resynchronized.
+FrameDecode DecodeFrame(const char* data, size_t size, size_t* consumed,
+                        Frame* out, std::string* error);
+
+}  // namespace memdb::rpc
+
+#endif  // MEMDB_RPC_FRAME_H_

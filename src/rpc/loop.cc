@@ -1,0 +1,136 @@
+#include "rpc/loop.h"
+
+#include <chrono>
+#include <condition_variable>
+
+namespace memdb::rpc {
+
+LoopThread::~LoopThread() { Stop(); }
+
+uint64_t LoopThread::NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Status LoopThread::Start() {
+  MEMDB_RETURN_IF_ERROR(loop_.Init());
+  started_ = true;
+  thread_ = std::thread([this] {
+    loop_tid_ = std::this_thread::get_id();
+    LoopMain();
+  });
+  return Status::OK();
+}
+
+void LoopThread::Stop() {
+  if (!started_) return;
+  stop_requested_.store(true, std::memory_order_release);
+  loop_.Wakeup();
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+  // Late-posted tasks (e.g. from channel users racing Stop) are dropped;
+  // run-down happens inside LoopMain before exit.
+  std::lock_guard<std::mutex> lock(task_mu_);
+  tasks_.clear();
+  timers_.clear();
+}
+
+void LoopThread::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    tasks_.push_back(std::move(fn));
+  }
+  loop_.Wakeup();
+}
+
+void LoopThread::PostSync(std::function<void()> fn) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Post([&] {
+    fn();
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+}
+
+Status LoopThread::Watch(int fd, uint32_t events, FdHandler* handler) {
+  return loop_.Add(fd, events, handler);
+}
+
+Status LoopThread::Rearm(int fd, uint32_t events, FdHandler* handler) {
+  return loop_.Modify(fd, events, handler);
+}
+
+void LoopThread::Unwatch(int fd) { loop_.Remove(fd); }
+
+uint64_t LoopThread::After(uint64_t delay_ms, std::function<void()> fn) {
+  const uint64_t id = next_timer_id_++;
+  timers_[id] = Timer{NowMs() + delay_ms, std::move(fn)};
+  return id;
+}
+
+void LoopThread::CancelTimer(uint64_t id) { timers_.erase(id); }
+
+void LoopThread::RunTasks() {
+  // Swap out the queue so handlers posting new tasks don't starve the poll.
+  std::deque<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    batch.swap(tasks_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+int LoopThread::RunTimers() {
+  const uint64_t now = NowMs();
+  // Collect due timers first: callbacks may add/cancel timers.
+  std::vector<std::function<void()>> due;
+  for (auto it = timers_.begin(); it != timers_.end();) {
+    if (it->second.deadline_ms <= now) {
+      due.push_back(std::move(it->second.fn));
+      it = timers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& fn : due) fn();
+  if (timers_.empty()) return -1;
+  uint64_t next = ~0ULL;
+  for (const auto& [id, t] : timers_) {
+    if (t.deadline_ms < next) next = t.deadline_ms;
+  }
+  const uint64_t now2 = NowMs();
+  return next <= now2 ? 0 : static_cast<int>(next - now2);
+}
+
+void LoopThread::LoopMain() {
+  std::vector<net::Event> events;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    RunTasks();
+    int timeout_ms = RunTimers();
+    if (timeout_ms < 0 || timeout_ms > 100) timeout_ms = 100;
+    {
+      std::lock_guard<std::mutex> lock(task_mu_);
+      if (!tasks_.empty()) timeout_ms = 0;
+    }
+    loop_.Poll(timeout_ms, &events);
+    for (const net::Event& ev : events) {
+      auto* handler = static_cast<FdHandler*>(ev.tag);
+      if (handler != nullptr && handler->on_ready) {
+        handler->on_ready(ev.events);
+      }
+    }
+    events.clear();
+  }
+  // Run-down: execute whatever was posted before the stop flag was seen so
+  // PostSync callers blocked at shutdown always complete.
+  RunTasks();
+}
+
+}  // namespace memdb::rpc

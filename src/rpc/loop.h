@@ -1,0 +1,96 @@
+// LoopThread: an owned thread running a net::EventLoop with timers and a
+// cross-thread task queue — the execution substrate for the RPC plane.
+//
+// One LoopThread can host any mix of rpc::Server instances (listener + all
+// accepted connections), rpc::Channel instances (outbound connections), and
+// application timers; memorydb-txlogd runs its entire raft replica — server
+// side, peer channels, election/heartbeat timers — on a single LoopThread,
+// which makes the daemon's state single-threaded by construction.
+//
+// Threading contract: Post() is the only thread-safe entry point; Watch/
+// Rearm/Unwatch/After/CancelTimer must run on the loop thread (assert-level
+// contract, enforced by callers routing through Post).
+
+#ifndef MEMDB_RPC_LOOP_H_
+#define MEMDB_RPC_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/event_loop.h"
+
+namespace memdb::rpc {
+
+class LoopThread {
+ public:
+  // Readiness callback; receives net::kReadable / kWritable / kClosed bits.
+  struct FdHandler {
+    std::function<void(uint32_t)> on_ready;
+  };
+
+  LoopThread() = default;
+  ~LoopThread();
+  LoopThread(const LoopThread&) = delete;
+  LoopThread& operator=(const LoopThread&) = delete;
+
+  Status Start();
+  // Joins the loop thread. Pending tasks posted before Stop() still run;
+  // timers that have not fired are dropped.
+  void Stop();
+
+  // Thread-safe: runs fn on the loop thread (immediately queued; if called
+  // from the loop thread itself it still goes through the queue, preserving
+  // run-to-completion semantics for the current callback).
+  void Post(std::function<void()> fn);
+  // Post and block until fn has run (never call from the loop thread).
+  void PostSync(std::function<void()> fn);
+
+  // --- loop-thread-only API -------------------------------------------------
+  Status Watch(int fd, uint32_t events, FdHandler* handler);
+  Status Rearm(int fd, uint32_t events, FdHandler* handler);
+  void Unwatch(int fd);
+
+  // One-shot timer: fires fn after delay_ms. Returns a cancellation id.
+  uint64_t After(uint64_t delay_ms, std::function<void()> fn);
+  void CancelTimer(uint64_t id);
+
+  bool OnLoopThread() const {
+    return std::this_thread::get_id() == loop_tid_;
+  }
+  // Monotonic milliseconds (steady clock).
+  static uint64_t NowMs();
+
+ private:
+  void LoopMain();
+  void RunTasks();
+  // Fires due timers; returns ms until the next timer (or -1 = none).
+  int RunTimers();
+
+  net::EventLoop loop_;
+  std::thread thread_;
+  std::thread::id loop_tid_;
+  std::atomic<bool> stop_requested_{false};
+  bool started_ = false;
+
+  std::mutex task_mu_;
+  std::deque<std::function<void()>> tasks_;
+
+  // Timers live on the loop thread only.
+  struct Timer {
+    uint64_t deadline_ms = 0;
+    std::function<void()> fn;
+  };
+  std::map<uint64_t, Timer> timers_;  // id -> timer
+  uint64_t next_timer_id_ = 1;
+};
+
+}  // namespace memdb::rpc
+
+#endif  // MEMDB_RPC_LOOP_H_
