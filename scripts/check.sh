@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# The full correctness gate, runnable locally or in CI:
+#
+#   1. plain build + full ctest          (build/)
+#   2. ASan+UBSan build + full ctest     (build-asan/, UBSan non-recoverable)
+#   3. TSan build + the concurrency-heavy suites (build-tsan/: net, rpc)
+#   4. tools/lint.py repo invariants (sync primitives, memory_order, blocking)
+#   5. clang-tidy over src/              (skipped with a notice if absent)
+#   6. thread-safety compile-fail checks (skipped with a notice if no clang++)
+#
+# Stage 3 runs only net_test and rpc_test: TSan slows everything ~10x and
+# those two suites exercise every cross-thread edge (io threads, loop
+# hand-off, gate completion); the rest of the tree is single-threaded by
+# construction and covered by stages 1-2.
+#
+# Also exposed as `cmake --build build --target check`.
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+failures=0
+notices=()
+
+banner() { printf '\n==== %s ====\n' "$*"; }
+
+run_stage() {
+  local name="$1"
+  shift
+  banner "$name"
+  if "$@"; then
+    printf -- '---- %s: OK\n' "$name"
+  else
+    printf -- '---- %s: FAILED\n' "$name" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+skip_stage() {
+  local name="$1" reason="$2"
+  banner "$name"
+  printf -- '---- %s: SKIPPED (%s)\n' "$name" "$reason"
+  notices+=("$name skipped: $reason")
+}
+
+build_and_test() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S "$ROOT" "$@" &&
+    cmake --build "$dir" -j "$JOBS" &&
+    (cd "$dir" && ctest --output-on-failure -j "$JOBS")
+}
+
+# --- 1. plain build + tests -------------------------------------------------
+run_stage "plain build + ctest" build_and_test build
+
+# --- 2. ASan + UBSan --------------------------------------------------------
+run_stage "asan+ubsan build + ctest" \
+  build_and_test build-asan -DMEMDB_SANITIZE=address,undefined
+
+# --- 3. TSan (concurrency suites only) --------------------------------------
+tsan_stage() {
+  cmake -B build-tsan -S "$ROOT" -DMEMDB_SANITIZE=thread &&
+    cmake --build build-tsan -j "$JOBS" --target net_test rpc_test &&
+    (cd build-tsan && ctest --output-on-failure -R '^(net_test|rpc_test)$')
+}
+run_stage "tsan build + net/rpc suites" tsan_stage
+
+# --- 4. repo-invariant linter -----------------------------------------------
+run_stage "tools/lint.py" python3 "$ROOT/tools/lint.py"
+
+# --- 5. clang-tidy ----------------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  tidy_stage() {
+    # The plain build dir has the compile database.
+    cmake -B build -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null &&
+      find "$ROOT/src" -name '*.cc' -print0 |
+      xargs -0 -n 8 -P "$JOBS" clang-tidy -p build --quiet
+  }
+  run_stage "clang-tidy" tidy_stage
+else
+  skip_stage "clang-tidy" "clang-tidy not installed"
+fi
+
+# --- 6. thread-safety compile-fail checks -----------------------------------
+if command -v clang++ >/dev/null 2>&1; then
+  tsa_flags=(-std=c++20 -I"$ROOT/src" -Wthread-safety -Werror=thread-safety
+             -fsyntax-only)
+  compile_fail_stage() {
+    # Control: the correctly-locked twin must compile, proving the harness
+    # (include paths, annotation macros) actually works.
+    if ! clang++ "${tsa_flags[@]}" \
+        "$ROOT/tools/compile_fail/guarded_access_ok.cc"; then
+      echo "harness broken: guarded_access_ok.cc should compile" >&2
+      return 1
+    fi
+    # The unguarded twin must be rejected.
+    if clang++ "${tsa_flags[@]}" \
+        "$ROOT/tools/compile_fail/unguarded_access.cc" 2>/dev/null; then
+      echo "unguarded_access.cc compiled; thread-safety analysis is not" \
+           "rejecting unguarded access" >&2
+      return 1
+    fi
+    echo "unguarded access rejected, guarded control accepted"
+  }
+  run_stage "thread-safety compile-fail" compile_fail_stage
+else
+  skip_stage "thread-safety compile-fail" "clang++ not installed"
+fi
+
+# --- summary ----------------------------------------------------------------
+banner "summary"
+for n in "${notices[@]:-}"; do
+  [ -n "$n" ] && echo "NOTICE: $n"
+done
+if [ "$failures" -gt 0 ]; then
+  echo "check.sh: $failures stage(s) FAILED" >&2
+  exit 1
+fi
+echo "check.sh: all stages passed"

@@ -8,19 +8,17 @@ namespace memdb {
 
 namespace {
 
-// Relaxed is sufficient everywhere: instruments carry no cross-thread
-// happens-before obligations, only eventually-consistent totals.
-constexpr std::memory_order kMo = std::memory_order_relaxed;
-
+// Relaxed is sufficient everywhere in this file: instruments carry no
+// cross-thread happens-before obligations, only eventually-consistent totals.
 void AtomicMin(std::atomic<uint64_t>* slot, uint64_t v) {
-  uint64_t cur = slot->load(kMo);
-  while (v < cur && !slot->compare_exchange_weak(cur, v, kMo, kMo)) {
+  uint64_t cur = slot->load(std::memory_order_relaxed);
+  while (v < cur && !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed, std::memory_order_relaxed)) {
   }
 }
 
 void AtomicMax(std::atomic<uint64_t>* slot, uint64_t v) {
-  uint64_t cur = slot->load(kMo);
-  while (v > cur && !slot->compare_exchange_weak(cur, v, kMo, kMo)) {
+  uint64_t cur = slot->load(std::memory_order_relaxed);
+  while (v > cur && !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed, std::memory_order_relaxed)) {
   }
 }
 
@@ -28,7 +26,7 @@ void AtomicMax(std::atomic<uint64_t>* slot, uint64_t v) {
 
 Histogram::Histogram()
     : buckets_(std::make_unique<std::atomic<uint64_t>[]>(kBuckets)) {
-  for (size_t i = 0; i < kBuckets; ++i) buckets_[i].store(0, kMo);
+  for (size_t i = 0; i < kBuckets; ++i) buckets_[i].store(0, std::memory_order_relaxed);
 }
 
 Histogram::Histogram(const Histogram& other) : Histogram() { Merge(other); }
@@ -62,29 +60,29 @@ uint64_t Histogram::BucketValue(int index) {
 }
 
 void Histogram::Record(uint64_t value_us) {
-  count_.fetch_add(1, kMo);
-  sum_.fetch_add(value_us, kMo);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value_us, std::memory_order_relaxed);
   AtomicMin(&min_, value_us);
   AtomicMax(&max_, value_us);
-  buckets_[static_cast<size_t>(BucketFor(value_us))].fetch_add(1, kMo);
+  buckets_[static_cast<size_t>(BucketFor(value_us))].fetch_add(1, std::memory_order_relaxed);
 }
 
 void Histogram::Merge(const Histogram& other) {
   for (size_t i = 0; i < kBuckets; ++i) {
-    buckets_[i].fetch_add(other.buckets_[i].load(kMo), kMo);
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed), std::memory_order_relaxed);
   }
-  count_.fetch_add(other.count_.load(kMo), kMo);
-  sum_.fetch_add(other.sum_.load(kMo), kMo);
-  AtomicMin(&min_, other.min_.load(kMo));
-  AtomicMax(&max_, other.max_.load(kMo));
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  AtomicMin(&min_, other.min_.load(std::memory_order_relaxed));
+  AtomicMax(&max_, other.max_.load(std::memory_order_relaxed));
 }
 
 void Histogram::Reset() {
-  for (size_t i = 0; i < kBuckets; ++i) buckets_[i].store(0, kMo);
-  count_.store(0, kMo);
-  sum_.store(0, kMo);
-  min_.store(~0ULL, kMo);
-  max_.store(0, kMo);
+  for (size_t i = 0; i < kBuckets; ++i) buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ULL, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
 }
 
 double Histogram::Mean() const {
@@ -100,7 +98,7 @@ uint64_t Histogram::Percentile(double q) const {
   const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(c));
   uint64_t seen = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i].load(kMo);
+    seen += buckets_[i].load(std::memory_order_relaxed);
     if (seen > target) {
       uint64_t v = BucketValue(static_cast<int>(i));
       return std::clamp(v, min(), mx);

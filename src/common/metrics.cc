@@ -26,6 +26,7 @@ std::string MetricsRegistry::SeriesName(const std::string& name,
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const Labels& labels) {
+  MutexLock lock(&mu_);
   auto& slot = counters_[{name, Normalized(labels)}];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
@@ -33,6 +34,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const Labels& labels) {
+  MutexLock lock(&mu_);
   auto& slot = gauges_[{name, Normalized(labels)}];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -40,6 +42,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const Labels& labels) {
+  MutexLock lock(&mu_);
   auto& slot = histograms_[{name, Normalized(labels)}];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -47,24 +50,28 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name,
                                             const Labels& labels) const {
+  MutexLock lock(&mu_);
   auto it = counters_.find({name, Normalized(labels)});
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* MetricsRegistry::FindGauge(const std::string& name,
                                         const Labels& labels) const {
+  MutexLock lock(&mu_);
   auto it = gauges_.find({name, Normalized(labels)});
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 const Histogram* MetricsRegistry::FindHistogram(const std::string& name,
                                                 const Labels& labels) const {
+  MutexLock lock(&mu_);
   auto it = histograms_.find({name, Normalized(labels)});
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::pair<MetricsRegistry::Labels, const Counter*>>
 MetricsRegistry::CounterSeries(const std::string& name) const {
+  MutexLock lock(&mu_);
   std::vector<std::pair<Labels, const Counter*>> out;
   for (auto it = counters_.lower_bound({name, Labels{}});
        it != counters_.end() && it->first.first == name; ++it) {
@@ -75,6 +82,7 @@ MetricsRegistry::CounterSeries(const std::string& name) const {
 
 std::vector<std::pair<MetricsRegistry::Labels, const Histogram*>>
 MetricsRegistry::HistogramSeries(const std::string& name) const {
+  MutexLock lock(&mu_);
   std::vector<std::pair<Labels, const Histogram*>> out;
   for (auto it = histograms_.lower_bound({name, Labels{}});
        it != histograms_.end() && it->first.first == name; ++it) {
@@ -84,6 +92,7 @@ MetricsRegistry::HistogramSeries(const std::string& name) const {
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  MutexLock lock(&mu_);
   Snapshot snap;
   for (const auto& [key, c] : counters_) {
     snap.values[SeriesName(key.first, key.second)] =
@@ -112,12 +121,14 @@ MetricsRegistry::Snapshot MetricsRegistry::Delta(const Snapshot& later,
 }
 
 void MetricsRegistry::ResetAll() {
+  MutexLock lock(&mu_);
   for (auto& [key, c] : counters_) c->Reset();
   for (auto& [key, g] : gauges_) g->Set(0);
   for (auto& [key, h] : histograms_) h->Reset();
 }
 
 std::string MetricsRegistry::ExpositionText() const {
+  MutexLock lock(&mu_);
   std::string out;
   std::string last_family;
   auto type_line = [&](const std::string& family, const char* type) {

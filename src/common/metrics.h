@@ -26,14 +26,16 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/sync.h"
 
 namespace memdb {
 
 // Counter/Gauge updates are lock-free relaxed atomics: real-thread
 // components (net loop, rpc client loop, txlogd raft loop) share one
 // registry per process, and scrapes (INFO/METRICS) run concurrently with
-// the hot paths. Instrument *creation* (GetCounter & co.) is still
-// single-threaded setup-time work.
+// the hot paths. The series maps themselves are mutex-guarded, so late
+// instrument creation (GetCounter & co.) no longer races a concurrent
+// scrape; handed-out instrument pointers stay lock-free and stable.
 
 class Counter {
  public:
@@ -114,11 +116,14 @@ class MetricsRegistry {
   static Labels Normalized(Labels labels);
 
   // Keyed by (metric name, normalized labels) so series of one family are
-  // contiguous for exposition.
+  // contiguous for exposition. Guarded: creation and scrape can run on
+  // different threads (e.g. a late-created series vs an INFO/METRICS
+  // handler on another loop).
   using Key = std::pair<std::string, Labels>;
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace memdb

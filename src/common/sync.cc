@@ -1,0 +1,39 @@
+#include "common/sync.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace memdb {
+
+namespace sync_internal {
+
+void Die(const char* what) {
+  std::fprintf(stderr, "memdb sync check failed: %s\n", what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace sync_internal
+
+void CondVar::Wait(Mutex* mu) {
+  // The caller holds mu (REQUIRES); adopt it, let the condvar release and
+  // reacquire around the sleep, then hand ownership back without unlocking.
+  mu->owner_.store(std::thread::id(), std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+  mu->owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+}
+
+bool CondVar::WaitFor(Mutex* mu, uint64_t timeout_ms) {
+  mu->owner_.store(std::thread::id(), std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  const std::cv_status st =
+      cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms));
+  lock.release();
+  mu->owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  return st == std::cv_status::no_timeout;
+}
+
+}  // namespace memdb

@@ -14,10 +14,10 @@ IoThreadPool::IoThreadPool(int extra_threads)
 
 IoThreadPool::~IoThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -29,21 +29,21 @@ void IoThreadPool::Run(size_t jobs, const std::function<void(size_t)>& fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     fn_ = &fn;
     jobs_ = jobs;
     completed_ = 0;
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   size_t ran = 0;
   for (size_t i = 0; i < jobs; i += stride) {
     fn(i);
     ++ran;
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   completed_ += ran;
-  done_cv_.wait(lock, [this] { return completed_ == jobs_; });
+  while (completed_ != jobs_) done_cv_.Wait(&mu_);
   fn_ = nullptr;
 }
 
@@ -54,10 +54,11 @@ void IoThreadPool::WorkerMain(size_t slice) {
     const std::function<void(size_t)>* fn;
     size_t jobs;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || (generation_ != seen_generation && fn_ != nullptr);
-      });
+      MutexLock lock(&mu_);
+      while (!stop_ &&
+             (generation_ == seen_generation || fn_ == nullptr)) {
+        work_cv_.Wait(&mu_);
+      }
       if (stop_) return;
       seen_generation = generation_;
       fn = fn_;
@@ -68,9 +69,9 @@ void IoThreadPool::WorkerMain(size_t slice) {
       (*fn)(i);
       ++ran;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     completed_ += ran;
-    if (completed_ == jobs_) done_cv_.notify_all();
+    if (completed_ == jobs_) done_cv_.SignalAll();
   }
 }
 

@@ -14,13 +14,13 @@
 #ifndef MEMDB_NET_IO_THREADS_H_
 #define MEMDB_NET_IO_THREADS_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace memdb::net {
 
@@ -45,14 +45,15 @@ class IoThreadPool {
   const size_t stride_;  // workers + caller; fixed before threads spawn
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  uint64_t generation_ = 0;  // bumped per Run(); workers run each gen once
-  bool stop_ = false;
-  const std::function<void(size_t)>* fn_ = nullptr;
-  size_t jobs_ = 0;
-  size_t completed_ = 0;
+  memdb::Mutex mu_;
+  memdb::CondVar work_cv_;
+  memdb::CondVar done_cv_;
+  // bumped per Run(); workers run each gen once
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
+  const std::function<void(size_t)>* fn_ GUARDED_BY(mu_) = nullptr;
+  size_t jobs_ GUARDED_BY(mu_) = 0;
+  size_t completed_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace memdb::net

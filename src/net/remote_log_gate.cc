@@ -63,12 +63,13 @@ uint64_t RemoteLogGate::SubmitAppend(std::string payload, uint64_t trace_id) {
 
 std::vector<RemoteLogGate::Completion> RemoteLogGate::DrainCompletions() {
   std::vector<Completion> out;
-  std::lock_guard<std::mutex> lock(done_mu_);
+  MutexLock lock(&done_mu_);
   out.swap(done_);
   return out;
 }
 
 void RemoteLogGate::Pump() {
+  loop_.AssertOnLoopThread();
   if (append_inflight_ || queue_.empty()) return;
   PendingAppend p = std::move(queue_.front());
   queue_.pop_front();
@@ -92,10 +93,11 @@ void RemoteLogGate::Pump() {
 
 void RemoteLogGate::OnAppendDone(uint64_t seq, const Status& status,
                                  uint64_t index) {
+  loop_.AssertOnLoopThread();
   append_inflight_ = false;
   if (!status.ok() && appends_failed_ != nullptr) appends_failed_->Increment();
   {
-    std::lock_guard<std::mutex> lock(done_mu_);
+    MutexLock lock(&done_mu_);
     Completion c;
     c.seq = seq;
     c.status = status;

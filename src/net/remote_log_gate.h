@@ -25,12 +25,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "rpc/loop.h"
 #include "txlog/remote_client.h"
 
@@ -91,7 +91,7 @@ class RemoteLogGate {
     std::string payload;
   };
 
-  // Gate-loop-thread only.
+  // Gate-loop-thread only (loop_.AssertOnLoopThread() on entry).
   void Pump();
   void OnAppendDone(uint64_t seq, const Status& status, uint64_t index);
 
@@ -105,7 +105,7 @@ class RemoteLogGate {
   Counter* appends_failed_ = nullptr;
   Gauge* queue_depth_ = nullptr;
 
-  // Gate-loop-thread state.
+  // Gate-loop-thread state (thread-affine, no lock; see Pump/OnAppendDone).
   std::deque<PendingAppend> queue_;
   bool append_inflight_ = false;
 
@@ -113,8 +113,10 @@ class RemoteLogGate {
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
 
-  std::mutex done_mu_;
-  std::vector<Completion> done_;
+  // Bridge between the gate loop (producer) and the RespServer loop
+  // (consumer via DrainCompletions).
+  memdb::Mutex done_mu_;
+  std::vector<Completion> done_ GUARDED_BY(done_mu_);
 };
 
 }  // namespace memdb::net

@@ -105,6 +105,7 @@ void RespServer::Stop() {
             held_atomic_.load(std::memory_order_acquire) > 0) &&
            NowMs() < deadline) {
       loop_.Wakeup();
+      // lint:allow-blocking — Stop() runs on the caller thread, not the loop.
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
   }
@@ -122,6 +123,7 @@ void RespServer::Stop() {
 }
 
 void RespServer::AcceptPending() {
+  loop_affinity_.AssertHeldThread();
   for (;;) {
     const int fd = listener_.Accept();
     if (fd < 0) return;
@@ -147,6 +149,7 @@ void RespServer::AcceptPending() {
 }
 
 void RespServer::Hold(Connection* c, HeldReply reply) {
+  loop_affinity_.AssertHeldThread();
   held_[c].push_back(std::move(reply));
   ++held_count_;
   held_atomic_.store(held_count_, std::memory_order_release);
@@ -172,6 +175,9 @@ uint64_t RespServer::HazardFor(const engine::CommandSpec* spec,
 }
 
 void RespServer::ExecutePending(Connection* c, uint64_t now_ms) {
+  // The engine is single-threaded by construction: only the loop thread may
+  // dispatch into it.
+  loop_affinity_.AssertHeldThread();
   engine::ExecContext ctx;
   ctx.now_ms = now_ms;
   ctx.role = engine::Role::kPrimary;
@@ -284,6 +290,7 @@ void RespServer::ExecutePending(Connection* c, uint64_t now_ms) {
 }
 
 void RespServer::ProcessLogCompletions(std::vector<Connection*>* released) {
+  loop_affinity_.AssertHeldThread();
   if (gate_ == nullptr) return;
   const std::vector<RemoteLogGate::Completion> done =
       gate_->DrainCompletions();
@@ -346,6 +353,7 @@ void RespServer::ProcessLogCompletions(std::vector<Connection*>* released) {
 
 void RespServer::DispatchBatch(const std::vector<Connection*>& readable,
                                uint64_t now_ms) {
+  loop_affinity_.AssertHeldThread();
   size_t batch = 0;
   for (Connection* c : readable) {
     bytes_in_->Increment(c->TakeBytesIn());
@@ -367,6 +375,7 @@ void RespServer::DispatchBatch(const std::vector<Connection*>& readable,
 }
 
 void RespServer::Housekeeping(uint64_t now_ms) {
+  loop_affinity_.AssertHeldThread();
   // Client-output-buffer limits, EPOLLOUT arming, and reaping. The scan
   // covers every connection because a stalled client never raises another
   // readiness event on its own.
@@ -437,6 +446,7 @@ void RespServer::Housekeeping(uint64_t now_ms) {
 }
 
 void RespServer::CloseConnection(Connection* c) {
+  loop_affinity_.AssertHeldThread();
   const auto held_it = held_.find(c);
   if (held_it != held_.end()) {
     held_count_ -= held_it->second.size();
@@ -452,6 +462,7 @@ void RespServer::CloseConnection(Connection* c) {
 }
 
 void RespServer::LoopMain() {
+  loop_affinity_.BindToCurrentThread();
   std::vector<Event> events;
   std::vector<Connection*> readable;
   std::vector<Connection*> flushable;

@@ -40,6 +40,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/trace.h"
 #include "engine/engine.h"
 #include "net/connection.h"
@@ -161,6 +162,9 @@ class RespServer {
   uint64_t next_conn_id_ = 1;
 
   std::thread loop_thread_;
+  // Bound by LoopMain at startup; every loop-thread-only method asserts it,
+  // so touching connection/gate state off the loop aborts instead of racing.
+  ThreadAffinity loop_affinity_;
   std::atomic<bool> stop_requested_{false};
   bool started_ = false;
 

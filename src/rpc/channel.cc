@@ -77,6 +77,7 @@ void Channel::Shutdown() {
 void Channel::StartCall(const std::string& method, std::string&& payload,
                         uint64_t timeout_ms, uint64_t trace_id,
                         Callback&& cb) {
+  loop_->AssertOnLoopThread();
   if (shutdown_) {
     cb(Status::Unavailable("channel shut down"), std::string());
     return;
@@ -138,6 +139,7 @@ void Channel::EnsureConnected() {
     fd_ = -1;
     return;
   }
+  // lint:allow-blocking — fd is SOCK_NONBLOCK; connect returns EINPROGRESS.
   const int rc =
       ::connect(fd_, reinterpret_cast<struct sockaddr*>(&sa), sizeof(sa));
   if (rc == 0) {
@@ -162,6 +164,7 @@ void Channel::EnsureConnected() {
 }
 
 void Channel::OnSocketReady(uint32_t events) {
+  loop_->AssertOnLoopThread();
   if (fd_ < 0) return;
   if (state_ == ConnState::kConnecting) {
     if (events & (net::kWritable | net::kClosed)) FinishConnect();
@@ -264,6 +267,7 @@ void Channel::Flush() {
 
 void Channel::Complete(uint64_t request_id, const Status& status,
                        std::string&& payload) {
+  loop_->AssertOnLoopThread();
   auto it = pending_.find(request_id);
   if (it == pending_.end()) return;  // duplicate / late / already timed out
   Pending p = std::move(it->second);
@@ -289,6 +293,7 @@ void Channel::FailAll(const Status& status) {
 }
 
 void Channel::DisconnectLocked(bool reconnectable) {
+  loop_->AssertOnLoopThread();
   if (fd_ >= 0) {
     loop_->Unwatch(fd_);
     ::close(fd_);

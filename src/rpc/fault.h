@@ -17,27 +17,28 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "common/sync.h"
 
 namespace memdb::rpc {
 
 class FaultInjector {
  public:
   void DropResponses(const std::string& method, int n) {
-    std::lock_guard<std::mutex> lock(mu_);
+    memdb::MutexLock lock(&mu_);
     drop_rsp_[method] += n;
   }
   void DelayResponses(const std::string& method, uint64_t ms, int n) {
-    std::lock_guard<std::mutex> lock(mu_);
+    memdb::MutexLock lock(&mu_);
     delay_rsp_[method] = {ms, delay_rsp_[method].second + n};
   }
   void DuplicateResponses(const std::string& method, int n) {
-    std::lock_guard<std::mutex> lock(mu_);
+    memdb::MutexLock lock(&mu_);
     dup_rsp_[method] += n;
   }
   void DropRequests(const std::string& method, int n) {
-    std::lock_guard<std::mutex> lock(mu_);
+    memdb::MutexLock lock(&mu_);
     drop_req_[method] += n;
   }
 
@@ -48,7 +49,7 @@ class FaultInjector {
     uint64_t delay_ms = 0;
   };
   ResponsePlan OnResponse(const std::string& method) {
-    std::lock_guard<std::mutex> lock(mu_);
+    memdb::MutexLock lock(&mu_);
     ResponsePlan plan;
     if (Take(&drop_rsp_, method)) {
       plan.drop = true;
@@ -63,23 +64,25 @@ class FaultInjector {
     return plan;
   }
   bool ShouldDropRequest(const std::string& method) {
-    std::lock_guard<std::mutex> lock(mu_);
+    memdb::MutexLock lock(&mu_);
     return Take(&drop_req_, method);
   }
 
  private:
-  static bool Take(std::map<std::string, int>* m, const std::string& k) {
+  bool Take(std::map<std::string, int>* m, const std::string& k)
+      REQUIRES(mu_) {
     auto it = m->find(k);
     if (it == m->end() || it->second <= 0) return false;
     --it->second;
     return true;
   }
 
-  std::mutex mu_;
-  std::map<std::string, int> drop_rsp_;
-  std::map<std::string, int> dup_rsp_;
-  std::map<std::string, int> drop_req_;
-  std::map<std::string, std::pair<uint64_t, int>> delay_rsp_;  // ms, count
+  memdb::Mutex mu_;
+  std::map<std::string, int> drop_rsp_ GUARDED_BY(mu_);
+  std::map<std::string, int> dup_rsp_ GUARDED_BY(mu_);
+  std::map<std::string, int> drop_req_ GUARDED_BY(mu_);
+  // ms, count
+  std::map<std::string, std::pair<uint64_t, int>> delay_rsp_ GUARDED_BY(mu_);
 };
 
 }  // namespace memdb::rpc

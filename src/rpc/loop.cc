@@ -1,7 +1,6 @@
 #include "rpc/loop.h"
 
 #include <chrono>
-#include <condition_variable>
 
 namespace memdb::rpc {
 
@@ -18,7 +17,9 @@ Status LoopThread::Start() {
   MEMDB_RETURN_IF_ERROR(loop_.Init());
   started_ = true;
   thread_ = std::thread([this] {
-    loop_tid_ = std::this_thread::get_id();
+    // Atomic bind (vs the old plain thread::id write): OnLoopThread from
+    // another thread racing startup reads a coherent value.
+    affinity_.BindToCurrentThread();
     LoopMain();
   });
   return Status::OK();
@@ -31,57 +32,67 @@ void LoopThread::Stop() {
   if (thread_.joinable()) thread_.join();
   started_ = false;
   // Late-posted tasks (e.g. from channel users racing Stop) are dropped;
-  // run-down happens inside LoopMain before exit.
-  std::lock_guard<std::mutex> lock(task_mu_);
+  // run-down happens inside LoopMain before exit. The loop thread is joined,
+  // so touching timers_ here cannot race it.
+  MutexLock lock(&task_mu_);
   tasks_.clear();
   timers_.clear();
 }
 
 void LoopThread::Post(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(task_mu_);
+    MutexLock lock(&task_mu_);
     tasks_.push_back(std::move(fn));
   }
   loop_.Wakeup();
 }
 
 void LoopThread::PostSync(std::function<void()> fn) {
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   bool done = false;
   Post([&] {
     fn();
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     done = true;
-    cv.notify_one();
+    cv.Signal();
   });
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&] { return done; });
+  MutexLock lock(&mu);
+  while (!done) cv.Wait(&mu);
 }
 
 Status LoopThread::Watch(int fd, uint32_t events, FdHandler* handler) {
+  AssertOnLoopThread();
   return loop_.Add(fd, events, handler);
 }
 
 Status LoopThread::Rearm(int fd, uint32_t events, FdHandler* handler) {
+  AssertOnLoopThread();
   return loop_.Modify(fd, events, handler);
 }
 
-void LoopThread::Unwatch(int fd) { loop_.Remove(fd); }
+void LoopThread::Unwatch(int fd) {
+  AssertOnLoopThread();
+  loop_.Remove(fd);
+}
 
 uint64_t LoopThread::After(uint64_t delay_ms, std::function<void()> fn) {
+  AssertOnLoopThread();
   const uint64_t id = next_timer_id_++;
   timers_[id] = Timer{NowMs() + delay_ms, std::move(fn)};
   return id;
 }
 
-void LoopThread::CancelTimer(uint64_t id) { timers_.erase(id); }
+void LoopThread::CancelTimer(uint64_t id) {
+  AssertOnLoopThread();
+  timers_.erase(id);
+}
 
 void LoopThread::RunTasks() {
   // Swap out the queue so handlers posting new tasks don't starve the poll.
   std::deque<std::function<void()>> batch;
   {
-    std::lock_guard<std::mutex> lock(task_mu_);
+    MutexLock lock(&task_mu_);
     batch.swap(tasks_);
   }
   for (auto& fn : batch) fn();
@@ -116,7 +127,7 @@ void LoopThread::LoopMain() {
     int timeout_ms = RunTimers();
     if (timeout_ms < 0 || timeout_ms > 100) timeout_ms = 100;
     {
-      std::lock_guard<std::mutex> lock(task_mu_);
+      MutexLock lock(&task_mu_);
       if (!tasks_.empty()) timeout_ms = 0;
     }
     loop_.Poll(timeout_ms, &events);

@@ -8,8 +8,8 @@
 // which makes the daemon's state single-threaded by construction.
 //
 // Threading contract: Post() is the only thread-safe entry point; Watch/
-// Rearm/Unwatch/After/CancelTimer must run on the loop thread (assert-level
-// contract, enforced by callers routing through Post).
+// Rearm/Unwatch/After/CancelTimer must run on the loop thread — enforced at
+// runtime by the ThreadAffinity bound when the loop thread starts.
 
 #ifndef MEMDB_RPC_LOOP_H_
 #define MEMDB_RPC_LOOP_H_
@@ -19,11 +19,11 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "net/event_loop.h"
 
 namespace memdb::rpc {
@@ -61,9 +61,11 @@ class LoopThread {
   uint64_t After(uint64_t delay_ms, std::function<void()> fn);
   void CancelTimer(uint64_t id);
 
-  bool OnLoopThread() const {
-    return std::this_thread::get_id() == loop_tid_;
-  }
+  bool OnLoopThread() const { return affinity_.BoundToCurrentThread(); }
+  // Aborts when called off the loop thread (passes before Start, while the
+  // affinity is unbound). Components running on this loop use it to pin
+  // their loop-thread-affine state.
+  void AssertOnLoopThread() const { affinity_.AssertHeldThread(); }
   // Monotonic milliseconds (steady clock).
   static uint64_t NowMs();
 
@@ -75,14 +77,14 @@ class LoopThread {
 
   net::EventLoop loop_;
   std::thread thread_;
-  std::thread::id loop_tid_;
+  ThreadAffinity affinity_;  // bound by the loop thread at startup
   std::atomic<bool> stop_requested_{false};
   bool started_ = false;
 
-  std::mutex task_mu_;
-  std::deque<std::function<void()>> tasks_;
+  Mutex task_mu_;
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(task_mu_);
 
-  // Timers live on the loop thread only.
+  // Timers live on the loop thread only (affinity-checked, not locked).
   struct Timer {
     uint64_t deadline_ms = 0;
     std::function<void()> fn;

@@ -67,6 +67,7 @@ void Server::Stop() {
 }
 
 void Server::AcceptPending() {
+  loop_->AssertOnLoopThread();
   for (;;) {
     const int fd = listener_.Accept();
     if (fd < 0) return;
@@ -89,6 +90,7 @@ void Server::AcceptPending() {
 }
 
 void Server::OnConnReady(Conn* c, uint32_t events) {
+  loop_->AssertOnLoopThread();
   if (c->dead) return;
   if (events & (net::kReadable | net::kClosed)) ReadFrames(c);
   if (c->dead) return;

@@ -1,9 +1,9 @@
 #include "txlog/remote_client.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <mutex>
 #include <utility>
+
+#include "common/sync.h"
 
 namespace memdb::txlog {
 
@@ -77,6 +77,7 @@ void RemoteClient::Shutdown() {
 }
 
 size_t RemoteClient::PickTarget() {
+  loop_->AssertOnLoopThread();
   if (leader_hint_ < channels_.size()) return leader_hint_;
   return round_robin_++ % channels_.size();
 }
@@ -93,6 +94,7 @@ uint64_t RemoteClient::BackoffMs(int attempt) {
 }
 
 void RemoteClient::StartLeaderOp(std::shared_ptr<LeaderOp> op) {
+  loop_->AssertOnLoopThread();
   if (shutdown_.load(std::memory_order_acquire) || channels_.empty()) {
     op->fail(Status::Unavailable("txlog client shut down"));
     return;
@@ -107,6 +109,7 @@ void RemoteClient::StartLeaderOp(std::shared_ptr<LeaderOp> op) {
 
 void RemoteClient::FinishAttempt(std::shared_ptr<LeaderOp> op, Status status,
                                  std::string payload) {
+  loop_->AssertOnLoopThread();
   if (shutdown_.load(std::memory_order_acquire)) {
     op->fail(Status::Unavailable("txlog client shut down"));
     return;
@@ -137,6 +140,7 @@ void RemoteClient::FinishAttempt(std::shared_ptr<LeaderOp> op, Status status,
 }
 
 void RemoteClient::RetryLater(std::shared_ptr<LeaderOp> op) {
+  loop_->AssertOnLoopThread();
   if (--op->attempts_left <= 0) {
     op->fail(op->indeterminate
                  ? Status::TimedOut("append unresolved after retries")
@@ -292,6 +296,7 @@ void RemoteClient::Read(uint64_t from_index, uint64_t max_count,
 void RemoteClient::ReadAttempt(uint64_t from_index, uint64_t max_count,
                                uint64_t wait_ms, ReadCallback cb,
                                int attempts_left) {
+  loop_->AssertOnLoopThread();
   if (shutdown_.load(std::memory_order_acquire) || channels_.empty()) {
     cb(Status::Unavailable("txlog client shut down"),
        wire::ClientReadResponse{});
@@ -338,22 +343,22 @@ namespace {
 // One-shot rendezvous between a loop-thread callback and a blocked caller.
 template <typename T>
 struct SyncSlot {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  Status status = Status::OK();
-  T value{};
+  Mutex mu;
+  CondVar cv;
+  bool done GUARDED_BY(mu) = false;
+  Status status GUARDED_BY(mu) = Status::OK();
+  T value GUARDED_BY(mu){};
 
   void Set(const Status& s, T v) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     status = s;
     value = std::move(v);
     done = true;
-    cv.notify_one();
+    cv.Signal();
   }
   Status Wait(T* out) {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this] { return done; });
+    MutexLock lock(&mu);
+    while (!done) cv.Wait(&mu);
     if (out != nullptr) *out = std::move(value);
     return status;
   }

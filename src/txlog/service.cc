@@ -207,6 +207,7 @@ void LogService::ResetElectionTimer() {
 }
 
 void LogService::BecomeFollower(uint64_t term) {
+  loop_.AssertOnLoopThread();
   if (term > current_term_) {
     current_term_ = term;
     voted_for_ = 0;
@@ -227,6 +228,7 @@ void LogService::BecomeFollower(uint64_t term) {
 }
 
 void LogService::StartElection() {
+  loop_.AssertOnLoopThread();
   if (role_ == Role::kLeader) return;
   SetRole(Role::kCandidate);
   ++current_term_;
@@ -273,6 +275,7 @@ void LogService::StartElection() {
 }
 
 void LogService::BecomeLeader() {
+  loop_.AssertOnLoopThread();
   SetRole(Role::kLeader);
   leader_elected_->Increment();
   leader_hint_ = options_.node_id;
@@ -306,6 +309,7 @@ void LogService::HeartbeatTick() {
 }
 
 void LogService::AppendToLocalLog(LogRecord record) {
+  loop_.AssertOnLoopThread();
   LogEntry entry;
   entry.term = current_term_;
   entry.index = last_index() + 1;
@@ -376,6 +380,7 @@ void LogService::SendAppendEntries(uint64_t peer) {
 }
 
 void LogService::AdvanceCommitIndex() {
+  loop_.AssertOnLoopThread();
   if (role_ != Role::kLeader) return;
   std::vector<uint64_t> durable;
   durable.push_back(durable_index_);
@@ -425,6 +430,7 @@ void LogService::FailPendingAppends() {
 }
 
 void LogService::ApplyCommitted() {
+  loop_.AssertOnLoopThread();
   while (applied_index_ < commit_index_) {
     const LogEntry* e = EntryAt(applied_index_ + 1);
     if (e == nullptr) break;  // below base (trimmed) — nothing to apply
@@ -444,6 +450,7 @@ void LogService::ApplyCommitted() {
 // --- raft message handlers -------------------------------------------------
 
 void LogService::HandleRaftVote(rpc::Server::Call&& call) {
+  loop_.AssertOnLoopThread();
   wire::VoteRequest req;
   if (!wire::VoteRequest::Decode(Slice(call.payload), &req)) {
     call.respond(rpc::Code::kBadRequest, std::string());
@@ -470,6 +477,7 @@ void LogService::HandleRaftVote(rpc::Server::Call&& call) {
 }
 
 void LogService::HandleRaftAppendEntries(rpc::Server::Call&& call) {
+  loop_.AssertOnLoopThread();
   wire::AppendEntriesRequest req;
   if (!wire::AppendEntriesRequest::Decode(Slice(call.payload), &req)) {
     call.respond(rpc::Code::kBadRequest, std::string());
@@ -538,6 +546,7 @@ void LogService::HandleRaftAppendEntries(rpc::Server::Call&& call) {
 // --- client-facing handlers ------------------------------------------------
 
 void LogService::HandleClientAppend(rpc::Server::Call&& call) {
+  loop_.AssertOnLoopThread();
   client_appends_->Increment();
   wire::ClientAppendRequest req;
   if (!wire::ClientAppendRequest::Decode(Slice(call.payload), &req)) {
@@ -637,6 +646,7 @@ void LogService::ServeRead(const rpcwire::ReadStreamRequest& req,
 }
 
 void LogService::HandleReadStream(rpc::Server::Call&& call) {
+  loop_.AssertOnLoopThread();
   rpcwire::ReadStreamRequest req;
   if (!rpcwire::ReadStreamRequest::Decode(Slice(call.payload), &req)) {
     call.respond(rpc::Code::kBadRequest, std::string());
@@ -678,6 +688,7 @@ void LogService::WakeLongPolls() {
 }
 
 void LogService::HandleTail(rpc::Server::Call&& call) {
+  loop_.AssertOnLoopThread();
   wire::ClientTailResponse resp;
   if (role_ != Role::kLeader) {
     resp.result = wire::ClientResult::kNotLeader;
@@ -693,6 +704,7 @@ void LogService::HandleTail(rpc::Server::Call&& call) {
 }
 
 void LogService::HandleLease(rpc::Server::Call&& call, bool renew) {
+  loop_.AssertOnLoopThread();
   rpcwire::LeaseRequest req;
   if (!rpcwire::LeaseRequest::Decode(Slice(call.payload), &req)) {
     call.respond(rpc::Code::kBadRequest, std::string());
@@ -777,6 +789,7 @@ std::string LogService::MetaPath() const { return options_.data_dir + "/meta"; }
 std::string LogService::LogPath() const { return options_.data_dir + "/log"; }
 
 void LogService::PersistMeta() {
+  loop_.AssertOnLoopThread();
   if (options_.data_dir.empty()) return;
   std::string body;
   PutFixed64(&body, current_term_);
@@ -787,12 +800,14 @@ void LogService::PersistMeta() {
   if (fd < 0) return;
   ssize_t unused = ::write(fd, body.data(), body.size());
   (void)unused;
+  // lint:allow-blocking -- fsync gates quorum acks by design (paper 3.1).
   if (options_.fsync) ::fsync(fd);
   ::close(fd);
   ::rename(tmp.c_str(), MetaPath().c_str());
 }
 
 void LogService::PersistLogSuffix(uint64_t from_index) {
+  loop_.AssertOnLoopThread();
   if (options_.data_dir.empty()) return;
   if (log_fd_ < 0) {
     log_fd_ = ::open(LogPath().c_str(),
@@ -819,7 +834,7 @@ void LogService::PersistLogSuffix(uint64_t from_index) {
   }
   if (options_.fsync) {
     const uint64_t t0 = NowUs();
-    ::fsync(log_fd_);
+    ::fsync(log_fd_);  // lint:allow-blocking -- durability gate (paper 3.1)
     fsync_us_->Record(NowUs() - t0);
   }
   fsyncs_->Increment();
@@ -852,6 +867,7 @@ void LogService::RewriteLogFile() {
     }
     off += static_cast<size_t>(n);
   }
+  // lint:allow-blocking -- fsync gates quorum acks by design (paper 3.1).
   if (options_.fsync) ::fsync(fd);
   ::close(fd);
   ::rename(tmp.c_str(), LogPath().c_str());

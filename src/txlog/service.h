@@ -19,8 +19,10 @@
 //     failover.
 //
 // Threading: the entire replica runs on one rpc::LoopThread; every member
-// below is loop-thread state unless noted. Cross-thread observers
-// (tests, the stats banner) read the *_atomic_ mirrors.
+// below is loop-thread state unless noted, enforced at runtime by
+// loop_.AssertOnLoopThread() at every raft-core and handler entry point
+// (common/sync.h ThreadAffinity). Cross-thread observers (tests, the stats
+// banner) read the *_atomic_ mirrors.
 
 #ifndef MEMDB_TXLOG_SERVICE_H_
 #define MEMDB_TXLOG_SERVICE_H_

@@ -1,0 +1,42 @@
+// Compile-PASS control for the thread-safety harness: identical shape to
+// unguarded_access.cc but with every access correctly locked. If this file
+// fails to compile under -Wthread-safety -Werror=thread-safety, the failure
+// of unguarded_access.cc proves nothing (the harness itself is broken —
+// e.g. a bad include path or over-strict annotations in common/sync.h).
+
+#include "common/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    memdb::MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  int Read() {
+    memdb::MutexLock lock(&mu_);
+    return balance_;
+  }
+
+  // Exercises REQUIRES: the caller must hold the lock.
+  int ReadLocked() REQUIRES(mu_) { return balance_; }
+
+  int ReadViaRequires() {
+    memdb::MutexLock lock(&mu_);
+    return ReadLocked();
+  }
+
+ private:
+  memdb::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.Read() + account.ReadViaRequires();
+}

@@ -1,0 +1,36 @@
+// Compile-fail check: a GUARDED_BY field touched without its mutex MUST be
+// rejected by clang -Wthread-safety -Werror=thread-safety. scripts/check.sh
+// compiles this file expecting failure; if it ever compiles, the annotation
+// plumbing in common/thread_annotations.h has silently broken.
+//
+// Only meaningful under clang — the attributes expand to nothing on GCC, so
+// the harness skips this check when clang++ is unavailable.
+
+#include "common/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  // BUG (deliberate): writes balance_ without holding mu_. Thread-safety
+  // analysis must flag this as "writing variable 'balance_' requires holding
+  // mutex 'mu_'".
+  void Deposit(int amount) { balance_ += amount; }
+
+  int Read() {
+    memdb::MutexLock lock(&mu_);
+    return balance_;
+  }
+
+ private:
+  memdb::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.Read();
+}

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter for the memorydb tree.
+
+Enforces the concurrency conventions that the compiler cannot (or that only
+clang's -Wthread-safety can, which not every toolchain has):
+
+  1. No raw standard-library mutexes outside src/common/sync.h. Everything in
+     src/ must use memdb::Mutex / memdb::MutexLock / memdb::CondVar so that
+     fields can carry GUARDED_BY annotations and locks are visible to clang's
+     thread-safety analysis. Flags std::mutex, std::timed_mutex,
+     std::recursive_mutex, std::shared_mutex, std::lock_guard,
+     std::unique_lock, std::scoped_lock, std::condition_variable(_any), and
+     direct #include <mutex> / #include <condition_variable>.
+
+  2. No bare std::atomic .load()/.store() in src/: every access must spell an
+     explicit std::memory_order so the required ordering is a reviewed
+     decision, not a silent seq_cst default.
+
+  3. No blocking syscalls on event-loop threads: sleep_for, fsync/fdatasync,
+     and ::connect inside loop-owned files (src/net/, src/rpc/, and the
+     txlog service/remote-client, excluding *_main.cc entry points). A site
+     that blocks deliberately — txlogd's fsync-before-ack durability gate,
+     a nonblocking connect that returns EINPROGRESS — carries a
+     `lint:allow-blocking` comment on its line or within the two lines above
+     (statements wrap), which both suppresses the finding and documents why
+     the block is intentional.
+
+Exit status 0 = clean, 1 = findings (one per line: path:lineno: message).
+Run from anywhere; paths resolve relative to the repo root.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+SYNC_EXEMPT = {SRC / "common" / "sync.h", SRC / "common" / "sync.cc"}
+
+RAW_SYNC_PATTERNS = [
+    (re.compile(r"#\s*include\s*<mutex>"), "#include <mutex>"),
+    (re.compile(r"#\s*include\s*<condition_variable>"),
+     "#include <condition_variable>"),
+    (re.compile(r"\bstd::(?:timed_|recursive_|shared_)?mutex\b"),
+     "raw std:: mutex type"),
+    (re.compile(r"\bstd::(?:lock_guard|unique_lock|scoped_lock)\b"),
+     "raw std:: lock type"),
+    (re.compile(r"\bstd::condition_variable(?:_any)?\b"),
+     "raw std::condition_variable"),
+]
+
+ATOMIC_ACCESS = re.compile(r"\.(load|store)\s*\(")
+
+BLOCKING_PATTERNS = [
+    (re.compile(r"\bsleep_for\s*\("), "sleep_for on a loop-owned thread"),
+    (re.compile(r"\bsleep_until\s*\("), "sleep_until on a loop-owned thread"),
+    (re.compile(r"\b(?:::)?fsync\s*\("), "fsync on a loop-owned thread"),
+    (re.compile(r"\b(?:::)?fdatasync\s*\("),
+     "fdatasync on a loop-owned thread"),
+    (re.compile(r"::connect\s*\("), "connect on a loop-owned thread"),
+]
+
+ALLOW_BLOCKING = "lint:allow-blocking"
+
+# Files whose code runs on (or can be inlined into) an event-loop thread.
+LOOP_OWNED_DIRS = [SRC / "net", SRC / "rpc"]
+LOOP_OWNED_FILES_GLOB = [
+    (SRC / "txlog", "service.*"),
+    (SRC / "txlog", "remote_client.*"),
+]
+
+CXX_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
+
+
+def strip_comments_keep_lines(text: str) -> str:
+    """Blank out comment bodies and string literals, preserving line structure
+    so reported line numbers stay accurate."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                state = "string"
+                out.append(ch)
+                i += 1
+                continue
+            if ch == "'":
+                state = "char"
+                out.append(ch)
+                i += 1
+                continue
+            out.append(ch)
+        elif state == "line_comment":
+            if ch == "\n":
+                state = "code"
+                out.append(ch)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(ch if ch == "\n" else " ")
+        elif state == "string":
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                state = "code"
+            out.append(ch if ch in ('"', "\n") else " ")
+        elif state == "char":
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "'":
+                state = "code"
+            out.append(ch if ch in ("'", "\n") else " ")
+        i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def check_raw_sync(path: Path, code: str, findings: list[str]) -> None:
+    if path in SYNC_EXEMPT:
+        return
+    for pattern, what in RAW_SYNC_PATTERNS:
+        for m in pattern.finditer(code):
+            findings.append(
+                f"{path.relative_to(REPO_ROOT)}:{line_of(code, m.start())}: "
+                f"{what} — use memdb::Mutex/MutexLock/CondVar from "
+                f"common/sync.h instead")
+
+
+def check_atomic_order(path: Path, code: str, findings: list[str]) -> None:
+    for m in ATOMIC_ACCESS.finditer(code):
+        # Walk the (possibly multi-line) argument list to its closing paren.
+        depth = 1
+        j = m.end()
+        while j < len(code) and depth > 0:
+            if code[j] == "(":
+                depth += 1
+            elif code[j] == ")":
+                depth -= 1
+            j += 1
+        args = code[m.end():j - 1]
+        if "memory_order" not in args:
+            findings.append(
+                f"{path.relative_to(REPO_ROOT)}:{line_of(code, m.start())}: "
+                f".{m.group(1)}() without an explicit std::memory_order")
+
+
+def is_loop_owned(path: Path) -> bool:
+    if path.name.endswith("_main.cc"):
+        return False
+    for d in LOOP_OWNED_DIRS:
+        if d in path.parents:
+            return True
+    for d, pattern in LOOP_OWNED_FILES_GLOB:
+        if path.parent == d and path.match(pattern):
+            return True
+    return False
+
+
+def check_blocking(path: Path, code: str, raw_lines: list[str],
+                   findings: list[str]) -> None:
+    if not is_loop_owned(path):
+        return
+    for pattern, what in BLOCKING_PATTERNS:
+        for m in pattern.finditer(code):
+            lineno = line_of(code, m.start())
+            # Same line or up to two lines above (wrapped statements push the
+            # call past the line carrying the comment).
+            window = raw_lines[max(0, lineno - 3):lineno]
+            if any(ALLOW_BLOCKING in line for line in window):
+                continue
+            findings.append(
+                f"{path.relative_to(REPO_ROOT)}:{lineno}: {what} — hop off "
+                f"the loop or annotate the line (or the line above) with "
+                f"`{ALLOW_BLOCKING} -- <reason>`")
+
+
+def main() -> int:
+    findings: list[str] = []
+    files = sorted(p for p in SRC.rglob("*")
+                   if p.suffix in CXX_SUFFIXES and p.is_file())
+    for path in files:
+        raw = path.read_text(encoding="utf-8")
+        code = strip_comments_keep_lines(raw)
+        raw_lines = raw.splitlines()
+        check_raw_sync(path, code, findings)
+        check_atomic_order(path, code, findings)
+        check_blocking(path, code, raw_lines, findings)
+    if findings:
+        print(f"tools/lint.py: {len(findings)} finding(s)", file=sys.stderr)
+        for f in findings:
+            print(f)
+        return 1
+    print(f"tools/lint.py: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
