@@ -3,15 +3,16 @@
 #
 #   1. plain build + full ctest          (build/)
 #   2. ASan+UBSan build + full ctest     (build-asan/, UBSan non-recoverable)
-#   3. TSan build + the concurrency-heavy suites (build-tsan/: net, rpc)
+#   3. TSan build + the concurrency-heavy suites (build-tsan/: net, rpc, replication)
 #   4. tools/lint.py repo invariants (sync primitives, memory_order, blocking)
 #   5. clang-tidy over src/              (skipped with a notice if absent)
 #   6. thread-safety compile-fail checks (skipped with a notice if no clang++)
 #
-# Stage 3 runs only net_test and rpc_test: TSan slows everything ~10x and
-# those two suites exercise every cross-thread edge (io threads, loop
-# hand-off, gate completion); the rest of the tree is single-threaded by
-# construction and covered by stages 1-2.
+# Stage 3 runs only net_test, rpc_test, and replication_test: TSan slows
+# everything ~10x and those suites exercise every cross-thread edge (io
+# threads, loop hand-off, gate completion, follower/applier bridge); the
+# rest of the tree is single-threaded by construction and covered by
+# stages 1-2.
 #
 # Also exposed as `cmake --build build --target check`.
 
@@ -63,8 +64,10 @@ run_stage "asan+ubsan build + ctest" \
 # --- 3. TSan (concurrency suites only) --------------------------------------
 tsan_stage() {
   cmake -B build-tsan -S "$ROOT" -DMEMDB_SANITIZE=thread &&
-    cmake --build build-tsan -j "$JOBS" --target net_test rpc_test &&
-    (cd build-tsan && ctest --output-on-failure -R '^(net_test|rpc_test)$')
+    cmake --build build-tsan -j "$JOBS" --target net_test rpc_test \
+      replication_test &&
+    (cd build-tsan &&
+      ctest --output-on-failure -R '^(net_test|rpc_test|replication_test)$')
 }
 run_stage "tsan build + net/rpc suites" tsan_stage
 

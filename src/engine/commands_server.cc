@@ -110,9 +110,48 @@ Value CmdInfo(Engine& e, const Argv& argv, ExecContext& ctx) {
     out += "maxclients:" + std::to_string(gauge("net_maxclients")) + "\r\n";
   }
   if (want("REPLICATION")) {
+    // Gauges come from the replication layer when a log-fed replica or a
+    // durable primary shares this registry; a bare engine reports the
+    // neutral defaults.
+    auto gauge = [&](const char* name) -> int64_t {
+      const Gauge* g = reg.FindGauge(name);
+      return g == nullptr ? 0 : g->value();
+    };
+    auto counter = [&](const char* name) -> uint64_t {
+      const Counter* c = reg.FindCounter(name);
+      return c == nullptr ? 0 : c->value();
+    };
     out += "# Replication\r\n";
     out += "role:" + srv.role + "\r\n";
     out += "applied_index:" + std::to_string(srv.applied_index) + "\r\n";
+    if (srv.role == "replica") {
+      // Link to the transaction log, and how far behind its commit index
+      // this replica's applied state is.
+      out += "replica_link_status:" +
+             std::string(gauge("repl_link_up") != 0 ? "up" : "down") + "\r\n";
+      out += "replica_lag_records:" +
+             std::to_string(gauge("repl_lag_records")) + "\r\n";
+      out += "replica_lag_bytes:" + std::to_string(gauge("repl_lag_bytes")) +
+             "\r\n";
+      out += "replica_log_commit_index:" +
+             std::to_string(gauge("repl_last_commit_index")) + "\r\n";
+      out += "replica_entries_applied:" +
+             std::to_string(counter("repl_entries_applied_total")) + "\r\n";
+      out += "replica_bytes_applied:" +
+             std::to_string(counter("repl_bytes_applied_total")) + "\r\n";
+      out += "replica_checksum_failures:" +
+             std::to_string(counter("repl_checksum_failures_total")) + "\r\n";
+    } else {
+      // Primary: consumers parked on the log group (lower bound — each log
+      // replica only sees its own long-poll followers) and the log's
+      // commit index from the last tail poll.
+      out += "log_consumers:" + std::to_string(gauge("repl_log_consumers")) +
+             "\r\n";
+      out += "log_commit_index:" +
+             std::to_string(gauge("txlog_tail_commit_index")) + "\r\n";
+      out += "checksum_records_injected:" +
+             std::to_string(counter("txlog_checksum_records_total")) + "\r\n";
+    }
   }
   if (want("MEMORY")) {
     out += "# Memory\r\nused_memory:" +

@@ -2,14 +2,21 @@
 
 #include <utility>
 
+#include "common/coding.h"
+#include "common/crc.h"
+
 namespace memdb::net {
 
 RemoteLogGate::RemoteLogGate(Options options, MetricsRegistry* registry)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      running_checksum_(options_.checksum_seed) {
   if (registry != nullptr) {
     appends_submitted_ = registry->GetCounter("txlog_gate_appends_total");
     appends_failed_ = registry->GetCounter("txlog_gate_append_failures_total");
     queue_depth_ = registry->GetGauge("txlog_gate_queue_depth");
+    checksum_records_ = registry->GetCounter("txlog_checksum_records_total");
+    log_consumers_ = registry->GetGauge("repl_log_consumers");
+    tail_commit_ = registry->GetGauge("txlog_tail_commit_index");
   }
   // RemoteClient resolves its rpc_* instruments here too — before Start()
   // spawns the loop thread, so registry mutation stays single-threaded.
@@ -33,12 +40,16 @@ Status RemoteLogGate::Start(std::function<void()> on_complete) {
   on_complete_ = std::move(on_complete);
   loop_.Start();
   started_ = true;
+  if (options_.tail_poll_ms > 0) {
+    loop_.Post([this] { ScheduleTailPoll(); });
+  }
   return Status::OK();
 }
 
 void RemoteLogGate::Stop() {
   if (!started_) return;
   started_ = false;
+  stopping_.store(true, std::memory_order_release);
   client_->Shutdown();
   loop_.Stop();
 }
@@ -79,22 +90,45 @@ void RemoteLogGate::Pump() {
   append_inflight_ = true;
 
   txlog::LogRecord record;
-  record.type = txlog::RecordType::kData;
+  record.type = p.internal ? txlog::RecordType::kChecksum
+                           : txlog::RecordType::kData;
   record.writer = options_.writer_id;
   record.request_id = 0;  // stamped by RemoteClient; stable across retries
   record.trace_id = p.trace_id;
   record.payload = std::move(p.payload);
+  if (!p.internal) {
+    // Advance the chain in submission order (== log order; serialized).
+    running_checksum_ = Crc64(running_checksum_, Slice(record.payload));
+    if (options_.checksum_every > 0 &&
+        ++data_since_checksum_ >= options_.checksum_every) {
+      data_since_checksum_ = 0;
+      // The checksum record must land right after the data it covers:
+      // front of the queue, behind only the append going out now.
+      PendingAppend chk;
+      chk.internal = true;
+      PutFixed64(&chk.payload, running_checksum_);
+      queue_.push_front(std::move(chk));
+      if (checksum_records_ != nullptr) checksum_records_->Increment();
+    }
+  }
   const uint64_t seq = p.seq;
+  const bool internal = p.internal;
   client_->Append(txlog::wire::kUnconditional, std::move(record),
-                  [this, seq](const Status& status, uint64_t index) {
-                    OnAppendDone(seq, status, index);
+                  [this, seq, internal](const Status& status, uint64_t index) {
+                    OnAppendDone(seq, internal, status, index);
                   });
 }
 
-void RemoteLogGate::OnAppendDone(uint64_t seq, const Status& status,
-                                 uint64_t index) {
+void RemoteLogGate::OnAppendDone(uint64_t seq, bool internal,
+                                 const Status& status, uint64_t index) {
   loop_.AssertOnLoopThread();
   append_inflight_ = false;
+  if (internal) {
+    // A failed checksum append just thins the chain; the value travels in
+    // the payload, so consumers stay consistent either way.
+    Pump();
+    return;
+  }
   if (!status.ok() && appends_failed_ != nullptr) appends_failed_->Increment();
   {
     MutexLock lock(&done_mu_);
@@ -107,6 +141,26 @@ void RemoteLogGate::OnAppendDone(uint64_t seq, const Status& status,
   completed_.fetch_add(1, std::memory_order_acq_rel);
   if (on_complete_) on_complete_();
   Pump();
+}
+
+void RemoteLogGate::ScheduleTailPoll() {
+  loop_.AssertOnLoopThread();
+  if (stopping_.load(std::memory_order_acquire)) return;
+  loop_.After(options_.tail_poll_ms, [this] {
+    if (stopping_.load(std::memory_order_acquire)) return;
+    client_->Tail([this](const Status& status,
+                         const txlog::wire::ClientTailResponse& resp) {
+      if (status.ok()) {
+        if (log_consumers_ != nullptr) {
+          log_consumers_->Set(static_cast<int64_t>(resp.consumers));
+        }
+        if (tail_commit_ != nullptr) {
+          tail_commit_->Set(static_cast<int64_t>(resp.commit_index));
+        }
+      }
+      ScheduleTailPoll();
+    });
+  });
 }
 
 }  // namespace memdb::net

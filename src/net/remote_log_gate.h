@@ -46,6 +46,15 @@ class RemoteLogGate {
     uint64_t backoff_cap_ms = 1000;
     int max_attempts = 8;
     int max_redirects = 4;
+    // Inject a kChecksum record carrying the running CRC64 of all data
+    // payloads after every N data appends (§7.2.1); 0 = off. Consumers
+    // (replicas, the off-box snapshotter) verify the chain as they replay.
+    uint64_t checksum_every = 0;
+    // Chain basis, from the snapshot the primary restored from (0 = fresh).
+    uint64_t checksum_seed = 0;
+    // Poll txlog.Tail every N ms for commit index + observable consumer
+    // count (repl_log_consumers / txlog_tail_commit_index gauges); 0 = off.
+    uint64_t tail_poll_ms = 0;
   };
 
   struct Completion {
@@ -89,11 +98,16 @@ class RemoteLogGate {
     uint64_t seq = 0;
     uint64_t trace_id = 0;
     std::string payload;
+    // Gate-internal kChecksum record: invisible to SubmitAppend accounting
+    // and never reported as a completion.
+    bool internal = false;
   };
 
   // Gate-loop-thread only (loop_.AssertOnLoopThread() on entry).
   void Pump();
-  void OnAppendDone(uint64_t seq, const Status& status, uint64_t index);
+  void OnAppendDone(uint64_t seq, bool internal, const Status& status,
+                    uint64_t index);
+  void ScheduleTailPoll();
 
   Options options_;
   rpc::LoopThread loop_;
@@ -104,10 +118,18 @@ class RemoteLogGate {
   Counter* appends_submitted_ = nullptr;
   Counter* appends_failed_ = nullptr;
   Gauge* queue_depth_ = nullptr;
+  Counter* checksum_records_ = nullptr;
+  Gauge* log_consumers_ = nullptr;
+  Gauge* tail_commit_ = nullptr;
 
   // Gate-loop-thread state (thread-affine, no lock; see Pump/OnAppendDone).
   std::deque<PendingAppend> queue_;
   bool append_inflight_ = false;
+  // Running CRC64 over data payloads in submission order — which equals log
+  // order, because appends are strictly serialized.
+  uint64_t running_checksum_ = 0;
+  uint64_t data_since_checksum_ = 0;
+  std::atomic<bool> stopping_{false};
 
   std::atomic<uint64_t> next_seq_{1};
   std::atomic<uint64_t> submitted_{0};

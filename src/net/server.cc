@@ -8,6 +8,9 @@
 #include <unordered_set>
 
 #include "common/coding.h"
+#include "common/crc.h"
+#include "replication/snapshot_store.h"
+#include "storage/fs_object_store.h"
 
 namespace memdb::net {
 
@@ -51,6 +54,12 @@ RespServer::RespServer(engine::Engine* engine, ServerConfig config)
   log_blocked_replies_ = metrics_.GetCounter("txlog_blocked_replies_total");
   batch_commands_ = metrics_.GetHistogram("net_batch_commands");
   durable_ack_us_ = metrics_.GetHistogram("txlog_durable_ack_us");
+  repl_applied_gauge_ = metrics_.GetGauge("repl_applied_index");
+  repl_entries_applied_ = metrics_.GetCounter("repl_entries_applied_total");
+  repl_bytes_applied_ = metrics_.GetCounter("repl_bytes_applied_total");
+  repl_checksum_failures_ =
+      metrics_.GetCounter("repl_checksum_failures_total");
+  if (!config_.replica_of_log.empty()) server_info_.role = "replica";
 }
 
 RespServer::~RespServer() { Stop(); }
@@ -71,6 +80,28 @@ uint64_t RespServer::NowUs() {
 
 Status RespServer::Start() {
   MEMDB_RETURN_IF_ERROR(loop_.Init());
+  if (!config_.replica_of_log.empty() && !config_.txlog_endpoints.empty()) {
+    return Status::InvalidArgument(
+        "replica_of_log and txlog_endpoints are mutually exclusive");
+  }
+  if (config_.restore) {
+    if (config_.store_dir.empty()) {
+      return Status::InvalidArgument("restore requires store_dir");
+    }
+    replication::RestoreResult rr;
+    MEMDB_RETURN_IF_ERROR(RestoreAtStartup(&rr));
+    server_info_.applied_index = rr.applied_index;
+    repl_running_checksum_ = rr.running_checksum;
+    repl_applied_gauge_->Set(static_cast<int64_t>(rr.applied_index));
+    std::fprintf(
+        stderr,
+        "memorydb-server: restored snapshot position %llu, replayed %llu "
+        "log entries (%llu checksum records verified), applied index %llu\n",
+        static_cast<unsigned long long>(rr.snapshot_position),
+        static_cast<unsigned long long>(rr.entries_replayed),
+        static_cast<unsigned long long>(rr.checksum_records_verified),
+        static_cast<unsigned long long>(rr.applied_index));
+  }
   if (!config_.txlog_endpoints.empty()) {
     RemoteLogGate::Options gopt;
     gopt.endpoints = config_.txlog_endpoints;
@@ -79,9 +110,22 @@ Status RespServer::Start() {
     gopt.backoff_base_ms = config_.txlog_backoff_base_ms;
     gopt.backoff_cap_ms = config_.txlog_backoff_cap_ms;
     gopt.max_attempts = config_.txlog_max_attempts;
+    gopt.checksum_every = config_.txlog_checksum_every;
+    gopt.checksum_seed = repl_running_checksum_;
+    gopt.tail_poll_ms = config_.txlog_tail_poll_ms;
     // Instruments resolve into metrics_ here, before the loop thread exists.
     gate_ = std::make_unique<RemoteLogGate>(std::move(gopt), &metrics_);
     MEMDB_RETURN_IF_ERROR(gate_->Start([this] { loop_.Wakeup(); }));
+  }
+  if (!config_.replica_of_log.empty()) {
+    replication::LogFollower::Options fopt;
+    fopt.endpoints = config_.replica_of_log;
+    fopt.start_index = server_info_.applied_index + 1;
+    fopt.poll_wait_ms = config_.replica_poll_wait_ms;
+    fopt.rpc_timeout_ms = config_.txlog_rpc_timeout_ms;
+    follower_ =
+        std::make_unique<replication::LogFollower>(std::move(fopt), &metrics_);
+    MEMDB_RETURN_IF_ERROR(follower_->Start([this] { loop_.Wakeup(); }));
   }
   MEMDB_RETURN_IF_ERROR(listener_.Open(config_.bind_address, config_.port,
                                        config_.tcp_backlog));
@@ -114,12 +158,87 @@ void RespServer::Stop() {
   if (loop_thread_.joinable()) loop_thread_.join();
   started_ = false;
   if (gate_ != nullptr) gate_->Stop();
+  if (follower_ != nullptr) follower_->Stop();
   // The loop has exited: tear down every connection and the accept socket.
   for (auto& [ptr, owned] : connections_) owned->Close();
   connections_.clear();
   listener_.Close();
   pool_.reset();  // joins io threads
   connected_clients_->Set(0);
+}
+
+Status RespServer::RestoreAtStartup(replication::RestoreResult* result) {
+  // Startup thread; the loop thread does not exist yet, so driving the
+  // engine and blocking on *Sync client calls here is safe.
+  storage::FsObjectStore store(config_.store_dir);
+  MEMDB_RETURN_IF_ERROR(store.Open());
+  replication::SnapshotStore snapshots(&store, config_.shard_id);
+  MEMDB_RETURN_IF_ERROR(
+      replication::RestoreFromStore(&snapshots, engine_, result));
+  const std::vector<std::string>& endpoints = !config_.replica_of_log.empty()
+                                                  ? config_.replica_of_log
+                                                  : config_.txlog_endpoints;
+  if (endpoints.empty()) return Status::OK();  // snapshot-only restore
+  // Replay the committed tail through a temporary client; the long-lived
+  // follower/gate machinery starts after the engine is caught up.
+  rpc::LoopThread loop;
+  MEMDB_RETURN_IF_ERROR(loop.Start());
+  Status replayed;
+  {
+    txlog::RemoteClient::Options copt;
+    copt.rpc_timeout_ms = config_.txlog_rpc_timeout_ms;
+    txlog::RemoteClient client(&loop, endpoints, copt, nullptr);
+    replayed = replication::ReplayLogTail(&client, engine_, result,
+                                          /*target_tail=*/0);
+    client.Shutdown();
+  }
+  loop.Stop();
+  return replayed;
+}
+
+void RespServer::ApplyFollowerEntries(uint64_t now_ms) {
+  loop_affinity_.AssertHeldThread();
+  if (follower_ == nullptr) return;
+  if (follower_->log_trimmed() && !repl_trim_fatal_reported_) {
+    repl_trim_fatal_reported_ = true;
+    std::fprintf(stderr,
+                 "memorydb-server: transaction log trimmed past applied "
+                 "index %llu; restart with --restore to reseed from the "
+                 "snapshot store\n",
+                 static_cast<unsigned long long>(server_info_.applied_index));
+  }
+  const std::vector<txlog::LogEntry> entries = follower_->DrainEntries();
+  if (entries.empty()) return;
+  uint64_t bytes = 0;
+  for (const txlog::LogEntry& e : entries) {
+    if (e.record.type == txlog::RecordType::kData) {
+      if (!replication::ApplyEffectBatch(engine_, Slice(e.record.payload),
+                                         now_ms)) {
+        std::fprintf(stderr,
+                     "memorydb-server: malformed effect batch at log index "
+                     "%llu (skipped)\n",
+                     static_cast<unsigned long long>(e.index));
+      }
+      repl_running_checksum_ =
+          Crc64(repl_running_checksum_, Slice(e.record.payload));
+      bytes += e.record.payload.size();
+    } else if (e.record.type == txlog::RecordType::kChecksum) {
+      Decoder dec(e.record.payload);
+      uint64_t expected = 0;
+      if (dec.GetFixed64(&expected) && expected != repl_running_checksum_) {
+        repl_checksum_failures_->Increment();
+        std::fprintf(stderr,
+                     "memorydb-server: replication checksum chain mismatch "
+                     "at log index %llu\n",
+                     static_cast<unsigned long long>(e.index));
+      }
+    }
+    server_info_.applied_index = e.index;
+  }
+  repl_entries_applied_->Increment(entries.size());
+  repl_bytes_applied_->Increment(bytes);
+  repl_applied_gauge_->Set(static_cast<int64_t>(server_info_.applied_index));
+  follower_->NoteApplied(server_info_.applied_index);
 }
 
 void RespServer::AcceptPending() {
@@ -180,7 +299,8 @@ void RespServer::ExecutePending(Connection* c, uint64_t now_ms) {
   loop_affinity_.AssertHeldThread();
   engine::ExecContext ctx;
   ctx.now_ms = now_ms;
-  ctx.role = engine::Role::kPrimary;
+  ctx.role = follower_ != nullptr ? engine::Role::kReplicaRead
+                                  : engine::Role::kPrimary;
   ctx.rng = &engine_->rng();
   ctx.server = &server_info_;
   std::string encoded;
@@ -192,6 +312,20 @@ void RespServer::ExecutePending(Connection* c, uint64_t now_ms) {
       c->QueueOutput("+OK\r\n");
       c->set_state(Connection::State::kClosing);
       break;
+    }
+    if (follower_ != nullptr) {
+      if (name == "WAIT") {
+        // A log-fed replica has no downstream acks to wait for: answer 0
+        // immediately (Redis replica semantics) instead of hanging.
+        c->QueueOutput(":0\r\n");
+        continue;
+      }
+      const engine::CommandSpec* wspec = engine_->FindCommand(name);
+      if (wspec != nullptr && wspec->is_write) {
+        c->QueueOutput(
+            "-READONLY You can't write against a read only replica.\r\n");
+        continue;
+      }
     }
     // The connection's place in the reply order: a reply can only be sent
     // directly if nothing older is still parked on this connection.
@@ -435,7 +569,9 @@ void RespServer::Housekeeping(uint64_t now_ms) {
   // Clients whose replies are parked behind the durability gate (§3.2).
   blocked_clients_->Set(static_cast<int64_t>(held_.size()));
 
-  if (now_ms - last_expire_ms_ >= kExpireEveryMs) {
+  // Replicas never expire keys themselves; they apply the primary's DEL
+  // effects from the log (§2.1), keeping both sides bit-identical.
+  if (follower_ == nullptr && now_ms - last_expire_ms_ >= kExpireEveryMs) {
     last_expire_ms_ = now_ms;
     engine::ExecContext ctx;
     ctx.now_ms = now_ms;
@@ -495,8 +631,11 @@ void RespServer::LoopMain() {
     pool_->Run(readable.size(),
                [&](size_t i) { readable[i]->ReadAndParse(); });
 
-    // Stage 2 (loop thread): one batched dispatch into the engine.
+    // Stage 2 (loop thread): replica mode first applies committed log
+    // entries the follower fetched, so this cycle's reads see them; then
+    // one batched dispatch into the engine.
     const uint64_t now_ms = NowMs();
+    ApplyFollowerEntries(now_ms);
     DispatchBatch(readable, now_ms);
 
     // Stage 3 (loop thread): release replies whose log appends committed.

@@ -48,6 +48,8 @@
 #include "net/io_threads.h"
 #include "net/listener.h"
 #include "net/remote_log_gate.h"
+#include "replication/log_follower.h"
+#include "replication/recovery.h"
 
 namespace memdb::net {
 
@@ -87,6 +89,26 @@ struct ServerConfig {
   // Stop() keeps the loop alive up to this long so in-flight appends can
   // commit and their parked replies can be flushed before teardown.
   uint64_t shutdown_drain_ms = 5000;
+
+  // Primary checksum-chain injection: one kChecksum record per N data
+  // appends (§7.2.1); 0 disables.
+  uint64_t txlog_checksum_every = 64;
+  // Primary-side txlog.Tail poll cadence for the repl_log_consumers /
+  // txlog_tail_commit_index gauges; 0 disables.
+  uint64_t txlog_tail_poll_ms = 1000;
+
+  // Replica mode (§4.2.1): follow the committed log at these txlogd
+  // endpoints instead of writing to one. Mutually exclusive with
+  // txlog_endpoints. Writes answer -READONLY; WAIT answers 0.
+  std::vector<std::string> replica_of_log;
+  uint64_t replica_poll_wait_ms = 200;
+
+  // Peer-less recovery (§4.2.1): before accepting traffic, load the latest
+  // snapshot for `shard_id` from the FsObjectStore at `store_dir` and
+  // replay the committed log tail past its position.
+  bool restore = false;
+  std::string store_dir;
+  std::string shard_id = "shard-0";
 };
 
 class RespServer {
@@ -112,6 +134,7 @@ class RespServer {
   MetricsRegistry& metrics() { return metrics_; }
   const ServerConfig& config() const { return config_; }
   RemoteLogGate* gate() { return gate_.get(); }
+  replication::LogFollower* follower() { return follower_.get(); }
   // Only safe once the server is stopped (spans are loop-thread state).
   const TraceLog& trace_log() const { return trace_; }
 
@@ -129,6 +152,12 @@ class RespServer {
   };
 
   void LoopMain();
+  // Startup-thread, before the listener opens: snapshot-store restore +
+  // log-tail replay into the engine (§4.2.1).
+  Status RestoreAtStartup(replication::RestoreResult* result);
+  // Loop thread, replica mode: drain the follower and apply committed
+  // entries to the engine, maintaining/verifying the checksum chain.
+  void ApplyFollowerEntries(uint64_t now_ms);
   void AcceptPending();
   // Executes every pending command of every readable connection as one
   // engine batch; encodes replies into connection output buffers (or parks
@@ -158,6 +187,7 @@ class RespServer {
   Listener listener_;
   std::unique_ptr<IoThreadPool> pool_;
   std::unique_ptr<RemoteLogGate> gate_;
+  std::unique_ptr<replication::LogFollower> follower_;
   std::unordered_map<Connection*, std::unique_ptr<Connection>> connections_;
   uint64_t next_conn_id_ = 1;
 
@@ -177,6 +207,13 @@ class RespServer {
   std::set<uint64_t> failed_;    // seqs whose append terminally failed
   size_t held_count_ = 0;
   uint64_t next_trace_id_ = 1;
+
+  // --- replication state (loop thread, except the restore seed written
+  // once on the startup thread before the loop exists) --------------------
+  // Running CRC64 over applied data payloads — a replica's follow-along
+  // half of the §7.2.1 chain, verified against kChecksum records.
+  uint64_t repl_running_checksum_ = 0;
+  bool repl_trim_fatal_reported_ = false;
   // Mirror of held_count_ for the shutdown drain (written on loop thread).
   std::atomic<uint64_t> held_atomic_{0};
 
@@ -195,6 +232,10 @@ class RespServer {
   Counter* log_blocked_replies_;
   Histogram* batch_commands_;
   Histogram* durable_ack_us_;
+  Gauge* repl_applied_gauge_;
+  Counter* repl_entries_applied_;
+  Counter* repl_bytes_applied_;
+  Counter* repl_checksum_failures_;
 
   // Rolling two-window high-water mark for client_recent_max_input_buffer.
   size_t input_hwm_cur_ = 0;

@@ -6,12 +6,23 @@
 //                   [--tcp-backlog N] [--io-threads N] [--maxmemory-mb N]
 //                   [--txlog-endpoints HOST:PORT,...] [--writer-id N]
 //                   [--txlog-timeout-ms N] [--shutdown-drain-ms N]
+//                   [--checksum-every N]
+//                   [--replica-of-log HOST:PORT,...]
+//                   [--restore --store-dir PATH [--shard-id ID]]
 //
 // With --txlog-endpoints the server runs as a durable primary: every write's
 // effect batch is appended to the out-of-process transaction log group
 // (memorydb-txlogd, one endpoint per simulated AZ) and the client's reply is
 // withheld until a majority of log replicas persisted it (§3.1). On
 // shutdown, in-flight appends are drained for up to --shutdown-drain-ms.
+//
+// With --replica-of-log the server runs as a log-fed replica (§4.2.1): it
+// long-polls the same txlogd group for committed entries, applies them, and
+// serves reads; writes answer -READONLY and WAIT answers 0.
+//
+// With --restore the server first recovers peer-lessly from the snapshot
+// store at --store-dir plus the log tail (§4.2.1) before accepting traffic
+// — the recovery half of the off-box snapshots memorydb-snapshotd writes.
 //
 // Runs until SIGINT/SIGTERM. With --port 0 the kernel picks a port; the
 // chosen port is printed on the "listening" banner either way.
@@ -62,7 +73,10 @@ int Usage(const char* argv0) {
                "          [--tcp-backlog N] [--io-threads N] "
                "[--maxmemory-mb N]\n"
                "          [--txlog-endpoints HOST:PORT,...] [--writer-id N]\n"
-               "          [--txlog-timeout-ms N] [--shutdown-drain-ms N]\n",
+               "          [--txlog-timeout-ms N] [--shutdown-drain-ms N]\n"
+               "          [--checksum-every N] [--replica-of-log "
+               "HOST:PORT,...]\n"
+               "          [--restore --store-dir PATH [--shard-id ID]]\n",
                argv0);
   return 2;
 }
@@ -105,6 +119,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--shutdown-drain-ms" && has_value &&
                ParseUint(argv[++i], &v)) {
       config.shutdown_drain_ms = v;
+    } else if (arg == "--checksum-every" && has_value &&
+               ParseUint(argv[++i], &v)) {
+      config.txlog_checksum_every = v;
+    } else if (arg == "--replica-of-log" && has_value) {
+      config.replica_of_log = SplitList(argv[++i]);
+    } else if (arg == "--restore") {
+      config.restore = true;
+    } else if (arg == "--store-dir" && has_value) {
+      config.store_dir = argv[++i];
+    } else if (arg == "--shard-id" && has_value) {
+      config.shard_id = argv[++i];
     } else {
       return Usage(argv[0]);
     }
@@ -126,8 +151,11 @@ int main(int argc, char** argv) {
       server.config().bind_address.c_str(), server.port(),
       server.config().maxclients, server.config().tcp_backlog,
       server.config().io_threads,
-      config.txlog_endpoints.empty() ? ""
-                                     : ", durable: remote transaction log");
+      !config.replica_of_log.empty()
+          ? ", replica: log-fed"
+          : (config.txlog_endpoints.empty()
+                 ? ""
+                 : ", durable: remote transaction log"));
   std::fflush(stdout);
 
   std::signal(SIGINT, OnSignal);

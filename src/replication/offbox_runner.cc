@@ -1,0 +1,145 @@
+#include "replication/offbox_runner.h"
+
+#include <chrono>
+#include <utility>
+
+#include "engine/engine.h"
+#include "replication/recovery.h"
+
+namespace memdb::replication {
+
+namespace {
+uint64_t WallMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+OffboxRunner::OffboxRunner(Options options, MetricsRegistry* registry)
+    : options_(std::move(options)),
+      store_(options_.store_dir,
+             storage::FsObjectStore::Options{options_.fsync}),
+      snapshots_(&store_, options_.shard_id) {
+  if (registry != nullptr) {
+    cycles_ = registry->GetCounter("offbox_cycles_total");
+    failures_ = registry->GetCounter("offbox_cycle_failures_total");
+    verification_failures_ =
+        registry->GetCounter("offbox_verification_failures_total");
+    last_position_ = registry->GetGauge("offbox_last_snapshot_position");
+  }
+  txlog::RemoteClient::Options copt;
+  copt.writer_id = 0;  // reader + trim hints only
+  copt.rpc_timeout_ms = options_.rpc_timeout_ms;
+  client_ = std::make_unique<txlog::RemoteClient>(&loop_, options_.endpoints,
+                                                  copt, registry);
+}
+
+OffboxRunner::~OffboxRunner() { Stop(); }
+
+Status OffboxRunner::Start() {
+  if (options_.endpoints.empty()) {
+    return Status::InvalidArgument("offbox runner needs txlog endpoints");
+  }
+  MEMDB_RETURN_IF_ERROR(store_.Open());
+  MEMDB_RETURN_IF_ERROR(loop_.Start());
+  started_ = true;
+  return Status::OK();
+}
+
+void OffboxRunner::Stop() {
+  if (!started_) return;
+  started_ = false;
+  client_->Shutdown();
+  loop_.Stop();
+}
+
+Status OffboxRunner::RunCycle(CycleResult* out) {
+  *out = CycleResult();
+  if (cycles_ != nullptr) cycles_->Increment();
+  Status s = [&]() -> Status {
+    // 1. Pin the cycle target: everything committed as of now.
+    txlog::wire::ClientTailResponse tail;
+    MEMDB_RETURN_IF_ERROR(client_->TailSync(&tail));
+    const uint64_t target = tail.commit_index;
+
+    // 2. Restore the prior snapshot into a private engine.
+    engine::Engine engine;
+    RestoreResult rr;
+    Status restore = RestoreFromStore(&snapshots_, &engine, &rr);
+    if (restore.IsCorruption() && verification_failures_ != nullptr) {
+      verification_failures_->Increment();
+    }
+    MEMDB_RETURN_IF_ERROR(restore);
+    out->restored_from_snapshot = rr.snapshot_position > 0;
+
+    if (target <= rr.snapshot_position) {
+      // Nothing committed past the snapshot we already have.
+      out->position = rr.snapshot_position;
+      out->running_checksum = rr.running_checksum;
+      return Status::OK();
+    }
+
+    // 3. Replay the tail, verifying the checksum chain as we go.
+    Status replay = ReplayLogTail(client_.get(), &engine, &rr, target);
+    if (replay.IsCorruption() && verification_failures_ != nullptr) {
+      verification_failures_->Increment();
+    }
+    MEMDB_RETURN_IF_ERROR(replay);
+    out->entries_replayed = rr.entries_replayed;
+    if (rr.data_records_replayed == 0) {
+      // The tail moved but carried no data — election noop barriers and
+      // checksum records don't change the keyspace, so re-uploading the
+      // same state under a newer position would be a redundant snapshot.
+      out->position = rr.applied_index;
+      out->running_checksum = rr.running_checksum;
+      return Status::OK();
+    }
+
+    // 4. Dump.
+    engine::SnapshotMeta meta;
+    meta.log_position = rr.applied_index;
+    meta.log_running_checksum = rr.running_checksum;
+    meta.created_at_ms = WallMs();
+    const std::string blob = SerializeSnapshot(engine.keyspace(), meta);
+
+    // 5. Rehearse the restore before anything depends on this blob.
+    engine::Keyspace scratch;
+    engine::SnapshotMeta rehearsed;
+    Status rehearse = engine::DeserializeSnapshot(Slice(blob), &scratch,
+                                                  &rehearsed);
+    if (!rehearse.ok()) {
+      if (verification_failures_ != nullptr) {
+        verification_failures_->Increment();
+      }
+      return Status::Corruption("snapshot failed restore rehearsal: " +
+                                rehearse.ToString());
+    }
+
+    // 6. Upload.
+    MEMDB_RETURN_IF_ERROR(snapshots_.PutSnapshot(blob, meta));
+    out->position = meta.log_position;
+    out->running_checksum = meta.log_running_checksum;
+    out->snapshot_bytes = blob.size();
+    out->uploaded = true;
+    if (last_position_ != nullptr) {
+      last_position_->Set(static_cast<int64_t>(meta.log_position));
+    }
+
+    // 7. Trim hint — best-effort; a failed trim never fails the cycle.
+    if (options_.issue_trim && meta.log_position > options_.trim_slack) {
+      uint64_t first = 0;
+      if (client_
+              ->TrimSync(meta.log_position - options_.trim_slack, &first)
+              .ok()) {
+        out->trimmed_first_index = first;
+      }
+    }
+    return Status::OK();
+  }();
+  if (!s.ok() && failures_ != nullptr) failures_->Increment();
+  return s;
+}
+
+}  // namespace memdb::replication

@@ -56,7 +56,8 @@ RemoteClient::RemoteClient(rpc::LoopThread* loop,
     stats_ = std::make_unique<rpc::RpcStats>(
         registry, std::vector<std::string>{
                       rpcwire::kAppend, rpcwire::kRead, rpcwire::kTail,
-                      rpcwire::kAcquireLease, rpcwire::kRenewLease});
+                      rpcwire::kTrim, rpcwire::kAcquireLease,
+                      rpcwire::kRenewLease});
     retries_ = registry->GetCounter("txlog_retries_total");
     redirects_ = registry->GetCounter("txlog_redirects_total");
   }
@@ -285,6 +286,44 @@ void RemoteClient::RenewLease(uint64_t owner, uint64_t duration_ms,
             std::move(cb));
 }
 
+void RemoteClient::Trim(uint64_t upto_index, TrimCallback cb) {
+  loop_->Post([this, upto_index, cb = std::move(cb)] {
+    loop_->AssertOnLoopThread();
+    if (shutdown_.load(std::memory_order_acquire) || channels_.empty()) {
+      cb(Status::Unavailable("txlog client shut down"), 0);
+      return;
+    }
+    rpcwire::TrimRequest req;
+    req.upto_index = upto_index;
+    const std::string body = req.Encode();
+    struct Fanout {
+      size_t remaining = 0;
+      bool any_ok = false;
+      uint64_t first_index = 0;
+    };
+    auto state = std::make_shared<Fanout>();
+    state->remaining = channels_.size();
+    for (auto& ch : channels_) {
+      ch->Call(rpcwire::kTrim, body, options_.rpc_timeout_ms, 0,
+               [state, cb](Status status, std::string payload) {
+                 rpcwire::TrimResponse resp;
+                 if (status.ok() &&
+                     rpcwire::TrimResponse::Decode(Slice(payload), &resp)) {
+                   state->any_ok = true;
+                   state->first_index =
+                       std::max(state->first_index, resp.first_index);
+                 }
+                 if (--state->remaining == 0) {
+                   cb(state->any_ok
+                          ? Status::OK()
+                          : Status::Unavailable("no txlogd answered trim"),
+                      state->first_index);
+                 }
+               });
+    }
+  });
+}
+
 void RemoteClient::Read(uint64_t from_index, uint64_t max_count,
                         uint64_t wait_ms, ReadCallback cb) {
   loop_->Post([this, from_index, max_count, wait_ms, cb = std::move(cb)] {
@@ -402,6 +441,13 @@ Status RemoteClient::AcquireLeaseSync(uint64_t owner, uint64_t duration_ms,
                  slot->Set(s, r);
                });
   return slot->Wait(out);
+}
+
+Status RemoteClient::TrimSync(uint64_t upto_index, uint64_t* first_index) {
+  auto slot = std::make_shared<SyncSlot<uint64_t>>();
+  Trim(upto_index,
+       [slot](const Status& s, uint64_t first) { slot->Set(s, first); });
+  return slot->Wait(first_index);
 }
 
 Status RemoteClient::RenewLeaseSync(uint64_t owner, uint64_t duration_ms,

@@ -54,6 +54,9 @@ class RemoteClient {
       std::function<void(const Status&, const wire::ClientTailResponse&)>;
   using LeaseCallback =
       std::function<void(const Status&, const rpcwire::LeaseResponse&)>;
+  // first_index = highest "first index still present" among replicas that
+  // answered (how far trimming actually got).
+  using TrimCallback = std::function<void(const Status&, uint64_t first_index)>;
 
   struct Options {
     uint64_t writer_id = 0;  // stamped into records whose writer is 0
@@ -87,6 +90,9 @@ class RemoteClient {
                     LeaseCallback cb);
   void RenewLease(uint64_t owner, uint64_t duration_ms, std::string shard,
                   LeaseCallback cb);
+  // Broadcasts the trim hint to every endpoint (each replica bounds it by
+  // its own commit). Best-effort: OK if at least one replica answered.
+  void Trim(uint64_t upto_index, TrimCallback cb);
 
   // --- blocking wrappers (not from the loop thread) ------------------------
   Status AppendSync(uint64_t prev_index, LogRecord record, uint64_t* index);
@@ -97,6 +103,7 @@ class RemoteClient {
                           std::string shard, rpcwire::LeaseResponse* out);
   Status RenewLeaseSync(uint64_t owner, uint64_t duration_ms,
                         std::string shard, rpcwire::LeaseResponse* out);
+  Status TrimSync(uint64_t upto_index, uint64_t* first_index);
 
   // Allocates a writer-unique request id (thread-safe); used to stamp
   // records before Append so retries stay idempotent.

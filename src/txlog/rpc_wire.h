@@ -21,6 +21,9 @@ inline constexpr char kRead[] = "txlog.ReadStream";
 inline constexpr char kTail[] = "txlog.Tail";
 inline constexpr char kAcquireLease[] = "txlog.AcquireLease";
 inline constexpr char kRenewLease[] = "txlog.RenewLease";
+// Trim hint from the snapshotter (§4.2.3): history up to upto_index is
+// covered by a durable snapshot and may be discarded.
+inline constexpr char kTrim[] = "txlog.Trim";
 // Diagnostics: Prometheus text exposition of the daemon's registry.
 inline constexpr char kMetrics[] = "svc.Metrics";
 // Replica-internal raft traffic (leader election / replication).
@@ -49,6 +52,40 @@ struct ReadStreamRequest {
     return dec.GetVarint64(&out->from_index) &&
            dec.GetVarint64(&out->max_count) &&
            dec.GetVarint64(&out->wait_ms);
+  }
+};
+
+// Trim: each replica discards committed history up to upto_index, bounded
+// by what it can safely drop (its own commit index; the leader additionally
+// keeps everything a lagging follower still needs, since there is no
+// snapshot-install path). Always answered by the receiving replica — the
+// client broadcasts the hint to the whole group.
+struct TrimRequest {
+  uint64_t upto_index = 0;
+
+  std::string Encode() const {
+    std::string out;
+    PutVarint64(&out, upto_index);
+    return out;
+  }
+  static bool Decode(Slice data, TrimRequest* out) {
+    Decoder dec(data);
+    return dec.GetVarint64(&out->upto_index);
+  }
+};
+
+struct TrimResponse {
+  // First index still present after the trim (base + 1).
+  uint64_t first_index = 1;
+
+  std::string Encode() const {
+    std::string out;
+    PutVarint64(&out, first_index);
+    return out;
+  }
+  static bool Decode(Slice data, TrimResponse* out) {
+    Decoder dec(data);
+    return dec.GetVarint64(&out->first_index);
   }
 };
 

@@ -54,6 +54,10 @@ LogService::LogService(Options options)
   leader_elected_ = metrics_.GetCounter("raft_leader_elected_total");
   client_appends_ = metrics_.GetCounter("txlog_client_appends_total");
   dedup_hits_ = metrics_.GetCounter("txlog_dedup_hits_total");
+  dedup_evictions_ = metrics_.GetCounter("txlog_dedup_evictions_total");
+  trims_ = metrics_.GetCounter("txlog_trims_total");
+  dedup_entries_gauge_ = metrics_.GetGauge("txlog_dedup_entries");
+  base_index_gauge_ = metrics_.GetGauge("txlog_base_index");
   entries_replicated_ = metrics_.GetCounter("raft_entries_replicated_total");
   fsyncs_ = metrics_.GetCounter("txlog_fsyncs_total");
   term_gauge_ = metrics_.GetGauge("raft_term");
@@ -78,6 +82,9 @@ LogService::LogService(Options options)
   });
   server_->RegisterHandler(rpcwire::kTail, [this](rpc::Server::Call&& c) {
     HandleTail(std::move(c));
+  });
+  server_->RegisterHandler(rpcwire::kTrim, [this](rpc::Server::Call&& c) {
+    HandleTrim(std::move(c));
   });
   server_->RegisterHandler(
       rpcwire::kAcquireLease,
@@ -169,6 +176,46 @@ uint64_t LogService::TermAt(uint64_t index) const {
   return e != nullptr ? e->term : 0;
 }
 
+void LogService::DedupInsert(uint64_t writer, uint64_t request_id,
+                             uint64_t index) {
+  loop_.AssertOnLoopThread();
+  const std::pair<uint64_t, uint64_t> key{writer, request_id};
+  dedup_[key] = index;
+  dedup_order_.emplace_back(key, index);
+  if (options_.dedup_max_entries > 0) {
+    while (dedup_.size() > options_.dedup_max_entries &&
+           !dedup_order_.empty()) {
+      const auto& [old_key, old_index] = dedup_order_.front();
+      auto it = dedup_.find(old_key);
+      // Only evict if this order slot still describes the live mapping —
+      // a re-inserted key's older slot must not cut its fresh lifetime
+      // short. Stale slots are simply dropped.
+      if (it != dedup_.end() && it->second == old_index) {
+        dedup_.erase(it);
+        dedup_evictions_->Increment();
+      }
+      dedup_order_.pop_front();
+    }
+  }
+  dedup_entries_gauge_->Set(static_cast<int64_t>(dedup_.size()));
+}
+
+void LogService::TruncatePrefixTo(uint64_t new_base) {
+  loop_.AssertOnLoopThread();
+  if (new_base <= base_index_) return;
+  base_term_ = TermAt(new_base);
+  while (base_index_ < new_base && !log_.empty()) {
+    log_.pop_front();
+    ++base_index_;
+  }
+  base_index_gauge_->Set(static_cast<int64_t>(base_index_));
+  trims_->Increment();
+  // The new base must survive a restart: LoadDisk needs it to anchor the
+  // first on-disk entry's index.
+  PersistMeta();
+  RewriteLogFile();
+}
+
 void LogService::TruncateSuffixFrom(uint64_t index) {
   while (last_index() >= index && !log_.empty()) {
     const LogEntry& e = log_.back();
@@ -185,6 +232,7 @@ void LogService::TruncateSuffixFrom(uint64_t index) {
     log_.pop_back();
   }
   if (durable_index_ > last_index()) durable_index_ = last_index();
+  dedup_entries_gauge_->Set(static_cast<int64_t>(dedup_.size()));
   RewriteLogFile();
 }
 
@@ -316,7 +364,7 @@ void LogService::AppendToLocalLog(LogRecord record) {
   entry.record = std::move(record);
   const uint64_t trace_id = entry.record.trace_id;
   if (entry.record.writer != 0 || entry.record.request_id != 0) {
-    dedup_[{entry.record.writer, entry.record.request_id}] = entry.index;
+    DedupInsert(entry.record.writer, entry.record.request_id, entry.index);
   }
   log_.push_back(std::move(entry));
   PersistLogSuffix(last_index());
@@ -518,7 +566,7 @@ void LogService::HandleRaftAppendEntries(rpc::Server::Call&& call) {
     }
     const uint64_t trace_id = entry.record.trace_id;
     if (entry.record.writer != 0 || entry.record.request_id != 0) {
-      dedup_[{entry.record.writer, entry.record.request_id}] = entry.index;
+      DedupInsert(entry.record.writer, entry.record.request_id, entry.index);
     }
     if (first_new == 0) first_new = entry.index;
     log_.push_back(std::move(entry));
@@ -699,7 +747,30 @@ void LogService::HandleTail(rpc::Server::Call&& call) {
     resp.result = wire::ClientResult::kOk;
     resp.commit_index = commit_index_;
     resp.last_index = last_index();
+    resp.consumers = read_waiters_.size();
   }
+  call.respond(rpc::Code::kOk, resp.Encode());
+}
+
+void LogService::HandleTrim(rpc::Server::Call&& call) {
+  loop_.AssertOnLoopThread();
+  rpcwire::TrimRequest req;
+  if (!rpcwire::TrimRequest::Decode(Slice(call.payload), &req)) {
+    call.respond(rpc::Code::kBadRequest, std::string());
+    return;
+  }
+  // Never trim past what this replica has committed; the leader also keeps
+  // everything a lagging follower still needs (there is no snapshot-install
+  // path to catch a follower up once its history is gone).
+  uint64_t upto = std::min(req.upto_index, commit_index_);
+  if (role_ == Role::kLeader) {
+    for (uint64_t peer : peer_ids_) {
+      upto = std::min(upto, match_index_[peer]);
+    }
+  }
+  if (upto > base_index_) TruncatePrefixTo(upto);
+  rpcwire::TrimResponse resp;
+  resp.first_index = base_index_ + 1;
   call.respond(rpc::Code::kOk, resp.Encode());
 }
 
@@ -794,6 +865,8 @@ void LogService::PersistMeta() {
   std::string body;
   PutFixed64(&body, current_term_);
   PutFixed64(&body, voted_for_);
+  PutFixed64(&body, base_index_);
+  PutFixed64(&body, base_term_);
   PutFixed32(&body, static_cast<uint32_t>(Crc64(0, body.data(), body.size())));
   const std::string tmp = MetaPath() + ".tmp";
   int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
@@ -880,25 +953,42 @@ Status LogService::LoadDisk() {
   if (options_.data_dir.empty()) return Status::OK();
   ::mkdir(options_.data_dir.c_str(), 0755);
 
-  // Meta.
+  // Meta: term/vote plus the trimmed-prefix base (4 fixed64 + crc). The
+  // legacy 2-field layout (pre-trim) is still accepted.
   {
     int fd = ::open(MetaPath().c_str(), O_RDONLY | O_CLOEXEC);
     if (fd >= 0) {
-      char raw[8 + 8 + 4];
+      char raw[8 * 4 + 4];
       const ssize_t n = ::read(fd, raw, sizeof(raw));
       ::close(fd);
+      uint64_t term = 0, voted = 0, base = 0, bterm = 0;
+      bool valid = false;
       if (n == static_cast<ssize_t>(sizeof(raw))) {
         Decoder dec(Slice(raw, sizeof(raw)));
-        uint64_t term, voted;
         uint32_t crc;
-        if (dec.GetFixed64(&term) && dec.GetFixed64(&voted) &&
-            dec.GetFixed32(&crc) &&
-            crc == static_cast<uint32_t>(Crc64(0, raw, 16))) {
-          current_term_ = term;
-          voted_for_ = voted;
-          term_atomic_.store(current_term_, std::memory_order_release);
-          term_gauge_->Set(static_cast<int64_t>(current_term_));
-        }
+        valid = dec.GetFixed64(&term) && dec.GetFixed64(&voted) &&
+                dec.GetFixed64(&base) && dec.GetFixed64(&bterm) &&
+                dec.GetFixed32(&crc) &&
+                crc == static_cast<uint32_t>(Crc64(0, raw, 32));
+      } else if (n == 8 * 2 + 4) {
+        Decoder dec(Slice(raw, 8 * 2 + 4));
+        uint32_t crc;
+        valid = dec.GetFixed64(&term) && dec.GetFixed64(&voted) &&
+                dec.GetFixed32(&crc) &&
+                crc == static_cast<uint32_t>(Crc64(0, raw, 16));
+      }
+      if (valid) {
+        current_term_ = term;
+        voted_for_ = voted;
+        base_index_ = base;
+        base_term_ = bterm;
+        // History below the base was only discarded after it committed, so
+        // the base is a committed floor across restarts.
+        commit_index_ = applied_index_ = base_index_;
+        commit_atomic_.store(commit_index_, std::memory_order_release);
+        term_atomic_.store(current_term_, std::memory_order_release);
+        term_gauge_->Set(static_cast<int64_t>(current_term_));
+        base_index_gauge_->Set(static_cast<int64_t>(base_index_));
       }
     }
   }
@@ -944,7 +1034,7 @@ Status LogService::LoadDisk() {
       break;
     }
     if (entry.record.writer != 0 || entry.record.request_id != 0) {
-      dedup_[{entry.record.writer, entry.record.request_id}] = entry.index;
+      DedupInsert(entry.record.writer, entry.record.request_id, entry.index);
     }
     log_.push_back(std::move(entry));
     off += 4 + len + 4;

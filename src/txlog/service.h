@@ -66,6 +66,11 @@ class LogService {
     uint64_t raft_rpc_timeout_ms = 150;
     size_t max_read_batch = 256;
     size_t max_append_entries = 64;
+    // Cap on the (writer, request_id) idempotency table. Oldest entries are
+    // evicted first; a retry arriving after its entry was evicted re-appends
+    // (a duplicate), so size this to cover the longest plausible retry
+    // window, not to zero. 0 = unbounded (tests).
+    size_t dedup_max_entries = 65536;
     uint64_t seed = 0;  // 0 = derived from node_id
   };
 
@@ -113,6 +118,10 @@ class LogService {
   const LogEntry* EntryAt(uint64_t index) const;
   uint64_t TermAt(uint64_t index) const;
   void TruncateSuffixFrom(uint64_t index);
+  // Discards entries [base+1, new_base]; caller guarantees new_base is
+  // committed and applied. Persists the new base and rewrites the log file.
+  void TruncatePrefixTo(uint64_t new_base);
+  void DedupInsert(uint64_t writer, uint64_t request_id, uint64_t index);
 
   void ResetElectionTimer();
   void BecomeFollower(uint64_t term);
@@ -133,6 +142,7 @@ class LogService {
   void HandleClientAppend(rpc::Server::Call&& call);
   void HandleReadStream(rpc::Server::Call&& call);
   void HandleTail(rpc::Server::Call&& call);
+  void HandleTrim(rpc::Server::Call&& call);
   void HandleLease(rpc::Server::Call&& call, bool renew);
   void HandleMetricsScrape(rpc::Server::Call&& call);
 
@@ -196,8 +206,13 @@ class LogService {
   std::map<uint64_t, uint64_t> append_received_at_us_;
 
   // Idempotency: (writer, request_id) -> log index, maintained with the
-  // in-memory log (inserted on append, removed on suffix truncation).
+  // in-memory log (inserted on append, removed on suffix truncation) and
+  // bounded by options_.dedup_max_entries: dedup_order_ records insertion
+  // order, and the oldest entries are evicted once the map exceeds the cap.
+  // An order slot whose (key -> index) mapping was since replaced or erased
+  // is skipped at eviction time, so re-inserted keys get a fresh lifetime.
   std::map<std::pair<uint64_t, uint64_t>, uint64_t> dedup_;
+  std::deque<std::pair<std::pair<uint64_t, uint64_t>, uint64_t>> dedup_order_;
 
   // Long-poll readers parked until commit reaches from_index.
   struct Waiter {
@@ -228,8 +243,12 @@ class LogService {
   Counter* leader_elected_ = nullptr;
   Counter* client_appends_ = nullptr;
   Counter* dedup_hits_ = nullptr;
+  Counter* dedup_evictions_ = nullptr;
+  Counter* trims_ = nullptr;
   Counter* entries_replicated_ = nullptr;
   Counter* fsyncs_ = nullptr;
+  Gauge* dedup_entries_gauge_ = nullptr;
+  Gauge* base_index_gauge_ = nullptr;
   Gauge* term_gauge_ = nullptr;
   Gauge* commit_gauge_ = nullptr;
   Gauge* role_gauge_ = nullptr;

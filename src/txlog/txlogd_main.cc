@@ -4,7 +4,7 @@
 //
 //   memorydb-txlogd --node-id N --peers HOST:PORT,HOST:PORT,...
 //                   [--bind ADDR] [--port N] [--data-dir PATH] [--no-fsync]
-//                   [--heartbeat-ms N] [--election-min-ms N]
+//                   [--dedup-max N] [--heartbeat-ms N] [--election-min-ms N]
 //                   [--election-max-ms N]
 //
 // --peers lists the FULL group membership (including this node) in node-id
@@ -58,7 +58,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --node-id N --peers HOST:PORT,HOST:PORT,...\n"
                "          [--bind ADDR] [--port N] [--data-dir PATH]\n"
-               "          [--no-fsync] [--heartbeat-ms N]\n"
+               "          [--no-fsync] [--dedup-max N] [--heartbeat-ms N]\n"
                "          [--election-min-ms N] [--election-max-ms N]\n",
                argv0);
   return 2;
@@ -90,6 +90,8 @@ int main(int argc, char** argv) {
       options.data_dir = argv[++i];
     } else if (arg == "--no-fsync") {
       options.fsync = false;
+    } else if (arg == "--dedup-max" && has_value && ParseUint(argv[++i], &v)) {
+      options.dedup_max_entries = v;
     } else if (arg == "--heartbeat-ms" && has_value &&
                ParseUint(argv[++i], &v) && v > 0) {
       options.heartbeat_ms = v;

@@ -232,6 +232,10 @@ struct ClientTailResponse {
   uint64_t commit_index = 0;
   uint64_t last_index = 0;
   sim::NodeId leader_hint = sim::kInvalidNode;
+  // Log consumers the answering replica can observe: readers currently
+  // parked in its long-poll table. A lower bound — reads round-robin across
+  // replicas, so each replica sees only its own followers.
+  uint64_t consumers = 0;
 
   std::string Encode() const {
     std::string out;
@@ -239,6 +243,7 @@ struct ClientTailResponse {
     PutVarint64(&out, commit_index);
     PutVarint64(&out, last_index);
     PutVarint64(&out, leader_hint);
+    PutVarint64(&out, consumers);
     return out;
   }
   static bool Decode(Slice data, ClientTailResponse* out) {
@@ -250,6 +255,8 @@ struct ClientTailResponse {
     }
     out->result = static_cast<ClientResult>(r);
     out->leader_hint = static_cast<sim::NodeId>(hint);
+    // Absent in encodings from the simulation path; default 0.
+    if (!dec.GetVarint64(&out->consumers)) out->consumers = 0;
     return true;
   }
 };

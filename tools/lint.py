@@ -66,10 +66,11 @@ BLOCKING_PATTERNS = [
 ALLOW_BLOCKING = "lint:allow-blocking"
 
 # Files whose code runs on (or can be inlined into) an event-loop thread.
-LOOP_OWNED_DIRS = [SRC / "net", SRC / "rpc"]
+LOOP_OWNED_DIRS = [SRC / "net", SRC / "rpc", SRC / "replication"]
 LOOP_OWNED_FILES_GLOB = [
     (SRC / "txlog", "service.*"),
     (SRC / "txlog", "remote_client.*"),
+    (SRC / "storage", "fs_object_store.*"),
 ]
 
 CXX_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
