@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_support/envelope.h"
 #include "bench_support/metrics_json.h"
 #include "common/histogram.h"
 #include "engine/engine.h"
@@ -174,7 +175,12 @@ int Run(int connections, int pipeline, int seconds, int io_threads) {
               failed.load() ? "  [SOME CLIENTS FAILED]" : "");
 
   std::string json = "{";
-  json += "\"connections\":" + std::to_string(connections);
+  json += BenchEnvelopeJson("net_throughput",
+                            {{"connections", std::to_string(connections)},
+                             {"pipeline", std::to_string(pipeline)},
+                             {"io_threads", std::to_string(io_threads)},
+                             {"seconds", std::to_string(seconds)}});
+  json += ",\"connections\":" + std::to_string(connections);
   json += ",\"pipeline\":" + std::to_string(pipeline);
   json += ",\"io_threads\":" + std::to_string(io_threads);
   json += ",\"seconds\":" + std::to_string(seconds);

@@ -39,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_support/envelope.h"
 #include "common/coding.h"
 #include "common/histogram.h"
 #include "common/metrics.h"
@@ -394,7 +395,17 @@ int Run(const std::vector<int>& tails, int serve_seconds) {
               static_cast<unsigned long long>(serve.during_cycle.count()),
               serve.cycle_ms);
 
-  std::string json = "{\"restore_vs_log_length\":[";
+  std::string tails_cfg = "[";
+  for (size_t i = 0; i < tails.size(); ++i) {
+    if (i > 0) tails_cfg += ",";
+    tails_cfg += std::to_string(tails[i]);
+  }
+  tails_cfg += "]";
+  std::string json = "{";
+  json += BenchEnvelopeJson(
+      "offbox_real", {{"tails", tails_cfg},
+                      {"serve_seconds", std::to_string(serve_seconds)}});
+  json += ",\"restore_vs_log_length\":[";
   for (size_t i = 0; i < points.size(); ++i) {
     const RestorePoint& p = points[i];
     if (i > 0) json += ",";

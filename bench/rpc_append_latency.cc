@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_support/envelope.h"
 #include "bench_support/metrics_json.h"
 #include "common/histogram.h"
 #include "common/metrics.h"
@@ -215,7 +216,11 @@ int Run(int ops, int depth, int payload_bytes) {
   }
 
   std::string json = "{";
-  json += "\"ops\":" + std::to_string(ops);
+  json += BenchEnvelopeJson("rpc_append_latency",
+                            {{"ops", std::to_string(ops)},
+                             {"pipeline_depth", std::to_string(depth)},
+                             {"payload_bytes", std::to_string(payload_bytes)}});
+  json += ",\"ops\":" + std::to_string(ops);
   json += ",\"pipeline_depth\":" + std::to_string(depth);
   json += ",\"payload_bytes\":" + std::to_string(payload_bytes);
   json += ",\"single\":{";

@@ -3,16 +3,16 @@
 #
 #   1. plain build + full ctest          (build/)
 #   2. ASan+UBSan build + full ctest     (build-asan/, UBSan non-recoverable)
-#   3. TSan build + the concurrency-heavy suites (build-tsan/: net, rpc, replication)
-#   4. tools/lint.py repo invariants (sync primitives, memory_order, blocking)
+#   3. TSan build + the concurrency-heavy suites (build-tsan/: common, net, rpc, replication)
+#   4. tools/lint.py repo invariants (sync, memory_order, blocking, trace lock-freedom)
 #   5. clang-tidy over src/              (skipped with a notice if absent)
 #   6. thread-safety compile-fail checks (skipped with a notice if no clang++)
 #
-# Stage 3 runs only net_test, rpc_test, and replication_test: TSan slows
-# everything ~10x and those suites exercise every cross-thread edge (io
-# threads, loop hand-off, gate completion, follower/applier bridge); the
-# rest of the tree is single-threaded by construction and covered by
-# stages 1-2.
+# Stage 3 runs only common_test, net_test, rpc_test, and replication_test:
+# TSan slows everything ~10x and those suites exercise every cross-thread
+# edge (the lock-free TraceLog ring, io threads, loop hand-off, gate
+# completion, follower/applier bridge); the rest of the tree is
+# single-threaded by construction and covered by stages 1-2.
 #
 # Also exposed as `cmake --build build --target check`.
 
@@ -64,12 +64,13 @@ run_stage "asan+ubsan build + ctest" \
 # --- 3. TSan (concurrency suites only) --------------------------------------
 tsan_stage() {
   cmake -B build-tsan -S "$ROOT" -DMEMDB_SANITIZE=thread &&
-    cmake --build build-tsan -j "$JOBS" --target net_test rpc_test \
-      replication_test &&
+    cmake --build build-tsan -j "$JOBS" --target common_test net_test \
+      rpc_test replication_test &&
     (cd build-tsan &&
-      ctest --output-on-failure -R '^(net_test|rpc_test|replication_test)$')
+      ctest --output-on-failure \
+        -R '^(common_test|net_test|rpc_test|replication_test)$')
 }
-run_stage "tsan build + net/rpc suites" tsan_stage
+run_stage "tsan build + common/net/rpc suites" tsan_stage
 
 # --- 4. repo-invariant linter -----------------------------------------------
 run_stage "tools/lint.py" python3 "$ROOT/tools/lint.py"

@@ -1,0 +1,51 @@
+#include "bench_support/envelope.h"
+
+#ifndef MEMDB_BUILD_SHA
+#define MEMDB_BUILD_SHA "unknown"
+#endif
+
+namespace memdb::bench {
+
+std::string QuoteJson(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string BenchEnvelopeJson(
+    const std::string& bench_name,
+    const std::vector<std::pair<std::string, std::string>>& config) {
+  std::string out = "\"envelope\":{";
+  out += "\"schema_version\":" + std::to_string(kBenchSchemaVersion);
+  out += ",\"bench\":" + QuoteJson(bench_name);
+  out += ",\"build_sha\":" + QuoteJson(MEMDB_BUILD_SHA);
+  out += ",\"config\":{";
+  bool first = true;
+  for (const auto& [key, value] : config) {
+    if (!first) out += ",";
+    first = false;
+    out += QuoteJson(key) + ":" + value;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace memdb::bench

@@ -1,0 +1,33 @@
+// Common provenance envelope for every BENCH_*.json the bench/ binaries
+// write: schema version, the build's git sha, the bench name, and an echo
+// of the run's configuration. Downstream tooling (regression trackers,
+// ROADMAP baselines like the group-commit comparison) can thus tell WHICH
+// build and WHAT parameters produced a number before trusting a delta.
+
+#ifndef MEMDB_BENCH_SUPPORT_ENVELOPE_H_
+#define MEMDB_BENCH_SUPPORT_ENVELOPE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace memdb::bench {
+
+// Envelope schema; bump when the envelope's own layout changes (bench
+// payloads version independently via their bench-specific fields).
+inline constexpr int kBenchSchemaVersion = 1;
+
+// Renders `"envelope":{...}` (no surrounding braces/comma) for splicing
+// into a BENCH_*.json object. `config` holds (key, raw-JSON-value) pairs —
+// the value is emitted verbatim, so pass numbers unquoted and strings
+// pre-quoted via QuoteJson.
+std::string BenchEnvelopeJson(
+    const std::string& bench_name,
+    const std::vector<std::pair<std::string, std::string>>& config);
+
+// Escapes + double-quotes a string for use as a JSON value.
+std::string QuoteJson(const std::string& s);
+
+}  // namespace memdb::bench
+
+#endif  // MEMDB_BENCH_SUPPORT_ENVELOPE_H_

@@ -10,6 +10,27 @@ MetricsRegistry::Labels MetricsRegistry::Normalized(Labels labels) {
   return labels;
 }
 
+std::string MetricsRegistry::EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
 std::string MetricsRegistry::SeriesName(const std::string& name,
                                         const Labels& labels) {
   if (labels.empty()) return name;
@@ -18,10 +39,16 @@ std::string MetricsRegistry::SeriesName(const std::string& name,
   for (const auto& [k, v] : labels) {
     if (!first) out += ",";
     first = false;
-    out += k + "=\"" + v + "\"";
+    out += k + "=\"" + EscapeLabelValue(v) + "\"";
   }
   out += "}";
   return out;
+}
+
+void MetricsRegistry::SetHelp(const std::string& name,
+                              const std::string& help) {
+  MutexLock lock(&mu_);
+  help_[name] = help;
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
@@ -131,8 +158,15 @@ std::string MetricsRegistry::ExpositionText() const {
   MutexLock lock(&mu_);
   std::string out;
   std::string last_family;
+  // Prometheus text format: each family's samples are preceded by its
+  // `# HELP` and `# TYPE` lines exactly once.
   auto type_line = [&](const std::string& family, const char* type) {
     if (family != last_family) {
+      auto help = help_.find(family);
+      out += "# HELP " + family + " " +
+             (help != help_.end() ? help->second
+                                  : std::string("memorydb metric ") + family) +
+             "\n";
       out += "# TYPE " + family + " " + type + "\n";
       last_family = family;
     }

@@ -99,8 +99,18 @@ class MetricsRegistry {
   // pointers handed out earlier remain valid.
   void ResetAll();
 
-  // Prometheus text exposition of the full registry.
+  // Optional help text for a metric family, rendered as its `# HELP` line.
+  // Families without registered help get a generic line (Prometheus
+  // requires HELP/TYPE to precede the samples of a family).
+  void SetHelp(const std::string& name, const std::string& help);
+
+  // Prometheus text exposition of the full registry: per family a `# HELP`
+  // and `# TYPE` line followed by its samples, label values escaped per the
+  // text-format rules (backslash, double-quote, newline).
   std::string ExpositionText() const;
+
+  // Escapes a label value for the Prometheus text format.
+  static std::string EscapeLabelValue(const std::string& value);
 
   // Parses one series value back out of exposition text; used by scrapers
   // (cluster monitoring) and tests. `series` is the fully-qualified name,
@@ -124,6 +134,7 @@ class MetricsRegistry {
   std::map<Key, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
   std::map<Key, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
   std::map<Key, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
+  std::map<std::string, std::string> help_ GUARDED_BY(mu_);
 };
 
 }  // namespace memdb

@@ -1,0 +1,227 @@
+#include "common/trace_export.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace memdb {
+
+namespace {
+
+// proc/stage are identifier-like; escape just enough that arbitrary values
+// can't break the line format.
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string JsonUnescape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] != '\\' || i + 1 >= in.size()) {
+      out.push_back(in[i]);
+      continue;
+    }
+    ++i;
+    switch (in[i]) {
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      default:
+        out.push_back(in[i]);
+    }
+  }
+  return out;
+}
+
+// Finds `"key":` in `line` and returns the offset just past the colon, or
+// std::string::npos.
+size_t FindValue(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return std::string::npos;
+  return at + needle.size();
+}
+
+bool ParseUintField(const std::string& line, const char* key, uint64_t* out) {
+  const size_t at = FindValue(line, key);
+  if (at == std::string::npos) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(line.c_str() + at, &end, 10);
+  if (end == line.c_str() + at) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseStringField(const std::string& line, const char* key,
+                      std::string* out) {
+  size_t at = FindValue(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '"') {
+    return false;
+  }
+  ++at;
+  std::string raw;
+  for (size_t i = at; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      raw.push_back(line[i]);
+      raw.push_back(line[i + 1]);
+      ++i;
+      continue;
+    }
+    if (line[i] == '"') {
+      *out = JsonUnescape(raw);
+      return true;
+    }
+    raw.push_back(line[i]);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string ExportSpansJsonl(const TraceLog& log, const std::string& proc) {
+  std::string out;
+  const std::string proc_escaped = JsonEscape(proc);
+  for (const TraceSpan& span : log.Snapshot()) {
+    out += "{\"proc\":\"";
+    out += proc_escaped;
+    out += "\",\"trace\":";
+    out += std::to_string(span.trace_id);
+    out += ",\"stage\":\"";
+    out += JsonEscape(span.stage);
+    out += "\",\"wall_us\":";
+    out += std::to_string(log.WallFromMono(span.at_us));
+    out += ",\"mono_us\":";
+    out += std::to_string(span.at_us);
+    out += ",\"detail\":";
+    out += std::to_string(span.detail);
+    out += "}\n";
+  }
+  return out;
+}
+
+size_t ParseSpansJsonl(const std::string& text,
+                       std::vector<ExportedSpan>* out) {
+  size_t parsed = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    ExportedSpan span;
+    if (!ParseStringField(line, "proc", &span.proc)) continue;
+    if (!ParseUintField(line, "trace", &span.trace_id)) continue;
+    if (!ParseStringField(line, "stage", &span.stage)) continue;
+    if (!ParseUintField(line, "wall_us", &span.wall_us)) continue;
+    ParseUintField(line, "mono_us", &span.mono_us);  // optional
+    ParseUintField(line, "detail", &span.detail);    // optional
+    out->push_back(std::move(span));
+    ++parsed;
+  }
+  return parsed;
+}
+
+std::map<uint64_t, std::vector<ExportedSpan>> GroupSpansByTrace(
+    std::vector<ExportedSpan> spans) {
+  std::map<uint64_t, std::vector<ExportedSpan>> by_trace;
+  for (ExportedSpan& span : spans) {
+    if (span.trace_id == 0) continue;
+    by_trace[span.trace_id].push_back(std::move(span));
+  }
+  for (auto& [id, trace_spans] : by_trace) {
+    std::stable_sort(trace_spans.begin(), trace_spans.end(),
+                     [](const ExportedSpan& a, const ExportedSpan& b) {
+                       return a.wall_us < b.wall_us;
+                     });
+  }
+  return by_trace;
+}
+
+const std::vector<std::string>& WritePathChain() {
+  static const std::vector<std::string> kChain = {
+      "cmd.receive",        "gate.submit",    "gate.append.issue",
+      "rpc.send",           "rpc.dispatch",   "log.append.receive",
+      "log.durable.local",  "log.quorum.commit",
+      "rpc.recv",           "append.ack",     "reply.release",
+  };
+  return kChain;
+}
+
+WritePathReport BuildWritePathReport(
+    const std::map<uint64_t, std::vector<ExportedSpan>>& by_trace,
+    const std::vector<std::string>& chain) {
+  WritePathReport report;
+  if (chain.empty()) return report;
+
+  // delta histograms keyed by chain position of the destination stage.
+  std::map<size_t, StageDelta> deltas;
+
+  for (const auto& [id, spans] : by_trace) {
+    // First occurrence of each chain stage, as (chain position, wall stamp).
+    std::vector<std::pair<size_t, uint64_t>> hits;
+    for (size_t ci = 0; ci < chain.size(); ++ci) {
+      for (const ExportedSpan& span : spans) {
+        if (span.stage == chain[ci]) {
+          hits.emplace_back(ci, span.wall_us);
+          break;
+        }
+      }
+    }
+    if (hits.size() < 2) continue;
+    ++report.traces;
+    // Deltas between consecutive present stages telescope to end-to-end.
+    for (size_t i = 1; i < hits.size(); ++i) {
+      const auto [from_ci, from_us] = hits[i - 1];
+      const auto [to_ci, to_us] = hits[i];
+      StageDelta& d = deltas[to_ci];
+      if (d.latency_us.count() == 0) {
+        d.from = chain[from_ci];
+        d.to = chain[to_ci];
+      }
+      d.latency_us.Record(to_us >= from_us ? to_us - from_us : 0);
+    }
+    const bool complete =
+        hits.front().first == 0 && hits.back().first == chain.size() - 1;
+    if (complete) {
+      ++report.complete_chains;
+      report.end_to_end_us.Record(hits.back().second - hits.front().second);
+    }
+  }
+
+  for (auto& [ci, delta] : deltas) {
+    report.deltas.push_back(std::move(delta));
+  }
+  return report;
+}
+
+}  // namespace memdb

@@ -1,0 +1,83 @@
+// Cross-process span exchange for the write-path tracing plane.
+//
+// Every traced binary exports its TraceLog as JSONL — one span per line,
+// monotonic stamp rebased onto the epoch wall clock via the log's anchor
+// pair — either to a file at shutdown (--trace-file) or over a scrape
+// endpoint (RESP `TRACE DUMP`, rpc `svc.TraceDump`). tools/memorydb-trace
+// parses the per-process files back, groups spans by trace id (the
+// cross-process analogue of TraceLog::Reconstruct: merge, then stable-sort
+// by wall stamp), and folds each write's causal chain into per-stage
+// latency histograms plus a critical-path report.
+//
+// Line format (stable; bench + tools + e2e tests parse it):
+//   {"proc":"server","trace":7696581394432,"stage":"cmd.receive",
+//    "wall_us":1754556000123456,"mono_us":8123456,"detail":0}
+
+#ifndef MEMDB_COMMON_TRACE_EXPORT_H_
+#define MEMDB_COMMON_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/trace.h"
+
+namespace memdb {
+
+// One span as it crosses a process boundary: the recording process's label
+// plus the span itself, with `wall_us` carrying the epoch-anchored stamp.
+struct ExportedSpan {
+  std::string proc;
+  uint64_t trace_id = 0;
+  std::string stage;
+  uint64_t wall_us = 0;  // epoch microseconds (anchor-rebased)
+  uint64_t mono_us = 0;  // original monotonic stamp, kept for debugging
+  uint64_t detail = 0;
+};
+
+// Serializes the log's current Snapshot() as JSONL, wall-anchoring each
+// span via log.WallFromMono(). Safe while the process is still recording.
+std::string ExportSpansJsonl(const TraceLog& log, const std::string& proc);
+
+// Parses ExportSpansJsonl output, appending to *out. Malformed lines are
+// skipped. Returns the number of spans parsed.
+size_t ParseSpansJsonl(const std::string& text, std::vector<ExportedSpan>* out);
+
+// Groups spans by trace id; within each trace, spans are stable-sorted by
+// wall stamp (ties keep input order — the Reconstruct semantics).
+std::map<uint64_t, std::vector<ExportedSpan>> GroupSpansByTrace(
+    std::vector<ExportedSpan> spans);
+
+// The canonical durable-write chain, in causal order. Per-stage deltas are
+// consecutive differences along this chain, so for a trace carrying every
+// stage the deltas telescope: their sum equals the end-to-end latency.
+const std::vector<std::string>& WritePathChain();
+
+// Latency attribution along a stage chain.
+struct StageDelta {
+  std::string from;
+  std::string to;
+  Histogram latency_us;
+};
+
+struct WritePathReport {
+  size_t traces = 0;           // traces with >= 2 chain stages
+  size_t complete_chains = 0;  // traces carrying both chain endpoints
+  Histogram end_to_end_us;     // last chain stage - first chain stage
+  std::vector<StageDelta> deltas;  // in chain order; absent pairs omitted
+};
+
+// Folds grouped spans into per-stage histograms along `chain` (pass
+// WritePathChain() for the durable write path). For each trace the first
+// occurrence of each chain stage is kept; deltas are recorded between
+// consecutive *present* stages, so a trace missing a middle stage still
+// contributes a (bridging) delta and the telescoping-sum property holds.
+WritePathReport BuildWritePathReport(
+    const std::map<uint64_t, std::vector<ExportedSpan>>& by_trace,
+    const std::vector<std::string>& chain);
+
+}  // namespace memdb
+
+#endif  // MEMDB_COMMON_TRACE_EXPORT_H_

@@ -91,6 +91,17 @@ Value CmdInfo(Engine& e, const Argv& argv, ExecContext& ctx) {
     out += "engine_version:" + srv.engine_version + "\r\n";
     out += "engine:memorydb\r\n";
     out += "node_id:" + std::to_string(srv.node_id) + "\r\n";
+    out += "process_id:" + std::to_string(srv.pid) + "\r\n";
+    out += "run_id:" + (srv.run_id.empty() ? std::string("0") : srv.run_id) +
+           "\r\n";
+    const uint64_t uptime_s =
+        (srv.start_unix_ms != 0 && ctx.now_ms > srv.start_unix_ms)
+            ? (ctx.now_ms - srv.start_unix_ms) / 1000
+            : 0;
+    out += "uptime_in_seconds:" + std::to_string(uptime_s) + "\r\n";
+    out += "build_sha:" +
+           (srv.build_sha.empty() ? std::string("unknown") : srv.build_sha) +
+           "\r\n";
   }
   if (want("CLIENTS")) {
     // Backed by the net layer's gauges when a RespServer shares this

@@ -34,6 +34,12 @@ struct ServerInfo {
   std::string role = "master";  // "master" | "replica" | "loading"
   uint64_t node_id = 0;
   uint64_t applied_index = 0;   // last applied transaction-log entry
+  // Process identity (INFO # Server; fleet scrapers label rows with it).
+  // A bare engine / simulated node reports the zero defaults.
+  uint64_t pid = 0;
+  std::string run_id;           // random hex id, fresh per process start
+  uint64_t start_unix_ms = 0;   // wall clock at process start; 0 = unknown
+  std::string build_sha;        // git sha the binary was built from
 };
 
 // Who is running the command; controls lazy-expiry behaviour (§2.1: replicas

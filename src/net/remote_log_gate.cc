@@ -1,11 +1,21 @@
 #include "net/remote_log_gate.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/coding.h"
 #include "common/crc.h"
 
 namespace memdb::net {
+
+namespace {
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 RemoteLogGate::RemoteLogGate(Options options, MetricsRegistry* registry)
     : options_(std::move(options)),
@@ -27,6 +37,7 @@ RemoteLogGate::RemoteLogGate(Options options, MetricsRegistry* registry)
   copt.backoff_cap_ms = options_.backoff_cap_ms;
   copt.max_attempts = options_.max_attempts;
   copt.max_redirects = options_.max_redirects;
+  copt.trace = options_.trace;
   client_ = std::make_unique<txlog::RemoteClient>(&loop_, options_.endpoints,
                                                   copt, registry);
 }
@@ -113,6 +124,11 @@ void RemoteLogGate::Pump() {
   }
   const uint64_t seq = p.seq;
   const bool internal = p.internal;
+  if (options_.trace != nullptr && record.trace_id != 0) {
+    // The span between gate.submit and gate.append.issue is the gate's
+    // serialization queue — the head-of-line wait group commit would batch.
+    options_.trace->Record(record.trace_id, "gate.append.issue", NowUs(), seq);
+  }
   client_->Append(txlog::wire::kUnconditional, std::move(record),
                   [this, seq, internal](const Status& status, uint64_t index) {
                     OnAppendDone(seq, internal, status, index);

@@ -31,6 +31,7 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/sync.h"
+#include "common/trace.h"
 #include "rpc/loop.h"
 #include "txlog/remote_client.h"
 
@@ -55,6 +56,10 @@ class RemoteLogGate {
     // Poll txlog.Tail every N ms for commit index + observable consumer
     // count (repl_log_consumers / txlog_tail_commit_index gauges); 0 = off.
     uint64_t tail_poll_ms = 0;
+    // Optional write-path tracing: the gate records gate.append.issue when
+    // an append actually goes on the wire, and the RemoteClient's channels
+    // record rpc.send/rpc.recv. Owned by the embedding RespServer.
+    TraceLog* trace = nullptr;
   };
 
   struct Completion {

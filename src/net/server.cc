@@ -5,10 +5,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <random>
 #include <unordered_set>
 
 #include "common/coding.h"
 #include "common/crc.h"
+#include "common/trace_export.h"
 #include "replication/snapshot_store.h"
 #include "storage/fs_object_store.h"
 
@@ -33,11 +36,50 @@ std::string EncodeEffectBatch(const std::string& engine_version,
   }
   return out;
 }
+
+// Random hex run id (INFO # Server), fresh per process start.
+std::string MakeRunId() {
+  std::random_device rd;
+  static const char kHex[] = "0123456789abcdef";
+  std::string id;
+  id.reserve(32);
+  for (int i = 0; i < 8; ++i) {
+    uint32_t w = rd();
+    for (int j = 0; j < 4; ++j) {
+      id.push_back(kHex[w & 0xF]);
+      w >>= 4;
+    }
+  }
+  return id;
+}
+
+// SLOWLOG keeps a bounded copy of the command: at most 8 args, each capped
+// at 64 bytes (the Redis convention, minus the "... (N more)" marker).
+std::vector<std::string> SlowlogArgv(const std::vector<std::string>& argv) {
+  std::vector<std::string> out;
+  const size_t n = std::min<size_t>(argv.size(), 8);
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(argv[i].size() <= 64 ? argv[i]
+                                       : argv[i].substr(0, 61) + "...");
+  }
+  return out;
+}
 }  // namespace
 
+#ifndef MEMDB_BUILD_SHA
+#define MEMDB_BUILD_SHA "unknown"
+#endif
+
 RespServer::RespServer(engine::Engine* engine, ServerConfig config)
-    : engine_(engine), config_(std::move(config)) {
+    : engine_(engine),
+      config_(std::move(config)),
+      sampler_(config_.trace_sample_rate) {
   engine_->set_metrics(&metrics_);
+  server_info_.pid = static_cast<uint64_t>(::getpid());
+  server_info_.run_id = MakeRunId();
+  server_info_.start_unix_ms = NowMs();
+  server_info_.build_sha = MEMDB_BUILD_SHA;
   connected_clients_ = metrics_.GetGauge("net_connected_clients");
   blocked_clients_ = metrics_.GetGauge("net_blocked_clients");
   recent_max_input_ =
@@ -113,6 +155,7 @@ Status RespServer::Start() {
     gopt.checksum_every = config_.txlog_checksum_every;
     gopt.checksum_seed = repl_running_checksum_;
     gopt.tail_poll_ms = config_.txlog_tail_poll_ms;
+    gopt.trace = &trace_;
     // Instruments resolve into metrics_ here, before the loop thread exists.
     gate_ = std::make_unique<RemoteLogGate>(std::move(gopt), &metrics_);
     MEMDB_RETURN_IF_ERROR(gate_->Start([this] { loop_.Wakeup(); }));
@@ -165,6 +208,19 @@ void RespServer::Stop() {
   listener_.Close();
   pool_.reset();  // joins io threads
   connected_clients_->Set(0);
+  if (!config_.trace_file.empty()) {
+    // The loop is gone, so the span ring is quiescent; export every
+    // surviving span for offline merging (tools/memorydb-trace).
+    const std::string jsonl = ExportSpansJsonl(trace_, TraceProcLabel());
+    std::FILE* f = std::fopen(config_.trace_file.c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "memorydb-server: cannot write trace file %s\n",
+                   config_.trace_file.c_str());
+    }
+  }
 }
 
 Status RespServer::RestoreAtStartup(replication::RestoreResult* result) {
@@ -222,6 +278,9 @@ void RespServer::ApplyFollowerEntries(uint64_t now_ms) {
       repl_running_checksum_ =
           Crc64(repl_running_checksum_, Slice(e.record.payload));
       bytes += e.record.payload.size();
+      // The primary's trace id rides the log record: a replica's apply spans
+      // join the same cross-process chain when trace files are merged.
+      trace_.Record(e.record.trace_id, "replica.apply", NowUs(), e.index);
     } else if (e.record.type == txlog::RecordType::kChecksum) {
       Decoder dec(e.record.payload);
       uint64_t expected = 0;
@@ -313,6 +372,16 @@ void RespServer::ExecutePending(Connection* c, uint64_t now_ms) {
       c->set_state(Connection::State::kClosing);
       break;
     }
+    // Admin-plane: answered from loop state, never parked behind the gate —
+    // a scrape must not wait on quorum while diagnosing a stalled quorum.
+    if (name == "TRACE") {
+      HandleTraceCommand(c, argv);
+      continue;
+    }
+    if (name == "SLOWLOG") {
+      HandleSlowlogCommand(c, argv);
+      continue;
+    }
     if (follower_ != nullptr) {
       if (name == "WAIT") {
         // A log-fed replica has no downstream acks to wait for: answer 0
@@ -381,14 +450,23 @@ void RespServer::ExecutePending(Connection* c, uint64_t now_ms) {
     } else if (!ctx.effects.empty()) {
       // Durable write: append the effect batch to the remote log and park
       // the reply until a majority of AZ replicas persisted it (§3.1).
-      const uint64_t trace_id = next_trace_id_++;
-      trace_.Record(trace_id, "cmd.receive", NowUs());
+      const uint64_t receive_us = NowUs();
+      const uint64_t trace_id =
+          sampler_.Sample()
+              ? MakeTraceId(config_.txlog_writer_id, next_trace_id_++)
+              : 0;
+      trace_.Record(trace_id, "cmd.receive", receive_us, c->id());
       const uint64_t seq = gate_->SubmitAppend(
           EncodeEffectBatch(server_info_.engine_version, ctx.effects),
           trace_id);
-      trace_.Record(trace_id, "append.submit", NowUs());
-      trace_by_seq_[seq] = trace_id;
-      submit_us_by_seq_[seq] = NowUs();
+      const uint64_t submit_us = NowUs();
+      trace_.Record(trace_id, "gate.submit", submit_us, seq);
+      PendingWrite pw;
+      pw.trace_id = trace_id;
+      pw.receive_us = receive_us;
+      pw.submit_us = submit_us;
+      pw.argv = SlowlogArgv(argv);
+      pending_writes_[seq] = std::move(pw);
       for (const std::string& key : ctx.dirty_keys) {
         key_hazards_[key] = seq;
       }
@@ -404,6 +482,15 @@ void RespServer::ExecutePending(Connection* c, uint64_t now_ms) {
       // so no client observes a value that could still be lost.
       const uint64_t hazard = HazardFor(spec, argv);
       if (hazard > done_floor_ || queue_behind) {
+        if (hazard > done_floor_) {
+          // Attribute the read's wait to the hazarding write's trace: the
+          // §3.2 consistency stall is part of that write's latency story.
+          const auto hz = pending_writes_.find(hazard);
+          if (hz != pending_writes_.end()) {
+            trace_.Record(hz->second.trace_id, "hazard.defer", NowUs(),
+                          c->id());
+          }
+        }
         HeldReply h;
         h.seq = queue_behind ? std::max(hazard, held_it->second.back().seq)
                              : hazard;
@@ -432,16 +519,16 @@ void RespServer::ProcessLogCompletions(std::vector<Connection*>* released) {
   const uint64_t now_us = NowUs();
   for (const RemoteLogGate::Completion& comp : done) {
     done_floor_ = comp.seq;  // the gate completes appends in seq order
-    const auto tr = trace_by_seq_.find(comp.seq);
-    if (tr != trace_by_seq_.end()) {
-      trace_.Record(tr->second,
-                    comp.status.ok() ? "append.ack" : "append.fail", now_us);
-      trace_by_seq_.erase(tr);
-    }
-    const auto su = submit_us_by_seq_.find(comp.seq);
-    if (su != submit_us_by_seq_.end()) {
-      if (comp.status.ok()) durable_ack_us_->Record(now_us - su->second);
-      submit_us_by_seq_.erase(su);
+    const auto pw = pending_writes_.find(comp.seq);
+    if (pw != pending_writes_.end()) {
+      trace_.Record(pw->second.trace_id,
+                    comp.status.ok() ? "append.ack" : "append.fail", now_us,
+                    comp.index);
+      if (comp.status.ok()) {
+        durable_ack_us_->Record(now_us - pw->second.submit_us);
+      }
+      // The entry stays until the reply releases: reply.release and the
+      // SLOWLOG duration still need its stamps.
     }
     if (!comp.status.ok()) {
       failed_.insert(comp.seq);
@@ -475,6 +562,26 @@ void RespServer::ProcessLogCompletions(std::vector<Connection*>* released) {
         q.clear();
       } else {
         c->QueueOutput(h.encoded);
+        if (h.kind == HeldReply::Kind::kWrite) {
+          const auto pw = pending_writes_.find(h.seq);
+          if (pw != pending_writes_.end()) {
+            const uint64_t release_us = NowUs();
+            trace_.Record(pw->second.trace_id, "reply.release", release_us,
+                          h.seq);
+            const uint64_t duration_us = release_us - pw->second.receive_us;
+            if (duration_us >= config_.slowlog_slower_than_us) {
+              SlowlogEntry e;
+              e.id = slowlog_next_id_++;
+              e.unix_ts = NowMs() / 1000;
+              e.duration_us = duration_us;
+              e.argv = std::move(pw->second.argv);
+              slowlog_.push_front(std::move(e));
+              if (slowlog_.size() > config_.slowlog_max_len) {
+                slowlog_.pop_back();
+              }
+            }
+          }
+        }
       }
       progressed = true;
     }
@@ -482,6 +589,10 @@ void RespServer::ProcessLogCompletions(std::vector<Connection*>* released) {
     it = q.empty() ? held_.erase(it) : ++it;
   }
   failed_.erase(failed_.begin(), failed_.upper_bound(done_floor_));
+  // Writes at or below the floor have released (or failed) their replies.
+  for (auto it = pending_writes_.begin(); it != pending_writes_.end();) {
+    it = it->first <= done_floor_ ? pending_writes_.erase(it) : ++it;
+  }
   held_atomic_.store(held_count_, std::memory_order_release);
 }
 
@@ -663,6 +774,77 @@ void RespServer::LoopMain() {
 
     Housekeeping(now_ms);
   }
+}
+
+std::string RespServer::TraceProcLabel() const {
+  if (!config_.trace_proc.empty()) return config_.trace_proc;
+  return follower_ != nullptr ? "replica" : "server";
+}
+
+void RespServer::HandleTraceCommand(Connection* c,
+                                    const std::vector<std::string>& argv) {
+  loop_affinity_.AssertHeldThread();
+  const std::string sub =
+      argv.size() > 1 ? engine::Engine::Upper(argv[1]) : std::string();
+  std::string encoded;
+  if (sub == "DUMP" && argv.size() == 2) {
+    // One JSONL line per span, same format as the --trace-file export, so
+    // live scrapes and post-shutdown files merge interchangeably.
+    resp::Value::Bulk(ExportSpansJsonl(trace_, TraceProcLabel()))
+        .EncodeTo(&encoded);
+  } else if (sub == "RESET" && argv.size() == 2) {
+    trace_.Clear();
+    encoded = "+OK\r\n";
+  } else {
+    encoded = "-ERR unknown TRACE subcommand; try TRACE DUMP | TRACE RESET\r\n";
+  }
+  c->QueueOutput(encoded);
+}
+
+void RespServer::HandleSlowlogCommand(Connection* c,
+                                      const std::vector<std::string>& argv) {
+  loop_affinity_.AssertHeldThread();
+  const std::string sub =
+      argv.size() > 1 ? engine::Engine::Upper(argv[1]) : std::string();
+  std::string encoded;
+  if (sub == "GET" && argv.size() <= 3) {
+    size_t limit = 10;  // Redis default
+    if (argv.size() == 3) {
+      char* end = nullptr;
+      const long long v = std::strtoll(argv[2].c_str(), &end, 10);
+      if (end == argv[2].c_str() || *end != '\0') {
+        c->QueueOutput("-ERR value is not an integer or out of range\r\n");
+        return;
+      }
+      limit = v < 0 ? slowlog_.size() : static_cast<size_t>(v);
+    }
+    std::vector<resp::Value> entries;
+    for (const SlowlogEntry& e : slowlog_) {
+      if (entries.size() >= limit) break;
+      std::vector<resp::Value> fields;
+      fields.push_back(resp::Value::Integer(static_cast<int64_t>(e.id)));
+      fields.push_back(resp::Value::Integer(static_cast<int64_t>(e.unix_ts)));
+      fields.push_back(
+          resp::Value::Integer(static_cast<int64_t>(e.duration_us)));
+      std::vector<resp::Value> args;
+      args.reserve(e.argv.size());
+      for (const std::string& a : e.argv) args.push_back(resp::Value::Bulk(a));
+      fields.push_back(resp::Value::Array(std::move(args)));
+      entries.push_back(resp::Value::Array(std::move(fields)));
+    }
+    resp::Value::Array(std::move(entries)).EncodeTo(&encoded);
+  } else if (sub == "LEN" && argv.size() == 2) {
+    resp::Value::Integer(static_cast<int64_t>(slowlog_.size()))
+        .EncodeTo(&encoded);
+  } else if (sub == "RESET" && argv.size() == 2) {
+    slowlog_.clear();
+    encoded = "+OK\r\n";
+  } else {
+    encoded =
+        "-ERR unknown SLOWLOG subcommand; try SLOWLOG GET [count] | "
+        "SLOWLOG LEN | SLOWLOG RESET\r\n";
+  }
+  c->QueueOutput(encoded);
 }
 
 }  // namespace memdb::net

@@ -109,6 +109,22 @@ struct ServerConfig {
   bool restore = false;
   std::string store_dir;
   std::string shard_id = "shard-0";
+
+  // --- write-path tracing + slowlog ---------------------------------------
+  // 1-in-N durable writes get a trace id (0 disables tracing, 1 = every
+  // write). Unsampled writes carry trace id 0, which every downstream
+  // Record() ignores — sampling costs one counter increment.
+  uint64_t trace_sample_rate = 1;
+  // JSONL span export at Stop() (common/trace_export.h line format);
+  // empty = no file export (TRACE DUMP still serves live scrapes).
+  std::string trace_file;
+  // proc label stamped on exported spans; empty = "server" / "replica"
+  // by role.
+  std::string trace_proc;
+  // Durable writes whose cmd.receive -> reply.release latency is at least
+  // this land in SLOWLOG (backed by the same spans). 0 = log every write.
+  uint64_t slowlog_slower_than_us = 10000;
+  size_t slowlog_max_len = 128;
 };
 
 class RespServer {
@@ -135,7 +151,8 @@ class RespServer {
   const ServerConfig& config() const { return config_; }
   RemoteLogGate* gate() { return gate_.get(); }
   replication::LogFollower* follower() { return follower_.get(); }
-  // Only safe once the server is stopped (spans are loop-thread state).
+  // Thread-safe: TraceLog::Snapshot tolerates concurrent recording from
+  // the loop and gate threads (lock-free slot versioning).
   const TraceLog& trace_log() const { return trace_; }
 
  private:
@@ -149,6 +166,25 @@ class RespServer {
     uint64_t seq = 0;
     Kind kind = Kind::kRead;
     std::string encoded;
+  };
+
+  // One durable write in flight between gate.submit and reply release,
+  // keyed by gate seq. Carries the spans' trace id, the stamps that back
+  // the durable-ack histogram and SLOWLOG, and the (truncated) argv for
+  // SLOWLOG entries.
+  struct PendingWrite {
+    uint64_t trace_id = 0;
+    uint64_t receive_us = 0;  // cmd.receive
+    uint64_t submit_us = 0;   // gate.submit
+    std::vector<std::string> argv;
+  };
+
+  // SLOWLOG entry (Redis reply shape: id, unix ts, duration, argv).
+  struct SlowlogEntry {
+    uint64_t id = 0;
+    uint64_t unix_ts = 0;      // seconds
+    uint64_t duration_us = 0;  // cmd.receive -> reply.release
+    std::vector<std::string> argv;
   };
 
   void LoopMain();
@@ -174,6 +210,12 @@ class RespServer {
                      const std::vector<std::string>& argv) const;
   void Housekeeping(uint64_t now_ms);
   void CloseConnection(Connection* c);
+  // Admin-plane commands served directly from loop state (never parked
+  // behind the durability gate).
+  void HandleTraceCommand(Connection* c, const std::vector<std::string>& argv);
+  void HandleSlowlogCommand(Connection* c,
+                            const std::vector<std::string>& argv);
+  std::string TraceProcLabel() const;
   static uint64_t NowMs();
   static uint64_t NowUs();
 
@@ -202,11 +244,18 @@ class RespServer {
   std::unordered_map<Connection*, std::deque<HeldReply>> held_;
   std::unordered_map<Connection*, uint64_t> conn_last_write_seq_;
   std::unordered_map<std::string, uint64_t> key_hazards_;
-  std::unordered_map<uint64_t, uint64_t> trace_by_seq_;
+  // Live from gate.submit until the reply releases (entries at or below
+  // done_floor_ are pruned after each release pass).
+  std::unordered_map<uint64_t, PendingWrite> pending_writes_;
   uint64_t done_floor_ = 0;      // completions arrive in seq order
   std::set<uint64_t> failed_;    // seqs whose append terminally failed
   size_t held_count_ = 0;
   uint64_t next_trace_id_ = 1;
+  TraceSampler sampler_;
+
+  // --- slowlog (loop thread) -----------------------------------------------
+  std::deque<SlowlogEntry> slowlog_;  // newest at the front
+  uint64_t slowlog_next_id_ = 0;
 
   // --- replication state (loop thread, except the restore seed written
   // once on the startup thread before the loop exists) --------------------
@@ -242,9 +291,6 @@ class RespServer {
   size_t input_hwm_prev_ = 0;
   uint64_t input_hwm_window_start_ms_ = 0;
   uint64_t last_expire_ms_ = 0;
-
-  // Submit timestamp per seq, for the durable-ack latency histogram.
-  std::unordered_map<uint64_t, uint64_t> submit_us_by_seq_;
 
   // Per-command latency histogram cache (same trick as the engine's
   // calls_cache_): avoids a registry map lookup per command on the hot path.

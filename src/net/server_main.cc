@@ -9,6 +9,9 @@
 //                   [--checksum-every N]
 //                   [--replica-of-log HOST:PORT,...]
 //                   [--restore --store-dir PATH [--shard-id ID]]
+//                   [--trace-sample-rate N] [--trace-file PATH]
+//                   [--trace-proc LABEL] [--slowlog-slower-than-us N]
+//                   [--slowlog-max-len N]
 //
 // With --txlog-endpoints the server runs as a durable primary: every write's
 // effect batch is appended to the out-of-process transaction log group
@@ -76,7 +79,10 @@ int Usage(const char* argv0) {
                "          [--txlog-timeout-ms N] [--shutdown-drain-ms N]\n"
                "          [--checksum-every N] [--replica-of-log "
                "HOST:PORT,...]\n"
-               "          [--restore --store-dir PATH [--shard-id ID]]\n",
+               "          [--restore --store-dir PATH [--shard-id ID]]\n"
+               "          [--trace-sample-rate N] [--trace-file PATH]\n"
+               "          [--trace-proc LABEL] [--slowlog-slower-than-us N]\n"
+               "          [--slowlog-max-len N]\n",
                argv0);
   return 2;
 }
@@ -130,6 +136,19 @@ int main(int argc, char** argv) {
       config.store_dir = argv[++i];
     } else if (arg == "--shard-id" && has_value) {
       config.shard_id = argv[++i];
+    } else if (arg == "--trace-sample-rate" && has_value &&
+               ParseUint(argv[++i], &v)) {
+      config.trace_sample_rate = v;
+    } else if (arg == "--trace-file" && has_value) {
+      config.trace_file = argv[++i];
+    } else if (arg == "--trace-proc" && has_value) {
+      config.trace_proc = argv[++i];
+    } else if (arg == "--slowlog-slower-than-us" && has_value &&
+               ParseUint(argv[++i], &v)) {
+      config.slowlog_slower_than_us = v;
+    } else if (arg == "--slowlog-max-len" && has_value &&
+               ParseUint(argv[++i], &v) && v > 0) {
+      config.slowlog_max_len = v;
     } else {
       return Usage(argv[0]);
     }

@@ -3,8 +3,10 @@
 #include <chrono>
 #include <utility>
 
+#include "common/trace_export.h"
 #include "engine/engine.h"
 #include "replication/recovery.h"
+#include "txlog/rpc_wire.h"
 
 namespace memdb::replication {
 
@@ -15,6 +17,17 @@ uint64_t WallMs() {
           std::chrono::system_clock::now().time_since_epoch())
           .count());
 }
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Trace-id origin for snapshot cycles — outside the writer-id space used by
+// primaries, so merged trace files cannot collide.
+constexpr uint64_t kSnapTraceOrigin = 0xA5;
 }  // namespace
 
 OffboxRunner::OffboxRunner(Options options, MetricsRegistry* registry)
@@ -22,18 +35,29 @@ OffboxRunner::OffboxRunner(Options options, MetricsRegistry* registry)
       store_(options_.store_dir,
              storage::FsObjectStore::Options{options_.fsync}),
       snapshots_(&store_, options_.shard_id) {
-  if (registry != nullptr) {
-    cycles_ = registry->GetCounter("offbox_cycles_total");
-    failures_ = registry->GetCounter("offbox_cycle_failures_total");
-    verification_failures_ =
-        registry->GetCounter("offbox_verification_failures_total");
-    last_position_ = registry->GetGauge("offbox_last_snapshot_position");
-  }
+  registry_ = registry != nullptr ? registry : &own_metrics_;
+  cycles_ = registry_->GetCounter("offbox_cycles_total");
+  failures_ = registry_->GetCounter("offbox_cycle_failures_total");
+  verification_failures_ =
+      registry_->GetCounter("offbox_verification_failures_total");
+  last_position_ = registry_->GetGauge("offbox_last_snapshot_position");
   txlog::RemoteClient::Options copt;
   copt.writer_id = 0;  // reader + trim hints only
   copt.rpc_timeout_ms = options_.rpc_timeout_ms;
   client_ = std::make_unique<txlog::RemoteClient>(&loop_, options_.endpoints,
-                                                  copt, registry);
+                                                  copt, registry_);
+  if (options_.serve_stats) {
+    stats_server_ = std::make_unique<rpc::Server>(&loop_, options_.stats_bind,
+                                                  options_.stats_port);
+    stats_server_->RegisterHandler(
+        txlog::rpcwire::kMetrics, [this](rpc::Server::Call&& call) {
+          call.respond(rpc::Code::kOk, registry_->ExpositionText());
+        });
+    stats_server_->RegisterHandler(
+        txlog::rpcwire::kTraceDump, [this](rpc::Server::Call&& call) {
+          call.respond(rpc::Code::kOk, ExportSpansJsonl(trace_, "snapshotd"));
+        });
+  }
 }
 
 OffboxRunner::~OffboxRunner() { Stop(); }
@@ -44,6 +68,13 @@ Status OffboxRunner::Start() {
   }
   MEMDB_RETURN_IF_ERROR(store_.Open());
   MEMDB_RETURN_IF_ERROR(loop_.Start());
+  if (stats_server_ != nullptr) {
+    const Status s = stats_server_->Start();
+    if (!s.ok()) {
+      loop_.Stop();
+      return s;
+    }
+  }
   started_ = true;
   return Status::OK();
 }
@@ -51,18 +82,28 @@ Status OffboxRunner::Start() {
 void OffboxRunner::Stop() {
   if (!started_) return;
   started_ = false;
+  if (stats_server_ != nullptr) stats_server_->Stop();
   client_->Shutdown();
   loop_.Stop();
+}
+
+uint16_t OffboxRunner::stats_port() const {
+  return stats_server_ != nullptr ? stats_server_->port() : 0;
 }
 
 Status OffboxRunner::RunCycle(CycleResult* out) {
   *out = CycleResult();
   if (cycles_ != nullptr) cycles_->Increment();
+  // One trace per cycle; the spans bound every §4.2.2 stage so a merged
+  // trace shows where snapshot production spends its time.
+  const uint64_t trace_id = MakeTraceId(kSnapTraceOrigin, ++cycle_seq_);
+  trace_.Record(trace_id, "snap.cycle.begin", NowUs());
   Status s = [&]() -> Status {
     // 1. Pin the cycle target: everything committed as of now.
     txlog::wire::ClientTailResponse tail;
     MEMDB_RETURN_IF_ERROR(client_->TailSync(&tail));
     const uint64_t target = tail.commit_index;
+    trace_.Record(trace_id, "snap.cycle.tail", NowUs(), target);
 
     // 2. Restore the prior snapshot into a private engine.
     engine::Engine engine;
@@ -73,6 +114,8 @@ Status OffboxRunner::RunCycle(CycleResult* out) {
     }
     MEMDB_RETURN_IF_ERROR(restore);
     out->restored_from_snapshot = rr.snapshot_position > 0;
+    trace_.Record(trace_id, "snap.cycle.restore", NowUs(),
+                  rr.snapshot_position);
 
     if (target <= rr.snapshot_position) {
       // Nothing committed past the snapshot we already have.
@@ -88,6 +131,8 @@ Status OffboxRunner::RunCycle(CycleResult* out) {
     }
     MEMDB_RETURN_IF_ERROR(replay);
     out->entries_replayed = rr.entries_replayed;
+    trace_.Record(trace_id, "snap.cycle.replay", NowUs(),
+                  rr.entries_replayed);
     if (rr.data_records_replayed == 0) {
       // The tail moved but carried no data — election noop barriers and
       // checksum records don't change the keyspace, so re-uploading the
@@ -103,6 +148,7 @@ Status OffboxRunner::RunCycle(CycleResult* out) {
     meta.log_running_checksum = rr.running_checksum;
     meta.created_at_ms = WallMs();
     const std::string blob = SerializeSnapshot(engine.keyspace(), meta);
+    trace_.Record(trace_id, "snap.cycle.dump", NowUs(), blob.size());
 
     // 5. Rehearse the restore before anything depends on this blob.
     engine::Keyspace scratch;
@@ -116,9 +162,11 @@ Status OffboxRunner::RunCycle(CycleResult* out) {
       return Status::Corruption("snapshot failed restore rehearsal: " +
                                 rehearse.ToString());
     }
+    trace_.Record(trace_id, "snap.cycle.rehearse", NowUs());
 
     // 6. Upload.
     MEMDB_RETURN_IF_ERROR(snapshots_.PutSnapshot(blob, meta));
+    trace_.Record(trace_id, "snap.cycle.upload", NowUs(), blob.size());
     out->position = meta.log_position;
     out->running_checksum = meta.log_running_checksum;
     out->snapshot_bytes = blob.size();
@@ -138,6 +186,8 @@ Status OffboxRunner::RunCycle(CycleResult* out) {
     }
     return Status::OK();
   }();
+  trace_.Record(trace_id, s.ok() ? "snap.cycle.end" : "snap.cycle.fail",
+                NowUs());
   if (!s.ok() && failures_ != nullptr) failures_->Increment();
   return s;
 }

@@ -29,8 +29,10 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "replication/snapshot_store.h"
 #include "rpc/loop.h"
+#include "rpc/server.h"
 #include "storage/fs_object_store.h"
 #include "txlog/remote_client.h"
 
@@ -48,6 +50,12 @@ class OffboxRunner {
     bool issue_trim = true;
     bool fsync = true;  // store durability; tests turn it off
     uint64_t rpc_timeout_ms = 300;
+    // Serve svc.Metrics + svc.TraceDump on this rpc port so memorydb-stat
+    // can scrape the snapshotter like any other fleet member (0 = kernel
+    // picks; port() reports it). Off unless serve_stats is set.
+    bool serve_stats = false;
+    uint16_t stats_port = 0;
+    std::string stats_bind = "127.0.0.1";
   };
 
   struct CycleResult {
@@ -71,6 +79,12 @@ class OffboxRunner {
   // One full snapshot cycle; blocking. Safe to call repeatedly.
   Status RunCycle(CycleResult* out);
 
+  // Cycle-stage spans (snap.cycle.*), one trace id per cycle. Thread-safe
+  // snapshots; recording happens on the RunCycle caller thread.
+  const TraceLog& trace_log() const { return trace_; }
+  // Stats listener port; meaningful after Start() when serve_stats is set.
+  uint16_t stats_port() const;
+
  private:
   Options options_;
   rpc::LoopThread loop_;
@@ -78,6 +92,14 @@ class OffboxRunner {
   storage::FsObjectStore store_;
   SnapshotStore snapshots_;
   bool started_ = false;
+
+  // Shared registry when the caller passed one, else the runner's own —
+  // either way the svc.Metrics scrape has something real to serialize.
+  MetricsRegistry own_metrics_;
+  MetricsRegistry* registry_ = nullptr;
+  TraceLog trace_;
+  uint64_t cycle_seq_ = 0;  // RunCycle caller thread only
+  std::unique_ptr<rpc::Server> stats_server_;
 
   Counter* cycles_ = nullptr;
   Counter* failures_ = nullptr;

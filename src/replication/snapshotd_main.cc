@@ -9,6 +9,11 @@
 //   memorydb-snapshotd --txlog HOST:PORT,HOST:PORT,... --store-dir PATH
 //                      [--shard-id ID] [--interval-ms N] [--once]
 //                      [--trim-slack N] [--no-trim] [--no-fsync]
+//                      [--trace-file PATH] [--stats-port N]
+//
+// --stats-port serves svc.Metrics + svc.TraceDump over rpc (memorydb-stat
+// scrapes it); --trace-file writes the cycle spans as JSONL at shutdown
+// for offline merging with tools/memorydb-trace.
 //
 // Runs until SIGINT/SIGTERM (or one cycle with --once; exit status reflects
 // that cycle's outcome).
@@ -20,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/trace_export.h"
 #include "replication/offbox_runner.h"
 
 namespace {
@@ -55,7 +61,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --txlog HOST:PORT,HOST:PORT,... --store-dir PATH\n"
                "          [--shard-id ID] [--interval-ms N] [--once]\n"
-               "          [--trim-slack N] [--no-trim] [--no-fsync]\n",
+               "          [--trim-slack N] [--no-trim] [--no-fsync]\n"
+               "          [--trace-file PATH] [--stats-port N]\n",
                argv0);
   return 2;
 }
@@ -66,6 +73,7 @@ int main(int argc, char** argv) {
   memdb::replication::OffboxRunner::Options options;
   uint64_t interval_ms = 10000;
   bool once = false;
+  std::string trace_file;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -88,6 +96,12 @@ int main(int argc, char** argv) {
       options.issue_trim = false;
     } else if (arg == "--no-fsync") {
       options.fsync = false;
+    } else if (arg == "--trace-file" && has_value) {
+      trace_file = argv[++i];
+    } else if (arg == "--stats-port" && has_value && ParseUint(argv[++i], &v) &&
+               v <= 65535) {
+      options.serve_stats = true;
+      options.stats_port = static_cast<uint16_t>(v);
     } else {
       return Usage(argv[0]);
     }
@@ -105,6 +119,10 @@ int main(int argc, char** argv) {
   std::printf("memorydb-snapshotd shard %s: store=%s, %zu log endpoints%s\n",
               options.shard_id.c_str(), options.store_dir.c_str(),
               options.endpoints.size(), once ? ", single cycle" : "");
+  if (options.serve_stats) {
+    std::printf("memorydb-snapshotd: stats on %s:%u\n",
+                options.stats_bind.c_str(), runner.stats_port());
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, OnSignal);
@@ -139,5 +157,17 @@ int main(int argc, char** argv) {
 
   std::printf("memorydb-snapshotd: shutting down\n");
   runner.Stop();
+  if (!trace_file.empty()) {
+    const std::string jsonl =
+        memdb::ExportSpansJsonl(runner.trace_log(), "snapshotd");
+    std::FILE* f = std::fopen(trace_file.c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "memorydb-snapshotd: cannot write trace file %s\n",
+                   trace_file.c_str());
+    }
+  }
   return once ? rc : 0;
 }

@@ -108,7 +108,11 @@ void Channel::StartCall(const std::string& method, std::string&& payload,
   Pending p;
   p.cb = std::move(cb);
   p.sent_at_ms = NowUs();
+  p.trace_id = trace_id;
   p.method = method;
+  if (trace_ != nullptr && trace_id != 0) {
+    trace_->Record(trace_id, "rpc.send", p.sent_at_ms, id);
+  }
   if (timeout_ms > 0) {
     p.timer_id = loop_->After(timeout_ms, [this, id] {
       Complete(id, Status::TimedOut("rpc deadline exceeded"), std::string());
@@ -282,6 +286,9 @@ void Channel::Complete(uint64_t request_id, const Status& status,
         ms->errors->Increment();
       }
     }
+  }
+  if (trace_ != nullptr && p.trace_id != 0 && status.ok()) {
+    trace_->Record(p.trace_id, "rpc.recv", NowUs(), request_id);
   }
   p.cb(status, std::move(payload));
 }

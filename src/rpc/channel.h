@@ -22,6 +22,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "rpc/frame.h"
 #include "rpc/loop.h"
 
@@ -75,6 +76,12 @@ class Channel {
   const std::string& host() const { return host_; }
   uint16_t port() const { return port_; }
 
+  // Write-path tracing: traced calls (frame trace id != 0) record
+  // `rpc.send` when the request frame is queued and `rpc.recv` when its
+  // response completes. Set before the first Call (TraceLog::Record itself
+  // is lock-free, so recording never blocks the loop).
+  void set_trace_log(TraceLog* trace) { trace_ = trace; }
+
  private:
   enum class ConnState : uint8_t { kDisconnected, kConnecting, kConnected };
 
@@ -82,6 +89,7 @@ class Channel {
     Callback cb;
     uint64_t timer_id = 0;
     uint64_t sent_at_ms = 0;
+    uint64_t trace_id = 0;
     std::string method;
   };
 
@@ -102,6 +110,7 @@ class Channel {
   const std::string host_;
   const uint16_t port_;
   RpcStats* const stats_;
+  TraceLog* trace_ = nullptr;
 
   int fd_ = -1;
   ConnState state_ = ConnState::kDisconnected;

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <utility>
 
 namespace memdb::rpc {
@@ -12,6 +13,13 @@ namespace {
 // Per-readiness read cap; level-triggered epoll re-reports leftovers.
 constexpr size_t kReadChunk = 64 * 1024;
 constexpr size_t kMaxReadPerEvent = 1u << 20;
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }  // namespace
 
 Server::Server(LoopThread* loop, std::string bind_address, uint16_t port)
@@ -156,6 +164,9 @@ void Server::Dispatch(Conn* c, Frame&& frame) {
     rsp.method = frame.method;
     SendResponse(c->id, std::move(rsp));
     return;
+  }
+  if (trace_ != nullptr && frame.trace_id != 0) {
+    trace_->Record(frame.trace_id, "rpc.dispatch", NowUs(), frame.request_id);
   }
   Call call;
   call.method = frame.method;

@@ -21,6 +21,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "net/listener.h"
 #include "rpc/fault.h"
 #include "rpc/frame.h"
@@ -56,6 +57,9 @@ class Server {
   // Optional: server-side rpc counters into a shared registry. Must be set
   // before Start().
   void set_metrics(MetricsRegistry* registry);
+  // Optional: traced requests (frame trace id != 0) record `rpc.dispatch`
+  // as they are handed to their handler. Must be set before Start().
+  void set_trace_log(TraceLog* trace) { trace_ = trace; }
   FaultInjector& fault() { return fault_; }
 
  private:
@@ -94,6 +98,7 @@ class Server {
 
   FaultInjector fault_;
   MetricsRegistry* metrics_ = nullptr;
+  TraceLog* trace_ = nullptr;
   Counter* requests_ = nullptr;
   Counter* bad_frames_ = nullptr;
   Counter* no_method_ = nullptr;

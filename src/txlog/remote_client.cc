@@ -67,6 +67,9 @@ RemoteClient::RemoteClient(rpc::LoopThread* loop,
     if (!SplitEndpoint(ep, &host, &port)) continue;
     channels_.push_back(
         std::make_unique<rpc::Channel>(loop_, host, port, stats_.get()));
+    if (options_.trace != nullptr) {
+      channels_.back()->set_trace_log(options_.trace);
+    }
   }
 }
 

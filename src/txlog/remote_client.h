@@ -37,6 +37,7 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "rpc/channel.h"
 #include "rpc/loop.h"
 #include "txlog/record.h"
@@ -66,6 +67,9 @@ class RemoteClient {
     int max_attempts = 8;
     int max_redirects = 4;  // bounded leader-chase per operation
     uint64_t seed = 0;      // jitter rng; 0 = derived from writer_id
+    // Optional write-path tracing: traced calls record rpc.send/rpc.recv
+    // spans into this log (owned by the embedding process).
+    TraceLog* trace = nullptr;
   };
 
   // Endpoints as "host:port"; position i serves txlogd node id i+1 (that is

@@ -26,6 +26,9 @@ inline constexpr char kRenewLease[] = "txlog.RenewLease";
 inline constexpr char kTrim[] = "txlog.Trim";
 // Diagnostics: Prometheus text exposition of the daemon's registry.
 inline constexpr char kMetrics[] = "svc.Metrics";
+// Diagnostics: JSONL dump of the daemon's TraceLog (common/trace_export.h
+// line format); the scrape analogue of the server's RESP `TRACE DUMP`.
+inline constexpr char kTraceDump[] = "svc.TraceDump";
 // Replica-internal raft traffic (leader election / replication).
 inline constexpr char kRaftVote[] = "raft.Vote";
 inline constexpr char kRaftAppendEntries[] = "raft.AppendEntries";

@@ -7,10 +7,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
 #include "common/coding.h"
 #include "common/crc.h"
+#include "common/trace_export.h"
 
 namespace memdb::txlog {
 
@@ -95,6 +97,10 @@ LogService::LogService(Options options)
   server_->RegisterHandler(rpcwire::kMetrics, [this](rpc::Server::Call&& c) {
     HandleMetricsScrape(std::move(c));
   });
+  server_->RegisterHandler(rpcwire::kTraceDump, [this](rpc::Server::Call&& c) {
+    HandleTraceDump(std::move(c));
+  });
+  server_->set_trace_log(&trace_);
 }
 
 LogService::~LogService() { Stop(); }
@@ -161,6 +167,13 @@ void LogService::Stop() {
   for (auto& [id, ch] : peer_channels_) ch->Shutdown();
   server_->Stop();
   loop_.Stop();
+  if (!options_.trace_file.empty()) {
+    const std::string jsonl = ExportSpansJsonl(trace_, TraceProcLabel());
+    if (std::FILE* f = std::fopen(options_.trace_file.c_str(), "w")) {
+      std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+      std::fclose(f);
+    }
+  }
 }
 
 // --- log helpers -----------------------------------------------------------
@@ -846,6 +859,11 @@ void LogService::HandleLease(rpc::Server::Call&& call, bool renew) {
 
 void LogService::HandleMetricsScrape(rpc::Server::Call&& call) {
   call.respond(rpc::Code::kOk, metrics_.ExpositionText());
+}
+
+void LogService::HandleTraceDump(rpc::Server::Call&& call) {
+  call.respond(rpc::Code::kOk,
+               ExportSpansJsonl(trace_, TraceProcLabel()));
 }
 
 // --- persistence -----------------------------------------------------------

@@ -72,6 +72,10 @@ class LogService {
     // window, not to zero. 0 = unbounded (tests).
     size_t dedup_max_entries = 65536;
     uint64_t seed = 0;  // 0 = derived from node_id
+    // When set, the daemon's TraceLog is exported as JSONL (proc label
+    // "txlogd-<node_id>") to this path at Stop(); the offline analogue of
+    // the svc.TraceDump scrape.
+    std::string trace_file;
   };
 
   enum class Role : uint8_t { kFollower, kCandidate, kLeader };
@@ -107,7 +111,8 @@ class LogService {
 
   MetricsRegistry& metrics() { return metrics_; }
   rpc::FaultInjector& fault() { return server_->fault(); }
-  // Only safe once the service is stopped (spans are loop-thread state).
+  // Thread-safe: TraceLog::Snapshot tolerates concurrent loop-thread
+  // recording (lock-free slot versioning).
   const TraceLog& trace_log() const { return trace_; }
 
  private:
@@ -145,6 +150,11 @@ class LogService {
   void HandleTrim(rpc::Server::Call&& call);
   void HandleLease(rpc::Server::Call&& call, bool renew);
   void HandleMetricsScrape(rpc::Server::Call&& call);
+  void HandleTraceDump(rpc::Server::Call&& call);
+
+  std::string TraceProcLabel() const {
+    return "txlogd-" + std::to_string(options_.node_id);
+  }
 
   void ServeRead(const rpcwire::ReadStreamRequest& req,
                  rpc::Server::Call& call);

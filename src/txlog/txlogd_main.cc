@@ -5,7 +5,7 @@
 //   memorydb-txlogd --node-id N --peers HOST:PORT,HOST:PORT,...
 //                   [--bind ADDR] [--port N] [--data-dir PATH] [--no-fsync]
 //                   [--dedup-max N] [--heartbeat-ms N] [--election-min-ms N]
-//                   [--election-max-ms N]
+//                   [--election-max-ms N] [--trace-file PATH]
 //
 // --peers lists the FULL group membership (including this node) in node-id
 // order: entry i serves node id i+1. --node-id selects which entry is this
@@ -59,7 +59,8 @@ int Usage(const char* argv0) {
                "usage: %s --node-id N --peers HOST:PORT,HOST:PORT,...\n"
                "          [--bind ADDR] [--port N] [--data-dir PATH]\n"
                "          [--no-fsync] [--dedup-max N] [--heartbeat-ms N]\n"
-               "          [--election-min-ms N] [--election-max-ms N]\n",
+               "          [--election-min-ms N] [--election-max-ms N]\n"
+               "          [--trace-file PATH]\n",
                argv0);
   return 2;
 }
@@ -101,6 +102,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--election-max-ms" && has_value &&
                ParseUint(argv[++i], &v) && v > 0) {
       options.election_max_ms = v;
+    } else if (arg == "--trace-file" && has_value) {
+      options.trace_file = argv[++i];
     } else {
       return Usage(argv[0]);
     }

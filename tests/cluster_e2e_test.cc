@@ -21,12 +21,17 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/trace_export.h"
 #include "resp/resp.h"
 
 namespace memdb {
@@ -221,6 +226,27 @@ std::string EnvOr(const char* name) {
   return v != nullptr ? v : "";
 }
 
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Runs `cmd` via popen and captures stdout (offline-tool smoke checks).
+std::string CaptureStdout(const std::string& cmd) {
+  std::FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    out.append(buf, n);
+  }
+  ::pclose(pipe);
+  return out;
+}
+
 TEST(ClusterE2eTest, KillPrimaryRestoreAndReplicaConvergeWithZeroAckedLoss) {
   const std::string server_bin = EnvOr("MEMDB_SERVER_BIN");
   const std::string txlogd_bin = EnvOr("MEMDB_TXLOGD_BIN");
@@ -229,7 +255,7 @@ TEST(ClusterE2eTest, KillPrimaryRestoreAndReplicaConvergeWithZeroAckedLoss) {
     GTEST_SKIP() << "MEMDB_*_BIN not set; run under ctest";
   }
 
-  TempDir log_dir1, log_dir2, log_dir3, store_dir;
+  TempDir log_dir1, log_dir2, log_dir3, store_dir, trace_dir;
   const uint16_t log_ports[3] = {FreePort(), FreePort(), FreePort()};
   const uint16_t primary_port = FreePort();
   const uint16_t replica_port = FreePort();
@@ -249,7 +275,8 @@ TEST(ClusterE2eTest, KillPrimaryRestoreAndReplicaConvergeWithZeroAckedLoss) {
         {txlogd_bin, "--node-id", std::to_string(i + 1), "--peers",
          log_endpoints, "--data-dir", *log_dirs[i], "--no-fsync",
          "--heartbeat-ms", "20", "--election-min-ms", "50",
-         "--election-max-ms", "120"}));
+         "--election-max-ms", "120", "--trace-file",
+         trace_dir.path + "/txlogd-" + std::to_string(i + 1) + ".jsonl"}));
   }
   for (const uint16_t p : log_ports) ASSERT_TRUE(WaitForPort(p));
 
@@ -295,11 +322,12 @@ TEST(ClusterE2eTest, KillPrimaryRestoreAndReplicaConvergeWithZeroAckedLoss) {
 
   // --- 6. restart with --restore: snapshot + log tail, no peers -----------
   Process restored;
-  ASSERT_TRUE(restored.Spawn({server_bin, "--port",
-                              std::to_string(primary_port),
-                              "--txlog-endpoints", log_endpoints,
-                              "--checksum-every", "8", "--writer-id", "8",
-                              "--restore", "--store-dir", store_dir.path}));
+  ASSERT_TRUE(restored.Spawn(
+      {server_bin, "--port", std::to_string(primary_port),
+       "--txlog-endpoints", log_endpoints, "--checksum-every", "8",
+       "--writer-id", "8", "--restore", "--store-dir", store_dir.path,
+       "--trace-file", trace_dir.path + "/server.jsonl",
+       "--slowlog-slower-than-us", "0"}));
   ASSERT_TRUE(WaitForPort(primary_port, 20000));
   {
     TestClient c(primary_port);
@@ -314,6 +342,34 @@ TEST(ClusterE2eTest, KillPrimaryRestoreAndReplicaConvergeWithZeroAckedLoss) {
     // And the restored primary still takes writes through the log.
     ASSERT_EQ(c.RoundTrip({"SET", "post-restore", "yes"}),
               Value::Simple("OK"));
+
+    // Observability plane, live: INFO # Server identity fields...
+    const Value info = c.RoundTrip({"INFO", "server"});
+    ASSERT_EQ(info.type, resp::Type::kBulkString);
+    EXPECT_NE(info.str.find("# Server"), std::string::npos);
+    EXPECT_NE(info.str.find("process_id:"), std::string::npos);
+    EXPECT_NE(info.str.find("run_id:"), std::string::npos);
+    EXPECT_NE(info.str.find("uptime_in_seconds:"), std::string::npos);
+    EXPECT_NE(info.str.find("build_sha:"), std::string::npos);
+
+    // ...TRACE DUMP returns the span log with the acked write's receipt...
+    const Value dump = c.RoundTrip({"TRACE", "DUMP"});
+    ASSERT_EQ(dump.type, resp::Type::kBulkString);
+    EXPECT_NE(dump.str.find("\"stage\":\"cmd.receive\""), std::string::npos);
+    EXPECT_NE(dump.str.find("\"stage\":\"reply.release\""),
+              std::string::npos);
+
+    // ...and SLOWLOG (threshold 0: every durable write logs) has entries
+    // in the Redis reply shape.
+    const Value slen = c.RoundTrip({"SLOWLOG", "LEN"});
+    ASSERT_EQ(slen.type, resp::Type::kInteger);
+    EXPECT_GE(slen.integer, 1);
+    const Value sget = c.RoundTrip({"SLOWLOG", "GET", "1"});
+    ASSERT_EQ(sget.type, resp::Type::kArray);
+    ASSERT_EQ(sget.array.size(), 1u);
+    ASSERT_EQ(sget.array[0].type, resp::Type::kArray);
+    ASSERT_EQ(sget.array[0].array.size(), 4u);  // id, ts, duration, argv
+    EXPECT_EQ(sget.array[0].array[3].array[0], Value::Bulk("SET"));
   }
 
   // --- 7. log-fed replica seeded from the same snapshot store -------------
@@ -353,9 +409,55 @@ TEST(ClusterE2eTest, KillPrimaryRestoreAndReplicaConvergeWithZeroAckedLoss) {
   }
 
   // --- teardown: orderly SIGTERM (destructors SIGKILL as backstop) --------
+  // Each daemon exports its TraceLog to --trace-file on the way down.
   replica.Kill(SIGTERM);
   restored.Kill(SIGTERM);
   for (auto& t : txlogd) t.Kill(SIGTERM);
+
+  // --- 8. offline reconstruction: one acked write must leave a complete
+  // cross-process span chain in the per-process JSONL exports -------------
+  const std::vector<std::string> trace_files = {
+      trace_dir.path + "/server.jsonl", trace_dir.path + "/txlogd-1.jsonl",
+      trace_dir.path + "/txlogd-2.jsonl", trace_dir.path + "/txlogd-3.jsonl"};
+  std::vector<ExportedSpan> spans;
+  for (const std::string& f : trace_files) {
+    ParseSpansJsonl(ReadFileOrEmpty(f), &spans);
+  }
+  ASSERT_FALSE(spans.empty()) << "no spans exported to " << trace_dir.path;
+  const auto by_trace = GroupSpansByTrace(std::move(spans));
+  bool chain_found = false;
+  for (const auto& [trace_id, trace_spans] : by_trace) {
+    std::set<std::string> stages;
+    std::set<std::string> procs;
+    for (const ExportedSpan& s : trace_spans) {
+      stages.insert(s.stage);
+      procs.insert(s.proc);
+    }
+    if (stages.count("cmd.receive") != 0 &&
+        stages.count("log.append.receive") != 0 &&
+        stages.count("log.quorum.commit") != 0 &&
+        stages.count("reply.release") != 0 && procs.size() >= 2) {
+      chain_found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(chain_found)
+      << "no acked write reconstructs a complete cross-process chain";
+
+  // The offline tool agrees: memorydb-trace over the same files reports at
+  // least one complete chain.
+  const std::string trace_bin = EnvOr("MEMDB_TRACE_BIN");
+  if (!trace_bin.empty()) {
+    std::string cmd = "'" + trace_bin + "'";
+    for (const std::string& f : trace_files) cmd += " '" + f + "'";
+    const std::string out = CaptureStdout(cmd);
+    const size_t pos = out.find("complete_chains=");
+    ASSERT_NE(pos, std::string::npos) << out;
+    const long chains =
+        std::strtol(out.c_str() + pos + std::strlen("complete_chains="),
+                    nullptr, 10);
+    EXPECT_GE(chains, 1) << out;
+  }
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "common/coding.h"
 #include "common/crc.h"
@@ -12,6 +14,7 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/trace.h"
+#include "common/trace_export.h"
 
 namespace memdb {
 namespace {
@@ -531,7 +534,9 @@ TEST(TraceLogTest, RecordAndReconstruct) {
                             "cmd.release"};
   for (size_t i = 0; i < spans.size(); ++i) {
     EXPECT_EQ(spans[i].stage, expected[i]) << i;
-    if (i > 0) EXPECT_GE(spans[i].at_us, spans[i - 1].at_us);
+    if (i > 0) {
+      EXPECT_GE(spans[i].at_us, spans[i - 1].at_us);
+    }
   }
   EXPECT_EQ(spans[4].detail, 7u);
 }
@@ -539,12 +544,178 @@ TEST(TraceLogTest, RecordAndReconstruct) {
 TEST(TraceLogTest, ZeroIdIsIgnoredAndCapacityBounded) {
   TraceLog log(/*capacity=*/4);
   log.Record(0, "cmd.receive", 1);  // untraced work records nothing
-  EXPECT_TRUE(log.spans().empty());
+  EXPECT_TRUE(log.Snapshot().empty());
   for (uint64_t i = 1; i <= 10; ++i) log.Record(i, "s", i);
-  EXPECT_EQ(log.spans().size(), 4u);
-  EXPECT_EQ(log.spans().front().trace_id, 7u);  // oldest dropped
+  const auto spans = log.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().trace_id, 7u);  // oldest dropped
   EXPECT_TRUE(log.ForTrace(1).empty());
   EXPECT_EQ(log.ForTrace(10).size(), 1u);
+}
+
+TEST(TraceLogTest, RingEvictionAtCapacityBoundary) {
+  TraceLog log(/*capacity=*/4);
+  // Exactly at capacity: nothing evicted, insertion order preserved.
+  for (uint64_t i = 1; i <= 4; ++i) log.Record(i, "s", 100 + i, i);
+  auto spans = log.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(spans[i].trace_id, i + 1);
+    EXPECT_EQ(spans[i].at_us, 101 + i);
+    EXPECT_EQ(spans[i].detail, i + 1);
+  }
+  // One past capacity: exactly the oldest span falls off.
+  log.Record(5, "s", 105, 5);
+  spans = log.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().trace_id, 2u);
+  EXPECT_EQ(spans.back().trace_id, 5u);
+  // A full extra lap lands back on a full ring with the newest 4.
+  for (uint64_t i = 6; i <= 9; ++i) log.Record(i, "s", 100 + i, i);
+  spans = log.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().trace_id, 6u);
+  EXPECT_EQ(spans.back().trace_id, 9u);
+  log.Clear();
+  EXPECT_TRUE(log.Snapshot().empty());
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(TraceLogTest, ReconstructStableOrderOnEqualTimestamps) {
+  // Same-stamp spans must keep per-log insertion order, and the merge order
+  // must be the log-argument order — i.e. stable sort, never reshuffled.
+  TraceLog a, b;
+  const uint64_t id = 42;
+  a.Record(id, "first", 100);
+  a.Record(id, "second", 100);
+  a.Record(id, "third", 100);
+  b.Record(id, "fourth", 100);
+  b.Record(id, "fifth", 100);
+  const auto spans = TraceLog::Reconstruct(id, {&a, &b});
+  ASSERT_EQ(spans.size(), 5u);
+  const char* expected[] = {"first", "second", "third", "fourth", "fifth"};
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].stage, expected[i]) << i;
+  }
+}
+
+TEST(TraceLogTest, LongStageNameIsTruncatedNotCorrupted) {
+  TraceLog log(8);
+  const std::string longname(200, 'x');
+  log.Record(1, longname, 5);
+  const auto spans = log.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].stage, longname.substr(0, 47));
+}
+
+TEST(TraceLogTest, ConcurrentRecordAndSnapshot) {
+  // Writers hammer a small ring while a reader snapshots concurrently; every
+  // span a snapshot yields must be internally consistent (stage matches the
+  // trace id it was written with). TSan-checked via scripts/check.sh.
+  TraceLog log(/*capacity=*/64);
+  std::atomic<bool> stop{false};
+  std::thread writers[2];
+  for (int w = 0; w < 2; ++w) {
+    writers[w] = std::thread([&log, &stop, w] {
+      uint64_t n = 1;
+      while (!stop.load(std::memory_order_acquire)) {
+        const uint64_t id = (static_cast<uint64_t>(w + 1) << 32) | n++;
+        log.Record(id, w == 0 ? "even.stage" : "odd.stage", n);
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    for (const TraceSpan& s : log.Snapshot()) {
+      ASSERT_NE(s.trace_id, 0u);
+      const bool even = (s.trace_id >> 32) == 1;
+      EXPECT_EQ(s.stage, even ? "even.stage" : "odd.stage");
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : writers) t.join();
+}
+
+TEST(TraceSamplerTest, RateGatesTraceIds) {
+  TraceSampler off(0);
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(off.Sample());
+  TraceSampler all(1);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(all.Sample());
+  TraceSampler tenth(10);
+  int hits = 0;
+  for (int i = 0; i < 100; ++i) hits += tenth.Sample() ? 1 : 0;
+  EXPECT_EQ(hits, 10);
+  // MakeTraceId keeps origins apart and counters within their 40-bit lane.
+  EXPECT_NE(MakeTraceId(1, 5), MakeTraceId(2, 5));
+  EXPECT_EQ(MakeTraceId(3, 5) >> 40, 3u);
+}
+
+// ------------------------------------------------------------ trace export
+
+TEST(TraceExportTest, JsonlRoundTrip) {
+  TraceLog log(16);
+  log.Record(7, "cmd.receive", 100, 1);
+  log.Record(7, "reply.release", 250, 2);
+  log.Record(9, "cmd.receive", 300);
+  const std::string jsonl = ExportSpansJsonl(log, "server");
+  std::vector<ExportedSpan> spans;
+  ASSERT_EQ(ParseSpansJsonl(jsonl, &spans), 3u);
+  EXPECT_EQ(spans[0].proc, "server");
+  EXPECT_EQ(spans[0].trace_id, 7u);
+  EXPECT_EQ(spans[0].stage, "cmd.receive");
+  EXPECT_EQ(spans[0].mono_us, 100u);
+  EXPECT_EQ(spans[0].detail, 1u);
+  // Wall stamps preserve monotonic deltas exactly (same anchor pair).
+  EXPECT_EQ(spans[1].wall_us - spans[0].wall_us, 150u);
+  const auto by_trace = GroupSpansByTrace(std::move(spans));
+  ASSERT_EQ(by_trace.size(), 2u);
+  EXPECT_EQ(by_trace.at(7).size(), 2u);
+  EXPECT_EQ(by_trace.at(9).size(), 1u);
+}
+
+TEST(TraceExportTest, WritePathReportTelescopes) {
+  // A synthetic two-process trace covering the full chain: per-stage deltas
+  // must telescope to exactly the end-to-end latency.
+  const std::vector<std::string>& chain = WritePathChain();
+  std::vector<ExportedSpan> spans;
+  uint64_t at = 1000;
+  for (const std::string& stage : chain) {
+    ExportedSpan s;
+    s.proc = stage.rfind("log.", 0) == 0 ? "txlogd-1" : "server";
+    s.trace_id = 11;
+    s.stage = stage;
+    s.wall_us = at;
+    at += 10;
+    spans.push_back(std::move(s));
+  }
+  // A second trace missing the middle stages still bridges front to back.
+  spans.push_back(ExportedSpan{"server", 12, chain.front(), 5000, 0, 0});
+  spans.push_back(ExportedSpan{"server", 12, chain.back(), 5400, 0, 0});
+  const auto by_trace = GroupSpansByTrace(std::move(spans));
+  const WritePathReport report = BuildWritePathReport(by_trace, chain);
+  EXPECT_EQ(report.traces, 2u);
+  EXPECT_EQ(report.complete_chains, 2u);
+  ASSERT_EQ(report.end_to_end_us.count(), 2u);
+  uint64_t delta_sum = 0;
+  for (const StageDelta& d : report.deltas) delta_sum += d.latency_us.sum();
+  EXPECT_EQ(delta_sum, report.end_to_end_us.sum());
+  const uint64_t full_chain_total = 10 * (chain.size() - 1);
+  EXPECT_EQ(report.end_to_end_us.sum(), full_chain_total + 400);
+}
+
+TEST(MetricsTest, ExpositionHelpAndLabelEscaping) {
+  MetricsRegistry reg;
+  reg.SetHelp("ops", "operations by command");
+  reg.GetCounter("ops", {{"cmd", "we\"ird\\name\nx"}})->Increment(3);
+  reg.GetCounter("plain")->Increment();
+  const std::string text = reg.ExpositionText();
+  EXPECT_NE(text.find("# HELP ops operations by command"), std::string::npos);
+  // Families without registered help still get a HELP line (required to
+  // precede TYPE + samples in the text format).
+  EXPECT_NE(text.find("# HELP plain"), std::string::npos);
+  EXPECT_NE(text.find("ops{cmd=\"we\\\"ird\\\\name\\nx\"} 3"),
+            std::string::npos);
+  EXPECT_EQ(MetricsRegistry::EscapeLabelValue("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd");
 }
 
 }  // namespace

@@ -444,7 +444,7 @@ TEST_F(MemoryDbTest, WriteTraceReconstructsFullCommitChain) {
   // The SET is the last write the node enqueued: recover its trace id from
   // the node's own span log.
   uint64_t trace_id = 0;
-  for (const TraceSpan& s : primary->trace_log().spans()) {
+  for (const TraceSpan& s : primary->trace_log().Snapshot()) {
     if (s.stage == "pipeline.enqueue") trace_id = s.trace_id;
   }
   ASSERT_NE(trace_id, 0u);

@@ -25,6 +25,13 @@ clang's -Wthread-safety can, which not every toolchain has):
      (statements wrap), which both suppresses the finding and documents why
      the block is intentional.
 
+  4. Span recording stays lock-free: TraceLog::Record runs inline on
+     event-loop threads (net io loops, the rpc loop, txlogd's raft loop), so
+     src/common/trace.{h,cc} may not name any blocking lock primitive —
+     memdb::Mutex / MutexLock / CondVar, or an include of common/sync.h.
+     A trace-plane stall must never become a write-path stall; the ring is
+     atomics-only by construction and this keeps it that way.
+
 Exit status 0 = clean, 1 = findings (one per line: path:lineno: message).
 Run from anywhere; paths resolve relative to the repo root.
 """
@@ -64,6 +71,16 @@ BLOCKING_PATTERNS = [
 ]
 
 ALLOW_BLOCKING = "lint:allow-blocking"
+
+# The span-recording hot path: called inline from event-loop threads, so it
+# must stay lock-free (rule 4).
+TRACE_LOCK_FREE_FILES = {SRC / "common" / "trace.h", SRC / "common" / "trace.cc"}
+
+# The include is matched against the raw text (the quoted path is a string
+# literal, which the comment stripper blanks); the identifiers against the
+# stripped code so prose in comments cannot trip the rule.
+TRACE_SYNC_INCLUDE = re.compile(r"#\s*include\s*\"common/sync\.h\"")
+TRACE_LOCK_IDENT = re.compile(r"\b(?:memdb::)?(?:Mutex|MutexLock|CondVar)\b")
 
 # Files whose code runs on (or can be inlined into) an event-loop thread.
 LOOP_OWNED_DIRS = [SRC / "net", SRC / "rpc", SRC / "replication"]
@@ -203,6 +220,23 @@ def check_blocking(path: Path, code: str, raw_lines: list[str],
                 f"`{ALLOW_BLOCKING} -- <reason>`")
 
 
+def check_trace_lock_free(path: Path, code: str, raw: str,
+                          findings: list[str]) -> None:
+    if path not in TRACE_LOCK_FREE_FILES:
+        return
+    rel = path.relative_to(REPO_ROOT)
+    why = ("span recording runs inline on event-loop threads and must stay "
+           "lock-free (atomics only)")
+    for m in TRACE_SYNC_INCLUDE.finditer(raw):
+        findings.append(
+            f"{rel}:{line_of(raw, m.start())}: include of common/sync.h in "
+            f"the trace hot path — {why}")
+    for m in TRACE_LOCK_IDENT.finditer(code):
+        findings.append(
+            f"{rel}:{line_of(code, m.start())}: blocking lock primitive "
+            f"{m.group(0)} in the trace hot path — {why}")
+
+
 def main() -> int:
     findings: list[str] = []
     files = sorted(p for p in SRC.rglob("*")
@@ -214,6 +248,7 @@ def main() -> int:
         check_raw_sync(path, code, findings)
         check_atomic_order(path, code, findings)
         check_blocking(path, code, raw_lines, findings)
+        check_trace_lock_free(path, code, raw, findings)
     if findings:
         print(f"tools/lint.py: {len(findings)} finding(s)", file=sys.stderr)
         for f in findings:

@@ -1,0 +1,122 @@
+// memorydb-trace: offline cross-process trace analysis. Merges per-process
+// span files (the JSONL written by --trace-file or scraped via TRACE DUMP /
+// svc.TraceDump), reconstructs each write's causal chain across processes
+// (the file-based analogue of TraceLog::Reconstruct: merge, stable-sort by
+// wall stamp), and reports per-stage latency attribution along the §3.1
+// durable write path plus the critical path of the slowest trace.
+//
+//   memorydb-trace SPANS.jsonl [SPANS.jsonl ...]
+//
+// Output (stable lines, parsed by the e2e test):
+//   spans=N traces=N complete_chains=N
+//   stage <from> -> <to>: count=N p50=Nus p99=Nus
+//   end_to_end: count=N p50=Nus p99=Nus
+//   critical path trace=N total=Nus
+//     <proc> <stage> +Nus
+//
+// Exit status: 0 when at least one span parsed, 1 otherwise.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/trace_export.h"
+
+namespace {
+
+std::string ReadFile(const char* path, bool* ok) {
+  *ok = false;
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return std::string();
+  std::string out;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  *ok = true;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s SPANS.jsonl [SPANS.jsonl ...]\n", argv[0]);
+    return 2;
+  }
+  std::vector<memdb::ExportedSpan> spans;
+  for (int i = 1; i < argc; ++i) {
+    bool ok = false;
+    const std::string text = ReadFile(argv[i], &ok);
+    if (!ok) {
+      std::fprintf(stderr, "memorydb-trace: cannot read %s\n", argv[i]);
+      return 2;
+    }
+    memdb::ParseSpansJsonl(text, &spans);
+  }
+  if (spans.empty()) {
+    std::fprintf(stderr, "memorydb-trace: no spans parsed\n");
+    return 1;
+  }
+  const size_t total_spans = spans.size();
+  const std::map<uint64_t, std::vector<memdb::ExportedSpan>> by_trace =
+      memdb::GroupSpansByTrace(std::move(spans));
+  const memdb::WritePathReport report =
+      memdb::BuildWritePathReport(by_trace, memdb::WritePathChain());
+
+  std::printf("spans=%zu traces=%zu complete_chains=%zu\n", total_spans,
+              report.traces, report.complete_chains);
+  for (const memdb::StageDelta& d : report.deltas) {
+    std::printf("stage %s -> %s: count=%llu p50=%lluus p99=%lluus\n",
+                d.from.c_str(), d.to.c_str(),
+                static_cast<unsigned long long>(d.latency_us.count()),
+                static_cast<unsigned long long>(d.latency_us.Percentile(0.5)),
+                static_cast<unsigned long long>(d.latency_us.Percentile(0.99)));
+  }
+  std::printf("end_to_end: count=%llu p50=%lluus p99=%lluus\n",
+              static_cast<unsigned long long>(report.end_to_end_us.count()),
+              static_cast<unsigned long long>(
+                  report.end_to_end_us.Percentile(0.5)),
+              static_cast<unsigned long long>(
+                  report.end_to_end_us.Percentile(0.99)));
+
+  // Critical path: the slowest complete chain, span by span, with each
+  // hop's contribution — where an engineer looks first when p99 moves.
+  const std::vector<std::string>& chain = memdb::WritePathChain();
+  uint64_t worst_trace = 0;
+  uint64_t worst_total = 0;
+  for (const auto& [trace_id, tspans] : by_trace) {
+    uint64_t first = 0, last = 0;
+    bool has_first = false, has_last = false;
+    for (const memdb::ExportedSpan& s : tspans) {
+      if (!has_first && s.stage == chain.front()) {
+        first = s.wall_us;
+        has_first = true;
+      }
+      if (!has_last && s.stage == chain.back()) {
+        last = s.wall_us;
+        has_last = true;
+      }
+    }
+    if (has_first && has_last && last >= first &&
+        last - first >= worst_total) {
+      worst_total = last - first;
+      worst_trace = trace_id;
+    }
+  }
+  if (worst_trace != 0) {
+    std::printf("critical path trace=%llu total=%lluus\n",
+                static_cast<unsigned long long>(worst_trace),
+                static_cast<unsigned long long>(worst_total));
+    const std::vector<memdb::ExportedSpan>& tspans = by_trace.at(worst_trace);
+    uint64_t prev = tspans.empty() ? 0 : tspans.front().wall_us;
+    for (const memdb::ExportedSpan& s : tspans) {
+      std::printf("  %-12s %-22s +%lluus\n", s.proc.c_str(), s.stage.c_str(),
+                  static_cast<unsigned long long>(
+                      s.wall_us >= prev ? s.wall_us - prev : 0));
+      prev = s.wall_us;
+    }
+  }
+  return 0;
+}
