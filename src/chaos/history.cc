@@ -1,0 +1,113 @@
+#include "chaos/history.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace memdb::chaos {
+
+namespace {
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+}  // namespace
+
+uint64_t HistoryRecorder::NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t HistoryRecorder::BeginOp(int client, std::vector<std::string> argv) {
+  MutexLock lock(&mu_);
+  const uint64_t id = ops_.size();
+  Rec rec;
+  rec.op.client = client;
+  rec.op.input = std::move(argv);
+  rec.op.invoke_time = NowUs();
+  rec.op.return_time = check::kNeverReturned;
+  rec.open = true;
+  ops_.push_back(std::move(rec));
+  return id;
+}
+
+void HistoryRecorder::EndOp(uint64_t id, resp::Value output) {
+  MutexLock lock(&mu_);
+  Rec& rec = ops_.at(id);
+  rec.op.output = std::move(output);
+  rec.op.return_time = NowUs();
+  rec.open = false;
+}
+
+void HistoryRecorder::EndOpIndeterminate(uint64_t id) {
+  MutexLock lock(&mu_);
+  Rec& rec = ops_.at(id);
+  rec.op.return_time = check::kNeverReturned;
+  rec.open = false;
+}
+
+void HistoryRecorder::Drop(uint64_t id) {
+  MutexLock lock(&mu_);
+  ops_.at(id).dropped = true;
+  ops_.at(id).open = false;
+}
+
+std::vector<check::Operation> HistoryRecorder::TakeHistory() {
+  MutexLock lock(&mu_);
+  std::vector<check::Operation> out;
+  out.reserve(ops_.size());
+  for (const Rec& rec : ops_) {
+    if (!rec.dropped) out.push_back(rec.op);
+  }
+  return out;
+}
+
+size_t HistoryRecorder::size() {
+  MutexLock lock(&mu_);
+  return ops_.size();
+}
+
+std::string HistoryRecorder::ToJsonl(
+    const std::vector<check::Operation>& history) {
+  std::string out;
+  for (const check::Operation& op : history) {
+    out += "{\"client\":" + std::to_string(op.client) + ",\"argv\":[";
+    for (size_t i = 0; i < op.input.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendJsonString(&out, op.input[i]);
+    }
+    out += "],\"invoke_us\":" + std::to_string(op.invoke_time);
+    if (op.return_time == check::kNeverReturned) {
+      out += ",\"indeterminate\":true";
+    } else {
+      out += ",\"return_us\":" + std::to_string(op.return_time);
+      std::string reply;
+      op.output.EncodeTo(&reply);
+      out += ",\"reply\":";
+      AppendJsonString(&out, reply);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace memdb::chaos

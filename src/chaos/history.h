@@ -1,0 +1,69 @@
+// HistoryRecorder: collects a wire-level concurrent history — invocation
+// and response timestamps against the real sockets — in the exact shape
+// src/check's Wing–Gong checker consumes (§7.2.2.2).
+//
+// The recording discipline is what makes the check sound:
+//   * BeginOp stamps the invocation BEFORE the first byte is sent.
+//   * EndOp stamps the response AFTER the full reply is decoded.
+//   * An op whose outcome is unknowable (timeout, connection death after
+//     the command may have reached the server) ends indeterminate: the
+//     checker may linearize it anywhere after its invocation, including
+//     never. Marking a completed op indeterminate is always sound; the
+//     reverse is not, so every classification here errs indeterminate.
+//   * Drop removes an op that provably never executed (the server refused
+//     it with -READONLY, or the command never fully left this process).
+//
+// Thread-safe: workload client threads record concurrently.
+
+#ifndef MEMDB_CHAOS_HISTORY_H_
+#define MEMDB_CHAOS_HISTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/linearizability.h"
+#include "common/sync.h"
+#include "resp/resp.h"
+
+namespace memdb::chaos {
+
+class HistoryRecorder {
+ public:
+  // Stamps the invocation time; returns the op's id.
+  uint64_t BeginOp(int client, std::vector<std::string> argv);
+
+  // Determinate completion: stamps the return time and the observed reply.
+  void EndOp(uint64_t id, resp::Value output);
+
+  // The command was sent (or may have been) but no reply was observed.
+  void EndOpIndeterminate(uint64_t id);
+
+  // The command provably never executed; remove it from the history.
+  void Drop(uint64_t id);
+
+  // Snapshot for the checker. Ops still open (neither ended nor dropped)
+  // are included as indeterminate — a workload stopped mid-flight must not
+  // silently lose constraints.
+  std::vector<check::Operation> TakeHistory();
+
+  size_t size();
+
+  // One JSON object per line (debugging aid; written on check failure).
+  static std::string ToJsonl(const std::vector<check::Operation>& history);
+
+ private:
+  struct Rec {
+    check::Operation op;
+    bool open = false;
+    bool dropped = false;
+  };
+  static uint64_t NowUs();
+
+  memdb::Mutex mu_;
+  std::vector<Rec> ops_ GUARDED_BY(mu_);
+};
+
+}  // namespace memdb::chaos
+
+#endif  // MEMDB_CHAOS_HISTORY_H_

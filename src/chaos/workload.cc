@@ -1,0 +1,260 @@
+#include "chaos/workload.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+namespace memdb::chaos {
+
+namespace {
+void SleepMs(uint64_t ms) {
+  // lint:allow-blocking — chaos driver thread, never an event loop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+bool IsReadonlyError(const resp::Value& v) {
+  return v.IsError() && v.str.rfind("READONLY", 0) == 0;
+}
+}  // namespace
+
+bool RespSocket::Connect(uint16_t port, uint64_t recv_timeout_ms) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  struct sockaddr_in sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+  // lint:allow-blocking — chaos driver thread, never an event loop.
+  if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&sa), sizeof(sa)) !=
+      0) {
+    Close();
+    return false;
+  }
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(recv_timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((recv_timeout_ms % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  dec_ = resp::Decoder();  // no stale bytes from a previous connection
+  return true;
+}
+
+void RespSocket::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool RespSocket::SendCommand(const std::vector<std::string>& argv) {
+  if (fd_ < 0) return false;
+  const std::string bytes = resp::EncodeCommand(argv);
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool RespSocket::ReadReply(resp::Value* out) {
+  if (fd_ < 0) return false;
+  char buf[16 * 1024];
+  for (;;) {
+    const resp::DecodeStatus st = dec_.Decode(out);
+    if (st == resp::DecodeStatus::kOk) return true;
+    if (st == resp::DecodeStatus::kError) return false;
+    const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    if (r <= 0) return false;  // EOF, reset, or SO_RCVTIMEO expiry
+    dec_.Feed(Slice(buf, static_cast<size_t>(r)));
+  }
+}
+
+bool RespSocket::RoundTrip(const std::vector<std::string>& argv,
+                           resp::Value* out) {
+  return SendCommand(argv) && ReadReply(out);
+}
+
+WireWorkload::WireWorkload(Options options, HistoryRecorder* recorder)
+    : options_(std::move(options)), recorder_(recorder) {
+  MutexLock lock(&mu_);
+  ports_ = options_.ports;
+}
+
+WireWorkload::~WireWorkload() { Stop(); }
+
+void WireWorkload::Start() {
+  stop_.store(false, std::memory_order_release);
+  threads_.reserve(static_cast<size_t>(options_.clients));
+  for (int i = 0; i < options_.clients; ++i) {
+    threads_.emplace_back([this, i] { ClientMain(i); });
+  }
+}
+
+void WireWorkload::Stop() {
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void WireWorkload::AddPort(uint16_t port) {
+  MutexLock lock(&mu_);
+  for (const uint16_t p : ports_) {
+    if (p == port) return;
+  }
+  ports_.push_back(port);
+}
+
+std::vector<uint16_t> WireWorkload::SnapshotPorts() {
+  MutexLock lock(&mu_);
+  return ports_;
+}
+
+void WireWorkload::NotePossibleValue(const std::string& key,
+                                     const std::string& value) {
+  MutexLock lock(&mu_);
+  possible_[key].push_back(value);
+}
+
+std::map<std::string, std::vector<std::string>>
+WireWorkload::PossibleValues() {
+  MutexLock lock(&mu_);
+  return possible_;
+}
+
+void WireWorkload::ClientMain(int client_idx) {
+  RespSocket sock;
+  size_t target = static_cast<size_t>(client_idx);
+  uint64_t seq = 0;
+  // A connection is "verified" once a SET was acked on it: only the node
+  // holding the shard lease acks writes (the fenced append chain), so a
+  // verified connection is talking to the primary. GETs are issued ONLY on
+  // verified connections — a GET answered by a replica (or a demoted
+  // primary) would be a stale-but-determinate read, unsound to linearize.
+  // The server closes every connection when it demotes, so verification
+  // cannot silently outlive primaryship; the lease-validity read gate on
+  // the server covers the remaining in-flight window.
+  bool verified = false;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (!sock.connected()) {
+      verified = false;
+      const std::vector<uint16_t> ports = SnapshotPorts();
+      if (ports.empty()) return;
+      if (!sock.Connect(ports[target % ports.size()],
+                        options_.recv_timeout_ms)) {
+        ++target;
+        SleepMs(options_.reconnect_backoff_ms);
+        continue;
+      }
+    }
+    const std::string key =
+        KeyName((client_idx + static_cast<int>(seq)) % options_.keys);
+    const bool is_write = !verified || (seq % 2) == 0;
+    std::vector<std::string> argv;
+    std::string value;
+    if (is_write) {
+      value = "c" + std::to_string(client_idx) + "-" + std::to_string(seq);
+      argv = {"SET", key, value};
+    } else {
+      argv = {"GET", key};
+    }
+    ++seq;
+    const uint64_t id = recorder_->BeginOp(client_idx, argv);
+    if (!sock.SendCommand(argv)) {
+      // The frame never fully left this process: the server cannot parse a
+      // complete command, so the op provably did not execute.
+      recorder_->Drop(id);
+      sock.Close();
+      ++target;
+      continue;
+    }
+    resp::Value reply;
+    if (!sock.ReadReply(&reply)) {
+      // The command may have reached the server and executed; only the
+      // reply is lost. Writes must stay in the history as indeterminate.
+      if (is_write) {
+        recorder_->EndOpIndeterminate(id);
+        NotePossibleValue(key, value);
+      } else {
+        recorder_->Drop(id);
+      }
+      sock.Close();
+      ++target;
+      continue;
+    }
+    if (IsReadonlyError(reply)) {
+      // Replica / promoting / fenced node: the write was refused before
+      // executing. Rotate toward the (new) primary.
+      recorder_->Drop(id);
+      sock.Close();
+      ++target;
+      SleepMs(options_.reconnect_backoff_ms);
+      continue;
+    }
+    if (reply.IsError()) {
+      // E.g. "-ERR transaction log unavailable": applied locally but never
+      // durable — whether it survives the failover is unknowable here.
+      if (is_write) {
+        recorder_->EndOpIndeterminate(id);
+        NotePossibleValue(key, value);
+      } else {
+        recorder_->Drop(id);
+      }
+      sock.Close();
+      ++target;
+      continue;
+    }
+    recorder_->EndOp(id, reply);
+    if (is_write) {
+      acked_writes_.fetch_add(1, std::memory_order_acq_rel);
+      NotePossibleValue(key, value);
+      verified = true;
+    }
+    if (options_.op_gap_ms > 0) SleepMs(options_.op_gap_ms);
+  }
+}
+
+bool WireWorkload::FinalReads(uint16_t port, HistoryRecorder* recorder) {
+  RespSocket sock;
+  if (!sock.Connect(port, options_.recv_timeout_ms)) return false;
+  // The reader gets its own client id so the checker sees a distinct
+  // sequential process.
+  const int reader = options_.clients;
+  {
+    // Verify the connection the same way the workload clients do: an acked
+    // SET proves this node holds the lease, so the GETs below are reads
+    // against the primary, not a stale replica the caller mistook for one.
+    const std::vector<std::string> probe = {"SET", "chaos:final-probe",
+                                            "final"};
+    const uint64_t id = recorder->BeginOp(reader, probe);
+    resp::Value reply;
+    if (!sock.RoundTrip(probe, &reply) || reply.IsError()) {
+      recorder->Drop(id);
+      return false;
+    }
+    recorder->EndOp(id, reply);
+  }
+  for (int i = 0; i < options_.keys; ++i) {
+    const std::vector<std::string> argv = {"GET", KeyName(i)};
+    const uint64_t id = recorder->BeginOp(reader, argv);
+    resp::Value reply;
+    if (!sock.RoundTrip(argv, &reply) || reply.IsError()) {
+      recorder->Drop(id);
+      return false;
+    }
+    recorder->EndOp(id, reply);
+  }
+  return true;
+}
+
+}  // namespace memdb::chaos

@@ -135,7 +135,27 @@ Value CmdInfo(Engine& e, const Argv& argv, ExecContext& ctx) {
     out += "# Replication\r\n";
     out += "role:" + srv.role + "\r\n";
     out += "applied_index:" + std::to_string(srv.applied_index) + "\r\n";
-    if (srv.role == "replica") {
+    // Automatic-failover state (§4.1/§4.2): present on every role so a
+    // monitor can watch a promotion progress through replica -> master.
+    // The gauge holds failover::FailoverState; map it back to its name.
+    auto failover_state_name = [](int64_t s) -> const char* {
+      switch (s) {
+        case 1: return "acquiring";
+        case 2: return "holding";
+        case 3: return "monitoring";
+        case 4: return "electing";
+        case 5: return "replaying";
+        case 6: return "fenced";
+        default: return "none";
+      }
+    };
+    out += "master_failover_state:" +
+           std::string(failover_state_name(gauge("failover_state"))) + "\r\n";
+    out += "failovers_total:" + std::to_string(counter("failovers_total")) +
+           "\r\n";
+    out += "last_failover_duration_ms:" +
+           std::to_string(gauge("failover_last_duration_ms")) + "\r\n";
+    if (srv.role == "replica" || srv.role == "fenced") {
       // Link to the transaction log, and how far behind its commit index
       // this replica's applied state is.
       out += "replica_link_status:" +

@@ -1,0 +1,378 @@
+#include "failover/failover_manager.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+namespace memdb::failover {
+
+namespace {
+uint64_t SteadyNowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// CAS-max: liveness evidence only ever pushes a deadline later.
+void StoreMax(std::atomic<uint64_t>* target, uint64_t v) {
+  uint64_t cur = target->load(std::memory_order_acquire);
+  while (cur < v &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+  }
+}
+}  // namespace
+
+const char* FailoverStateName(FailoverState s) {
+  switch (s) {
+    case FailoverState::kIdle:       return "none";
+    case FailoverState::kAcquiring:  return "acquiring";
+    case FailoverState::kHolding:    return "holding";
+    case FailoverState::kMonitoring: return "monitoring";
+    case FailoverState::kElecting:   return "electing";
+    case FailoverState::kReplaying:  return "replaying";
+    case FailoverState::kFenced:     return "fenced";
+  }
+  return "unknown";
+}
+
+FailoverManager::FailoverManager(Options options, MetricsRegistry* registry)
+    : options_(std::move(options)) {
+  if (registry != nullptr) {
+    state_gauge_ = registry->GetGauge("failover_state");
+    failovers_total_ = registry->GetCounter("failovers_total");
+    elections_total_ = registry->GetCounter("failover_elections_total");
+    renewals_total_ = registry->GetCounter("failover_lease_renewals_total");
+    lease_losses_total_ =
+        registry->GetCounter("failover_lease_losses_total");
+    last_duration_ = registry->GetGauge("failover_last_duration_ms");
+    last_detect_ = registry->GetGauge("failover_last_detect_ms");
+    last_lease_ = registry->GetGauge("failover_last_lease_ms");
+    last_replay_ = registry->GetGauge("failover_last_replay_ms");
+    last_promote_ = registry->GetGauge("failover_last_promote_ms");
+    registry->SetHelp("failover_state",
+                      "Failover state machine position (0=none 1=acquiring "
+                      "2=holding 3=monitoring 4=electing 5=replaying "
+                      "6=fenced)");
+    registry->SetHelp("failovers_total",
+                      "Completed automatic promotions on this node");
+    registry->SetHelp("failover_last_duration_ms",
+                      "Last failover: holder-last-alive to serving writes");
+    registry->SetHelp("failover_last_detect_ms",
+                      "Last failover: liveness deadline expiry detection");
+    registry->SetHelp("failover_last_lease_ms",
+                      "Last failover: AcquireLease race until the grant");
+    registry->SetHelp("failover_last_replay_ms",
+                      "Last failover: log replay to the fenced tail");
+    registry->SetHelp("failover_last_promote_ms",
+                      "Last failover: follower teardown + gate start");
+  }
+  // RemoteClient resolves its rpc_* instruments here too — before Start()
+  // spawns the loop thread, so registry mutation stays single-threaded.
+  txlog::RemoteClient::Options copt;
+  copt.writer_id = options_.owner_id;
+  copt.rpc_timeout_ms = options_.rpc_timeout_ms;
+  copt.trace = options_.trace;
+  client_ = std::make_unique<txlog::RemoteClient>(&loop_, options_.endpoints,
+                                                  copt, nullptr);
+}
+
+FailoverManager::~FailoverManager() { Stop(); }
+
+uint64_t FailoverManager::NowMs() const { return SteadyNowMs(); }
+
+Status FailoverManager::Start(bool as_primary, std::function<void()> on_event,
+                              uint64_t acquire_wait_ms) {
+  if (options_.endpoints.empty()) {
+    return Status::InvalidArgument("failover manager needs txlog endpoints");
+  }
+  if (options_.owner_id == 0) {
+    return Status::InvalidArgument("failover manager needs a nonzero owner");
+  }
+  on_event_ = std::move(on_event);
+  as_primary_ = as_primary;
+  MEMDB_RETURN_IF_ERROR(loop_.Start());
+  started_ = true;
+  if (as_primary) {
+    loop_.Post([this] {
+      EnterState(FailoverState::kAcquiring);
+      AcquireTick();
+    });
+    // Startup thread, loop not yet observed by the server: block until the
+    // lease is ours. A live foreign lease holds us at the gate until it
+    // expires — that wait IS the fencing contract for a restarted primary.
+    const uint64_t deadline = NowMs() + acquire_wait_ms;
+    while (state() != FailoverState::kHolding) {
+      if (NowMs() >= deadline) {
+        Stop();
+        return Status::TimedOut("could not acquire the shard lease");
+      }
+      // lint:allow-blocking — Start() runs on the caller thread, not the
+      // manager loop; the poll quantum bounds startup latency only.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  } else {
+    loop_.Post([this] {
+      // Until the first observation, assume the holder was alive "just
+      // now": a replica joining a healthy cluster must not contest, and a
+      // replica joining a dead one detects after duration + grace.
+      StoreMax(&deadline_ms_,
+               NowMs() + options_.lease_duration_ms + options_.grace_ms);
+      t_last_alive_ms_ = NowMs();
+      EnterState(FailoverState::kMonitoring);
+      ScheduleProbe(options_.probe_interval_ms);
+    });
+  }
+  return Status::OK();
+}
+
+void FailoverManager::Stop() {
+  if (!started_) return;
+  started_ = false;
+  stopping_.store(true, std::memory_order_release);
+  client_->Shutdown();
+  loop_.Stop();
+}
+
+void FailoverManager::EnterState(FailoverState next) {
+  loop_.AssertOnLoopThread();
+  state_.store(static_cast<uint8_t>(next), std::memory_order_release);
+  if (state_gauge_ != nullptr) {
+    state_gauge_->Set(static_cast<int64_t>(next));
+  }
+  if (on_event_) on_event_();
+}
+
+void FailoverManager::AcquireTick() {
+  loop_.AssertOnLoopThread();
+  if (stopping_.load(std::memory_order_acquire)) return;
+  // Validity is measured from BEFORE the request leaves: the arbiter's
+  // grant clock starts strictly later, so this horizon is conservative.
+  const uint64_t sent_ms = NowMs();
+  client_->AcquireLease(
+      options_.owner_id, options_.lease_duration_ms, options_.shard_id,
+      [this, sent_ms](const Status& status,
+                      const txlog::rpcwire::LeaseResponse& resp) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        if (status.ok()) {
+          StoreMax(&lease_valid_until_ms_,
+                   sent_ms + options_.lease_duration_ms);
+          replay_target_.store(resp.index, std::memory_order_release);
+          EnterState(FailoverState::kHolding);
+          loop_.After(options_.renew_interval_ms, [this] { RenewTick(); });
+          return;
+        }
+        // Held by someone else (a not-yet-expired predecessor) or the log
+        // group is electing: retry until our Start() deadline gives up.
+        const uint64_t delay =
+            status.IsConditionFailed()
+                ? std::max<uint64_t>(
+                      1, std::min(resp.remaining_ms,
+                                  options_.probe_interval_ms))
+                : options_.retry_backoff_ms;
+        loop_.After(delay, [this] { AcquireTick(); });
+      });
+}
+
+void FailoverManager::RenewTick() {
+  loop_.AssertOnLoopThread();
+  if (stopping_.load(std::memory_order_acquire)) return;
+  const FailoverState s = state();
+  // Renewal runs while holding AND while replaying: a promotion longer than
+  // the lease must not lose the lease mid-replay.
+  if (s != FailoverState::kHolding && s != FailoverState::kReplaying) return;
+  const uint64_t sent_ms = NowMs();
+  client_->RenewLease(
+      options_.owner_id, options_.lease_duration_ms, options_.shard_id,
+      [this, sent_ms](const Status& status,
+                      const txlog::rpcwire::LeaseResponse& resp) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        const FailoverState cur = state();
+        if (cur != FailoverState::kHolding &&
+            cur != FailoverState::kReplaying) {
+          return;
+        }
+        if (status.ok()) {
+          StoreMax(&lease_valid_until_ms_,
+                   sent_ms + options_.lease_duration_ms);
+          if (renewals_total_ != nullptr) renewals_total_->Increment();
+          loop_.After(options_.renew_interval_ms, [this] { RenewTick(); });
+          return;
+        }
+        if (status.IsConditionFailed()) {
+          // Determinate: the lease is not ours (expired, or another owner
+          // took it). A serving primary is fenced — terminal; a replica
+          // mid-replay steps back to monitoring and may race again.
+          if (lease_losses_total_ != nullptr) {
+            lease_losses_total_->Increment();
+          }
+          observed_holder_.store(resp.holder, std::memory_order_release);
+          if (cur == FailoverState::kReplaying) {
+            StoreMax(&deadline_ms_, NowMs() + resp.remaining_ms +
+                                        options_.grace_ms);
+            t_last_alive_ms_ = NowMs();
+            EnterState(FailoverState::kMonitoring);
+            ScheduleProbe(options_.probe_interval_ms);
+          } else {
+            std::fprintf(stderr,
+                         "failover: lease for %s lost to owner %llu; "
+                         "fencing\n",
+                         options_.shard_id.c_str(),
+                         static_cast<unsigned long long>(resp.holder));
+            EnterState(FailoverState::kFenced);
+          }
+          return;
+        }
+        // Indeterminate (log group unreachable): keep trying on a tighter
+        // cadence. If the lease truly lapsed, the next determinate answer
+        // is ConditionFailed and we fence then.
+        loop_.After(options_.retry_backoff_ms, [this] { RenewTick(); });
+      });
+}
+
+void FailoverManager::ScheduleProbe(uint64_t delay_ms) {
+  loop_.AssertOnLoopThread();
+  if (stopping_.load(std::memory_order_acquire)) return;
+  loop_.After(std::max<uint64_t>(1, delay_ms), [this] { ProbeTick(); });
+}
+
+void FailoverManager::ProbeTick() {
+  loop_.AssertOnLoopThread();
+  if (stopping_.load(std::memory_order_acquire)) return;
+  const FailoverState s = state();
+  if (s != FailoverState::kMonitoring && s != FailoverState::kElecting) {
+    return;  // won a lease meanwhile; the renew timer owns the loop now
+  }
+  const uint64_t now = NowMs();
+  const uint64_t deadline = deadline_ms_.load(std::memory_order_acquire);
+  if (now < deadline) {
+    // Holder believed alive; check again when the deadline could pass.
+    t_last_alive_ms_ = now;
+    if (s == FailoverState::kElecting) EnterState(FailoverState::kMonitoring);
+    ScheduleProbe(std::min(options_.probe_interval_ms, deadline - now));
+    return;
+  }
+  if (s == FailoverState::kMonitoring) {
+    // Liveness deadline passed with no kLease observation and no probe
+    // rejection: declare the holder dead and race for the lease. The
+    // AcquireLease below IS the election — txlogd's leader arbitrates.
+    t_detect_ms_ = now;
+    ++failover_seq_;
+    if (elections_total_ != nullptr) elections_total_->Increment();
+    if (options_.trace != nullptr) {
+      options_.trace->Record(
+          MakeTraceId(options_.owner_id, 0xFA000 + failover_seq_),
+          "failover.detect", now * 1000, now - t_last_alive_ms_);
+    }
+    EnterState(FailoverState::kElecting);
+  }
+  const uint64_t sent_ms = now;
+  client_->AcquireLease(
+      options_.owner_id, options_.lease_duration_ms, options_.shard_id,
+      [this, sent_ms](const Status& status,
+                      const txlog::rpcwire::LeaseResponse& resp) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        if (state() != FailoverState::kElecting) return;
+        const uint64_t now = NowMs();
+        if (status.ok()) {
+          // We hold the lease; its grant record at resp.index is the fence.
+          // Every append the old primary could have acked committed below
+          // that index, so it upper-bounds the replay.
+          StoreMax(&lease_valid_until_ms_,
+                   sent_ms + options_.lease_duration_ms);
+          t_lease_won_ms_ = now;
+          replay_target_.store(resp.index, std::memory_order_release);
+          if (options_.trace != nullptr) {
+            options_.trace->Record(
+                MakeTraceId(options_.owner_id, 0xFA000 + failover_seq_),
+                "failover.lease", now * 1000, resp.index);
+          }
+          EnterState(FailoverState::kReplaying);
+          loop_.After(options_.renew_interval_ms, [this] { RenewTick(); });
+          return;
+        }
+        if (status.IsConditionFailed()) {
+          // Someone is alive after all (a late renewal, or another replica
+          // beat us): fall back to monitoring the winner.
+          observed_holder_.store(resp.holder, std::memory_order_release);
+          StoreMax(&deadline_ms_,
+                   now + resp.remaining_ms + options_.grace_ms);
+          t_last_alive_ms_ = now;
+          EnterState(FailoverState::kMonitoring);
+          ScheduleProbe(options_.probe_interval_ms);
+          return;
+        }
+        // txlogd quorum unavailable (likely electing its own leader):
+        // retry — detection stands, the race just waits for the arbiter.
+        ScheduleProbe(options_.retry_backoff_ms);
+      });
+}
+
+void FailoverManager::NoteExternallyFenced() {
+  loop_.Post([this] {
+    const FailoverState s = state();
+    if (s == FailoverState::kFenced || s == FailoverState::kIdle) return;
+    if (lease_losses_total_ != nullptr) lease_losses_total_->Increment();
+    EnterState(FailoverState::kFenced);
+  });
+}
+
+void FailoverManager::NoteLeaseObserved(uint64_t owner, uint64_t duration_ms) {
+  // Server loop thread: a committed kLease record is proof the holder was
+  // alive when the grant/renewal committed — at most one feed delay ago.
+  observed_holder_.store(owner, std::memory_order_release);
+  StoreMax(&deadline_ms_, NowMs() + duration_ms + options_.grace_ms);
+}
+
+void FailoverManager::NoteReplayReached() {
+  loop_.Post([this, now = NowMs()] {
+    if (state() != FailoverState::kReplaying) return;
+    if (last_replay_ != nullptr && now >= t_lease_won_ms_) {
+      last_replay_->Set(static_cast<int64_t>(now - t_lease_won_ms_));
+    }
+    if (options_.trace != nullptr) {
+      options_.trace->Record(
+          MakeTraceId(options_.owner_id, 0xFA000 + failover_seq_),
+          "failover.replay", now * 1000,
+          replay_target_.load(std::memory_order_acquire));
+    }
+    // Stash the stamp in t_detect-relative terms via t_lease_won: promote
+    // time is measured from here in ConfirmPromoted.
+    t_lease_won_ms_ = t_lease_won_ms_ == 0 ? now : t_lease_won_ms_;
+    replay_done_ms_ = now;
+  });
+}
+
+void FailoverManager::ConfirmPromoted() {
+  loop_.Post([this, now = NowMs()] {
+    if (state() != FailoverState::kReplaying) return;
+    if (failovers_total_ != nullptr) failovers_total_->Increment();
+    if (last_duration_ != nullptr && t_last_alive_ms_ != 0) {
+      last_duration_->Set(static_cast<int64_t>(now - t_last_alive_ms_));
+    }
+    if (last_detect_ != nullptr && t_detect_ms_ >= t_last_alive_ms_) {
+      last_detect_->Set(static_cast<int64_t>(t_detect_ms_ - t_last_alive_ms_));
+    }
+    if (last_lease_ != nullptr && t_lease_won_ms_ >= t_detect_ms_) {
+      last_lease_->Set(static_cast<int64_t>(t_lease_won_ms_ - t_detect_ms_));
+    }
+    const uint64_t replay_done =
+        replay_done_ms_ != 0 ? replay_done_ms_ : now;
+    if (last_promote_ != nullptr && now >= replay_done) {
+      last_promote_->Set(static_cast<int64_t>(now - replay_done));
+    }
+    if (options_.trace != nullptr) {
+      options_.trace->Record(
+          MakeTraceId(options_.owner_id, 0xFA000 + failover_seq_),
+          "failover.promote", now * 1000, now - t_last_alive_ms_);
+    }
+    replay_done_ms_ = 0;
+    as_primary_ = true;
+    EnterState(FailoverState::kHolding);
+    // The renew timer armed at lease-won keeps running; nothing to start.
+  });
+}
+
+}  // namespace memdb::failover

@@ -1,0 +1,205 @@
+// FailoverManager: the §4.1/§4.2 availability machinery, per database node.
+// Every node — primary and replica alike — runs one, talking to the same
+// txlogd group that carries the data plane:
+//
+//   * A primary acquires the shard's fenced lease before serving and renews
+//     it on a timer. A renewal rejected with ConditionFailed means another
+//     node owns the lease (or ours expired unobserved): the node is FENCED
+//     and must stop acking writes — the embedding RespServer demotes.
+//   * A replica monitors the holder: committed kLease records riding the
+//     follower feed refresh the liveness deadline, and when the deadline
+//     passes the replica races AcquireLease. Contention is the probe — while
+//     the holder is alive the call is a harmless ConditionFailed carrying
+//     holder + remaining_ms; the first caller after true expiry wins.
+//   * The winner's grant record sits at log index L. Every old-primary
+//     append that could have been acked committed strictly below L (acks
+//     require quorum commit, and commit order is index order — our grant
+//     committing implies everything below it did first), so replaying the
+//     feed to L covers every acked write. The manager publishes L as the
+//     replay target; the embedding server replays to it, flips to serving
+//     primary, and confirms — at which point the manager switches to
+//     renewal duty for the new primary.
+//
+// Threading: the manager owns an rpc::LoopThread running a
+// txlog::RemoteClient; all lease traffic and timers live there. The
+// embedding server reads state()/replay_target() and calls
+// NoteLeaseObserved()/ConfirmPromoted() from its own loop thread — the
+// bridge is acquire/release atomics plus an on_event wakeup.
+//
+// State machine (see DESIGN.md §11):
+//
+//           as_primary                    as replica
+//   kAcquiring ──ok──► kHolding    kMonitoring ◄─deadline refreshed─┐
+//        │                ▲              │ deadline passed          │
+//        │                │              ▼                          │
+//        │       ConfirmPromoted()   kElecting ──ConditionFailed────┘
+//        │                │              │ kOk (lease won, index L)
+//        │                │              ▼
+//        │                └───────── kReplaying ──renew lost──► kMonitoring
+//        │ renew ConditionFailed         (server replays to L, promotes)
+//        ▼
+//     kFenced  (terminal: restart the process to rejoin as a replica)
+
+#ifndef MEMDB_FAILOVER_FAILOVER_MANAGER_H_
+#define MEMDB_FAILOVER_FAILOVER_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/trace.h"
+#include "rpc/loop.h"
+#include "txlog/remote_client.h"
+
+namespace memdb::failover {
+
+// Integer values are stable: INFO/METRICS expose failover_state as this
+// enum and engine/commands_server.cc maps it back to a name.
+enum class FailoverState : uint8_t {
+  kIdle = 0,        // manager not started (failover disabled)
+  kAcquiring = 1,   // primary startup: acquiring the initial lease
+  kHolding = 2,     // lease held; renewing on a timer
+  kMonitoring = 3,  // replica: holder believed alive
+  kElecting = 4,    // replica: holder deadline passed; racing AcquireLease
+  kReplaying = 5,   // lease won; waiting for the server to replay to L
+  kFenced = 6,      // lease lost to another owner (terminal for a primary)
+};
+
+const char* FailoverStateName(FailoverState s);
+
+class FailoverManager {
+ public:
+  struct Options {
+    std::vector<std::string> endpoints;  // txlogd group (host:port each)
+    std::string shard_id = "shard-0";
+    uint64_t owner_id = 0;          // this node's writer id == lease owner
+    uint64_t lease_duration_ms = 1500;
+    uint64_t renew_interval_ms = 500;   // holder renews this often
+    uint64_t probe_interval_ms = 300;   // replica liveness-check cadence
+    // Slack added to every liveness deadline: absorbs renewal jitter and
+    // the probe quantum so a healthy holder is never contested.
+    uint64_t grace_ms = 300;
+    uint64_t rpc_timeout_ms = 300;
+    uint64_t retry_backoff_ms = 100;  // after Unavailable/TimedOut
+    // Optional: failover.* spans land here (owned by the embedding server).
+    TraceLog* trace = nullptr;
+  };
+
+  // Instruments resolve from `registry` at construction (with # HELP text),
+  // before any loop thread exists.
+  FailoverManager(Options options, MetricsRegistry* registry);
+  ~FailoverManager();
+  FailoverManager(const FailoverManager&) = delete;
+  FailoverManager& operator=(const FailoverManager&) = delete;
+
+  // as_primary: acquire the lease before returning OK (bounded by
+  // acquire_wait_ms; a held foreign lease blocks startup until it expires,
+  // which is exactly the fencing contract). as_primary false starts the
+  // replica-side monitor and returns immediately. on_event fires (from the
+  // manager thread) on every state transition; wire it to the embedding
+  // server's EventLoop::Wakeup.
+  Status Start(bool as_primary, std::function<void()> on_event,
+               uint64_t acquire_wait_ms = 30000);
+  void Stop();
+
+  FailoverState state() const {
+    return static_cast<FailoverState>(state_.load(std::memory_order_acquire));
+  }
+  // Valid once state() == kReplaying: log index of our lease grant — the
+  // replay target that upper-bounds every possibly-acked old-primary write.
+  uint64_t replay_target() const {
+    return replay_target_.load(std::memory_order_acquire);
+  }
+  // Holder/remaining as of the last probe rejection (diagnostics).
+  uint64_t observed_holder() const {
+    return observed_holder_.load(std::memory_order_acquire);
+  }
+
+  // True while this node's lease is provably unexpired on the arbiter's
+  // clock — the §4.2 condition for serving linearizable reads without a log
+  // round-trip. Conservative: validity is stamped from the moment each
+  // acquire/renew was SENT (the arbiter grants from its own, strictly
+  // later, receive time), so a true answer here means no other owner can
+  // have been granted the lease yet. A zombie resumed after SIGSTOP fails
+  // this check immediately, before any renewal RPC gets the chance to
+  // discover the loss.
+  bool LeaseValidNow() const {
+    return NowMs() < lease_valid_until_ms_.load(std::memory_order_acquire);
+  }
+
+  // Embedding-server thread: a committed kLease record for our shard was
+  // applied from the follower feed — the holder proved liveness as of now.
+  void NoteLeaseObserved(uint64_t owner, uint64_t duration_ms);
+
+  // Embedding-server thread: applied_index reached the replay target;
+  // promotion work (follower teardown, gate start) begins now. Stamps the
+  // failover.replay span so replay and promote attribute separately.
+  void NoteReplayReached();
+
+  // Embedding-server thread: replay reached the target and the node now
+  // serves writes. Records the failover.promote span, bumps
+  // failovers_total / failover_last_*_ms, and switches to renewal duty.
+  void ConfirmPromoted();
+
+  // Embedding-server thread: the fenced gate hit a foreign record before a
+  // renewal could learn the loss — force the terminal state so INFO/METRICS
+  // agree with the gate.
+  void NoteExternallyFenced();
+
+  txlog::RemoteClient* client() { return client_.get(); }
+
+ private:
+  // Manager-loop-thread only.
+  void AcquireTick();
+  void RenewTick();
+  void ProbeTick();
+  void ScheduleProbe(uint64_t delay_ms);
+  void EnterState(FailoverState next);
+  uint64_t NowMs() const;
+
+  Options options_;
+  rpc::LoopThread loop_;
+  std::unique_ptr<txlog::RemoteClient> client_;
+  std::function<void()> on_event_;
+  bool started_ = false;
+  bool as_primary_ = false;
+
+  Gauge* state_gauge_ = nullptr;
+  Counter* failovers_total_ = nullptr;
+  Counter* elections_total_ = nullptr;
+  Counter* renewals_total_ = nullptr;
+  Counter* lease_losses_total_ = nullptr;
+  Gauge* last_duration_ = nullptr;
+  Gauge* last_detect_ = nullptr;
+  Gauge* last_lease_ = nullptr;
+  Gauge* last_replay_ = nullptr;
+  Gauge* last_promote_ = nullptr;
+
+  std::atomic<uint8_t> state_{static_cast<uint8_t>(FailoverState::kIdle)};
+  std::atomic<uint64_t> replay_target_{0};
+  // Lease validity horizon: send-time of the last granted acquire/renew plus
+  // the lease duration (see LeaseValidNow).
+  std::atomic<uint64_t> lease_valid_until_ms_{0};
+  std::atomic<uint64_t> observed_holder_{0};
+  // Holder liveness deadline (steady ms). Written by NoteLeaseObserved
+  // (server thread) and probe rejections (manager thread); monotonic
+  // max keeps the later evidence.
+  std::atomic<uint64_t> deadline_ms_{0};
+
+  // Manager-loop-thread state: per-failover stage stamps (steady ms).
+  uint64_t t_last_alive_ms_ = 0;   // last evidence the holder lived
+  uint64_t t_detect_ms_ = 0;       // deadline declared passed
+  uint64_t t_lease_won_ms_ = 0;    // AcquireLease returned kOk
+  uint64_t replay_done_ms_ = 0;    // applied_index reached the target
+  uint64_t failover_seq_ = 0;      // per-process ordinal, keys trace ids
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace memdb::failover
+
+#endif  // MEMDB_FAILOVER_FAILOVER_MANAGER_H_

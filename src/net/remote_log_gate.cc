@@ -51,6 +51,13 @@ Status RemoteLogGate::Start(std::function<void()> on_complete) {
   on_complete_ = std::move(on_complete);
   loop_.Start();
   started_ = true;
+  if (options_.fence) {
+    // Learn the chain position before the first append. No gap scan: this
+    // writer has appended nothing yet, and its claim to the tail is the
+    // shard lease it acquired before the gate started (§4.1).
+    loop_.Post([this] { ResolveChain(/*scan_gap=*/false,
+                                     /*reissue_after=*/false); });
+  }
   if (options_.tail_poll_ms > 0) {
     loop_.Post([this] { ScheduleTailPoll(); });
   }
@@ -93,6 +100,13 @@ std::vector<RemoteLogGate::Completion> RemoteLogGate::DrainCompletions() {
 void RemoteLogGate::Pump() {
   loop_.AssertOnLoopThread();
   if (append_inflight_ || queue_.empty()) return;
+  if (options_.fence) {
+    if (fenced_.load(std::memory_order_acquire)) {
+      EnterFenced();  // drains whatever queued after the fence landed
+      return;
+    }
+    if (!prev_known_) return;  // ResolveChain() re-pumps once learned
+  }
   PendingAppend p = std::move(queue_.front());
   queue_.pop_front();
   if (queue_depth_ != nullptr) {
@@ -129,22 +143,21 @@ void RemoteLogGate::Pump() {
     // serialization queue — the head-of-line wait group commit would batch.
     options_.trace->Record(record.trace_id, "gate.append.issue", NowUs(), seq);
   }
-  client_->Append(txlog::wire::kUnconditional, std::move(record),
+  inflight_seq_ = seq;
+  inflight_internal_ = internal;
+  if (options_.fence) inflight_record_ = record;  // kept for re-issue
+  const uint64_t prev =
+      options_.fence ? prev_index_ : txlog::wire::kUnconditional;
+  client_->Append(prev, std::move(record),
                   [this, seq, internal](const Status& status, uint64_t index) {
                     OnAppendDone(seq, internal, status, index);
                   });
 }
 
-void RemoteLogGate::OnAppendDone(uint64_t seq, bool internal,
-                                 const Status& status, uint64_t index) {
+void RemoteLogGate::CompleteAppend(uint64_t seq, bool internal,
+                                   const Status& status, uint64_t index) {
   loop_.AssertOnLoopThread();
-  append_inflight_ = false;
-  if (internal) {
-    // A failed checksum append just thins the chain; the value travels in
-    // the payload, so consumers stay consistent either way.
-    Pump();
-    return;
-  }
+  if (internal) return;  // checksum records are invisible to completions
   if (!status.ok() && appends_failed_ != nullptr) appends_failed_->Increment();
   {
     MutexLock lock(&done_mu_);
@@ -156,7 +169,197 @@ void RemoteLogGate::OnAppendDone(uint64_t seq, bool internal,
   }
   completed_.fetch_add(1, std::memory_order_acq_rel);
   if (on_complete_) on_complete_();
+}
+
+void RemoteLogGate::OnAppendDone(uint64_t seq, bool internal,
+                                 const Status& status, uint64_t index) {
+  loop_.AssertOnLoopThread();
+  if (options_.fence && !status.ok() &&
+      !stopping_.load(std::memory_order_acquire)) {
+    if (status.IsConditionFailed()) {
+      // Determinate: nothing was appended — the tail moved past our chain
+      // position. The gap decides: a foreign record fences us; benign
+      // movement (kNoop barriers, our own lease renewals) re-chains and
+      // re-issues this same append. append_inflight_ stays true throughout.
+      ResolveChain(/*scan_gap=*/true, /*reissue_after=*/true);
+      return;
+    }
+    // Indeterminate (timeout after retries) or unavailable: the record may
+    // or may not have landed, so the chain position is lost. Report the
+    // failure (the server fails that client), then re-learn the tail WITH
+    // a gap scan — a foreign grant could hide in the unobserved window.
+    append_inflight_ = false;
+    prev_known_ = false;
+    CompleteAppend(seq, internal, status, index);
+    ResolveChain(/*scan_gap=*/true, /*reissue_after=*/false);
+    return;
+  }
+  append_inflight_ = false;
+  if (options_.fence && status.ok()) prev_index_ = index;
+  if (internal) {
+    // A failed checksum append just thins the chain; the value travels in
+    // the payload, so consumers stay consistent either way.
+    Pump();
+    return;
+  }
+  CompleteAppend(seq, internal, status, index);
   Pump();
+}
+
+void RemoteLogGate::ReissueInflight() {
+  loop_.AssertOnLoopThread();
+  if (stopping_.load(std::memory_order_acquire)) return;
+  // The rejected attempt determinately did not append; a fresh request id
+  // keeps the dedup table clean. The running checksum must NOT re-advance —
+  // this record's payload was folded in when it first left the queue.
+  txlog::LogRecord record = inflight_record_;
+  record.request_id = 0;
+  const uint64_t seq = inflight_seq_;
+  const bool internal = inflight_internal_;
+  client_->Append(prev_index_, std::move(record),
+                  [this, seq, internal](const Status& status, uint64_t index) {
+                    OnAppendDone(seq, internal, status, index);
+                  });
+}
+
+bool RemoteLogGate::ForeignRecord(const txlog::LogEntry& entry) const {
+  const txlog::LogRecord& rec = entry.record;
+  // txlogd's own barriers (kNoop) carry writer 0; everything a database
+  // node wrote — data, checksum, lease records — carries its writer id.
+  if (rec.writer == 0 || rec.writer == options_.writer_id) return false;
+  if (rec.type == txlog::RecordType::kLease && !options_.shard_id.empty()) {
+    txlog::rpcwire::LeaseGrant grant;
+    if (txlog::rpcwire::LeaseGrant::Decode(Slice(rec.payload), &grant) &&
+        grant.shard_id != options_.shard_id) {
+      return false;  // another shard's lease traffic sharing the log
+    }
+  }
+  return true;
+}
+
+void RemoteLogGate::ScanGap(uint64_t from, uint64_t tail,
+                            std::function<void()> on_benign) {
+  loop_.AssertOnLoopThread();
+  if (stopping_.load(std::memory_order_acquire)) return;
+  if (from > tail) {
+    on_benign();
+    return;
+  }
+  client_->Read(
+      from, /*max_count=*/256, /*wait_ms=*/0,
+      [this, from, tail, on_benign = std::move(on_benign)](
+          const Status& status,
+          const txlog::wire::ClientReadResponse& resp) mutable {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        if (!status.ok()) {
+          loop_.After(options_.backoff_base_ms,
+                      [this, from, tail, on_benign = std::move(on_benign)]()
+                          mutable { ScanGap(from, tail, std::move(on_benign)); });
+          return;
+        }
+        uint64_t next = from;
+        if (resp.entries.empty()) {
+          if (resp.first_index > from) {
+            // The gap prefix was trimmed behind a durable snapshot. Trim
+            // only covers committed history old enough to be snapshotted,
+            // which cannot include a fencing grant newer than our last
+            // successful append: skip past it.
+            next = resp.first_index;
+          } else {
+            // Committed (ResolveChain scans only after commit caught the
+            // tail) yet unreadable: transient — retry.
+            loop_.After(options_.backoff_base_ms,
+                        [this, from, tail, on_benign = std::move(on_benign)]()
+                            mutable {
+                          ScanGap(from, tail, std::move(on_benign));
+                        });
+            return;
+          }
+        }
+        for (const txlog::LogEntry& e : resp.entries) {
+          if (e.index > tail) break;
+          if (ForeignRecord(e)) {
+            std::fprintf(stderr,
+                         "remote-log-gate: foreign record (writer %llu, "
+                         "type %u) at log index %llu — fenced\n",
+                         static_cast<unsigned long long>(e.record.writer),
+                         static_cast<unsigned>(e.record.type),
+                         static_cast<unsigned long long>(e.index));
+            fenced_by_.store(e.record.writer, std::memory_order_release);
+            EnterFenced();
+            return;
+          }
+          next = e.index + 1;
+        }
+        if (next > tail) {
+          on_benign();
+        } else {
+          ScanGap(next, tail, std::move(on_benign));
+        }
+      });
+}
+
+void RemoteLogGate::ResolveChain(bool scan_gap, bool reissue_after) {
+  loop_.AssertOnLoopThread();
+  if (stopping_.load(std::memory_order_acquire)) return;
+  if (fenced_.load(std::memory_order_acquire)) {
+    EnterFenced();
+    return;
+  }
+  client_->Tail([this, scan_gap, reissue_after](
+                    const Status& status,
+                    const txlog::wire::ClientTailResponse& resp) {
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (!status.ok()) {
+      loop_.After(options_.backoff_base_ms, [this, scan_gap, reissue_after] {
+        ResolveChain(scan_gap, reissue_after);
+      });
+      return;
+    }
+    if (scan_gap && resp.commit_index < resp.last_index) {
+      // An uncommitted suffix could hide a foreign lease grant mid-commit.
+      // Adopting the tail now would let a zombie append chain PAST that
+      // grant — exactly the split-brain fencing must prevent. Wait until
+      // the suffix resolves (commits, or is discarded by a leader change),
+      // then scan a fully-readable gap.
+      loop_.After(options_.backoff_base_ms, [this, scan_gap, reissue_after] {
+        ResolveChain(scan_gap, reissue_after);
+      });
+      return;
+    }
+    const uint64_t tail = resp.last_index;
+    const auto adopt = [this, tail, reissue_after] {
+      prev_index_ = tail;
+      prev_known_ = true;
+      if (reissue_after) {
+        ReissueInflight();
+      } else {
+        Pump();
+      }
+    };
+    if (scan_gap && tail > prev_index_) {
+      ScanGap(prev_index_ + 1, tail, adopt);
+    } else {
+      adopt();
+    }
+  });
+}
+
+void RemoteLogGate::EnterFenced() {
+  loop_.AssertOnLoopThread();
+  fenced_.store(true, std::memory_order_release);
+  const Status fenced =
+      Status::ConditionFailed("fenced: this writer lost the shard lease");
+  if (append_inflight_) {
+    append_inflight_ = false;
+    CompleteAppend(inflight_seq_, inflight_internal_, fenced, 0);
+  }
+  while (!queue_.empty()) {
+    PendingAppend p = std::move(queue_.front());
+    queue_.pop_front();
+    CompleteAppend(p.seq, p.internal, fenced, 0);
+  }
+  if (queue_depth_ != nullptr) queue_depth_->Set(0);
 }
 
 void RemoteLogGate::ScheduleTailPoll() {

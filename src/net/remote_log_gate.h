@@ -56,6 +56,19 @@ class RemoteLogGate {
     // Poll txlog.Tail every N ms for commit index + observable consumer
     // count (repl_log_consumers / txlog_tail_commit_index gauges); 0 = off.
     uint64_t tail_poll_ms = 0;
+    // Fenced appends (§4.1): chain every append on the previous one's index
+    // (prev_index conditional) instead of kUnconditional. On a stale
+    // precondition the gate reads the gap: benign tail movement (kNoop
+    // election barriers, this writer's own lease renewals) re-chains and
+    // retries; a foreign writer's record — another primary's data append or
+    // a lease grant to a different owner — means this node lost the shard
+    // lease, and the gate goes terminally fenced: the in-flight append and
+    // everything queued fail with ConditionFailed, and the embedding server
+    // demotes. Off (default) preserves the pre-failover unconditional path.
+    bool fence = false;
+    // With fence: kLease records for a different shard are benign (multi-
+    // shard logs). Empty matches every shard (single-shard deployments).
+    std::string shard_id;
     // Optional write-path tracing: the gate records gate.append.issue when
     // an append actually goes on the wire, and the RemoteClient's channels
     // record rpc.send/rpc.recv. Owned by the embedding RespServer.
@@ -95,6 +108,15 @@ class RemoteLogGate {
   }
   size_t replica_count() const { return options_.endpoints.size(); }
 
+  // Fence mode only (thread-safe): true once a foreign record proved this
+  // node lost the shard lease. Terminal — every subsequent append fails.
+  bool fenced() const { return fenced_.load(std::memory_order_acquire); }
+  // Writer id of the foreign record that fenced us (0 until fenced, or if
+  // fencing came from a ConditionFailed append rather than a gap scan).
+  uint64_t fenced_by() const {
+    return fenced_by_.load(std::memory_order_acquire);
+  }
+
   // Test access to the underlying client (backoff hook, sync reads).
   txlog::RemoteClient* client() { return client_.get(); }
 
@@ -113,6 +135,22 @@ class RemoteLogGate {
   void OnAppendDone(uint64_t seq, bool internal, const Status& status,
                     uint64_t index);
   void ScheduleTailPoll();
+  // Fence machinery (gate-loop thread): (re)learn the chain position from
+  // txlog.Tail; scan_gap additionally classifies (prev, tail] — required
+  // whenever the tail moved while this writer wasn't looking (a stale
+  // precondition, or an indeterminate append). Scans wait for the commit
+  // index to catch the tail first, so a mid-commit foreign grant cannot be
+  // chained past. reissue_after re-sends the still-in-flight record once
+  // the chain is re-learned (ConditionFailed path); otherwise Pump resumes.
+  void ResolveChain(bool scan_gap, bool reissue_after);
+  // Classify [from, tail]; benign -> on_benign(), foreign -> EnterFenced().
+  void ScanGap(uint64_t from, uint64_t tail, std::function<void()> on_benign);
+  bool ForeignRecord(const txlog::LogEntry& entry) const;
+  // Terminal: fail the in-flight append (if any) and everything queued.
+  void EnterFenced();
+  void CompleteAppend(uint64_t seq, bool internal, const Status& status,
+                      uint64_t index);
+  void ReissueInflight();
 
   Options options_;
   rpc::LoopThread loop_;
@@ -130,6 +168,15 @@ class RemoteLogGate {
   // Gate-loop-thread state (thread-affine, no lock; see Pump/OnAppendDone).
   std::deque<PendingAppend> queue_;
   bool append_inflight_ = false;
+  // --- fence-mode chain state (gate-loop thread) ---------------------------
+  bool prev_known_ = false;    // chain position learned from txlog.Tail
+  uint64_t prev_index_ = 0;    // last index this writer observed/appended
+  // Copy of the record on the wire, for re-issue after a benign race.
+  txlog::LogRecord inflight_record_;
+  uint64_t inflight_seq_ = 0;
+  bool inflight_internal_ = false;
+  std::atomic<bool> fenced_{false};
+  std::atomic<uint64_t> fenced_by_{0};
   // Running CRC64 over data payloads in submission order — which equals log
   // order, because appends are strictly serialized.
   uint64_t running_checksum_ = 0;

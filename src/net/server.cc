@@ -14,6 +14,7 @@
 #include "common/trace_export.h"
 #include "replication/snapshot_store.h"
 #include "storage/fs_object_store.h"
+#include "txlog/rpc_wire.h"
 
 namespace memdb::net {
 
@@ -144,6 +145,32 @@ Status RespServer::Start() {
         static_cast<unsigned long long>(rr.checksum_records_verified),
         static_cast<unsigned long long>(rr.applied_index));
   }
+  role_ = config_.replica_of_log.empty() ? ServerRole::kPrimary
+                                         : ServerRole::kReplica;
+  if (config_.failover) {
+    if (config_.txlog_endpoints.empty() && config_.replica_of_log.empty()) {
+      return Status::InvalidArgument(
+          "failover requires txlog_endpoints or replica_of_log");
+    }
+    failover::FailoverManager::Options mo;
+    mo.endpoints = role_ == ServerRole::kReplica ? config_.replica_of_log
+                                                 : config_.txlog_endpoints;
+    mo.shard_id = config_.shard_id;
+    mo.owner_id = config_.txlog_writer_id;
+    mo.lease_duration_ms = config_.lease_duration_ms;
+    mo.renew_interval_ms = config_.lease_renew_ms;
+    mo.probe_interval_ms = config_.failover_probe_ms;
+    mo.grace_ms = config_.failover_grace_ms;
+    mo.rpc_timeout_ms = config_.txlog_rpc_timeout_ms;
+    mo.trace = &trace_;
+    failover_ =
+        std::make_unique<failover::FailoverManager>(std::move(mo), &metrics_);
+    // A primary blocks here until the shard lease is held: serving writes
+    // without the lease would defeat the §4.1 fencing contract.
+    MEMDB_RETURN_IF_ERROR(failover_->Start(role_ == ServerRole::kPrimary,
+                                           [this] { loop_.Wakeup(); },
+                                           config_.lease_acquire_wait_ms));
+  }
   if (!config_.txlog_endpoints.empty()) {
     RemoteLogGate::Options gopt;
     gopt.endpoints = config_.txlog_endpoints;
@@ -155,9 +182,12 @@ Status RespServer::Start() {
     gopt.checksum_every = config_.txlog_checksum_every;
     gopt.checksum_seed = repl_running_checksum_;
     gopt.tail_poll_ms = config_.txlog_tail_poll_ms;
+    gopt.fence = config_.failover;
+    gopt.shard_id = config_.shard_id;
     gopt.trace = &trace_;
     // Instruments resolve into metrics_ here, before the loop thread exists.
     gate_ = std::make_unique<RemoteLogGate>(std::move(gopt), &metrics_);
+    gate_for_drain_.store(gate_.get(), std::memory_order_release);
     MEMDB_RETURN_IF_ERROR(gate_->Start([this] { loop_.Wakeup(); }));
   }
   if (!config_.replica_of_log.empty()) {
@@ -183,12 +213,16 @@ Status RespServer::Start() {
 
 void RespServer::Stop() {
   if (!started_) return;
-  if (gate_ != nullptr) {
+  // gate_ itself mutates on the loop thread (promotion/demotion); the
+  // atomic mirror is the only safe cross-thread view of it.
+  RemoteLogGate* drain_gate =
+      gate_for_drain_.load(std::memory_order_acquire);
+  if (drain_gate != nullptr) {
     // Drain: leave the loop running until every in-flight append completed
     // and every parked reply was released (or the deadline passes — e.g.
     // the log group lost its quorum).
     const uint64_t deadline = NowMs() + config_.shutdown_drain_ms;
-    while ((gate_->inflight() > 0 ||
+    while ((drain_gate->inflight() > 0 ||
             held_atomic_.load(std::memory_order_acquire) > 0) &&
            NowMs() < deadline) {
       loop_.Wakeup();
@@ -200,7 +234,9 @@ void RespServer::Stop() {
   loop_.Wakeup();
   if (loop_thread_.joinable()) loop_thread_.join();
   started_ = false;
+  if (failover_ != nullptr) failover_->Stop();
   if (gate_ != nullptr) gate_->Stop();
+  if (retired_gate_ != nullptr) retired_gate_->Stop();
   if (follower_ != nullptr) follower_->Stop();
   // The loop has exited: tear down every connection and the accept socket.
   for (auto& [ptr, owned] : connections_) owned->Close();
@@ -291,6 +327,16 @@ void RespServer::ApplyFollowerEntries(uint64_t now_ms) {
                      "at log index %llu\n",
                      static_cast<unsigned long long>(e.index));
       }
+    } else if (e.record.type == txlog::RecordType::kLease &&
+               failover_ != nullptr) {
+      // A committed lease grant/renewal is the holder's liveness heartbeat
+      // riding the data plane (§4.2): refresh the monitor's deadline.
+      txlog::rpcwire::LeaseGrant grant;
+      if (txlog::rpcwire::LeaseGrant::Decode(Slice(e.record.payload),
+                                             &grant) &&
+          grant.shard_id == config_.shard_id) {
+        failover_->NoteLeaseObserved(grant.owner, grant.duration_ms);
+      }
     }
     server_info_.applied_index = e.index;
   }
@@ -298,6 +344,144 @@ void RespServer::ApplyFollowerEntries(uint64_t now_ms) {
   repl_bytes_applied_->Increment(bytes);
   repl_applied_gauge_->Set(static_cast<int64_t>(server_info_.applied_index));
   follower_->NoteApplied(server_info_.applied_index);
+}
+
+void RespServer::MaintainFailover(uint64_t now_ms) {
+  loop_affinity_.AssertHeldThread();
+  (void)now_ms;
+  if (failover_ == nullptr) return;
+  const failover::FailoverState fs = failover_->state();
+  switch (role_) {
+    case ServerRole::kReplica:
+      if (fs == failover::FailoverState::kReplaying) {
+        role_ = ServerRole::kPromoting;
+        std::fprintf(
+            stderr,
+            "memorydb-server: shard lease won at log index %llu; replaying "
+            "the committed tail before serving writes\n",
+            static_cast<unsigned long long>(failover_->replay_target()));
+      }
+      break;
+    case ServerRole::kPromoting: {
+      if (fs == failover::FailoverState::kMonitoring ||
+          fs == failover::FailoverState::kElecting) {
+        // Lost the lease again before replay finished: back to replica.
+        role_ = ServerRole::kReplica;
+        break;
+      }
+      if (fs != failover::FailoverState::kReplaying) break;
+      // Promotion gates on the replay target: every append the old primary
+      // could have acked committed strictly below our grant index, so once
+      // applied_index reaches it, no acked write can be missing (§4.1).
+      if (server_info_.applied_index >= failover_->replay_target()) {
+        PromoteToPrimary();
+      }
+      break;
+    }
+    case ServerRole::kPrimary:
+      // Either signal proves the lease is gone: a rejected renewal, or the
+      // fenced gate hitting a foreign record in its append chain.
+      if (fs == failover::FailoverState::kFenced ||
+          (gate_ != nullptr && gate_->fenced())) {
+        if (fs != failover::FailoverState::kFenced) {
+          failover_->NoteExternallyFenced();
+        }
+        DemoteFenced();
+      }
+      break;
+    case ServerRole::kFenced:
+      break;
+  }
+}
+
+void RespServer::PromoteToPrimary() {
+  loop_affinity_.AssertHeldThread();
+  failover_->NoteReplayReached();
+  // Tear down the follower: entries past the replay target are only lease
+  // renewals (no data record can commit above our grant — fencing), so
+  // dropping the undrained feed loses nothing.
+  // lint:allow-blocking — Stop joins the follower's loop thread; promotion
+  // is a once-per-failover event and the stall is part of measured MTTR.
+  follower_->Stop();
+  follower_.reset();
+  RemoteLogGate::Options gopt;
+  gopt.endpoints = config_.replica_of_log;
+  gopt.writer_id = config_.txlog_writer_id;
+  gopt.rpc_timeout_ms = config_.txlog_rpc_timeout_ms;
+  gopt.backoff_base_ms = config_.txlog_backoff_base_ms;
+  gopt.backoff_cap_ms = config_.txlog_backoff_cap_ms;
+  gopt.max_attempts = config_.txlog_max_attempts;
+  gopt.checksum_every = config_.txlog_checksum_every;
+  // The replica-side chain verified through applied_index seeds the
+  // primary-side chain: the §7.2.1 checksum survives the failover.
+  gopt.checksum_seed = repl_running_checksum_;
+  gopt.tail_poll_ms = config_.txlog_tail_poll_ms;
+  gopt.fence = true;
+  gopt.shard_id = config_.shard_id;
+  gopt.trace = &trace_;
+  gate_ = std::make_unique<RemoteLogGate>(std::move(gopt), &metrics_);
+  gate_for_drain_.store(gate_.get(), std::memory_order_release);
+  const Status st = gate_->Start([this] { loop_.Wakeup(); });
+  if (!st.ok()) {
+    // Endpoints are non-empty (we were following them), so this is a local
+    // resource failure; without a gate this node cannot serve writes.
+    std::fprintf(stderr, "memorydb-server: promotion gate start failed: %s\n",
+                 st.ToString().c_str());
+    gate_for_drain_.store(nullptr, std::memory_order_release);
+    gate_.reset();
+    return;
+  }
+  role_ = ServerRole::kPrimary;
+  server_info_.role = "master";
+  failover_->ConfirmPromoted();
+  std::fprintf(stderr,
+               "memorydb-server: promoted to primary (applied index %llu)\n",
+               static_cast<unsigned long long>(server_info_.applied_index));
+}
+
+void RespServer::DemoteFenced() {
+  loop_affinity_.AssertHeldThread();
+  role_ = ServerRole::kFenced;
+  server_info_.role = "fenced";
+  // Every parked reply waits on durability that can never be acknowledged
+  // by this node again: fail them and hang up, Redis-style.
+  for (auto& [c, q] : held_) {
+    held_count_ -= q.size();
+    q.clear();
+    c->QueueOutput(
+        "-READONLY Fenced: this node lost its primary lease; reconnect to "
+        "the new primary.\r\n");
+  }
+  held_.clear();
+  // Hang up on EVERY client, not just the parked ones: a client that saw
+  // this node ack a write must not keep reading from it as if it were still
+  // the primary — its next read here would be stale the moment the new
+  // primary acks anything. Forcing a reconnect forces rediscovery.
+  for (auto& [ptr, conn] : connections_) {
+    ptr->set_state(Connection::State::kClosing);
+  }
+  held_atomic_.store(held_count_, std::memory_order_release);
+  key_hazards_.clear();
+  conn_last_write_seq_.clear();
+  pending_writes_.clear();
+  failed_.clear();
+  // Retire the gate: stop its loop now (cuts background retries), destroy
+  // it with the server. gate_ null makes every write path read-only.
+  gate_for_drain_.store(nullptr, std::memory_order_release);
+  if (gate_ != nullptr) {
+    // lint:allow-blocking — joins the gate loop once, on the terminal
+    // demotion path; the node is already read-only.
+    gate_->Stop();
+    retired_gate_ = std::move(gate_);
+  }
+  uint64_t holder = failover_->observed_holder();
+  if (holder == 0 && retired_gate_ != nullptr) {
+    holder = retired_gate_->fenced_by();
+  }
+  std::fprintf(stderr,
+               "memorydb-server: fenced — shard lease lost to writer %llu; "
+               "serving reads only\n",
+               static_cast<unsigned long long>(holder));
 }
 
 void RespServer::AcceptPending() {
@@ -358,8 +542,8 @@ void RespServer::ExecutePending(Connection* c, uint64_t now_ms) {
   loop_affinity_.AssertHeldThread();
   engine::ExecContext ctx;
   ctx.now_ms = now_ms;
-  ctx.role = follower_ != nullptr ? engine::Role::kReplicaRead
-                                  : engine::Role::kPrimary;
+  ctx.role = role_ == ServerRole::kPrimary ? engine::Role::kPrimary
+                                           : engine::Role::kReplicaRead;
   ctx.rng = &engine_->rng();
   ctx.server = &server_info_;
   std::string encoded;
@@ -382,17 +566,42 @@ void RespServer::ExecutePending(Connection* c, uint64_t now_ms) {
       HandleSlowlogCommand(c, argv);
       continue;
     }
-    if (follower_ != nullptr) {
+    if (role_ != ServerRole::kPrimary) {
       if (name == "WAIT") {
-        // A log-fed replica has no downstream acks to wait for: answer 0
-        // immediately (Redis replica semantics) instead of hanging.
+        // Not the serving primary — there are no acks of ours to count.
+        // Answer 0 (Redis replica semantics); after promotion completes the
+        // gate path below reports the new primary's real quorum size, never
+        // a stale replica answer.
         c->QueueOutput(":0\r\n");
         continue;
       }
       const engine::CommandSpec* wspec = engine_->FindCommand(name);
       if (wspec != nullptr && wspec->is_write) {
+        // A promoting node must refuse writes until replay reaches the
+        // fenced tail — acking before that could order a new write ahead
+        // of an old acked one it hasn't applied yet.
+        const char* msg =
+            role_ == ServerRole::kPromoting
+                ? "-READONLY Promotion in progress; the committed log tail "
+                  "is still replaying.\r\n"
+            : role_ == ServerRole::kFenced
+                ? "-READONLY Fenced: this node lost its primary lease.\r\n"
+                : "-READONLY You can't write against a read only replica.\r\n";
+        c->QueueOutput(msg);
+        continue;
+      }
+    } else if (failover_ != nullptr && !failover_->LeaseValidNow()) {
+      // §4.2: a primary serves linearizable reads without a log round-trip
+      // only while its lease is provably unexpired. With the horizon passed
+      // (renewals stalled, or this process was frozen and resumed believing
+      // it still holds the lease), a data read here could be stale the
+      // moment a successor is granted the lease — refuse it. Writes stay
+      // allowed: they are fenced by the conditional append chain itself.
+      const engine::CommandSpec* rspec = engine_->FindCommand(name);
+      if (rspec != nullptr && !rspec->is_write && rspec->first_key > 0) {
         c->QueueOutput(
-            "-READONLY You can't write against a read only replica.\r\n");
+            "-READONLY Lease expired; this node cannot serve linearizable "
+            "reads until it renews.\r\n");
         continue;
       }
     }
@@ -681,8 +890,10 @@ void RespServer::Housekeeping(uint64_t now_ms) {
   blocked_clients_->Set(static_cast<int64_t>(held_.size()));
 
   // Replicas never expire keys themselves; they apply the primary's DEL
-  // effects from the log (§2.1), keeping both sides bit-identical.
-  if (follower_ == nullptr && now_ms - last_expire_ms_ >= kExpireEveryMs) {
+  // effects from the log (§2.1), keeping both sides bit-identical. Same
+  // for promoting/fenced nodes: only the serving primary expires.
+  if (role_ == ServerRole::kPrimary &&
+      now_ms - last_expire_ms_ >= kExpireEveryMs) {
     last_expire_ms_ = now_ms;
     engine::ExecContext ctx;
     ctx.now_ms = now_ms;
@@ -747,6 +958,7 @@ void RespServer::LoopMain() {
     // one batched dispatch into the engine.
     const uint64_t now_ms = NowMs();
     ApplyFollowerEntries(now_ms);
+    MaintainFailover(now_ms);
     DispatchBatch(readable, now_ms);
 
     // Stage 3 (loop thread): release replies whose log appends committed.
@@ -778,7 +990,9 @@ void RespServer::LoopMain() {
 
 std::string RespServer::TraceProcLabel() const {
   if (!config_.trace_proc.empty()) return config_.trace_proc;
-  return follower_ != nullptr ? "replica" : "server";
+  return role_ == ServerRole::kReplica || role_ == ServerRole::kPromoting
+             ? "replica"
+             : "server";
 }
 
 void RespServer::HandleTraceCommand(Connection* c,

@@ -43,6 +43,7 @@
 #include "common/sync.h"
 #include "common/trace.h"
 #include "engine/engine.h"
+#include "failover/failover_manager.h"
 #include "net/connection.h"
 #include "net/event_loop.h"
 #include "net/io_threads.h"
@@ -110,6 +111,20 @@ struct ServerConfig {
   std::string store_dir;
   std::string shard_id = "shard-0";
 
+  // --- automatic failover (§4.1/§4.2) -------------------------------------
+  // On a primary: acquire the shard lease before serving and chain every
+  // append on the previous index (fenced appends). On a replica: monitor the
+  // holder through the follower feed and race AcquireLease when it dies —
+  // winning flips this node to serving primary with no operator action.
+  bool failover = false;
+  uint64_t lease_duration_ms = 1500;
+  uint64_t lease_renew_ms = 500;
+  uint64_t failover_probe_ms = 300;
+  uint64_t failover_grace_ms = 300;
+  // Primary startup: how long Start() may block acquiring the initial lease
+  // (a still-ticking foreign lease legitimately delays startup).
+  uint64_t lease_acquire_wait_ms = 30000;
+
   // --- write-path tracing + slowlog ---------------------------------------
   // 1-in-N durable writes get a trace id (0 disables tracing, 1 = every
   // write). Unsampled writes carry trace id 0, which every downstream
@@ -126,6 +141,14 @@ struct ServerConfig {
   uint64_t slowlog_slower_than_us = 10000;
   size_t slowlog_max_len = 128;
 };
+
+// What this node currently is on the data plane. Transitions happen on the
+// loop thread only, driven by MaintainFailover():
+//   kReplica -> kPromoting   (FailoverManager won the lease)
+//   kPromoting -> kPrimary   (applied_index reached the replay target)
+//   kPromoting -> kReplica   (lease lost again mid-replay)
+//   kPrimary -> kFenced      (renewal rejected / gate hit a foreign record)
+enum class ServerRole : uint8_t { kPrimary, kReplica, kPromoting, kFenced };
 
 class RespServer {
  public:
@@ -151,6 +174,7 @@ class RespServer {
   const ServerConfig& config() const { return config_; }
   RemoteLogGate* gate() { return gate_.get(); }
   replication::LogFollower* follower() { return follower_.get(); }
+  failover::FailoverManager* failover_manager() { return failover_.get(); }
   // Thread-safe: TraceLog::Snapshot tolerates concurrent recording from
   // the loop and gate threads (lock-free slot versioning).
   const TraceLog& trace_log() const { return trace_; }
@@ -194,6 +218,16 @@ class RespServer {
   // Loop thread, replica mode: drain the follower and apply committed
   // entries to the engine, maintaining/verifying the checksum chain.
   void ApplyFollowerEntries(uint64_t now_ms);
+  // Loop thread, once per iteration when failover is on: advance the role
+  // state machine against the FailoverManager's state (see ServerRole).
+  void MaintainFailover(uint64_t now_ms);
+  // Loop thread: the replay target is applied — tear down the follower,
+  // start a fenced RemoteLogGate against the same txlogd group, and begin
+  // serving writes as the new primary.
+  void PromoteToPrimary();
+  // Loop thread, terminal: this primary lost the shard lease. Fail every
+  // parked reply, retire the gate, answer all further writes -READONLY.
+  void DemoteFenced();
   void AcceptPending();
   // Executes every pending command of every readable connection as one
   // engine batch; encodes replies into connection output buffers (or parks
@@ -230,6 +264,13 @@ class RespServer {
   std::unique_ptr<IoThreadPool> pool_;
   std::unique_ptr<RemoteLogGate> gate_;
   std::unique_ptr<replication::LogFollower> follower_;
+  std::unique_ptr<failover::FailoverManager> failover_;
+  // Demotion parks the old gate here (its loop is stopped, but completions
+  // may still be referenced); destroyed with the server.
+  std::unique_ptr<RemoteLogGate> retired_gate_;
+  // gate_ mutates on the loop thread after promotion/demotion; Stop()'s
+  // drain loop (caller thread) reads this mirror instead.
+  std::atomic<RemoteLogGate*> gate_for_drain_{nullptr};
   std::unordered_map<Connection*, std::unique_ptr<Connection>> connections_;
   uint64_t next_conn_id_ = 1;
 
@@ -263,6 +304,8 @@ class RespServer {
   // half of the §7.2.1 chain, verified against kChecksum records.
   uint64_t repl_running_checksum_ = 0;
   bool repl_trim_fatal_reported_ = false;
+  // Data-plane role (loop thread; seeded in Start before the loop spawns).
+  ServerRole role_ = ServerRole::kPrimary;
   // Mirror of held_count_ for the shutdown drain (written on loop thread).
   std::atomic<uint64_t> held_atomic_{0};
 

@@ -9,6 +9,8 @@
 //                   [--checksum-every N]
 //                   [--replica-of-log HOST:PORT,...]
 //                   [--restore --store-dir PATH [--shard-id ID]]
+//                   [--failover] [--lease-duration-ms N]
+//                   [--lease-renew-ms N] [--failover-probe-ms N]
 //                   [--trace-sample-rate N] [--trace-file PATH]
 //                   [--trace-proc LABEL] [--slowlog-slower-than-us N]
 //                   [--slowlog-max-len N]
@@ -26,6 +28,11 @@
 // With --restore the server first recovers peer-lessly from the snapshot
 // store at --store-dir plus the log tail (§4.2.1) before accepting traffic
 // — the recovery half of the off-box snapshots memorydb-snapshotd writes.
+//
+// With --failover (§4.1/§4.2) a primary acquires the shard lease in the
+// transaction log before serving and chains its appends on it (fenced
+// writes); a replica monitors the holder and self-promotes — replaying the
+// committed tail first — when the lease expires. No operator action needed.
 //
 // Runs until SIGINT/SIGTERM. With --port 0 the kernel picks a port; the
 // chosen port is printed on the "listening" banner either way.
@@ -80,6 +87,8 @@ int Usage(const char* argv0) {
                "          [--checksum-every N] [--replica-of-log "
                "HOST:PORT,...]\n"
                "          [--restore --store-dir PATH [--shard-id ID]]\n"
+               "          [--failover] [--lease-duration-ms N]\n"
+               "          [--lease-renew-ms N] [--failover-probe-ms N]\n"
                "          [--trace-sample-rate N] [--trace-file PATH]\n"
                "          [--trace-proc LABEL] [--slowlog-slower-than-us N]\n"
                "          [--slowlog-max-len N]\n",
@@ -136,6 +145,17 @@ int main(int argc, char** argv) {
       config.store_dir = argv[++i];
     } else if (arg == "--shard-id" && has_value) {
       config.shard_id = argv[++i];
+    } else if (arg == "--failover") {
+      config.failover = true;
+    } else if (arg == "--lease-duration-ms" && has_value &&
+               ParseUint(argv[++i], &v) && v > 0) {
+      config.lease_duration_ms = v;
+    } else if (arg == "--lease-renew-ms" && has_value &&
+               ParseUint(argv[++i], &v) && v > 0) {
+      config.lease_renew_ms = v;
+    } else if (arg == "--failover-probe-ms" && has_value &&
+               ParseUint(argv[++i], &v) && v > 0) {
+      config.failover_probe_ms = v;
     } else if (arg == "--trace-sample-rate" && has_value &&
                ParseUint(argv[++i], &v)) {
       config.trace_sample_rate = v;

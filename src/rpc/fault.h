@@ -41,6 +41,15 @@ class FaultInjector {
     memdb::MutexLock lock(&mu_);
     drop_req_[method] += n;
   }
+  // Disarm every outstanding fault (tests that stall a path deliberately
+  // and then let it resume).
+  void Clear() {
+    memdb::MutexLock lock(&mu_);
+    drop_rsp_.clear();
+    dup_rsp_.clear();
+    drop_req_.clear();
+    delay_rsp_.clear();
+  }
 
   // --- transport-side queries ----------------------------------------------
   struct ResponsePlan {

@@ -284,6 +284,9 @@ void LogService::BecomeFollower(uint64_t term) {
     heartbeat_timer_ = 0;
   }
   if (was_leader) FailPendingAppends();
+  // A deposed leader's uncommitted grants may be overwritten by the new
+  // leader's log; the next leader re-arbitrates from committed state.
+  pending_leases_.clear();
   barrier_index_ = 0;
   ResetElectionTimer();
 }
@@ -501,6 +504,9 @@ void LogService::ApplyCommitted() {
         Lease& l = leases_[grant.shard_id];
         l.owner = grant.owner;
         l.expiry_ms = rpc::LoopThread::NowMs() + grant.duration_ms;
+        // The committed table caught up to (at least) this grant; a newer
+        // pending renewal re-registers itself when it applies.
+        pending_leases_.erase(grant.shard_id);
       }
     }
     ++applied_index_;
@@ -811,16 +817,25 @@ void LogService::HandleLease(rpc::Server::Call&& call, bool renew) {
   }
   // Expiry is evaluated against the leader's clock only (§4.1.3): replicas
   // apply grants with their own clocks, but only the leader arbitrates.
+  // A grant still in the commit window counts: otherwise two contenders
+  // racing AcquireLease would both see the stale committed table and both
+  // win. The newer (pending) grant shadows the committed one.
   const uint64_t now_ms = rpc::LoopThread::NowMs();
-  auto holder = leases_.find(req.shard_id);
-  const bool active =
-      holder != leases_.end() && holder->second.expiry_ms > now_ms;
-  const bool owned = active && holder->second.owner == req.owner;
+  const Lease* cur = nullptr;
+  auto committed = leases_.find(req.shard_id);
+  if (committed != leases_.end()) cur = &committed->second;
+  auto pending = pending_leases_.find(req.shard_id);
+  if (pending != pending_leases_.end() &&
+      (cur == nullptr || pending->second.expiry_ms > cur->expiry_ms)) {
+    cur = &pending->second;
+  }
+  const bool active = cur != nullptr && cur->expiry_ms > now_ms;
+  const bool owned = active && cur->owner == req.owner;
   if ((renew && !owned) || (!renew && active && !owned)) {
     resp.result = wire::ClientResult::kConditionFailed;
     if (active) {
-      resp.holder = holder->second.owner;
-      resp.remaining_ms = holder->second.expiry_ms - now_ms;
+      resp.holder = cur->owner;
+      resp.remaining_ms = cur->expiry_ms - now_ms;
     }
     reply(resp);
     return;
@@ -835,6 +850,7 @@ void LogService::HandleLease(rpc::Server::Call&& call, bool renew) {
   rec.writer = req.owner;
   rec.trace_id = call.trace_id;
   rec.payload = grant.Encode();
+  pending_leases_[req.shard_id] = {req.owner, now_ms + req.duration_ms};
   AppendToLocalLog(std::move(rec));
   const uint64_t index = last_index();
   append_received_at_us_[index] = NowUs();

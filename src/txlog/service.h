@@ -240,6 +240,11 @@ class LogService {
     uint64_t expiry_ms = 0;  // local steady clock at apply + duration
   };
   std::map<std::string, Lease> leases_;
+  // Leader-only: grants appended but not yet applied. Arbitration must see
+  // these too, or two contenders racing AcquireLease in the commit window
+  // would BOTH be granted (both see the stale committed table). Latest grant
+  // per shard; cleared when its record applies and on step-down.
+  std::map<std::string, Lease> pending_leases_;
 
   Rng rng_;
 

@@ -38,6 +38,7 @@
 #include "rpc/loop.h"
 #include "storage/fs_object_store.h"
 #include "txlog/remote_client.h"
+#include "txlog/rpc_wire.h"
 #include "txlog/service.h"
 
 namespace memdb {
@@ -700,6 +701,236 @@ TEST(OffboxTest, RefusesToUploadWhenRestoreRehearsalFails) {
   engine::Engine fresh;
   replication::RestoreResult res;
   EXPECT_FALSE(RestoreFromStore(&snaps, &fresh, &res).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Automatic failover (src/failover wired through the RespServer)
+
+// Polls INFO until it contains `needle` or the deadline passes.
+bool WaitForInfo(uint16_t port, const std::string& needle,
+                 int timeout_ms = 15000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    TestClient c(port);
+    const Value v = c.RoundTrip({"INFO"});
+    if (v.type == resp::Type::kBulkString &&
+        v.str.find(needle) != std::string::npos) {
+      return true;
+    }
+    SleepMs(25);
+  }
+  return false;
+}
+
+net::ServerConfig FailoverConfig(const std::vector<std::string>& endpoints,
+                                 bool replica, uint64_t writer_id) {
+  net::ServerConfig cfg;
+  cfg.port = 0;
+  cfg.loop_timeout_ms = 10;
+  if (replica) {
+    cfg.replica_of_log = endpoints;
+    cfg.replica_poll_wait_ms = 50;
+  } else {
+    cfg.txlog_endpoints = endpoints;
+    cfg.txlog_tail_poll_ms = 50;
+  }
+  cfg.txlog_writer_id = writer_id;
+  cfg.failover = true;
+  cfg.lease_duration_ms = 400;
+  cfg.lease_renew_ms = 100;
+  cfg.failover_probe_ms = 60;
+  cfg.failover_grace_ms = 150;
+  return cfg;
+}
+
+TEST(FailoverTest, ReplicaPromotesOnPrimaryDeathAndServesWrites) {
+  LogGroup group(3);
+  ASSERT_GE(group.WaitForLeader(), 0);
+
+  engine::Engine primary_engine;
+  auto primary = std::make_unique<net::RespServer>(
+      &primary_engine, FailoverConfig(group.endpoints, false, 1));
+  ASSERT_TRUE(primary->Start().ok());
+
+  engine::Engine replica_engine;
+  net::RespServer replica(&replica_engine,
+                          FailoverConfig(group.endpoints, true, 2));
+  ASSERT_TRUE(replica.Start().ok());
+
+  {
+    TestClient c(primary->port());
+    ASSERT_TRUE(c.ok());
+    for (int i = 1; i <= 10; ++i) {
+      ASSERT_EQ(c.RoundTrip({"SET", "fk" + std::to_string(i),
+                             "v" + std::to_string(i)}),
+                Value::Simple("OK"));
+    }
+    // The primary holds the lease and reports so.
+    const Value info = c.RoundTrip({"INFO"});
+    EXPECT_NE(info.str.find("master_failover_state:holding"),
+              std::string::npos);
+  }
+  ASSERT_TRUE(WaitForKey(replica.port(), "fk10", "v10"));
+
+  // Kill the primary (clean Stop: renewals cease, the lease just expires —
+  // same observable as a crash, minus the SIGKILL that chaos_e2e adds).
+  const uint16_t dead_port = primary->port();
+  primary->Stop();
+  primary.reset();
+
+  // The replica detects the silence, wins the race, replays, promotes —
+  // with no operator involvement.
+  ASSERT_TRUE(WaitForInfo(replica.port(), "role:master"));
+
+  TestClient c(replica.port());
+  ASSERT_TRUE(c.ok());
+  // Every acked write survived the failover.
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_EQ(c.RoundTrip({"GET", "fk" + std::to_string(i)}),
+              Value::Bulk("v" + std::to_string(i)));
+  }
+  // The new primary acks durable writes...
+  EXPECT_EQ(c.RoundTrip({"SET", "post", "failover"}), Value::Simple("OK"));
+  // ...and WAIT reports its real quorum, not a stale replica's 0.
+  EXPECT_EQ(c.RoundTrip({"WAIT", "0", "100"}), Value::Integer(2));
+
+  const Value info = c.RoundTrip({"INFO"});
+  ASSERT_EQ(info.type, resp::Type::kBulkString);
+  EXPECT_NE(info.str.find("role:master"), std::string::npos);
+  EXPECT_NE(info.str.find("master_failover_state:holding"),
+            std::string::npos);
+  EXPECT_NE(info.str.find("failovers_total:1"), std::string::npos);
+  EXPECT_EQ(ServerMetric(replica.port(), "failovers_total"), 1);
+  EXPECT_GT(ServerMetric(replica.port(), "failover_last_duration_ms"), 0);
+  (void)dead_port;
+
+  replica.Stop();
+}
+
+TEST(FailoverTest, PromotingReplicaStaysReadonlyUntilReplayCatchesUp) {
+  LogGroup group(3);
+  ASSERT_GE(group.WaitForLeader(), 0);
+
+  engine::Engine primary_engine;
+  auto primary = std::make_unique<net::RespServer>(
+      &primary_engine, FailoverConfig(group.endpoints, false, 1));
+  ASSERT_TRUE(primary->Start().ok());
+
+  engine::Engine replica_engine;
+  net::RespServer replica(&replica_engine,
+                          FailoverConfig(group.endpoints, true, 2));
+  ASSERT_TRUE(replica.Start().ok());
+
+  {
+    TestClient c(primary->port());
+    ASSERT_TRUE(c.ok());
+    ASSERT_EQ(c.RoundTrip({"SET", "seen", "yes"}), Value::Simple("OK"));
+  }
+  ASSERT_TRUE(WaitForKey(replica.port(), "seen", "yes"));
+
+  // Stall the follower feed: every ReadStream response is swallowed, so the
+  // replica's applied_index freezes while the log keeps growing.
+  for (auto& svc : group.services) {
+    svc->fault().DropResponses(txlog::rpcwire::kRead, 500);
+  }
+  {
+    TestClient c(primary->port());
+    for (int i = 1; i <= 15; ++i) {
+      ASSERT_EQ(c.RoundTrip({"SET", "unseen" + std::to_string(i), "v"}),
+                Value::Simple("OK"));
+    }
+  }
+  primary->Stop();
+  primary.reset();
+
+  // The replica wins the lease (lease RPCs are not stalled) but cannot
+  // reach the replay target: it must sit in kPromoting, refusing writes —
+  // acking now could order a new write ahead of an old acked one.
+  ASSERT_TRUE(WaitForInfo(replica.port(), "master_failover_state:replaying"));
+  {
+    TestClient c(replica.port());
+    const Value err = c.RoundTrip({"SET", "too-early", "x"});
+    ASSERT_EQ(err.type, resp::Type::kError);
+    EXPECT_NE(err.str.find("Promotion in progress"), std::string::npos)
+        << err.str;
+    // INFO still says replica: the flip happens only at the fenced tail.
+    const Value info = c.RoundTrip({"INFO"});
+    EXPECT_NE(info.str.find("role:replica"), std::string::npos);
+  }
+
+  // Un-stall the feed: replay completes and the node starts serving.
+  for (auto& svc : group.services) svc->fault().Clear();
+  ASSERT_TRUE(WaitForInfo(replica.port(), "role:master"));
+  TestClient c(replica.port());
+  for (int i = 1; i <= 15; ++i) {
+    EXPECT_EQ(c.RoundTrip({"GET", "unseen" + std::to_string(i)}),
+              Value::Bulk("v"));
+  }
+  EXPECT_EQ(c.RoundTrip({"SET", "now-ok", "x"}), Value::Simple("OK"));
+
+  replica.Stop();
+}
+
+TEST(FailoverTest, ZombiePrimaryIsFencedByItsOwnAppendChain) {
+  LogGroup group(3);
+  ASSERT_GE(group.WaitForLeader(), 0);
+
+  engine::Engine primary_engine;
+  net::RespServer primary(&primary_engine,
+                          FailoverConfig(group.endpoints, false, 1));
+  ASSERT_TRUE(primary.Start().ok());
+  {
+    TestClient c(primary.port());
+    ASSERT_EQ(c.RoundTrip({"SET", "pre", "1"}), Value::Simple("OK"));
+  }
+
+  // Cut the primary's renewals (the zombie half of a SIGSTOP round: the
+  // process lives, its lease maintenance does not).
+  for (auto& svc : group.services) {
+    svc->fault().DropRequests(txlog::rpcwire::kRenewLease, 100000);
+  }
+
+  // Once the lease expires, a contender takes it — its grant record is the
+  // fence in the log.
+  ClientFixture contender(group.endpoints, /*writer_id=*/9);
+  txlog::rpcwire::LeaseResponse lease;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  for (;;) {
+    const Status s =
+        contender.client->AcquireLeaseSync(9, 60000, "shard-0", &lease);
+    if (s.ok()) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    SleepMs(50);
+  }
+
+  // The zombie still believes it holds the lease (renewals only time out),
+  // but its next chained append lands on the foreign grant: the gate goes
+  // terminally fenced, the server demotes, the client is told.
+  {
+    TestClient c(primary.port());
+    const Value err = c.RoundTrip({"SET", "zombie-write", "lost?"});
+    ASSERT_EQ(err.type, resp::Type::kError);
+    EXPECT_NE(err.str.find("READONLY"), std::string::npos) << err.str;
+  }
+  ASSERT_TRUE(WaitForInfo(primary.port(), "role:fenced"));
+  {
+    TestClient c(primary.port());
+    const Value info = c.RoundTrip({"INFO"});
+    EXPECT_NE(info.str.find("master_failover_state:fenced"),
+              std::string::npos);
+    // Reads stay available; writes stay refused.
+    EXPECT_EQ(c.RoundTrip({"GET", "pre"}), Value::Bulk("1"));
+    const Value err = c.RoundTrip({"SET", "still-no", "x"});
+    ASSERT_EQ(err.type, resp::Type::kError);
+    EXPECT_NE(err.str.find("READONLY"), std::string::npos);
+    // METRICS agrees with INFO: the gauge pins the terminal state.
+    EXPECT_EQ(ServerMetric(primary.port(), "failover_state"), 6);
+  }
+
+  for (auto& svc : group.services) svc->fault().Clear();
+  primary.Stop();
 }
 
 // ---------------------------------------------------------------------------

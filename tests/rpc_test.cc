@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "net/remote_log_gate.h"
 #include "net/server.h"
 #include "resp/resp.h"
 #include "rpc/channel.h"
@@ -935,6 +936,79 @@ TEST(DurabilityGateTest, InfoReportsRpcSection) {
   EXPECT_NE(info.str.find("rpc_txlog.conditionalappend:calls="),
             std::string::npos);
   EXPECT_NE(info.str.find("txlog_gate_appends_total:1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Fence-mode gate (§4.1): appends chain on the previous index; a foreign
+// record in a precondition gap means the shard lease is lost — terminally.
+
+std::vector<net::RemoteLogGate::Completion> WaitCompletions(
+    net::RemoteLogGate* gate, size_t n, int timeout_ms = 8000) {
+  std::vector<net::RemoteLogGate::Completion> out;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (out.size() < n && std::chrono::steady_clock::now() < deadline) {
+    for (auto& c : gate->DrainCompletions()) out.push_back(std::move(c));
+    if (out.size() < n) SleepMs(10);
+  }
+  return out;
+}
+
+TEST(FencedGateTest, BenignTailMovementRechainsForeignGrantFences) {
+  LogGroup group(3);
+  ASSERT_GE(group.WaitForLeader(), 0);
+
+  MetricsRegistry registry;
+  net::RemoteLogGate::Options opt;
+  opt.endpoints = group.endpoints;
+  opt.writer_id = 5;
+  opt.rpc_timeout_ms = 250;
+  opt.backoff_base_ms = 10;
+  opt.backoff_cap_ms = 100;
+  opt.fence = true;
+  opt.shard_id = "shard-0";
+  net::RemoteLogGate gate(opt, &registry);
+  ASSERT_TRUE(gate.Start([] {}).ok());
+
+  gate.SubmitAppend("batch-1", 0);
+  auto done = WaitCompletions(&gate, 1);
+  ASSERT_EQ(done.size(), 1u);
+  ASSERT_TRUE(done[0].status.ok()) << done[0].status.ToString();
+  EXPECT_FALSE(gate.fenced());
+
+  // Benign out-of-band tail movement: another shard's lease traffic sharing
+  // the log. The next chained append hits a stale precondition, scans the
+  // gap, classifies the grant benign, re-chains, and still commits.
+  ClientFixture fx(group.endpoints);
+  txlog::rpcwire::LeaseResponse lease;
+  ASSERT_TRUE(
+      fx.client->AcquireLeaseSync(22, 60000, "shard-other", &lease).ok());
+
+  gate.SubmitAppend("batch-2", 0);
+  done = WaitCompletions(&gate, 1);
+  ASSERT_EQ(done.size(), 1u);
+  ASSERT_TRUE(done[0].status.ok()) << done[0].status.ToString();
+  EXPECT_FALSE(gate.fenced());
+
+  // A grant for OUR shard to a different owner is the fence.
+  txlog::rpcwire::LeaseResponse steal;
+  ASSERT_TRUE(fx.client->AcquireLeaseSync(9, 60000, "shard-0", &steal).ok());
+
+  gate.SubmitAppend("batch-3", 0);
+  done = WaitCompletions(&gate, 1);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_TRUE(done[0].status.IsConditionFailed())
+      << done[0].status.ToString();
+  EXPECT_TRUE(gate.fenced());
+  EXPECT_EQ(gate.fenced_by(), 9u);
+
+  // Terminal: later submissions fail without touching the log.
+  gate.SubmitAppend("batch-4", 0);
+  done = WaitCompletions(&gate, 1);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_TRUE(done[0].status.IsConditionFailed());
+
+  gate.Stop();
 }
 
 }  // namespace

@@ -1,13 +1,22 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/metrics.h"
+#include "rpc/loop.h"
 #include "sim/simulation.h"
 #include "txlog/client.h"
 #include "txlog/group.h"
+#include "txlog/remote_client.h"
+#include "txlog/rpc_wire.h"
+#include "txlog/service.h"
 
 namespace memdb::txlog {
 namespace {
@@ -413,6 +422,196 @@ TEST_F(TxLogTest, SequentialCasClientsGetDistinctIndices) {
   for (size_t i = 1; i < indices.size(); ++i) {
     EXPECT_EQ(indices[i], indices[i - 1] + 1);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Lease edge cases, against the real RPC LogService (§4.1). The sim suite
+// above proves log safety under virtual time; leases are arbitrated by the
+// leader's real clock, so these run the real daemon machinery in-process.
+
+void RealSleepMs(uint64_t ms) {
+  // lint:allow-blocking — test thread, wall-clock lease expiry.
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+struct RealLogGroup {
+  explicit RealLogGroup(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      LogService::Options opt;
+      opt.node_id = i + 1;
+      opt.listen_port = 0;
+      opt.fsync = false;
+      opt.heartbeat_ms = 20;
+      opt.election_min_ms = 50;
+      opt.election_max_ms = 120;
+      opt.raft_rpc_timeout_ms = 100;
+      services.push_back(std::make_unique<LogService>(opt));
+      EXPECT_TRUE(services.back()->Start().ok());
+    }
+    std::vector<std::pair<uint64_t, std::string>> membership;
+    for (size_t i = 0; i < n; ++i) {
+      endpoints.push_back("127.0.0.1:" + std::to_string(services[i]->port()));
+      membership.emplace_back(i + 1, endpoints.back());
+    }
+    for (auto& s : services) s->SetPeers(membership);
+  }
+  ~RealLogGroup() {
+    for (auto& s : services) s->Stop();
+  }
+
+  bool WaitForLeader(int timeout_ms = 5000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (auto& s : services) {
+        if (s->IsLeader()) return true;
+      }
+      RealSleepMs(5);
+    }
+    return false;
+  }
+
+  std::vector<std::unique_ptr<LogService>> services;
+  std::vector<std::string> endpoints;
+};
+
+struct LeaseClient {
+  LeaseClient(const std::vector<std::string>& endpoints, uint64_t writer) {
+    EXPECT_TRUE(loop.Start().ok());
+    RemoteClient::Options opt;
+    opt.writer_id = writer;
+    opt.rpc_timeout_ms = 250;
+    opt.backoff_base_ms = 10;
+    opt.backoff_cap_ms = 100;
+    client = std::make_unique<RemoteClient>(&loop, endpoints, opt, &registry);
+  }
+  ~LeaseClient() {
+    client->Shutdown();
+    loop.Stop();
+  }
+
+  rpc::LoopThread loop;
+  MetricsRegistry registry;
+  std::unique_ptr<RemoteClient> client;
+};
+
+// A holder partitioned away from the group cannot renew; once its lease
+// expires on the leader's clock, a contender takes over. The stale holder's
+// eventual renewal (partition healed) is rejected with the new holder's id.
+TEST(LeaseEdgeTest, ExpiryDuringPartitionAllowsTakeover) {
+  RealLogGroup group(3);
+  ASSERT_TRUE(group.WaitForLeader());
+  LeaseClient holder(group.endpoints, 1);
+  LeaseClient contender(group.endpoints, 2);
+
+  rpcwire::LeaseResponse rsp;
+  ASSERT_TRUE(
+      holder.client->AcquireLeaseSync(1, 300, "shard-part", &rsp).ok());
+
+  // Partition the holder's renewals: every RenewLease request frame is
+  // dropped on every node, so renewals die indeterminately.
+  for (auto& svc : group.services) {
+    svc->fault().DropRequests(rpcwire::kRenewLease, 100000);
+  }
+  rpcwire::LeaseResponse renew;
+  const Status rs = holder.client->RenewLeaseSync(1, 300, "shard-part",
+                                                  &renew);
+  EXPECT_FALSE(rs.ok());
+  EXPECT_FALSE(rs.IsConditionFailed()) << rs.ToString();  // indeterminate
+
+  // After expiry the contender wins — acquire, not a manual override.
+  rpcwire::LeaseResponse takeover;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    const Status s =
+        contender.client->AcquireLeaseSync(2, 60000, "shard-part", &takeover);
+    if (s.ok()) break;
+    ASSERT_TRUE(s.IsConditionFailed() || s.IsUnavailable() || s.IsTimedOut())
+        << s.ToString();
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    RealSleepMs(30);
+  }
+  EXPECT_GT(takeover.index, 0u);
+
+  // Partition heals; the stale holder's renewal must NOT revive its lease.
+  for (auto& svc : group.services) svc->fault().Clear();
+  rpcwire::LeaseResponse stale;
+  const Status ss = holder.client->RenewLeaseSync(1, 300, "shard-part",
+                                                  &stale);
+  ASSERT_TRUE(ss.IsConditionFailed()) << ss.ToString();
+  EXPECT_EQ(stale.holder, 2u);
+  EXPECT_GT(stale.remaining_ms, 0u);
+}
+
+// Two contenders racing AcquireLease for the same expired shard: exactly
+// one wins, and the loser is told who. Covers the commit-window race — the
+// leader must arbitrate against pending (not-yet-applied) grants, or both
+// racers see the stale committed table and both win.
+TEST(LeaseEdgeTest, TwoContendersRaceSingleWinner) {
+  RealLogGroup group(3);
+  ASSERT_TRUE(group.WaitForLeader());
+  LeaseClient a(group.endpoints, 101);
+  LeaseClient b(group.endpoints, 102);
+
+  for (int round = 0; round < 5; ++round) {
+    const std::string shard = "shard-race-" + std::to_string(round);
+    Status sa, sb;
+    rpcwire::LeaseResponse ra, rb;
+    std::thread ta([&] {
+      sa = a.client->AcquireLeaseSync(101, 60000, shard, &ra);
+    });
+    std::thread tb([&] {
+      sb = b.client->AcquireLeaseSync(102, 60000, shard, &rb);
+    });
+    ta.join();
+    tb.join();
+
+    const int winners = (sa.ok() ? 1 : 0) + (sb.ok() ? 1 : 0);
+    ASSERT_EQ(winners, 1) << "round " << round << ": a=" << sa.ToString()
+                          << " b=" << sb.ToString();
+    if (sa.ok()) {
+      ASSERT_TRUE(sb.IsConditionFailed()) << sb.ToString();
+      EXPECT_EQ(rb.holder, 101u);
+    } else {
+      ASSERT_TRUE(sa.IsConditionFailed()) << sa.ToString();
+      EXPECT_EQ(ra.holder, 102u);
+    }
+  }
+}
+
+// Renewing a lease that was lost — expired, then granted to another owner —
+// must be rejected even though the old holder was never partitioned: the
+// fence is ownership, not connectivity.
+TEST(LeaseEdgeTest, RenewAfterFenceRejected) {
+  RealLogGroup group(3);
+  ASSERT_TRUE(group.WaitForLeader());
+  LeaseClient old_holder(group.endpoints, 1);
+  LeaseClient usurper(group.endpoints, 2);
+
+  rpcwire::LeaseResponse rsp;
+  ASSERT_TRUE(
+      old_holder.client->AcquireLeaseSync(1, 150, "shard-f", &rsp).ok());
+  RealSleepMs(250);  // let it expire quietly — no renewals
+
+  rpcwire::LeaseResponse grab;
+  ASSERT_TRUE(usurper.client->AcquireLeaseSync(2, 60000, "shard-f", &grab)
+                  .ok());
+
+  rpcwire::LeaseResponse renew;
+  const Status s =
+      old_holder.client->RenewLeaseSync(1, 60000, "shard-f", &renew);
+  ASSERT_TRUE(s.IsConditionFailed()) << s.ToString();
+  EXPECT_EQ(renew.holder, 2u);
+  EXPECT_GT(renew.remaining_ms, 0u);
+
+  // The fence persists: a second renewal attempt is rejected identically
+  // (no renew-after-fence resurrection on retry).
+  rpcwire::LeaseResponse again;
+  const Status s2 =
+      old_holder.client->RenewLeaseSync(1, 60000, "shard-f", &again);
+  ASSERT_TRUE(s2.IsConditionFailed()) << s2.ToString();
+  EXPECT_EQ(again.holder, 2u);
 }
 
 }  // namespace
