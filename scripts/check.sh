@@ -4,6 +4,8 @@
 #   1. plain build + full ctest          (build/)
 #   2. bounded chaos smoke               (1 SIGKILL round + zombie round over
 #                                         the real binaries, history checked)
+#      + two-shard migration smoke       (live slot migration over the real
+#                                         binaries, zero acked-write loss)
 #   3. ASan+UBSan build + full ctest     (build-asan/, UBSan non-recoverable)
 #   4. TSan build + the concurrency-heavy suites (build-tsan/: common, net, rpc, replication)
 #   5. tools/lint.py repo invariants (sync, memory_order, blocking, trace lock-freedom)
@@ -75,6 +77,15 @@ chaos_smoke_stage() {
 }
 run_stage "bounded chaos smoke (MEMDB_CHAOS_ROUNDS=$MEMDB_CHAOS_ROUNDS)" \
   chaos_smoke_stage
+
+# --- 2b. two-shard migration smoke -------------------------------------------
+# Real binaries again: two cluster-mode primaries on two txlogd groups move
+# a slot under live ClusterClient writes — fenced ownership flip, zero
+# acked-write loss, MOVED/ASK observed and followed. One bounded round.
+shard_smoke_stage() {
+  (cd build && ctest --output-on-failure -R '^shard_e2e_test$')
+}
+run_stage "two-shard migration smoke" shard_smoke_stage
 
 # --- 3. ASan + UBSan --------------------------------------------------------
 run_stage "asan+ubsan build + ctest" \

@@ -1,0 +1,306 @@
+#include "client/cluster_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/crc.h"
+#include "common/slice.h"
+
+namespace memdb::client {
+
+// One blocking socket per endpoint, kept open across commands.
+struct ClusterClient::Conn {
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+  int fd = -1;
+  resp::Decoder dec;
+};
+
+namespace {
+
+bool ConnectTo(const std::string& endpoint, uint64_t timeout_ms, int* out_fd) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) return false;
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return false;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host == "localhost" ? "127.0.0.1" : host.c_str(),
+                  &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  *out_fd = fd;
+  return true;
+}
+
+bool SendAll(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadReply(int fd, resp::Decoder* dec, resp::Value* out) {
+  for (;;) {
+    const resp::DecodeStatus st = dec->Decode(out);
+    if (st == resp::DecodeStatus::kOk) return true;
+    if (st == resp::DecodeStatus::kError) return false;
+    char buf[16 << 10];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    dec->Feed(Slice(buf, static_cast<size_t>(n)));
+  }
+}
+
+bool ErrorHasPrefix(const resp::Value& v, const char* prefix) {
+  return v.type == resp::Type::kError &&
+         v.str.compare(0, std::strlen(prefix), prefix) == 0;
+}
+
+}  // namespace
+
+ClusterClient::ClusterClient(std::vector<std::string> seeds, Options options)
+    : seeds_(std::move(seeds)),
+      options_(options),
+      slot_owner_(static_cast<size_t>(kNumSlots)) {}
+
+ClusterClient::ClusterClient(std::vector<std::string> seeds)
+    : ClusterClient(std::move(seeds), Options()) {}
+
+ClusterClient::~ClusterClient() = default;
+
+ClusterClient::Conn* ClusterClient::GetConn(const std::string& endpoint) {
+  auto it = conns_.find(endpoint);
+  if (it != conns_.end()) return it->second.get();
+  int fd = -1;
+  if (!ConnectTo(endpoint, options_.recv_timeout_ms, &fd)) return nullptr;
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  Conn* raw = conn.get();
+  conns_.emplace(endpoint, std::move(conn));
+  return raw;
+}
+
+void ClusterClient::DropConn(const std::string& endpoint) {
+  conns_.erase(endpoint);
+}
+
+bool ClusterClient::RoundTrip(const std::string& endpoint,
+                              const std::vector<std::string>& argv,
+                              resp::Value* reply, bool asking) {
+  Conn* conn = GetConn(endpoint);
+  if (conn == nullptr) return false;
+  // ASKING is pipelined with the command: one write, two replies. The
+  // server consumes the one-shot flag on the very next command, so there is
+  // no window for another command to steal it (one thread owns this
+  // client).
+  std::string frame;
+  if (asking) frame += resp::EncodeCommand({"ASKING"});
+  frame += resp::EncodeCommand(argv);
+  if (!SendAll(conn->fd, frame)) {
+    DropConn(endpoint);
+    return false;
+  }
+  if (asking) {
+    resp::Value ask_reply;
+    if (!ReadReply(conn->fd, &conn->dec, &ask_reply)) {
+      DropConn(endpoint);
+      return false;
+    }
+  }
+  if (!ReadReply(conn->fd, &conn->dec, reply)) {
+    DropConn(endpoint);
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> ClusterClient::KnownEndpoints() const {
+  std::vector<std::string> out;
+  const auto push_unique = [&out](const std::string& ep) {
+    if (ep.empty()) return;
+    for (const std::string& have : out) {
+      if (have == ep) return;
+    }
+    out.push_back(ep);
+  };
+  for (const std::string& ep : slot_owner_) push_unique(ep);
+  for (const std::string& ep : seeds_) push_unique(ep);
+  return out;
+}
+
+Status ClusterClient::RefreshSlotMap() {
+  Status last = Status::Unavailable("no endpoints known");
+  for (const std::string& ep : KnownEndpoints()) {
+    last = RefreshSlotMapFrom(ep);
+    if (last.ok()) return last;
+  }
+  return last;
+}
+
+Status ClusterClient::RefreshSlotMapFrom(const std::string& endpoint) {
+  resp::Value reply;
+  if (!RoundTrip(endpoint, {"CLUSTER", "SLOTS"}, &reply, false)) {
+    return Status::Unavailable("CLUSTER SLOTS round trip to " + endpoint +
+                               " failed");
+  }
+  if (reply.type != resp::Type::kArray) {
+    return Status::InvalidArgument("unexpected CLUSTER SLOTS reply");
+  }
+  std::vector<std::string> fresh(static_cast<size_t>(kNumSlots));
+  for (const resp::Value& range : reply.array) {
+    // [start, end, [host, port, shard-id]]
+    if (range.type != resp::Type::kArray || range.array.size() < 3 ||
+        range.array[2].type != resp::Type::kArray ||
+        range.array[2].array.size() < 2) {
+      return Status::InvalidArgument("malformed CLUSTER SLOTS range");
+    }
+    const int64_t start = range.array[0].integer;
+    const int64_t end = range.array[1].integer;
+    if (start < 0 || end < start || end >= kNumSlots) {
+      return Status::InvalidArgument("CLUSTER SLOTS range out of bounds");
+    }
+    const std::string ep = range.array[2].array[0].str + ":" +
+                           std::to_string(range.array[2].array[1].integer);
+    for (int64_t s = start; s <= end; ++s) {
+      fresh[static_cast<size_t>(s)] = ep;
+    }
+  }
+  slot_owner_ = std::move(fresh);
+  ++map_refreshes_;
+  return Status::OK();
+}
+
+std::string ClusterClient::EndpointForSlot(uint16_t slot) const {
+  if (slot >= slot_owner_.size()) return std::string();
+  return slot_owner_[slot];
+}
+
+bool ClusterClient::ParseRedirect(const std::string& error, const char* kind,
+                                  uint16_t* slot, std::string* endpoint) {
+  const size_t kind_len = std::strlen(kind);
+  if (error.compare(0, kind_len, kind) != 0 || error.size() <= kind_len ||
+      error[kind_len] != ' ') {
+    return false;
+  }
+  const size_t slot_start = kind_len + 1;
+  const size_t space = error.find(' ', slot_start);
+  if (space == std::string::npos || space + 1 >= error.size()) return false;
+  char* end = nullptr;
+  const unsigned long v =
+      std::strtoul(error.c_str() + slot_start, &end, 10);
+  if (end != error.c_str() + space || v >= static_cast<unsigned long>(kNumSlots)) {
+    return false;
+  }
+  *slot = static_cast<uint16_t>(v);
+  *endpoint = error.substr(space + 1);
+  return true;
+}
+
+Status ClusterClient::Execute(const std::vector<std::string>& argv,
+                              resp::Value* reply) {
+  if (argv.empty()) return Status::InvalidArgument("empty command");
+
+  // Route by argv[1] (the near-universal key position; keyless commands go
+  // anywhere). A wrong guess self-corrects via -MOVED.
+  std::string target;
+  if (argv.size() >= 2) {
+    const uint16_t slot = KeyHashSlot(Slice(argv[1]));
+    if (slot_owner_[slot].empty()) RefreshSlotMap();  // lazy warm-up
+    target = slot_owner_[slot];
+  }
+
+  int hops = 0;
+  int tryagains = 0;
+  int connect_failures = 0;
+  bool asking = false;
+  for (;;) {
+    if (target.empty()) {
+      // Unknown owner: probe anything reachable; MOVED will correct us.
+      const std::vector<std::string> known = KnownEndpoints();
+      if (known.empty()) return Status::Unavailable("no endpoints known");
+      target = known[static_cast<size_t>(connect_failures) % known.size()];
+    }
+    if (!RoundTrip(target, argv, reply, asking)) {
+      if (++connect_failures > static_cast<int>(KnownEndpoints().size()) + 1) {
+        return Status::Unavailable("no cluster node reachable for command");
+      }
+      // The cached owner may be gone; rebuild the map from survivors and
+      // let the retry pick a fresh target.
+      RefreshSlotMap();
+      target.clear();
+      asking = false;
+      continue;
+    }
+    if (reply->type != resp::Type::kError) return Status::OK();
+
+    uint16_t slot = 0;
+    std::string redirect_ep;
+    if (ParseRedirect(reply->str, "MOVED", &slot, &redirect_ep)) {
+      if (++hops > options_.max_hops) {
+        return Status::Unavailable("redirect hop budget exhausted");
+      }
+      ++moved_redirects_;
+      // Trust the redirect immediately, then refresh the whole map — one
+      // MOVED usually means a whole range flipped.
+      slot_owner_[slot] = redirect_ep;
+      RefreshSlotMapFrom(redirect_ep);
+      target = redirect_ep;
+      asking = false;
+      continue;
+    }
+    if (ParseRedirect(reply->str, "ASK", &slot, &redirect_ep)) {
+      if (++hops > options_.max_hops) {
+        return Status::Unavailable("redirect hop budget exhausted");
+      }
+      ++ask_redirects_;
+      // One-shot detour; ownership has not changed, so no map update.
+      target = redirect_ep;
+      asking = true;
+      continue;
+    }
+    if (ErrorHasPrefix(*reply, "TRYAGAIN")) {
+      if (++tryagains > options_.max_tryagain) {
+        return Status::Unavailable("TRYAGAIN budget exhausted");
+      }
+      ++tryagain_retries_;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.tryagain_backoff_ms));
+      asking = false;
+      continue;
+    }
+    // Any other error (-ERR, -READONLY, ...) is the command's real reply.
+    return Status::OK();
+  }
+}
+
+}  // namespace memdb::client

@@ -280,6 +280,36 @@ Value CmdInfo(Engine& e, const Argv& argv, ExecContext& ctx) {
       }
     }
   }
+  if (want("CLUSTER")) {
+    // Backed by the shard layer's instruments when a cluster-mode
+    // RespServer shares this registry; a non-cluster node reports
+    // cluster_enabled:0 and zeros.
+    auto gauge = [&](const char* name) -> int64_t {
+      const Gauge* g = reg.FindGauge(name);
+      return g == nullptr ? 0 : g->value();
+    };
+    auto counter = [&](const char* name) -> uint64_t {
+      const Counter* c = reg.FindCounter(name);
+      return c == nullptr ? 0 : c->value();
+    };
+    out += "# Cluster\r\n";
+    out += "cluster_enabled:" + std::string(srv.cluster_enabled ? "1" : "0") +
+           "\r\n";
+    out += "shard_id:" + (srv.shard_id.empty() ? std::string("-")
+                                               : srv.shard_id) + "\r\n";
+    out += "cluster_slots_owned:" +
+           std::to_string(gauge("cluster_slots_owned")) + "\r\n";
+    out += "cluster_slots_migrating:" +
+           std::to_string(gauge("cluster_slots_migrating")) + "\r\n";
+    out += "cluster_slots_importing:" +
+           std::to_string(gauge("cluster_slots_importing")) + "\r\n";
+    out += "cluster_redirects_total:" +
+           std::to_string(counter("cluster_redirects_total")) + "\r\n";
+    out += "cluster_migrations_total:" +
+           std::to_string(counter("cluster_migrations_total")) + "\r\n";
+    out += "cluster_keys_migrated_total:" +
+           std::to_string(counter("cluster_keys_migrated_total")) + "\r\n";
+  }
   if (want("KEYSPACE")) {
     out += "# Keyspace\r\ndb0:keys=" + std::to_string(e.keyspace().Size()) +
            "\r\n";

@@ -40,6 +40,10 @@ struct ServerInfo {
   std::string run_id;           // random hex id, fresh per process start
   uint64_t start_unix_ms = 0;   // wall clock at process start; 0 = unknown
   std::string build_sha;        // git sha the binary was built from
+  // Cluster identity (INFO # Cluster): the shard this node belongs to and
+  // whether hash-slot routing is active on it.
+  std::string shard_id;
+  bool cluster_enabled = false;
 };
 
 // Who is running the command; controls lazy-expiry behaviour (§2.1: replicas

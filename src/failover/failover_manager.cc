@@ -161,7 +161,7 @@ void FailoverManager::AcquireTick() {
                    sent_ms + options_.lease_duration_ms);
           replay_target_.store(resp.index, std::memory_order_release);
           EnterState(FailoverState::kHolding);
-          loop_.After(options_.renew_interval_ms, [this] { RenewTick(); });
+          ScheduleRenew(options_.renew_interval_ms);
           return;
         }
         // Held by someone else (a not-yet-expired predecessor) or the log
@@ -176,6 +176,17 @@ void FailoverManager::AcquireTick() {
       });
 }
 
+void FailoverManager::ScheduleRenew(uint64_t delay_ms) {
+  loop_.AssertOnLoopThread();
+  if (stopping_.load(std::memory_order_acquire)) return;
+  if (renew_timer_armed_) return;
+  renew_timer_armed_ = true;
+  loop_.After(std::max<uint64_t>(1, delay_ms), [this] {
+    renew_timer_armed_ = false;
+    RenewTick();
+  });
+}
+
 void FailoverManager::RenewTick() {
   loop_.AssertOnLoopThread();
   if (stopping_.load(std::memory_order_acquire)) return;
@@ -183,11 +194,18 @@ void FailoverManager::RenewTick() {
   // Renewal runs while holding AND while replaying: a promotion longer than
   // the lease must not lose the lease mid-replay.
   if (s != FailoverState::kHolding && s != FailoverState::kReplaying) return;
+  // Fixed cadence: the next tick is armed before this one's RPC is even
+  // issued, so renewal frequency is governed by the interval alone, never
+  // by response latency (see ScheduleRenew).
+  ScheduleRenew(options_.renew_interval_ms);
+  if (renew_inflight_) return;  // previous renewal still awaiting a response
+  renew_inflight_ = true;
   const uint64_t sent_ms = NowMs();
   client_->RenewLease(
       options_.owner_id, options_.lease_duration_ms, options_.shard_id,
       [this, sent_ms](const Status& status,
                       const txlog::rpcwire::LeaseResponse& resp) {
+        renew_inflight_ = false;
         if (stopping_.load(std::memory_order_acquire)) return;
         const FailoverState cur = state();
         if (cur != FailoverState::kHolding &&
@@ -198,7 +216,6 @@ void FailoverManager::RenewTick() {
           StoreMax(&lease_valid_until_ms_,
                    sent_ms + options_.lease_duration_ms);
           if (renewals_total_ != nullptr) renewals_total_->Increment();
-          loop_.After(options_.renew_interval_ms, [this] { RenewTick(); });
           return;
         }
         if (status.IsConditionFailed()) {
@@ -227,8 +244,9 @@ void FailoverManager::RenewTick() {
         }
         // Indeterminate (log group unreachable): keep trying on a tighter
         // cadence. If the lease truly lapsed, the next determinate answer
-        // is ConditionFailed and we fence then.
-        loop_.After(options_.retry_backoff_ms, [this] { RenewTick(); });
+        // is ConditionFailed and we fence then. (No-op when the interval
+        // timer is already armed to fire sooner.)
+        ScheduleRenew(options_.retry_backoff_ms);
       });
 }
 
@@ -290,7 +308,7 @@ void FailoverManager::ProbeTick() {
                 "failover.lease", now * 1000, resp.index);
           }
           EnterState(FailoverState::kReplaying);
-          loop_.After(options_.renew_interval_ms, [this] { RenewTick(); });
+          ScheduleRenew(options_.renew_interval_ms);
           return;
         }
         if (status.IsConditionFailed()) {

@@ -157,6 +157,13 @@ class FailoverManager {
   // Manager-loop-thread only.
   void AcquireTick();
   void RenewTick();
+  // Arms the next RenewTick unless one is already armed. Renewals run on a
+  // fixed cadence — the timer is re-armed when the tick FIRES, not when the
+  // RPC's response lands — so a slow or lost renewal response cannot
+  // stretch the renewal period past the lease (the ~200k-entry promotion
+  // replay self-fence: replay held the response pump busy long enough that
+  // response-chained renewals starved and the lease lapsed mid-replay).
+  void ScheduleRenew(uint64_t delay_ms);
   void ProbeTick();
   void ScheduleProbe(uint64_t delay_ms);
   void EnterState(FailoverState next);
@@ -197,6 +204,8 @@ class FailoverManager {
   uint64_t t_lease_won_ms_ = 0;    // AcquireLease returned kOk
   uint64_t replay_done_ms_ = 0;    // applied_index reached the target
   uint64_t failover_seq_ = 0;      // per-process ordinal, keys trace ids
+  bool renew_timer_armed_ = false;  // a RenewTick timer is pending
+  bool renew_inflight_ = false;     // a RenewLease RPC awaits its response
   std::atomic<bool> stopping_{false};
 };
 

@@ -85,6 +85,10 @@ class Connection {
   // timestamp (ms) when the soft limit was first continuously exceeded,
   // 0 when currently under it.
   uint64_t soft_over_since_ms = 0;
+  // One-shot ASKING flag (loop thread only): the next keyed command may
+  // execute against an IMPORTING slot (§5 redirect protocol); consumed by
+  // that command whether or not it needed it.
+  bool asking = false;
   // Loop-thread bookkeeping: whether EPOLLOUT is currently armed.
   bool want_write = false;
 

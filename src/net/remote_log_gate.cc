@@ -73,14 +73,21 @@ void RemoteLogGate::Stop() {
 }
 
 uint64_t RemoteLogGate::SubmitAppend(std::string payload, uint64_t trace_id) {
+  return SubmitTyped(txlog::RecordType::kData, std::move(payload), trace_id);
+}
+
+uint64_t RemoteLogGate::SubmitTyped(txlog::RecordType type,
+                                    std::string payload, uint64_t trace_id) {
   const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   submitted_.fetch_add(1, std::memory_order_acq_rel);
   if (appends_submitted_ != nullptr) appends_submitted_->Increment();
-  loop_.Post([this, seq, trace_id, payload = std::move(payload)]() mutable {
+  loop_.Post([this, seq, type, trace_id,
+              payload = std::move(payload)]() mutable {
     PendingAppend p;
     p.seq = seq;
     p.trace_id = trace_id;
     p.payload = std::move(payload);
+    p.type = type;
     queue_.push_back(std::move(p));
     if (queue_depth_ != nullptr) {
       queue_depth_->Set(static_cast<int64_t>(queue_.size()));
@@ -115,13 +122,12 @@ void RemoteLogGate::Pump() {
   append_inflight_ = true;
 
   txlog::LogRecord record;
-  record.type = p.internal ? txlog::RecordType::kChecksum
-                           : txlog::RecordType::kData;
+  record.type = p.internal ? txlog::RecordType::kChecksum : p.type;
   record.writer = options_.writer_id;
   record.request_id = 0;  // stamped by RemoteClient; stable across retries
   record.trace_id = p.trace_id;
   record.payload = std::move(p.payload);
-  if (!p.internal) {
+  if (!p.internal && p.type == txlog::RecordType::kData) {
     // Advance the chain in submission order (== log order; serialized).
     running_checksum_ = Crc64(running_checksum_, Slice(record.payload));
     if (options_.checksum_every > 0 &&

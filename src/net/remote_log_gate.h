@@ -98,6 +98,14 @@ class RemoteLogGate {
   // rides the log record and the rpc frame (write-path tracing).
   uint64_t SubmitAppend(std::string payload, uint64_t trace_id);
 
+  // Thread-safe. Like SubmitAppend but with an explicit record type — used
+  // for kSlotOwnership flips (§5): the append rides the same serialized,
+  // fenced chain as data, so a committed completion proves this writer
+  // still held the shard lease when the flip landed. Non-data records do
+  // not advance the §7.2.1 checksum chain (replicas skip them too).
+  uint64_t SubmitTyped(txlog::RecordType type, std::string payload,
+                       uint64_t trace_id);
+
   // Thread-safe; returns queued completions in batch-seq order.
   std::vector<Completion> DrainCompletions();
 
@@ -125,6 +133,7 @@ class RemoteLogGate {
     uint64_t seq = 0;
     uint64_t trace_id = 0;
     std::string payload;
+    txlog::RecordType type = txlog::RecordType::kData;
     // Gate-internal kChecksum record: invisible to SubmitAppend accounting
     // and never reported as a completion.
     bool internal = false;

@@ -12,7 +12,9 @@
 #include "common/coding.h"
 #include "common/crc.h"
 #include "common/trace_export.h"
+#include "engine/snapshot.h"
 #include "replication/snapshot_store.h"
+#include "shard/slot_wire.h"
 #include "storage/fs_object_store.h"
 #include "txlog/rpc_wire.h"
 
@@ -24,6 +26,11 @@ constexpr uint64_t kInputHwmWindowMs = 5000;
 // Active-expiry cadence and per-cycle victim cap (Redis-like).
 constexpr uint64_t kExpireEveryMs = 100;
 constexpr size_t kExpirePerCycle = 20;
+// Follower entries applied per loop iteration. Bounds how long replay can
+// occupy the loop in one go: promotion-scale backlogs apply across many
+// iterations (with a zero poll timeout) instead of one monolithic stall
+// that would starve reads and lease upkeep (ROADMAP 2a).
+constexpr size_t kFollowerApplyChunk = 4096;
 
 // Same wire format as Node::EncodeEffectBatch, so log consumers decode
 // either producer: engine version, then per-effect argc + argv.
@@ -103,6 +110,28 @@ RespServer::RespServer(engine::Engine* engine, ServerConfig config)
   repl_checksum_failures_ =
       metrics_.GetCounter("repl_checksum_failures_total");
   if (!config_.replica_of_log.empty()) server_info_.role = "replica";
+  server_info_.shard_id = config_.shard_id;
+  if (config_.cluster) {
+    server_info_.cluster_enabled = true;
+    metrics_.SetHelp("cluster_enabled", "1 when hash-slot routing is active");
+    metrics_.GetGauge("cluster_enabled")->Set(1);
+    metrics_.SetHelp("cluster_slots_owned",
+                     "Hash slots this shard currently serves");
+    cluster_slots_owned_ = metrics_.GetGauge("cluster_slots_owned");
+    metrics_.SetHelp("cluster_slots_migrating",
+                     "Slots streaming out to an importing peer");
+    cluster_slots_migrating_ = metrics_.GetGauge("cluster_slots_migrating");
+    metrics_.SetHelp("cluster_slots_importing",
+                     "Slots streaming in from their current owner");
+    cluster_slots_importing_ = metrics_.GetGauge("cluster_slots_importing");
+    metrics_.SetHelp("cluster_redirects_total",
+                     "Keyed commands answered with -MOVED or -ASK");
+    cluster_redirects_total_ = metrics_.GetCounter("cluster_redirects_total");
+    cluster_redirects_moved_ =
+        metrics_.GetCounter("cluster_redirects_total", {{"kind", "moved"}});
+    cluster_redirects_ask_ =
+        metrics_.GetCounter("cluster_redirects_total", {{"kind", "ask"}});
+  }
 }
 
 RespServer::~RespServer() { Stop(); }
@@ -203,6 +232,32 @@ Status RespServer::Start() {
   MEMDB_RETURN_IF_ERROR(listener_.Open(config_.bind_address, config_.port,
                                        config_.tcp_backlog));
   MEMDB_RETURN_IF_ERROR(loop_.Add(listener_.fd(), kReadable, &listener_));
+  if (config_.cluster) {
+    // After the listener opens so a kernel-assigned port can be announced.
+    const std::string announce =
+        !config_.cluster_announce.empty()
+            ? config_.cluster_announce
+            : config_.bind_address + ":" + std::to_string(listener_.port());
+    slot_table_ = std::make_unique<shard::SlotTable>();
+    slot_table_->Init(config_.shard_id, announce);
+    std::vector<uint16_t> slots;
+    MEMDB_RETURN_IF_ERROR(shard::ParseSlotRanges(
+        config_.cluster_slots.empty() ? "0-16383" : config_.cluster_slots,
+        &slots));
+    slot_table_->AssignLocal(slots);
+    for (const ServerConfig::ClusterPeer& peer : config_.cluster_peers) {
+      std::vector<uint16_t> peer_slots;
+      MEMDB_RETURN_IF_ERROR(
+          shard::ParseSlotRanges(peer.slots, &peer_slots));
+      slot_table_->AssignRemote(peer_slots, peer.shard_id, peer.endpoint);
+    }
+    shard::SlotMigrator::Options mopt;
+    mopt.batch_keys = config_.migration_batch_keys;
+    migrator_ = std::make_unique<shard::SlotMigrator>(
+        mopt, slot_table_.get(), static_cast<shard::MigrationHost*>(this),
+        &metrics_);
+    RefreshClusterGauges();
+  }
   const int extra = config_.io_threads > 1 ? config_.io_threads - 1 : 0;
   pool_ = std::make_unique<IoThreadPool>(extra);
   input_hwm_window_start_ms_ = NowMs();
@@ -234,6 +289,8 @@ void RespServer::Stop() {
   loop_.Wakeup();
   if (loop_thread_.joinable()) loop_thread_.join();
   started_ = false;
+  // The loop has exited; joining the migration channel worker is safe.
+  if (migrator_ != nullptr) migrator_->Shutdown();
   if (failover_ != nullptr) failover_->Stop();
   if (gate_ != nullptr) gate_->Stop();
   if (retired_gate_ != nullptr) retired_gate_->Stop();
@@ -299,8 +356,25 @@ void RespServer::ApplyFollowerEntries(uint64_t now_ms) {
                  "snapshot store\n",
                  static_cast<unsigned long long>(server_info_.applied_index));
   }
-  const std::vector<txlog::LogEntry> entries = follower_->DrainEntries();
-  if (entries.empty()) return;
+  {
+    std::vector<txlog::LogEntry> drained = follower_->DrainEntries();
+    for (txlog::LogEntry& e : drained) {
+      follower_backlog_.push_back(std::move(e));
+    }
+  }
+  if (follower_backlog_.empty()) return;
+  // Apply a bounded chunk per iteration: a promotion-scale backlog must not
+  // occupy the loop long enough to starve MaintainFailover (and with it the
+  // renew-driven lease horizon checks) — LoopMain polls with a zero timeout
+  // while the backlog is non-empty, so replay throughput is unchanged.
+  std::vector<txlog::LogEntry> entries;
+  const size_t chunk =
+      std::min(follower_backlog_.size(), kFollowerApplyChunk);
+  entries.reserve(chunk);
+  for (size_t i = 0; i < chunk; ++i) {
+    entries.push_back(std::move(follower_backlog_.front()));
+    follower_backlog_.pop_front();
+  }
   uint64_t bytes = 0;
   for (const txlog::LogEntry& e : entries) {
     if (e.record.type == txlog::RecordType::kData) {
@@ -336,6 +410,17 @@ void RespServer::ApplyFollowerEntries(uint64_t now_ms) {
                                              &grant) &&
           grant.shard_id == config_.shard_id) {
         failover_->NoteLeaseObserved(grant.owner, grant.duration_ms);
+      }
+    } else if (e.record.type == txlog::RecordType::kSlotOwnership &&
+               slot_table_ != nullptr) {
+      // A committed slot flip (§5). Epoch-guarded, so replay after restart
+      // or out-of-order observation cannot roll the table backwards. Slot
+      // records ride outside the §7.2.1 data checksum chain.
+      shard::SlotOwnershipRecord rec;
+      if (shard::SlotOwnershipRecord::Decode(Slice(e.record.payload), &rec)) {
+        slot_table_->ApplyOwnership(rec.slot, rec.epoch, rec.to_shard,
+                                    rec.to_endpoint);
+        RefreshClusterGauges();
       }
     }
     server_info_.applied_index = e.index;
@@ -404,6 +489,9 @@ void RespServer::PromoteToPrimary() {
   // is a once-per-failover event and the stall is part of measured MTTR.
   follower_->Stop();
   follower_.reset();
+  // Whatever the chunked applier still holds past the replay target can
+  // only be lease renewals (no data record commits above our grant).
+  follower_backlog_.clear();
   RemoteLogGate::Options gopt;
   gopt.endpoints = config_.replica_of_log;
   gopt.writer_id = config_.txlog_writer_id;
@@ -564,6 +652,26 @@ void RespServer::ExecutePending(Connection* c, uint64_t now_ms) {
     }
     if (name == "SLOWLOG") {
       HandleSlowlogCommand(c, argv);
+      continue;
+    }
+    if (name == "CLUSTER") {
+      HandleClusterCommand(c, argv);
+      continue;
+    }
+    if (name == "ASKING") {
+      if (slot_table_ == nullptr) {
+        c->QueueOutput("-ERR This instance has cluster support disabled\r\n");
+      } else {
+        c->asking = true;
+        c->QueueOutput("+OK\r\n");
+      }
+      continue;
+    }
+    // One-shot: ASKING covers exactly the next command, used or not.
+    const bool asking = c->asking;
+    c->asking = false;
+    if (slot_table_ != nullptr &&
+        RouteClusterCommand(c, engine_->FindCommand(name), argv, asking)) {
       continue;
     }
     if (role_ != ServerRole::kPrimary) {
@@ -728,6 +836,10 @@ void RespServer::ProcessLogCompletions(std::vector<Connection*>* released) {
   const uint64_t now_us = NowUs();
   for (const RemoteLogGate::Completion& comp : done) {
     done_floor_ = comp.seq;  // the gate completes appends in seq order
+    if (migrator_ != nullptr &&
+        migrator_->OnGateCompletion(comp.seq, comp.status.ok())) {
+      continue;  // migration-internal append: no client reply parked on it
+    }
     const auto pw = pending_writes_.find(comp.seq);
     if (pw != pending_writes_.end()) {
       trace_.Record(pw->second.trace_id,
@@ -927,7 +1039,10 @@ void RespServer::LoopMain() {
   std::vector<Connection*> released;
   std::unordered_set<Connection*> newly_flushable;
   while (!stop_requested_.load(std::memory_order_acquire)) {
-    loop_.Poll(config_.loop_timeout_ms, &events);
+    // A pending replay backlog means more work is already here: poll
+    // without sleeping so the next chunk applies immediately.
+    loop_.Poll(follower_backlog_.empty() ? config_.loop_timeout_ms : 0,
+               &events);
     if (stop_requested_.load(std::memory_order_acquire)) break;
 
     readable.clear();
@@ -963,6 +1078,10 @@ void RespServer::LoopMain() {
 
     // Stage 3 (loop thread): release replies whose log appends committed.
     ProcessLogCompletions(&released);
+    if (migrator_ != nullptr && migrator_->active()) {
+      migrator_->Pump();
+      RefreshClusterGauges();
+    }
 
     // Stage 4 (io threads): flush whatever has output. Readable conns may
     // have just produced replies, released conns just gained them, and
@@ -1059,6 +1178,269 @@ void RespServer::HandleSlowlogCommand(Connection* c,
         "SLOWLOG LEN | SLOWLOG RESET\r\n";
   }
   c->QueueOutput(encoded);
+}
+
+bool RespServer::RouteClusterCommand(Connection* c,
+                                     const engine::CommandSpec* spec,
+                                     const std::vector<std::string>& argv,
+                                     bool asking) {
+  loop_affinity_.AssertHeldThread();
+  if (spec == nullptr || spec->first_key <= 0) return false;  // keyless
+  const std::vector<std::string> keys =
+      engine::Engine::CommandKeys(*spec, argv);
+  if (keys.empty()) return false;
+  const uint16_t slot = KeyHashSlot(Slice(keys[0]));
+  for (size_t i = 1; i < keys.size(); ++i) {
+    if (KeyHashSlot(Slice(keys[i])) != slot) {
+      c->QueueOutput(
+          "-CROSSSLOT Keys in request don't hash to the same slot\r\n");
+      return true;
+    }
+  }
+  const shard::SlotTable::Entry& entry = slot_table_->at(slot);
+  switch (entry.state) {
+    case shard::SlotState::kOwned:
+      return false;
+    case shard::SlotState::kRemote:
+      c->QueueOutput("-" + slot_table_->MovedError(slot) + "\r\n");
+      cluster_redirects_total_->Increment();
+      cluster_redirects_moved_->Increment();
+      return true;
+    case shard::SlotState::kImporting:
+      // Only ASKING-prefixed commands may touch an importing slot before
+      // the owner commits the flip; everyone else is pointed at the owner.
+      if (asking) return false;
+      c->QueueOutput("-" + slot_table_->MovedError(slot) + "\r\n");
+      cluster_redirects_total_->Increment();
+      cluster_redirects_moved_->Increment();
+      return true;
+    case shard::SlotState::kMigrating: {
+      const uint64_t now_ms = NowMs();
+      size_t present = 0;
+      bool in_flight = false;
+      for (const std::string& k : keys) {
+        if (migrator_ != nullptr && migrator_->KeyInFlight(k)) {
+          in_flight = true;
+        }
+        if (engine_->keyspace().Find(k, now_ms) != nullptr) ++present;
+      }
+      if (in_flight && spec->is_write) {
+        // The value is mid-transfer: a local write would be shadowed the
+        // moment the streamed copy lands on the target.
+        c->QueueOutput(
+            "-TRYAGAIN Key is being migrated; retry the command\r\n");
+        return true;
+      }
+      if (present == keys.size()) return false;  // still fully local
+      if (present == 0) {
+        c->QueueOutput("-" + slot_table_->AskError(slot) + "\r\n");
+        cluster_redirects_total_->Increment();
+        cluster_redirects_ask_->Increment();
+        return true;
+      }
+      c->QueueOutput(
+          "-TRYAGAIN Keys straddle a migrating slot; retry the command\r\n");
+      return true;
+    }
+  }
+  return false;
+}
+
+void RespServer::HandleClusterCommand(Connection* c,
+                                      const std::vector<std::string>& argv) {
+  loop_affinity_.AssertHeldThread();
+  if (slot_table_ == nullptr) {
+    c->QueueOutput("-ERR This instance has cluster support disabled\r\n");
+    return;
+  }
+  const auto parse_slot = [](const std::string& s, uint16_t* out) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' ||
+        v >= static_cast<unsigned long>(kNumSlots)) {
+      return false;
+    }
+    *out = static_cast<uint16_t>(v);
+    return true;
+  };
+  const std::string sub =
+      argv.size() > 1 ? engine::Engine::Upper(argv[1]) : std::string();
+  std::string encoded;
+  uint16_t slot = 0;
+  if (sub == "MYID" && argv.size() == 2) {
+    resp::Value::Bulk(slot_table_->self_shard()).EncodeTo(&encoded);
+  } else if (sub == "SLOTS" && argv.size() == 2) {
+    slot_table_->SlotsReply().EncodeTo(&encoded);
+  } else if (sub == "SHARDS" && argv.size() == 2) {
+    slot_table_->ShardsReply().EncodeTo(&encoded);
+  } else if (sub == "KEYSLOT" && argv.size() == 3) {
+    resp::Value::Integer(KeyHashSlot(Slice(argv[2]))).EncodeTo(&encoded);
+  } else if ((sub == "COUNTKEYSINSLOT" || sub == "GETKEYSINSLOT") &&
+             argv.size() >= 3) {
+    if (!parse_slot(argv[2], &slot)) {
+      encoded = "-ERR Invalid slot\r\n";
+    } else if (sub == "COUNTKEYSINSLOT" && argv.size() == 3) {
+      resp::Value::Integer(static_cast<int64_t>(
+                               engine_->keyspace().KeysInSlot(slot).size()))
+          .EncodeTo(&encoded);
+    } else if (sub == "GETKEYSINSLOT" && argv.size() == 4) {
+      char* end = nullptr;
+      const unsigned long count = std::strtoul(argv[3].c_str(), &end, 10);
+      std::vector<resp::Value> out;
+      for (const std::string& k : engine_->keyspace().KeysInSlot(slot)) {
+        if (out.size() >= count) break;
+        out.push_back(resp::Value::Bulk(k));
+      }
+      resp::Value::Array(std::move(out)).EncodeTo(&encoded);
+    } else {
+      encoded = "-ERR wrong number of arguments\r\n";
+    }
+  } else if (sub == "SETSLOT" && argv.size() >= 4) {
+    if (!parse_slot(argv[2], &slot)) {
+      c->QueueOutput("-ERR Invalid slot\r\n");
+      return;
+    }
+    const std::string op = engine::Engine::Upper(argv[3]);
+    if (op == "IMPORTING" && argv.size() == 6) {
+      // Handshake from the migrating owner: argv[4]=its shard, [5]=endpoint.
+      if (slot_table_->BeginImporting(slot, argv[4], argv[5])) {
+        encoded = "+OK\r\n";
+      } else {
+        encoded = "-ERR slot " + std::to_string(slot) +
+                  " is already served by this shard\r\n";
+      }
+    } else if (op == "MIGRATE" && argv.size() == 6) {
+      // Admin trigger: stream the slot to shard argv[4] at argv[5] and
+      // commit the flip through the fenced log. Runs asynchronously; +OK
+      // means the migration started, progress is visible in INFO # Cluster.
+      if (role_ != ServerRole::kPrimary) {
+        encoded = "-ERR only the serving primary can migrate a slot\r\n";
+      } else {
+        const Status st = migrator_->StartMigration(slot, argv[4], argv[5]);
+        encoded = st.ok() ? "+OK\r\n" : "-ERR " + st.ToString() + "\r\n";
+      }
+    } else if (op == "NODE" && (argv.size() == 6 || argv.size() == 7)) {
+      uint64_t epoch = slot_table_->at(slot).epoch + 1;
+      if (argv.size() == 7) {
+        char* end = nullptr;
+        epoch = std::strtoull(argv[6].c_str(), &end, 10);
+      }
+      if (argv[4] == slot_table_->self_shard()) {
+        // The owner committed the flip to us: IMPORTING -> OWNED. Publish
+        // the flip to our own shard's log too, so our replicas (and a
+        // restarted us) learn it.
+        if (slot_table_->CommitMigrationIn(slot, epoch)) {
+          MigrationSubmitOwnership(slot, epoch, slot_table_->self_shard(),
+                                   slot_table_->self_endpoint());
+          encoded = "+OK\r\n";
+        } else if (slot_table_->at(slot).state == shard::SlotState::kOwned) {
+          encoded = "+OK\r\n";  // retried notification; already ours
+        } else {
+          encoded = "-ERR slot " + std::to_string(slot) +
+                    " is not importing here\r\n";
+        }
+      } else {
+        slot_table_->SetRemote(slot, argv[4], argv[5]);
+        encoded = "+OK\r\n";
+      }
+    } else if (op == "STABLE" && argv.size() == 4) {
+      encoded = slot_table_->CancelMigration(slot)
+                    ? "+OK\r\n"
+                    : "-ERR slot is not migrating or importing\r\n";
+    } else {
+      encoded =
+          "-ERR unknown SETSLOT form; try IMPORTING <shard> <endpoint> | "
+          "MIGRATE <shard> <endpoint> | NODE <shard> <endpoint> [epoch] | "
+          "STABLE\r\n";
+    }
+    RefreshClusterGauges();
+  } else {
+    encoded =
+        "-ERR unknown CLUSTER subcommand; try SLOTS | SHARDS | MYID | "
+        "KEYSLOT | COUNTKEYSINSLOT | GETKEYSINSLOT | SETSLOT\r\n";
+  }
+  c->QueueOutput(encoded);
+}
+
+void RespServer::RefreshClusterGauges() {
+  loop_affinity_.AssertHeldThread();
+  if (slot_table_ == nullptr) return;
+  size_t owned = 0, migrating = 0, importing = 0;
+  for (int s = 0; s < kNumSlots; ++s) {
+    switch (slot_table_->at(static_cast<uint16_t>(s)).state) {
+      case shard::SlotState::kOwned: ++owned; break;
+      case shard::SlotState::kMigrating: ++migrating; break;
+      case shard::SlotState::kImporting: ++importing; break;
+      case shard::SlotState::kRemote: break;
+    }
+  }
+  // A migrating slot is still served here until the flip commits.
+  cluster_slots_owned_->Set(static_cast<int64_t>(owned + migrating));
+  cluster_slots_migrating_->Set(static_cast<int64_t>(migrating));
+  cluster_slots_importing_->Set(static_cast<int64_t>(importing));
+}
+
+std::vector<std::string> RespServer::MigrationKeys(uint16_t slot,
+                                                   size_t max) {
+  loop_affinity_.AssertHeldThread();
+  std::vector<std::string> out;
+  const uint64_t now_ms = NowMs();
+  for (const std::string& key : engine_->keyspace().KeysInSlot(slot)) {
+    if (out.size() >= max) break;
+    if (engine_->keyspace().Find(key, now_ms) != nullptr) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+bool RespServer::MigrationDump(const std::string& key, uint64_t* expire_at_ms,
+                               std::string* blob) {
+  loop_affinity_.AssertHeldThread();
+  const engine::Keyspace::Entry* e = engine_->keyspace().Find(key, NowMs());
+  if (e == nullptr) return false;
+  *expire_at_ms = e->expire_at_ms;
+  blob->clear();
+  engine::SerializeValue(e->value, blob);
+  PutFixed64(blob, Crc64(0, blob->data(), blob->size()));
+  return true;
+}
+
+uint64_t RespServer::MigrationDelete(const std::vector<std::string>& keys) {
+  loop_affinity_.AssertHeldThread();
+  engine::Argv del;
+  del.reserve(keys.size() + 1);
+  del.push_back("DEL");
+  for (const std::string& k : keys) del.push_back(k);
+  engine_->Apply(del, NowMs());
+  if (gate_ == nullptr) return 0;
+  // Replicates like any write; no client reply is parked on it, and no key
+  // hazard is needed — once the key is locally absent, the migrating slot
+  // answers -ASK and the target (which holds the durable copy) serves it.
+  const std::vector<engine::Argv> effects{del};
+  return gate_->SubmitAppend(
+      EncodeEffectBatch(server_info_.engine_version, effects),
+      /*trace_id=*/0);
+}
+
+uint64_t RespServer::MigrationSubmitOwnership(uint16_t slot, uint64_t epoch,
+                                              const std::string& to_shard,
+                                              const std::string& to_endpoint) {
+  loop_affinity_.AssertHeldThread();
+  if (gate_ == nullptr) return 0;
+  shard::SlotOwnershipRecord rec;
+  rec.slot = slot;
+  rec.epoch = epoch;
+  rec.from_shard = config_.shard_id;
+  rec.to_shard = to_shard;
+  rec.to_endpoint = to_endpoint;
+  // The fencing argument (§5, same shape as DESIGN.md §11): this append is
+  // conditional on the chain position of a gate that fences on any foreign
+  // record. If this node lost its lease, the append fails and the flip
+  // never commits — a stale owner can neither serve the slot nor give it
+  // away.
+  return gate_->SubmitTyped(txlog::RecordType::kSlotOwnership, rec.Encode(),
+                            /*trace_id=*/0);
 }
 
 }  // namespace memdb::net

@@ -51,6 +51,8 @@
 #include "net/remote_log_gate.h"
 #include "replication/log_follower.h"
 #include "replication/recovery.h"
+#include "shard/migration.h"
+#include "shard/slot_table.h"
 
 namespace memdb::net {
 
@@ -125,6 +127,27 @@ struct ServerConfig {
   // (a still-ticking foreign lease legitimately delays startup).
   uint64_t lease_acquire_wait_ms = 30000;
 
+  // --- cluster data plane (§5) --------------------------------------------
+  // Hash-slot routing: every keyed command checks the 16384-entry slot
+  // table; slots owned elsewhere answer -MOVED, slots mid-migration follow
+  // the MOVED/ASK protocol. Off (default) keeps the single-shard behaviour.
+  bool cluster = false;
+  // Slot ranges this shard serves at bootstrap ("0-8191,9000"); empty with
+  // cluster on = all 16384 slots.
+  std::string cluster_slots;
+  // host:port advertised in redirects and CLUSTER SLOTS; empty = bind:port.
+  std::string cluster_announce;
+  // Static peer directory: other shards and the slots they serve at
+  // bootstrap (live migrations update the table afterwards).
+  struct ClusterPeer {
+    std::string shard_id;
+    std::string endpoint;  // host:port
+    std::string slots;     // range spec
+  };
+  std::vector<ClusterPeer> cluster_peers;
+  // Keys per migration-channel round-trip (CLUSTER SETSLOT ... MIGRATE).
+  size_t migration_batch_keys = 64;
+
   // --- write-path tracing + slowlog ---------------------------------------
   // 1-in-N durable writes get a trace id (0 disables tracing, 1 = every
   // write). Unsampled writes carry trace id 0, which every downstream
@@ -150,7 +173,7 @@ struct ServerConfig {
 //   kPrimary -> kFenced      (renewal rejected / gate hit a foreign record)
 enum class ServerRole : uint8_t { kPrimary, kReplica, kPromoting, kFenced };
 
-class RespServer {
+class RespServer : private shard::MigrationHost {
  public:
   // The server shares its metrics registry with the engine (set_metrics),
   // so one INFO/METRICS scrape covers engine and net series.
@@ -170,6 +193,8 @@ class RespServer {
   void Stop();
 
   uint16_t port() const { return listener_.port(); }
+  // Test access (loop-thread discipline applies once the loop runs).
+  shard::SlotTable* slot_table() { return slot_table_.get(); }
   MetricsRegistry& metrics() { return metrics_; }
   const ServerConfig& config() const { return config_; }
   RemoteLogGate* gate() { return gate_.get(); }
@@ -249,6 +274,26 @@ class RespServer {
   void HandleTraceCommand(Connection* c, const std::vector<std::string>& argv);
   void HandleSlowlogCommand(Connection* c,
                             const std::vector<std::string>& argv);
+  // Cluster control plane: CLUSTER SLOTS/SHARDS/MYID/KEYSLOT/SETSLOT/....
+  void HandleClusterCommand(Connection* c,
+                            const std::vector<std::string>& argv);
+  // Hash-slot routing (§5): true when the command was fully answered here
+  // (-MOVED/-ASK/-CROSSSLOT/-TRYAGAIN/-CLUSTERDOWN); false = execute
+  // locally. `asking` is the connection's consumed one-shot ASKING flag.
+  bool RouteClusterCommand(Connection* c, const engine::CommandSpec* spec,
+                           const std::vector<std::string>& argv, bool asking);
+  // Refresh the cluster_slots_* gauges after any slot-table change.
+  void RefreshClusterGauges();
+
+  // shard::MigrationHost (loop thread, except MigrationWakeup).
+  std::vector<std::string> MigrationKeys(uint16_t slot, size_t max) override;
+  bool MigrationDump(const std::string& key, uint64_t* expire_at_ms,
+                     std::string* blob) override;
+  uint64_t MigrationDelete(const std::vector<std::string>& keys) override;
+  uint64_t MigrationSubmitOwnership(uint16_t slot, uint64_t epoch,
+                                    const std::string& to_shard,
+                                    const std::string& to_endpoint) override;
+  void MigrationWakeup() override { loop_.Wakeup(); }
   std::string TraceProcLabel() const;
   static uint64_t NowMs();
   static uint64_t NowUs();
@@ -298,8 +343,27 @@ class RespServer {
   std::deque<SlowlogEntry> slowlog_;  // newest at the front
   uint64_t slowlog_next_id_ = 0;
 
+  // --- cluster data plane (loop thread) ------------------------------------
+  // Non-null iff config_.cluster; the migrator streams slots out of this
+  // node and the table answers every keyed command's routing question.
+  std::unique_ptr<shard::SlotTable> slot_table_;
+  std::unique_ptr<shard::SlotMigrator> migrator_;
+  Counter* cluster_redirects_total_ = nullptr;
+  Counter* cluster_redirects_moved_ = nullptr;
+  Counter* cluster_redirects_ask_ = nullptr;
+  Gauge* cluster_slots_owned_ = nullptr;
+  Gauge* cluster_slots_migrating_ = nullptr;
+  Gauge* cluster_slots_importing_ = nullptr;
+
   // --- replication state (loop thread, except the restore seed written
   // once on the startup thread before the loop exists) --------------------
+  // Entries drained from the follower but not yet applied: promotion-scale
+  // backlogs are applied in bounded chunks (one per loop iteration, with a
+  // zero poll timeout while non-empty) so replay cannot starve the rest of
+  // the loop — reads keep flowing and MaintainFailover keeps observing the
+  // FailoverManager, whose renew timer meanwhile keeps the fresh lease
+  // alive (ROADMAP 2a: the ~200k-entry renew-starvation self-fence).
+  std::deque<txlog::LogEntry> follower_backlog_;
   // Running CRC64 over applied data payloads — a replica's follow-along
   // half of the §7.2.1 chain, verified against kChecksum records.
   uint64_t repl_running_checksum_ = 0;

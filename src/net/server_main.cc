@@ -14,6 +14,10 @@
 //                   [--trace-sample-rate N] [--trace-file PATH]
 //                   [--trace-proc LABEL] [--slowlog-slower-than-us N]
 //                   [--slowlog-max-len N]
+//                   [--cluster] [--cluster-slots RANGES]
+//                   [--cluster-announce HOST:PORT]
+//                   [--cluster-peer SHARD@HOST:PORT=RANGES]...
+//                   [--migration-batch-keys N]
 //
 // With --txlog-endpoints the server runs as a durable primary: every write's
 // effect batch is appended to the out-of-process transaction log group
@@ -33,6 +37,13 @@
 // transaction log before serving and chains its appends on it (fenced
 // writes); a replica monitors the holder and self-promotes — replaying the
 // committed tail first — when the lease expires. No operator action needed.
+//
+// With --cluster (§5) the server becomes one shard of a hash-slot cluster:
+// it serves only the slot ranges in --cluster-slots (e.g. "0-8191"),
+// answers -MOVED for slots owned by the peers declared via repeated
+// --cluster-peer flags (shard1@127.0.0.1:7001=8192-16383), and accepts
+// CLUSTER SETSLOT ... MIGRATE to stream a live slot to a peer with the
+// ownership flip fenced through the transaction log.
 //
 // Runs until SIGINT/SIGTERM. With --port 0 the kernel picks a port; the
 // chosen port is printed on the "listening" banner either way.
@@ -77,6 +88,21 @@ std::vector<std::string> SplitList(const std::string& s) {
   return out;
 }
 
+// "shard1@127.0.0.1:7001=8192-16383" -> ClusterPeer{shard, endpoint, slots}.
+bool ParseClusterPeer(const std::string& s,
+                      memdb::net::ServerConfig::ClusterPeer* out) {
+  const size_t at = s.find('@');
+  const size_t eq = s.find('=', at == std::string::npos ? 0 : at);
+  if (at == std::string::npos || eq == std::string::npos || at == 0 ||
+      eq <= at + 1 || eq + 1 >= s.size()) {
+    return false;
+  }
+  out->shard_id = s.substr(0, at);
+  out->endpoint = s.substr(at + 1, eq - at - 1);
+  out->slots = s.substr(eq + 1);
+  return true;
+}
+
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--bind ADDR] [--maxclients N]\n"
@@ -91,7 +117,11 @@ int Usage(const char* argv0) {
                "          [--lease-renew-ms N] [--failover-probe-ms N]\n"
                "          [--trace-sample-rate N] [--trace-file PATH]\n"
                "          [--trace-proc LABEL] [--slowlog-slower-than-us N]\n"
-               "          [--slowlog-max-len N]\n",
+               "          [--slowlog-max-len N]\n"
+               "          [--cluster] [--cluster-slots RANGES]\n"
+               "          [--cluster-announce HOST:PORT]\n"
+               "          [--cluster-peer SHARD@HOST:PORT=RANGES]...\n"
+               "          [--migration-batch-keys N]\n",
                argv0);
   return 2;
 }
@@ -169,6 +199,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--slowlog-max-len" && has_value &&
                ParseUint(argv[++i], &v) && v > 0) {
       config.slowlog_max_len = v;
+    } else if (arg == "--cluster") {
+      config.cluster = true;
+    } else if (arg == "--cluster-slots" && has_value) {
+      config.cluster_slots = argv[++i];
+    } else if (arg == "--cluster-announce" && has_value) {
+      config.cluster_announce = argv[++i];
+    } else if (arg == "--cluster-peer" && has_value) {
+      memdb::net::ServerConfig::ClusterPeer peer;
+      if (!ParseClusterPeer(argv[++i], &peer)) return Usage(argv[0]);
+      config.cluster_peers.push_back(std::move(peer));
+    } else if (arg == "--migration-batch-keys" && has_value &&
+               ParseUint(argv[++i], &v) && v > 0) {
+      config.migration_batch_keys = v;
     } else {
       return Usage(argv[0]);
     }

@@ -1,0 +1,282 @@
+#include "shard/slot_table.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace memdb::shard {
+
+namespace {
+
+// "host:port" -> {host, port}; port 0 when malformed.
+std::pair<std::string, int64_t> SplitEndpoint(const std::string& ep) {
+  const size_t colon = ep.rfind(':');
+  if (colon == std::string::npos) return {ep, 0};
+  return {ep.substr(0, colon),
+          std::strtoll(ep.c_str() + colon + 1, nullptr, 10)};
+}
+
+bool ParseSlotNumber(const std::string& s, uint16_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' ||
+      v >= static_cast<unsigned long>(kNumSlots)) {
+    return false;
+  }
+  *out = static_cast<uint16_t>(v);
+  return true;
+}
+
+}  // namespace
+
+const char* SlotStateName(SlotState s) {
+  switch (s) {
+    case SlotState::kOwned:     return "owned";
+    case SlotState::kRemote:    return "remote";
+    case SlotState::kMigrating: return "migrating";
+    case SlotState::kImporting: return "importing";
+  }
+  return "unknown";
+}
+
+Status ParseSlotRanges(const std::string& spec, std::vector<uint16_t>* out) {
+  out->clear();
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (part.empty()) continue;
+    const size_t dash = part.find('-');
+    uint16_t lo = 0, hi = 0;
+    if (dash == std::string::npos) {
+      if (!ParseSlotNumber(part, &lo)) {
+        return Status::InvalidArgument("bad slot '" + part + "'");
+      }
+      hi = lo;
+    } else {
+      if (!ParseSlotNumber(part.substr(0, dash), &lo) ||
+          !ParseSlotNumber(part.substr(dash + 1), &hi) || hi < lo) {
+        return Status::InvalidArgument("bad slot range '" + part + "'");
+      }
+    }
+    for (uint32_t s = lo; s <= hi; ++s) {
+      out->push_back(static_cast<uint16_t>(s));
+    }
+  }
+  if (out->empty()) return Status::InvalidArgument("empty slot spec");
+  return Status::OK();
+}
+
+std::string FormatSlotRanges(const std::vector<uint16_t>& slots) {
+  std::vector<uint16_t> sorted = slots;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::string out;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[j] + 1) ++j;
+    if (!out.empty()) out += ",";
+    out += std::to_string(sorted[i]);
+    if (j > i) out += "-" + std::to_string(sorted[j]);
+    i = j + 1;
+  }
+  return out;
+}
+
+void SlotTable::Init(std::string self_shard, std::string self_endpoint) {
+  self_shard_ = std::move(self_shard);
+  self_endpoint_ = std::move(self_endpoint);
+  for (Entry& e : entries_) {
+    e = Entry{};  // kRemote, unknown owner: -CLUSTERDOWN until assigned
+  }
+}
+
+void SlotTable::AssignLocal(const std::vector<uint16_t>& slots) {
+  for (const uint16_t s : slots) {
+    Entry& e = entries_[s];
+    e.state = SlotState::kOwned;
+    e.shard = self_shard_;
+    e.endpoint = self_endpoint_;
+  }
+}
+
+void SlotTable::AssignRemote(const std::vector<uint16_t>& slots,
+                             std::string shard, std::string endpoint) {
+  for (const uint16_t s : slots) {
+    Entry& e = entries_[s];
+    e.state = SlotState::kRemote;
+    e.shard = shard;
+    e.endpoint = endpoint;
+  }
+}
+
+bool SlotTable::BeginMigrating(uint16_t slot, std::string to_shard,
+                               std::string to_endpoint) {
+  Entry& e = entries_[slot];
+  if (e.state != SlotState::kOwned) return false;
+  e.state = SlotState::kMigrating;
+  e.peer_shard = std::move(to_shard);
+  e.peer_endpoint = std::move(to_endpoint);
+  return true;
+}
+
+bool SlotTable::BeginImporting(uint16_t slot, std::string from_shard,
+                               std::string from_endpoint) {
+  Entry& e = entries_[slot];
+  if (e.state == SlotState::kOwned || e.state == SlotState::kMigrating) {
+    return false;  // already ours; nothing to import
+  }
+  e.state = SlotState::kImporting;
+  e.shard = std::move(from_shard);
+  e.endpoint = std::move(from_endpoint);
+  return true;
+}
+
+bool SlotTable::CancelMigration(uint16_t slot) {
+  Entry& e = entries_[slot];
+  if (e.state == SlotState::kMigrating) {
+    e.state = SlotState::kOwned;
+    e.peer_shard.clear();
+    e.peer_endpoint.clear();
+    return true;
+  }
+  if (e.state == SlotState::kImporting) {
+    e.state = SlotState::kRemote;
+    return true;
+  }
+  return false;
+}
+
+bool SlotTable::CommitMigrationOut(uint16_t slot, uint64_t epoch) {
+  Entry& e = entries_[slot];
+  if (e.state != SlotState::kMigrating || epoch <= e.epoch) return false;
+  e.state = SlotState::kRemote;
+  e.shard = std::move(e.peer_shard);
+  e.endpoint = std::move(e.peer_endpoint);
+  e.peer_shard.clear();
+  e.peer_endpoint.clear();
+  e.epoch = epoch;
+  return true;
+}
+
+bool SlotTable::CommitMigrationIn(uint16_t slot, uint64_t epoch) {
+  Entry& e = entries_[slot];
+  if (e.state != SlotState::kImporting || epoch <= e.epoch) return false;
+  e.state = SlotState::kOwned;
+  e.shard = self_shard_;
+  e.endpoint = self_endpoint_;
+  e.epoch = epoch;
+  return true;
+}
+
+bool SlotTable::ApplyOwnership(uint16_t slot, uint64_t epoch,
+                               const std::string& to_shard,
+                               const std::string& to_endpoint) {
+  Entry& e = entries_[slot];
+  if (epoch <= e.epoch) return false;
+  e.epoch = epoch;
+  e.peer_shard.clear();
+  e.peer_endpoint.clear();
+  if (to_shard == self_shard_) {
+    e.state = SlotState::kOwned;
+    e.shard = self_shard_;
+    e.endpoint = self_endpoint_;
+  } else {
+    e.state = SlotState::kRemote;
+    e.shard = to_shard;
+    e.endpoint = to_endpoint;
+  }
+  return true;
+}
+
+void SlotTable::SetRemote(uint16_t slot, std::string shard,
+                          std::string endpoint) {
+  Entry& e = entries_[slot];
+  e.state = SlotState::kRemote;
+  e.shard = std::move(shard);
+  e.endpoint = std::move(endpoint);
+  e.peer_shard.clear();
+  e.peer_endpoint.clear();
+}
+
+size_t SlotTable::CountState(SlotState s) const {
+  size_t n = 0;
+  for (const Entry& e : entries_) {
+    if (e.state == s) ++n;
+  }
+  return n;
+}
+
+std::string SlotTable::MovedError(uint16_t slot) const {
+  const Entry& e = entries_[slot];
+  if (e.endpoint.empty()) {
+    return "CLUSTERDOWN Hash slot not served";
+  }
+  return "MOVED " + std::to_string(slot) + " " + e.endpoint;
+}
+
+std::string SlotTable::AskError(uint16_t slot) const {
+  const Entry& e = entries_[slot];
+  return "ASK " + std::to_string(slot) + " " + e.peer_endpoint;
+}
+
+resp::Value SlotTable::SlotsReply() const {
+  std::vector<resp::Value> out;
+  int run_start = -1;
+  auto serving_entry = [&](uint16_t slot) -> const Entry& {
+    return entries_[slot];
+  };
+  auto same_owner = [&](uint16_t a, uint16_t b) {
+    const Entry& ea = serving_entry(a);
+    const Entry& eb = serving_entry(b);
+    return ea.shard == eb.shard && ea.endpoint == eb.endpoint;
+  };
+  auto flush_run = [&](int start, int end) {
+    const Entry& e = entries_[static_cast<uint16_t>(start)];
+    if (e.endpoint.empty()) return;  // unserved slots are omitted
+    const auto [host, port] = SplitEndpoint(e.endpoint);
+    out.push_back(resp::Value::Array(
+        {resp::Value::Integer(start), resp::Value::Integer(end),
+         resp::Value::Array({resp::Value::Bulk(host),
+                             resp::Value::Integer(port),
+                             resp::Value::Bulk(e.shard)})}));
+  };
+  for (int s = 0; s < kNumSlots; ++s) {
+    if (run_start < 0) {
+      run_start = s;
+    } else if (!same_owner(static_cast<uint16_t>(run_start),
+                           static_cast<uint16_t>(s))) {
+      flush_run(run_start, s - 1);
+      run_start = s;
+    }
+  }
+  if (run_start >= 0) flush_run(run_start, kNumSlots - 1);
+  return resp::Value::Array(std::move(out));
+}
+
+resp::Value SlotTable::ShardsReply() const {
+  // shard id -> (endpoint, slots). Migrating slots still list under the
+  // current owner; the flip moves them atomically.
+  std::map<std::string, std::pair<std::string, std::vector<uint16_t>>> shards;
+  for (int s = 0; s < kNumSlots; ++s) {
+    const Entry& e = entries_[static_cast<uint16_t>(s)];
+    if (e.shard.empty()) continue;
+    auto& rec = shards[e.shard];
+    rec.first = e.endpoint;
+    rec.second.push_back(static_cast<uint16_t>(s));
+  }
+  std::vector<resp::Value> out;
+  for (auto& [shard, rec] : shards) {
+    out.push_back(resp::Value::Array(
+        {resp::Value::Bulk(shard), resp::Value::Bulk(rec.first),
+         resp::Value::Bulk(FormatSlotRanges(rec.second)),
+         resp::Value::Integer(static_cast<int64_t>(rec.second.size()))}));
+  }
+  return resp::Value::Array(std::move(out));
+}
+
+}  // namespace memdb::shard

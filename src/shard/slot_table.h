@@ -1,0 +1,117 @@
+// SlotTable: the 16384-entry hash-slot ownership map every cluster-mode
+// server consults on each keyed command (§5). Each slot is in one of four
+// states from this node's point of view:
+//
+//   kOwned      — this shard serves the slot; commands execute locally.
+//   kRemote     — another shard owns it; keyed commands answer
+//                 -MOVED <slot> <endpoint> (Redis Cluster redirect shape).
+//   kMigrating  — this shard owns the slot but is streaming its keys to an
+//                 importing peer; keys already gone answer -ASK.
+//   kImporting  — the peer is streaming this slot's keys to us; only
+//                 ASKING-prefixed commands may touch it until the owner
+//                 commits the flip.
+//
+// Every flip carries a per-slot epoch. Ownership records replayed from the
+// transaction log (kSlotOwnership) apply only when their epoch is newer,
+// so reordered or duplicated records cannot roll the table backwards.
+//
+// Threading: owned by the RespServer and touched only on its loop thread
+// (same contract as the engine). The migrator reads it through the server.
+
+#ifndef MEMDB_SHARD_SLOT_TABLE_H_
+#define MEMDB_SHARD_SLOT_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/crc.h"
+#include "common/status.h"
+#include "resp/resp.h"
+
+namespace memdb::shard {
+
+enum class SlotState : uint8_t { kOwned = 0, kRemote = 1, kMigrating = 2,
+                                 kImporting = 3 };
+
+const char* SlotStateName(SlotState s);
+
+// Parses "0-8191,9000,9005-9010" into slot numbers. Returns InvalidArgument
+// on malformed ranges, out-of-range slots, or an empty spec.
+Status ParseSlotRanges(const std::string& spec, std::vector<uint16_t>* out);
+
+// Renders a sorted slot list back to the compact "a-b,c" range form.
+std::string FormatSlotRanges(const std::vector<uint16_t>& slots);
+
+class SlotTable {
+ public:
+  struct Entry {
+    SlotState state = SlotState::kRemote;
+    // Owning shard and its client endpoint. For kMigrating this stays the
+    // local shard and `peer_*` names the importing target; for kImporting
+    // it stays the remote owner and `peer_*` is unused.
+    std::string shard;
+    std::string endpoint;
+    std::string peer_shard;
+    std::string peer_endpoint;
+    uint64_t epoch = 0;
+  };
+
+  // `self_shard`/`self_endpoint`: this node's identity as advertised in
+  // CLUSTER SLOTS and redirects.
+  void Init(std::string self_shard, std::string self_endpoint);
+
+  // Marks `slots` owned by this shard (epoch 0 bootstrap assignment).
+  void AssignLocal(const std::vector<uint16_t>& slots);
+  // Marks `slots` owned by a remote peer (bootstrap assignment).
+  void AssignRemote(const std::vector<uint16_t>& slots, std::string shard,
+                    std::string endpoint);
+
+  const Entry& at(uint16_t slot) const { return entries_[slot]; }
+  const std::string& self_shard() const { return self_shard_; }
+  const std::string& self_endpoint() const { return self_endpoint_; }
+
+  // State transitions (loop thread). Each returns false when the current
+  // state does not admit the transition.
+  bool BeginMigrating(uint16_t slot, std::string to_shard,
+                      std::string to_endpoint);
+  bool BeginImporting(uint16_t slot, std::string from_shard,
+                      std::string from_endpoint);
+  bool CancelMigration(uint16_t slot);  // kMigrating/kImporting -> previous
+  // Commit on the losing side: kMigrating -> kRemote(to), epoch bumped.
+  bool CommitMigrationOut(uint16_t slot, uint64_t epoch);
+  // Commit on the gaining side: kImporting -> kOwned, epoch bumped.
+  bool CommitMigrationIn(uint16_t slot, uint64_t epoch);
+  // Replayed kSlotOwnership record (replicas, late observers): applies only
+  // when `epoch` is newer than the slot's. Returns true if applied.
+  bool ApplyOwnership(uint16_t slot, uint64_t epoch,
+                      const std::string& to_shard,
+                      const std::string& to_endpoint);
+  // Admin override (CLUSTER SETSLOT ... NODE for a remote shard).
+  void SetRemote(uint16_t slot, std::string shard, std::string endpoint);
+
+  size_t CountState(SlotState s) const;
+  size_t owned() const { return CountState(SlotState::kOwned) +
+                                CountState(SlotState::kMigrating); }
+
+  // Redirect reply bodies, Redis Cluster shapes:
+  //   -MOVED <slot> <host:port>   /   -ASK <slot> <host:port>
+  std::string MovedError(uint16_t slot) const;
+  std::string AskError(uint16_t slot) const;
+
+  // CLUSTER SLOTS: array of [start, end, [host, port, shard-id]] entries,
+  // contiguous same-owner runs merged.
+  resp::Value SlotsReply() const;
+  // CLUSTER SHARDS: one [shard-id, endpoint, "a-b,c", slot-count] entry per
+  // known shard (compact reproduction shape, not the full Redis 7 map).
+  resp::Value ShardsReply() const;
+
+ private:
+  std::string self_shard_;
+  std::string self_endpoint_;
+  std::vector<Entry> entries_{static_cast<size_t>(kNumSlots)};
+};
+
+}  // namespace memdb::shard
+
+#endif  // MEMDB_SHARD_SLOT_TABLE_H_

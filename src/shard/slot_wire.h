@@ -1,0 +1,52 @@
+// Payload of a replicated kSlotOwnership record: the durable, fenced commit
+// point of a slot migration (§5). The losing owner appends this through its
+// own conditional-append gate — if its lease was lost, the append fails with
+// ConditionFailed and the flip never happens, so a stale owner can neither
+// keep acking the slot nor give it away. Replicas of either shard replay the
+// record to keep their slot tables consistent; the per-slot epoch makes
+// replay idempotent and order-safe.
+
+#ifndef MEMDB_SHARD_SLOT_WIRE_H_
+#define MEMDB_SHARD_SLOT_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/coding.h"
+
+namespace memdb::shard {
+
+struct SlotOwnershipRecord {
+  uint16_t slot = 0;
+  uint64_t epoch = 0;        // per-slot, must exceed the table's current
+  std::string from_shard;    // losing owner (informational)
+  std::string to_shard;      // gaining owner
+  std::string to_endpoint;   // gaining owner's client endpoint
+
+  std::string Encode() const {
+    std::string out;
+    PutVarint64(&out, slot);
+    PutVarint64(&out, epoch);
+    PutLengthPrefixed(&out, from_shard);
+    PutLengthPrefixed(&out, to_shard);
+    PutLengthPrefixed(&out, to_endpoint);
+    return out;
+  }
+  static bool Decode(Slice data, SlotOwnershipRecord* out) {
+    Decoder dec(data);
+    uint64_t slot;
+    if (!dec.GetVarint64(&slot) || slot >= 16384 ||
+        !dec.GetVarint64(&out->epoch) ||
+        !dec.GetLengthPrefixed(&out->from_shard) ||
+        !dec.GetLengthPrefixed(&out->to_shard) ||
+        !dec.GetLengthPrefixed(&out->to_endpoint)) {
+      return false;
+    }
+    out->slot = static_cast<uint16_t>(slot);
+    return true;
+  }
+};
+
+}  // namespace memdb::shard
+
+#endif  // MEMDB_SHARD_SLOT_WIRE_H_

@@ -1,0 +1,172 @@
+// Unit tests for the shard subsystem's data structures: slot-range parsing,
+// the SlotTable state machine (bootstrap assignment, migration transitions,
+// epoch-guarded ownership replay, redirect bodies, CLUSTER reply shapes),
+// and the kSlotOwnership wire record.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/crc.h"
+#include "shard/slot_table.h"
+#include "shard/slot_wire.h"
+
+namespace memdb::shard {
+namespace {
+
+TEST(SlotRanges, ParseAndFormatRoundTrip) {
+  std::vector<uint16_t> slots;
+  ASSERT_TRUE(ParseSlotRanges("0-3,10,100-101", &slots).ok());
+  EXPECT_EQ(slots, (std::vector<uint16_t>{0, 1, 2, 3, 10, 100, 101}));
+  EXPECT_EQ(FormatSlotRanges(slots), "0-3,10,100-101");
+}
+
+TEST(SlotRanges, RejectsMalformedSpecs) {
+  std::vector<uint16_t> slots;
+  EXPECT_FALSE(ParseSlotRanges("", &slots).ok());
+  EXPECT_FALSE(ParseSlotRanges("5-3", &slots).ok());
+  EXPECT_FALSE(ParseSlotRanges("0-16384", &slots).ok());
+  EXPECT_FALSE(ParseSlotRanges("abc", &slots).ok());
+}
+
+SlotTable TwoShardTable() {
+  SlotTable t;
+  t.Init("s1", "127.0.0.1:7001");
+  std::vector<uint16_t> mine, theirs;
+  ParseSlotRanges("0-8191", &mine);
+  ParseSlotRanges("8192-16383", &theirs);
+  t.AssignLocal(mine);
+  t.AssignRemote(theirs, "s2", "127.0.0.1:7002");
+  return t;
+}
+
+TEST(SlotTable, BootstrapAssignmentAndRedirects) {
+  SlotTable t = TwoShardTable();
+  EXPECT_EQ(t.owned(), 8192u);
+  EXPECT_EQ(t.at(0).state, SlotState::kOwned);
+  EXPECT_EQ(t.at(9000).state, SlotState::kRemote);
+  EXPECT_EQ(t.MovedError(9000), "MOVED 9000 127.0.0.1:7002");
+}
+
+TEST(SlotTable, UnservedSlotAnswersClusterDown) {
+  SlotTable t;
+  t.Init("s1", "127.0.0.1:7001");
+  std::vector<uint16_t> mine;
+  ParseSlotRanges("0-10", &mine);
+  t.AssignLocal(mine);
+  EXPECT_EQ(t.MovedError(5000), "CLUSTERDOWN Hash slot not served");
+}
+
+TEST(SlotTable, MigrationOutLifecycle) {
+  SlotTable t = TwoShardTable();
+  ASSERT_TRUE(t.BeginMigrating(7, "s2", "127.0.0.1:7002"));
+  EXPECT_EQ(t.at(7).state, SlotState::kMigrating);
+  // Still counted as served while migrating.
+  EXPECT_EQ(t.owned(), 8192u);
+  EXPECT_EQ(t.AskError(7), "ASK 7 127.0.0.1:7002");
+  // Only an owned slot can start migrating.
+  EXPECT_FALSE(t.BeginMigrating(9000, "s2", "127.0.0.1:7002"));
+  EXPECT_FALSE(t.BeginMigrating(7, "s2", "127.0.0.1:7002"));
+
+  ASSERT_TRUE(t.CommitMigrationOut(7, 1));
+  EXPECT_EQ(t.at(7).state, SlotState::kRemote);
+  EXPECT_EQ(t.at(7).shard, "s2");
+  EXPECT_EQ(t.at(7).epoch, 1u);
+  EXPECT_EQ(t.owned(), 8191u);
+}
+
+TEST(SlotTable, MigrationInLifecycle) {
+  SlotTable t = TwoShardTable();
+  ASSERT_TRUE(t.BeginImporting(9000, "s2", "127.0.0.1:7002"));
+  EXPECT_EQ(t.at(9000).state, SlotState::kImporting);
+  // An owned slot cannot be imported.
+  EXPECT_FALSE(t.BeginImporting(3, "s2", "127.0.0.1:7002"));
+
+  ASSERT_TRUE(t.CommitMigrationIn(9000, 5));
+  EXPECT_EQ(t.at(9000).state, SlotState::kOwned);
+  EXPECT_EQ(t.at(9000).shard, "s1");
+  EXPECT_EQ(t.at(9000).epoch, 5u);
+}
+
+TEST(SlotTable, CancelRestoresPreviousState) {
+  SlotTable t = TwoShardTable();
+  ASSERT_TRUE(t.BeginMigrating(7, "s2", "127.0.0.1:7002"));
+  ASSERT_TRUE(t.CancelMigration(7));
+  EXPECT_EQ(t.at(7).state, SlotState::kOwned);
+  ASSERT_TRUE(t.BeginImporting(9000, "s2", "127.0.0.1:7002"));
+  ASSERT_TRUE(t.CancelMigration(9000));
+  EXPECT_EQ(t.at(9000).state, SlotState::kRemote);
+  EXPECT_FALSE(t.CancelMigration(3));  // not migrating
+}
+
+TEST(SlotTable, OwnershipReplayIsEpochGuarded) {
+  SlotTable t = TwoShardTable();
+  // A replayed flip of a local slot to a peer applies and demotes.
+  EXPECT_TRUE(t.ApplyOwnership(7, 3, "s2", "127.0.0.1:7002"));
+  EXPECT_EQ(t.at(7).state, SlotState::kRemote);
+  // Stale and duplicate records are ignored (idempotent, order-safe).
+  EXPECT_FALSE(t.ApplyOwnership(7, 3, "s1", "127.0.0.1:7001"));
+  EXPECT_FALSE(t.ApplyOwnership(7, 2, "s1", "127.0.0.1:7001"));
+  EXPECT_EQ(t.at(7).state, SlotState::kRemote);
+  // A newer record flipping it back to us applies.
+  EXPECT_TRUE(t.ApplyOwnership(7, 4, "s1", "127.0.0.1:7001"));
+  EXPECT_EQ(t.at(7).state, SlotState::kOwned);
+  EXPECT_EQ(t.at(7).epoch, 4u);
+}
+
+TEST(SlotTable, SlotsReplyMergesContiguousRuns) {
+  SlotTable t = TwoShardTable();
+  const resp::Value v = t.SlotsReply();
+  ASSERT_EQ(v.type, resp::Type::kArray);
+  ASSERT_EQ(v.array.size(), 2u);
+  EXPECT_EQ(v.array[0].array[0].integer, 0);
+  EXPECT_EQ(v.array[0].array[1].integer, 8191);
+  EXPECT_EQ(v.array[0].array[2].array[0].str, "127.0.0.1");
+  EXPECT_EQ(v.array[0].array[2].array[1].integer, 7001);
+  EXPECT_EQ(v.array[0].array[2].array[2].str, "s1");
+  EXPECT_EQ(v.array[1].array[0].integer, 8192);
+  EXPECT_EQ(v.array[1].array[1].integer, 16383);
+}
+
+TEST(SlotTable, ShardsReplyListsBothShards) {
+  SlotTable t = TwoShardTable();
+  const resp::Value v = t.ShardsReply();
+  ASSERT_EQ(v.type, resp::Type::kArray);
+  EXPECT_EQ(v.array.size(), 2u);
+}
+
+TEST(SlotWire, OwnershipRecordRoundTrip) {
+  SlotOwnershipRecord rec;
+  rec.slot = 1234;
+  rec.epoch = 99;
+  rec.from_shard = "s1";
+  rec.to_shard = "s2";
+  rec.to_endpoint = "127.0.0.1:7002";
+  SlotOwnershipRecord got;
+  ASSERT_TRUE(SlotOwnershipRecord::Decode(Slice(rec.Encode()), &got));
+  EXPECT_EQ(got.slot, rec.slot);
+  EXPECT_EQ(got.epoch, rec.epoch);
+  EXPECT_EQ(got.from_shard, rec.from_shard);
+  EXPECT_EQ(got.to_shard, rec.to_shard);
+  EXPECT_EQ(got.to_endpoint, rec.to_endpoint);
+}
+
+TEST(SlotWire, DecodeRejectsGarbage) {
+  SlotOwnershipRecord got;
+  EXPECT_FALSE(SlotOwnershipRecord::Decode(Slice("x"), &got));
+  // Slot out of range (uint16_t admits values past the 16384 slot space).
+  SlotOwnershipRecord rec;
+  rec.slot = 20000;
+  EXPECT_FALSE(SlotOwnershipRecord::Decode(Slice(rec.Encode()), &got));
+}
+
+TEST(HashSlot, HashTagsRouteTogether) {
+  // {tag} hashing (Redis Cluster): only the tag participates.
+  EXPECT_EQ(KeyHashSlot(Slice("{user1}.name")),
+            KeyHashSlot(Slice("{user1}.age")));
+  EXPECT_EQ(KeyHashSlot(Slice("foo")), 12182);
+}
+
+}  // namespace
+}  // namespace memdb::shard

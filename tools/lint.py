@@ -92,6 +92,9 @@ LOOP_OWNED_DIRS = [
     SRC / "replication",
     SRC / "failover",
     SRC / "chaos",
+    # The slot table and migrator state machine run on the RespServer loop;
+    # only the migration channel worker may block, with a reason comment.
+    SRC / "shard",
 ]
 LOOP_OWNED_FILES_GLOB = [
     (SRC / "txlog", "service.*"),
