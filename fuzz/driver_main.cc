@@ -1,0 +1,64 @@
+// Corpus replay driver: links with any LLVMFuzzerTestOneInput harness and
+// runs it over explicit files/directories. This is the no-clang path —
+// GCC has no -fsanitize=fuzzer, so the checked-in seed corpus replays
+// under ASan/UBSan/TSan as a plain ctest regression; with clang the same
+// harness object links against libFuzzer instead for coverage-guided runs.
+//
+// Usage: <harness>_driver <corpus-dir-or-file>...
+// Exit 0 if every input ran to completion; the harness aborts on any
+// invariant violation, so a crash IS the failure signal.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool RunFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "driver: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir-or-file>...\n", argv[0]);
+    return 2;
+  }
+  size_t ran = 0;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path p(argv[i]);
+    std::vector<fs::path> inputs;
+    if (fs::is_directory(p)) {
+      for (const auto& e : fs::recursive_directory_iterator(p)) {
+        if (e.is_regular_file()) inputs.push_back(e.path());
+      }
+    } else {
+      inputs.push_back(p);
+    }
+    std::sort(inputs.begin(), inputs.end());
+    for (const auto& f : inputs) {
+      if (!RunFile(f)) return 2;
+      ++ran;
+    }
+  }
+  std::printf("driver: %zu input(s) replayed clean\n", ran);
+  return ran == 0 ? 2 : 0;  // an empty corpus is a harness wiring bug
+}

@@ -8,9 +8,17 @@
 #                                         binaries, zero acked-write loss)
 #   3. ASan+UBSan build + full ctest     (build-asan/, UBSan non-recoverable)
 #   4. TSan build + the concurrency-heavy suites (build-tsan/: common, net, rpc, replication)
-#   5. tools/lint.py repo invariants (sync, memory_order, blocking, trace lock-freedom)
-#   6. clang-tidy over src/              (skipped with a notice if absent)
-#   7. thread-safety compile-fail checks (skipped with a notice if no clang++)
+#   5. memdb-analyzer call-graph invariants (transitive blocking, lock-order
+#      cycles, status discards, rpc deadlines, ok-return pairing, plus the
+#      folded lint.py file rules); falls back to tools/lint.py if the
+#      analyzer cannot run at all
+#   6. fuzz-smoke: both parser harnesses replay their seed corpora under
+#      the ASan+UBSan build from stage 3; with clang, additionally a
+#      bounded (~30s) coverage-guided libFuzzer run, crash artifacts
+#      preserved under fuzz/artifacts/
+#   7. clang-tidy over src/              (skipped with a notice if absent)
+#   8. thread-safety compile-fail checks (skipped with a notice if no
+#      clang++), including the analyzer-checked lock-order twins
 #
 # Stage 4 runs only common_test, net_test, rpc_test, and replication_test:
 # TSan slows everything ~10x and those suites exercise every cross-thread
@@ -102,10 +110,58 @@ tsan_stage() {
 }
 run_stage "tsan build + common/net/rpc suites" tsan_stage
 
-# --- 5. repo-invariant linter -----------------------------------------------
-run_stage "tools/lint.py" python3 "$ROOT/tools/lint.py"
+# --- 5. analyzer: call-graph repo invariants ---------------------------------
+# memdb-analyzer subsumes lint.py's four regex rules and adds the
+# call-graph checks. It auto-selects its frontend (clang.cindex where
+# libclang exists, the bundled textual parser otherwise); lint.py remains
+# as the fallback only if the analyzer itself cannot run (exit 4 or no
+# python3).
+analyze_stage() {
+  python3 "$ROOT/tools/memdb_analyzer.py"
+  local rc=$?
+  if [ "$rc" -eq 4 ]; then
+    echo "memdb-analyzer frontend unavailable; falling back to tools/lint.py"
+    python3 "$ROOT/tools/lint.py"
+    rc=$?
+  fi
+  return "$rc"
+}
+if command -v python3 >/dev/null 2>&1; then
+  run_stage "memdb-analyzer" analyze_stage
+else
+  skip_stage "memdb-analyzer" "python3 not installed"
+fi
 
-# --- 6. clang-tidy ----------------------------------------------------------
+# --- 6. fuzz smoke ------------------------------------------------------------
+# The seed corpora replay through the corpus drivers built by the stage-3
+# ASan+UBSan tree — every input must complete with zero sanitizer reports.
+# When the toolchain is clang, the same harnesses also run as real
+# libFuzzer binaries for a bounded coverage-guided burst; any crash
+# artifact is preserved under fuzz/artifacts/ for replay.
+fuzz_smoke_stage() {
+  local rc=0
+  for harness in resp_decode rpc_frame; do
+    local driver="$ROOT/build-asan/fuzz/${harness}_fuzz_driver"
+    if [ ! -x "$driver" ]; then
+      echo "missing $driver (stage 3 must build first)" >&2
+      rc=1
+      continue
+    fi
+    "$driver" "$ROOT/fuzz/corpus/$harness" || rc=1
+    local libfuzzer="$ROOT/build-asan/fuzz/${harness}_fuzz"
+    if [ -x "$libfuzzer" ]; then
+      mkdir -p "$ROOT/fuzz/artifacts"
+      "$libfuzzer" -max_total_time="${MEMDB_FUZZ_SECONDS:-15}"         -artifact_prefix="$ROOT/fuzz/artifacts/${harness}_"         "$ROOT/fuzz/corpus/$harness" || rc=1
+    fi
+  done
+  if [ ! -x "$ROOT/build-asan/fuzz/resp_decode_fuzz" ]; then
+    echo "note: no libFuzzer binaries (GCC toolchain); corpus replay only"
+  fi
+  return "$rc"
+}
+run_stage "fuzz-smoke (ASan+UBSan)" fuzz_smoke_stage
+
+# --- 7. clang-tidy ----------------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   tidy_stage() {
     # The plain build dir has the compile database.
@@ -118,7 +174,7 @@ else
   skip_stage "clang-tidy" "clang-tidy not installed"
 fi
 
-# --- 7. thread-safety compile-fail checks -----------------------------------
+# --- 8. thread-safety compile-fail checks -----------------------------------
 if command -v clang++ >/dev/null 2>&1; then
   tsa_flags=(-std=c++20 -I"$ROOT/src" -Wthread-safety -Werror=thread-safety
              -fsyntax-only)
@@ -137,7 +193,15 @@ if command -v clang++ >/dev/null 2>&1; then
            "rejecting unguarded access" >&2
       return 1
     fi
-    echo "unguarded access rejected, guarded control accepted"
+    # The lock-order twins: the correctly-ordered control must compile
+    # (the ABBA twin is rejected by memdb-analyzer, not by clang — that
+    # check runs as analyzer_lock_order_cycle_test in ctest).
+    if ! clang++ "${tsa_flags[@]}" \
+        "$ROOT/tools/compile_fail/lock_order_ok.cc"; then
+      echo "harness broken: lock_order_ok.cc should compile" >&2
+      return 1
+    fi
+    echo "unguarded access rejected, guarded+ordered controls accepted"
   }
   run_stage "thread-safety compile-fail" compile_fail_stage
 else

@@ -235,7 +235,11 @@ Status ClusterClient::Execute(const std::vector<std::string>& argv,
   std::string target;
   if (argv.size() >= 2) {
     const uint16_t slot = KeyHashSlot(Slice(argv[1]));
-    if (slot_owner_[slot].empty()) RefreshSlotMap();  // lazy warm-up
+    if (slot_owner_[slot].empty()) {
+      // lint:allow-discard -- lazy warm-up; an empty owner falls through to
+      // the any-node path and self-corrects via -MOVED.
+      (void)RefreshSlotMap();
+    }
     target = slot_owner_[slot];
   }
 
@@ -256,7 +260,9 @@ Status ClusterClient::Execute(const std::vector<std::string>& argv,
       }
       // The cached owner may be gone; rebuild the map from survivors and
       // let the retry pick a fresh target.
-      RefreshSlotMap();
+      // lint:allow-discard -- best-effort: a failed refresh leaves the stale
+      // map and the retry loop probes/follows MOVED until the budget runs out.
+      (void)RefreshSlotMap();
       target.clear();
       asking = false;
       continue;
@@ -273,7 +279,9 @@ Status ClusterClient::Execute(const std::vector<std::string>& argv,
       // Trust the redirect immediately, then refresh the whole map — one
       // MOVED usually means a whole range flipped.
       slot_owner_[slot] = redirect_ep;
-      RefreshSlotMapFrom(redirect_ep);
+      // lint:allow-discard -- best-effort: the redirect target above is
+      // already trusted; a failed whole-map refresh just means more MOVEDs.
+      (void)RefreshSlotMapFrom(redirect_ep);
       target = redirect_ep;
       asking = false;
       continue;

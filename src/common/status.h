@@ -28,7 +28,11 @@ enum class StatusCode {
 };
 
 // Value-semantic status word. Cheap to copy in the OK case.
-class Status {
+// [[nodiscard]]: dropping a Status silently swallows an error; either
+// handle it, propagate it, or cast to (void) with a
+// `lint:allow-discard -- <reason>` comment (enforced by
+// tools/memdb_analyzer.py).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -96,7 +100,7 @@ class Status {
 
 // Result<T>: either a value or a non-OK Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : value_(std::move(status)) {  // NOLINT

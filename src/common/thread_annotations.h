@@ -41,6 +41,19 @@
 #define PT_GUARDED_BY(x) MEMDB_THREAD_ANNOTATION__(pt_guarded_by(x))
 #endif
 
+// Declared lock ordering: this mutex must be acquired before/after the
+// named ones. Feeds clang's -Wthread-safety and memdb-analyzer's
+// lock-order cycle check (tools/memdb_analyzer.py).
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+  MEMDB_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) \
+  MEMDB_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#endif
+
 // Functions: caller must hold the given mutex(es) on entry (and still
 // holds them on exit). The annotation for `private helpers that assume the
 // lock`.

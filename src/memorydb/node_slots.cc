@@ -395,7 +395,7 @@ void Node::HandleSlotOwnership(const Message& m) {
   rec.batch_seq = next_batch_seq_++;
   rec.data_records = 0;
   rec.payload = msg.Encode();
-  rec.replies.push_back(PendingReply{m, Value::Ok()});
+  rec.replies.push_back(PendingReply{m, Value::Ok(), ReqTrace{}});
   EnqueueRecord(std::move(rec));
   // State transition happens when the record commits; the primary applies
   // it immediately here (replicas apply it from the log).

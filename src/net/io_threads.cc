@@ -43,10 +43,13 @@ void IoThreadPool::Run(size_t jobs, const std::function<void(size_t)>& fn) {
   }
   MutexLock lock(&mu_);
   completed_ += ran;
+  // lint:allow-blocking -- io fan-out barrier: the calling loop parks until
+  // every worker drains its slice; bounded by the batch the loop just built.
   while (completed_ != jobs_) done_cv_.Wait(&mu_);
   fn_ = nullptr;
 }
 
+// lint:off-loop -- io worker thread body; never runs on the event loop.
 void IoThreadPool::WorkerMain(size_t slice) {
   const size_t stride = stride_;
   uint64_t seen_generation = 0;

@@ -49,7 +49,7 @@ Status RemoteLogGate::Start(std::function<void()> on_complete) {
     return Status::InvalidArgument("remote log gate needs endpoints");
   }
   on_complete_ = std::move(on_complete);
-  loop_.Start();
+  MEMDB_RETURN_IF_ERROR(loop_.Start());
   started_ = true;
   if (options_.fence) {
     // Learn the chain position before the first append. No gap scan: this

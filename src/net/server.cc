@@ -984,7 +984,14 @@ void RespServer::Housekeeping(uint64_t now_ms) {
     const bool want = out > 0;
     if (want != c->want_write) {
       c->want_write = want;
-      loop_.Modify(c->fd(), want ? (kReadable | kWritable) : kReadable, c);
+      Status mod = loop_.Modify(
+          c->fd(), want ? (kReadable | kWritable) : kReadable, c);
+      if (!mod.ok()) {
+        // The kernel's interest set no longer matches want_write; this
+        // connection would never see another EPOLLOUT and its output would
+        // stall forever. Drop it instead of serving a wedged client.
+        doomed.push_back(c);
+      }
     }
   }
   for (Connection* c : doomed) CloseConnection(c);

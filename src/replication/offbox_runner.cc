@@ -91,6 +91,9 @@ uint16_t OffboxRunner::stats_port() const {
   return stats_server_ != nullptr ? stats_server_->port() : 0;
 }
 
+// lint:off-loop -- snapshot cycle runs on the offbox daemon's own thread
+// (restore -> replay -> rehearse -> upload); blocking sync reads are the
+// point of being off-box.
 Status OffboxRunner::RunCycle(CycleResult* out) {
   *out = CycleResult();
   if (cycles_ != nullptr) cycles_->Increment();

@@ -49,6 +49,8 @@ Status RestoreFromStore(SnapshotStore* store, engine::Engine* engine,
   return Status::OK();
 }
 
+// lint:off-loop -- peer-less restore path: runs on the node's startup
+// thread before any event loop exists; blocking sync reads are the point.
 Status ReplayLogTail(txlog::RemoteClient* client, engine::Engine* engine,
                      RestoreResult* result, uint64_t target_tail) {
   uint64_t target = target_tail;

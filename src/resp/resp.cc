@@ -173,7 +173,10 @@ bool ParseInt(const std::string& s, int64_t* out) {
 }
 }  // namespace
 
-Status Decoder::ParseAt(size_t* pos, Value* value) {
+Status Decoder::ParseAt(size_t* pos, Value* value, size_t depth) {
+  if (depth > limits_.max_nesting) {
+    return Status::Corruption("multibulk nesting exceeds limit");
+  }
   if (*pos >= buffer_.size()) return Status::NotFound("need more data");
   const char marker = buffer_[*pos];
   size_t p = *pos + 1;
@@ -237,7 +240,7 @@ Status Decoder::ParseAt(size_t* pos, Value* value) {
       elems.reserve(static_cast<size_t>(n));
       for (int64_t i = 0; i < n; ++i) {
         Value elem;
-        MEMDB_RETURN_IF_ERROR(ParseAt(&p, &elem));
+        MEMDB_RETURN_IF_ERROR(ParseAt(&p, &elem, depth + 1));
         elems.push_back(std::move(elem));
       }
       *value = Value::Array(std::move(elems));

@@ -72,6 +72,11 @@ struct DecodeLimits {
   size_t max_bulk_bytes = 512u << 20;   // per bulk-string payload
   size_t max_array_elems = 1u << 20;    // per multibulk header
   size_t max_inline_bytes = 64u << 10;  // per inline command line
+  // Array nesting cap. ParseAt recurses per level, so without this a
+  // stream of `*1\r\n` repeated runs the parser thread out of stack
+  // (found by fuzz/resp_decode_fuzz.cc). Commands and replication
+  // effects are depth <= 2 in practice; 32 is far above anything legal.
+  size_t max_nesting = 32;
 };
 
 // Incremental decoder: feed bytes as they "arrive", pull complete values.
@@ -110,7 +115,7 @@ class Decoder {
   size_t buffered() const { return buffer_.size() - consumed_; }
 
  private:
-  Status ParseAt(size_t* pos, Value* value);
+  Status ParseAt(size_t* pos, Value* value, size_t depth = 0);
   bool ReadLine(size_t* pos, std::string* line);
   void Compact();
 

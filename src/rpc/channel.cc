@@ -67,6 +67,8 @@ void Channel::Reset() {
   loop_->Post([this] { DisconnectLocked(/*reconnectable=*/true); });
 }
 
+// lint:off-loop -- header contract: called from a non-loop thread before
+// destruction; PostSync's rendezvous is the point.
 void Channel::Shutdown() {
   loop_->PostSync([this] {
     shutdown_ = true;
@@ -263,9 +265,15 @@ void Channel::Flush() {
   const bool want = !out_.empty() || state_ == ConnState::kConnecting;
   if (want != want_write_) {
     want_write_ = want;
-    loop_->Rearm(fd_,
-                 want ? (net::kReadable | net::kWritable) : net::kReadable,
-                 &handler_);
+    Status rearm = loop_->Rearm(
+        fd_, want ? (net::kReadable | net::kWritable) : net::kReadable,
+        &handler_);
+    if (!rearm.ok()) {
+      // Interest set desynced from want_write_: pending output would never
+      // flush and every in-flight call would hang to its deadline. Reset
+      // the connection so callers fail fast and the next Call reconnects.
+      DisconnectLocked(/*reconnectable=*/true);
+    }
   }
 }
 

@@ -47,7 +47,14 @@ void LoopThread::Post(std::function<void()> fn) {
   loop_.Wakeup();
 }
 
+// lint:off-loop -- blocking rendezvous for off-loop callers by contract:
+// posted work runs on the loop thread, so waiting for it from the loop
+// thread would never complete; the guard below turns that mistake into a
+// deterministic abort instead of a hang.
 void LoopThread::PostSync(std::function<void()> fn) {
+  if (affinity_.BoundToCurrentThread()) {
+    sync_internal::Die("LoopThread::PostSync called from the loop thread");
+  }
   Mutex mu;
   CondVar cv;
   bool done = false;

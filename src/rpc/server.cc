@@ -27,6 +27,7 @@ Server::Server(LoopThread* loop, std::string bind_address, uint16_t port)
       bind_address_(std::move(bind_address)),
       requested_port_(port) {}
 
+// lint:off-loop -- teardown runs on the embedding thread.
 Server::~Server() { Stop(); }
 
 void Server::RegisterHandler(const std::string& method, Handler handler) {
@@ -41,6 +42,8 @@ void Server::set_metrics(MetricsRegistry* registry) {
   conns_gauge_ = registry->GetGauge("rpc_server_connections");
 }
 
+// lint:off-loop -- startup runs on the embedding thread; the PostSync
+// rendezvous hands loop-affine state (listener, watch set) to the loop.
 Status Server::Start() {
   Status result = Status::OK();
   loop_->PostSync([this, &result] {
@@ -59,6 +62,7 @@ Status Server::Start() {
   return result;
 }
 
+// lint:off-loop -- teardown runs on the embedding thread (see Start).
 void Server::Stop() {
   if (!started_) return;
   loop_->PostSync([this] {
@@ -246,9 +250,14 @@ void Server::FlushConn(Conn* c) {
   const bool want = !c->out.empty();
   if (want != c->want_write) {
     c->want_write = want;
-    loop_->Rearm(c->fd,
-                 want ? (net::kReadable | net::kWritable) : net::kReadable,
-                 &c->handler);
+    Status rearm = loop_->Rearm(
+        c->fd, want ? (net::kReadable | net::kWritable) : net::kReadable,
+        &c->handler);
+    if (!rearm.ok()) {
+      // Same contract as a failed send: the kernel interest set is wrong,
+      // the peer would wait forever for the rest of this response.
+      CloseConn(c);
+    }
   }
 }
 

@@ -331,6 +331,9 @@ bool SlotMigrator::TakeResult(ChannelResult* out) {
   return true;
 }
 
+// lint:off-loop -- migration channel worker thread body: the one place in
+// src/shard allowed to block (socket I/O to the target shard); the loop
+// talks to it only through the mutex-guarded job/result queues.
 void SlotMigrator::WorkerMain() {
   ChannelSocket sock;
   const std::string endpoint = to_endpoint_;

@@ -398,6 +398,8 @@ struct SyncSlot {
     done = true;
     cv.Signal();
   }
+  // lint:off-loop -- the blocking half of the sync API below; only ever
+  // entered from a non-loop caller thread.
   Status Wait(T* out) {
     MutexLock lock(&mu);
     while (!done) cv.Wait(&mu);
@@ -408,6 +410,8 @@ struct SyncSlot {
 
 }  // namespace
 
+// lint:off-loop -- blocking sync wrapper for non-loop callers
+// (tests, restore, the offbox runner); parks on SyncSlot::Wait.
 Status RemoteClient::AppendSync(uint64_t prev_index, LogRecord record,
                                 uint64_t* index) {
   auto slot = std::make_shared<SyncSlot<uint64_t>>();
@@ -416,6 +420,8 @@ Status RemoteClient::AppendSync(uint64_t prev_index, LogRecord record,
   return slot->Wait(index);
 }
 
+// lint:off-loop -- blocking sync wrapper for non-loop callers
+// (tests, restore, the offbox runner); parks on SyncSlot::Wait.
 Status RemoteClient::ReadSync(uint64_t from_index, uint64_t max_count,
                               uint64_t wait_ms,
                               wire::ClientReadResponse* out) {
@@ -427,6 +433,8 @@ Status RemoteClient::ReadSync(uint64_t from_index, uint64_t max_count,
   return slot->Wait(out);
 }
 
+// lint:off-loop -- blocking sync wrapper for non-loop callers
+// (tests, restore, the offbox runner); parks on SyncSlot::Wait.
 Status RemoteClient::TailSync(wire::ClientTailResponse* out) {
   auto slot = std::make_shared<SyncSlot<wire::ClientTailResponse>>();
   Tail([slot](const Status& s, const wire::ClientTailResponse& r) {
@@ -435,6 +443,8 @@ Status RemoteClient::TailSync(wire::ClientTailResponse* out) {
   return slot->Wait(out);
 }
 
+// lint:off-loop -- blocking sync wrapper for non-loop callers
+// (tests, restore, the offbox runner); parks on SyncSlot::Wait.
 Status RemoteClient::AcquireLeaseSync(uint64_t owner, uint64_t duration_ms,
                                       std::string shard,
                                       rpcwire::LeaseResponse* out) {
@@ -446,6 +456,8 @@ Status RemoteClient::AcquireLeaseSync(uint64_t owner, uint64_t duration_ms,
   return slot->Wait(out);
 }
 
+// lint:off-loop -- blocking sync wrapper for non-loop callers
+// (tests, restore, the offbox runner); parks on SyncSlot::Wait.
 Status RemoteClient::TrimSync(uint64_t upto_index, uint64_t* first_index) {
   auto slot = std::make_shared<SyncSlot<uint64_t>>();
   Trim(upto_index,
@@ -453,6 +465,8 @@ Status RemoteClient::TrimSync(uint64_t upto_index, uint64_t* first_index) {
   return slot->Wait(first_index);
 }
 
+// lint:off-loop -- blocking sync wrapper for non-loop callers
+// (tests, restore, the offbox runner); parks on SyncSlot::Wait.
 Status RemoteClient::RenewLeaseSync(uint64_t owner, uint64_t duration_ms,
                                     std::string shard,
                                     rpcwire::LeaseResponse* out) {

@@ -103,8 +103,11 @@ LogService::LogService(Options options)
   server_->set_trace_log(&trace_);
 }
 
+// lint:off-loop -- teardown runs on the embedding thread.
 LogService::~LogService() { Stop(); }
 
+// lint:off-loop -- startup runs on the embedding (txlogd main) thread;
+// PostSync hands the disk-loaded raft state to the loop before serving.
 Status LogService::Start() {
   if (started_) return Status::OK();
   Status s = loop_.Start();
@@ -126,6 +129,7 @@ Status LogService::Start() {
   return Status::OK();
 }
 
+// lint:off-loop -- setup runs on the embedding thread before traffic.
 void LogService::SetPeers(std::vector<std::pair<uint64_t, std::string>> peers) {
   loop_.PostSync([this, peers = std::move(peers)] {
     for (const auto& [id, endpoint] : peers) {
@@ -144,6 +148,7 @@ void LogService::SetPeers(std::vector<std::pair<uint64_t, std::string>> peers) {
   });
 }
 
+// lint:off-loop -- teardown runs on the embedding thread (see Start).
 void LogService::Stop() {
   if (!started_) return;
   started_ = false;

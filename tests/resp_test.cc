@@ -239,6 +239,40 @@ TEST(RespStreamTest, OversizedMultibulkRejected) {
   EXPECT_NE(error.find("multibulk"), std::string::npos);
 }
 
+TEST(RespStreamTest, DeepNestingRejectedNotStackOverflow) {
+  // Regression (found by fuzz/resp_decode_fuzz.cc): ParseAt recurses per
+  // array level, so `*1\r\n` repeated used to run the parser thread out
+  // of stack — a remote crash from ~2MB of hostile bytes. The nesting cap
+  // must reject the stream as a protocol error instead.
+  Decoder d;
+  std::string deep;
+  for (int i = 0; i < 200000; ++i) deep += "*1\r\n";
+  deep += ":1\r\n";
+  d.Feed(deep);
+  Value v;
+  std::string error;
+  EXPECT_EQ(d.Decode(&v, &error), DecodeStatus::kError);
+  EXPECT_NE(error.find("nesting"), std::string::npos);
+}
+
+TEST(RespStreamTest, NestingWithinLimitStillParses) {
+  Decoder d;
+  DecodeLimits limits;
+  limits.max_nesting = 8;
+  d.set_limits(limits);
+  // 5 levels deep: comfortably legal under the cap of 8.
+  d.Feed("*1\r\n*1\r\n*1\r\n*1\r\n*1\r\n:42\r\n");
+  Value v;
+  std::string error;
+  ASSERT_EQ(d.Decode(&v, &error), DecodeStatus::kOk) << error;
+  const Value* inner = &v;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(inner->array.size(), 1u);
+    inner = &inner->array[0];
+  }
+  EXPECT_EQ(inner->integer, 42);
+}
+
 TEST(RespStreamTest, OversizedInlineRejected) {
   Decoder d;
   DecodeLimits limits;

@@ -34,8 +34,8 @@ SlotTable TwoShardTable() {
   SlotTable t;
   t.Init("s1", "127.0.0.1:7001");
   std::vector<uint16_t> mine, theirs;
-  ParseSlotRanges("0-8191", &mine);
-  ParseSlotRanges("8192-16383", &theirs);
+  EXPECT_TRUE(ParseSlotRanges("0-8191", &mine).ok());
+  EXPECT_TRUE(ParseSlotRanges("8192-16383", &theirs).ok());
   t.AssignLocal(mine);
   t.AssignRemote(theirs, "s2", "127.0.0.1:7002");
   return t;
@@ -53,7 +53,7 @@ TEST(SlotTable, UnservedSlotAnswersClusterDown) {
   SlotTable t;
   t.Init("s1", "127.0.0.1:7001");
   std::vector<uint16_t> mine;
-  ParseSlotRanges("0-10", &mine);
+  ASSERT_TRUE(ParseSlotRanges("0-10", &mine).ok());
   t.AssignLocal(mine);
   EXPECT_EQ(t.MovedError(5000), "CLUSTERDOWN Hash slot not served");
 }

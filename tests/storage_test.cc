@@ -94,10 +94,10 @@ TEST_F(StorageTest, OverwriteReplaces) {
 }
 
 TEST_F(StorageTest, ListByPrefixSorted) {
-  PutSync("snap/s1/002", "b");
-  PutSync("snap/s1/001", "a");
-  PutSync("snap/s2/001", "c");
-  PutSync("other", "d");
+  ASSERT_TRUE(PutSync("snap/s1/002", "b").ok());
+  ASSERT_TRUE(PutSync("snap/s1/001", "a").ok());
+  ASSERT_TRUE(PutSync("snap/s2/001", "c").ok());
+  ASSERT_TRUE(PutSync("other", "d").ok());
   auto keys = ListSync("snap/s1/");
   ASSERT_EQ(keys.size(), 2u);
   EXPECT_EQ(keys[0], "snap/s1/001");

@@ -1,0 +1,26 @@
+// Clean control: every pattern here is the *approved* form of something a
+// sibling fixture plants as a violation. Must contribute zero findings.
+#include <atomic>
+
+namespace memdb {
+
+struct Status {
+  static Status OK();
+  bool ok() const;
+};
+
+Status TryThing() { return Status::OK(); }
+
+void HandledAndAnnotated() {
+  Status s = TryThing();  // handled
+  if (!s.ok()) return;
+  // lint:allow-discard -- fixture control: best-effort call, the caller
+  // retries on its own cadence either way.
+  (void)TryThing();
+}
+
+int ReadCountRelaxed(std::atomic<int>& c) {
+  return c.load(std::memory_order_relaxed);
+}
+
+}  // namespace memdb

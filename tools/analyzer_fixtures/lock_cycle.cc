@@ -1,0 +1,43 @@
+// Seeded violation: a classic ABBA inversion on two member mutexes.
+// Expected: one [lock-order] finding (the cycle is reported once).
+//
+// The Pair class below plants the SAME inversion on mu_c_/mu_d_, but one
+// direction is whitelisted in lock_order.allow — proving the reviewed-
+// exception path drops the edge before the cycle search.
+#include "common/sync.h"
+
+namespace memdb {
+
+class Dual {
+ public:
+  void AThenB() {
+    MutexLock a(&mu_a_);
+    MutexLock b(&mu_b_);
+  }
+  void BThenA() {
+    MutexLock b(&mu_b_);
+    MutexLock a(&mu_a_);
+  }
+
+ private:
+  Mutex mu_a_;
+  Mutex mu_b_;
+};
+
+class Pair {
+ public:
+  void CThenD() {
+    MutexLock c(&mu_c_);
+    MutexLock d(&mu_d_);
+  }
+  void DThenC() {
+    MutexLock d(&mu_d_);
+    MutexLock c(&mu_c_);
+  }
+
+ private:
+  Mutex mu_c_;
+  Mutex mu_d_;
+};
+
+}  // namespace memdb

@@ -1,0 +1,12 @@
+// Seeded violation: a direct sleep inside a loop-owned file.
+// Expected: one [blocking-loop] finding.
+#include <chrono>
+#include <thread>
+
+namespace memdb {
+
+void TickHandler() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+}  // namespace memdb

@@ -1,0 +1,13 @@
+// Seeded violation: the blocking call hides one helper deep, in another
+// file that is NOT loop-owned — exactly the case the per-file regex
+// linter cannot see. Expected: one [blocking-transitive] finding with the
+// two-hop witness path (OnWritable -> BlockingFlush -> fsync).
+namespace memdb {
+
+void BlockingFlush(int fd);  // defined in ../util.cc; calls ::fsync
+
+void OnWritable(int fd) {
+  BlockingFlush(fd);
+}
+
+}  // namespace memdb

@@ -1,0 +1,25 @@
+// Seeded violation for the ok-return pairing rule in config.json
+// ({class: Gate, method: Start, must_call: Arm}): the fast path reports
+// success without arming. Expected: one [ok-return] finding (the second
+// return, after Arm(), is clean).
+namespace memdb {
+
+struct Status {
+  static Status OK();
+};
+
+class Gate {
+ public:
+  Status Start(bool fast) {
+    if (fast) {
+      return Status::OK();  // skipped Arm(): flagged
+    }
+    Arm();
+    return Status::OK();  // armed first: clean
+  }
+
+ private:
+  void Arm() {}
+};
+
+}  // namespace memdb

@@ -1,0 +1,19 @@
+// Seeded violation: an rpc::Channel::Call with deadline 0 (wait forever).
+// Expected: one [rpc-deadline] finding; the budgeted twin is clean.
+#include <string>
+
+namespace memdb {
+
+struct Channel {
+  void Call(std::string method, std::string payload, int timeout_ms,
+            int trace_id, void (*done)(int));
+};
+
+void OnDone(int);
+
+void Probe(Channel* ch) {
+  ch->Call("ping", "", 0, 0, OnDone);    // no deadline: hangs forever
+  ch->Call("ping", "", 50, 0, OnDone);   // explicit caller budget: clean
+}
+
+}  // namespace memdb

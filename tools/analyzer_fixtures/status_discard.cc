@@ -1,0 +1,17 @@
+// Seeded violations: a Status-returning call discarded bare, and a
+// (void)-cast discard with no reason comment.
+// Expected: two [status-discard] findings.
+namespace memdb {
+
+struct Status {
+  static Status OK();
+};
+
+Status SaveThing() { return Status::OK(); }
+
+void Caller() {
+  SaveThing();        // bare discard
+  (void)SaveThing();  // cast away with no reason comment
+}
+
+}  // namespace memdb

@@ -1,0 +1,18 @@
+// Seeded violations: this file is listed in config.json's trace_lock_free
+// set (the span-recording hot path), so the sync.h include and every lock
+// identifier (Mutex, MutexLock) violate the atomics-only rule.
+// Expected: three [trace-lock-free] findings.
+#ifndef ANALYZER_FIXTURES_TRACE_HOT_H_
+#define ANALYZER_FIXTURES_TRACE_HOT_H_
+
+#include "common/sync.h"
+
+namespace memdb {
+
+inline void Record(Mutex* mu) {
+  MutexLock lock(mu);
+}
+
+}  // namespace memdb
+
+#endif  // ANALYZER_FIXTURES_TRACE_HOT_H_

@@ -1,0 +1,13 @@
+// Helper soil for loop/blocking_transitive.cc: this file is not
+// loop-owned, so the direct fsync here is legal — the violation is the
+// *call* from the loop-owned entry point, which only the call-graph walk
+// can see. Contributes zero findings itself.
+#include <unistd.h>
+
+namespace memdb {
+
+void BlockingFlush(int fd) {
+  ::fsync(fd);
+}
+
+}  // namespace memdb

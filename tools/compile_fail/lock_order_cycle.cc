@@ -1,0 +1,39 @@
+// Analyzer-FAIL twin of lock_order_ok.cc: Debit inverts the acquisition
+// order, planting a classic ABBA deadlock. memdb-analyzer's lock-order
+// check must report exactly one cycle here
+// (Transfer::ledger_mu_ -> Transfer::account_mu_ -> Transfer::ledger_mu_);
+// check.sh runs both twins and fails if this one passes or the ok twin
+// doesn't.
+
+#include "common/sync.h"
+
+namespace {
+
+class Transfer {
+ public:
+  void Credit() {
+    memdb::MutexLock ledger(&ledger_mu_);
+    memdb::MutexLock account(&account_mu_);
+    balance_ += 1;
+  }
+
+  void Debit() {
+    memdb::MutexLock account(&account_mu_);
+    memdb::MutexLock ledger(&ledger_mu_);
+    balance_ -= 1;
+  }
+
+ private:
+  memdb::Mutex ledger_mu_ ACQUIRED_BEFORE(account_mu_);
+  memdb::Mutex account_mu_;
+  int balance_ GUARDED_BY(account_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Transfer t;
+  t.Credit();
+  t.Debit();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Analyzer-PASS control for the lock-order harness: identical shape to
+// lock_order_cycle.cc but with both paths taking the two mutexes in the
+// same order. memdb-analyzer's lock-order check must report nothing here;
+// if it does, the failure of lock_order_cycle.cc proves nothing (the
+// harness itself is broken). Also compiles clean under clang's
+// -Wthread-safety for toolchains that have it.
+
+#include "common/sync.h"
+
+namespace {
+
+class Transfer {
+ public:
+  void Credit() {
+    memdb::MutexLock ledger(&ledger_mu_);
+    memdb::MutexLock account(&account_mu_);
+    balance_ += 1;
+  }
+
+  void Debit() {
+    memdb::MutexLock ledger(&ledger_mu_);
+    memdb::MutexLock account(&account_mu_);
+    balance_ -= 1;
+  }
+
+ private:
+  memdb::Mutex ledger_mu_ ACQUIRED_BEFORE(account_mu_);
+  memdb::Mutex account_mu_;
+  int balance_ GUARDED_BY(account_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Transfer t;
+  t.Credit();
+  t.Debit();
+  return 0;
+}
