@@ -1,0 +1,202 @@
+// Standing load trajectory for the memory-pressure subsystem: the loadgen
+// harness drives a real RespServer on 127.0.0.1 through four phases —
+// unbounded baseline, allkeys-lru at ~50% and ~20% of the working set, and
+// an expiry storm where every SET carries a short TTL — while a sampler
+// thread scrapes used_memory_bytes / evicted_keys_total /
+// expired_keys_total over the same wire. Per-phase throughput and p50/p99
+// trajectories plus the server-side series land in BENCH_load.json.
+//
+//   load_real [seconds_per_phase]   (default 4)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support/envelope.h"
+#include "engine/engine.h"
+#include "loadgen/loadgen.h"
+#include "net/server.h"
+
+namespace memdb::bench {
+namespace {
+
+// ~20k keys x 256-byte values ≈ 5 MiB of payload (~7 MiB with per-entry
+// overhead): comfortably larger than the pressure budgets below.
+constexpr uint64_t kKeySpace = 20'000;
+constexpr size_t kValueBytes = 256;
+constexpr uint64_t kBudget50 = 4 * 1024 * 1024;
+constexpr uint64_t kBudget20 = 3 * 1024 * 1024 / 2;
+
+struct ServerSample {
+  uint64_t at_ms;
+  double used_memory;
+  double evicted_total;
+  double expired_total;
+};
+
+struct PhaseResult {
+  std::string name;
+  loadgen::LoadConfig config;
+  loadgen::LoadReport report;
+  std::vector<ServerSample> series;
+};
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Runs one phase against a fresh server; the sampler thread polls the
+// server's METRICS exposition every 250 ms for the memory trajectory.
+PhaseResult RunPhase(const std::string& name, uint64_t maxmemory_bytes,
+                     engine::EvictionPolicy policy, loadgen::LoadConfig cfg,
+                     uint64_t drain_ms) {
+  engine::Engine engine;
+  engine.set_maxmemory(maxmemory_bytes);
+  engine.set_eviction_policy(policy);
+  net::ServerConfig server_cfg;
+  server_cfg.port = 0;
+  server_cfg.loop_timeout_ms = 10;
+  net::RespServer server(&engine, server_cfg);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    std::exit(1);
+  }
+  const std::string endpoint =
+      "127.0.0.1:" + std::to_string(server.port());
+  cfg.endpoints = {endpoint};
+
+  PhaseResult out;
+  out.name = name;
+  out.config = cfg;
+
+  std::atomic<bool> stop{false};
+  const uint64_t t0 = NowMs();
+  std::thread sampler([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ServerSample s{};
+      s.at_ms = NowMs() - t0;
+      loadgen::ScrapeMetric(endpoint, "used_memory_bytes", &s.used_memory);
+      loadgen::ScrapeMetric(endpoint, "evicted_keys_total",
+                            &s.evicted_total);
+      loadgen::ScrapeMetric(endpoint, "expired_keys_total",
+                            &s.expired_total);
+      out.series.push_back(s);
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+  });
+
+  loadgen::LoadGenerator gen(cfg);
+  out.report = gen.Run();
+  // The expiry storm keeps sampling through a post-load drain window so
+  // the active sweep's expirations show up in the trajectory.
+  if (drain_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(drain_ms));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  sampler.join();
+  server.Stop();
+
+  std::printf(
+      "%-16s ops=%-9llu err=%-5llu thr=%-8.0f p50=%lluus p99=%lluus "
+      "used=%.0f evicted=%.0f expired=%.0f\n",
+      name.c_str(), static_cast<unsigned long long>(out.report.ops),
+      static_cast<unsigned long long>(out.report.errors),
+      out.report.throughput,
+      static_cast<unsigned long long>(out.report.latency.Percentile(0.50)),
+      static_cast<unsigned long long>(out.report.latency.Percentile(0.99)),
+      out.series.empty() ? 0.0 : out.series.back().used_memory,
+      out.series.empty() ? 0.0 : out.series.back().evicted_total,
+      out.series.empty() ? 0.0 : out.series.back().expired_total);
+  return out;
+}
+
+std::string PhaseJson(const PhaseResult& p) {
+  std::string out = "{";
+  out += "\"name\":" + QuoteJson(p.name);
+  out += ",\"config\":" + loadgen::ConfigJson(p.config);
+  out += ",\"result\":" + loadgen::ReportJson(p.report);
+  out += ",\"server_series\":[";
+  for (size_t i = 0; i < p.series.size(); ++i) {
+    const ServerSample& s = p.series[i];
+    if (i != 0) out += ",";
+    out += "{\"at_ms\":" + std::to_string(s.at_ms) +
+           ",\"used_memory_bytes\":" + std::to_string(s.used_memory) +
+           ",\"evicted_keys_total\":" + std::to_string(s.evicted_total) +
+           ",\"expired_keys_total\":" + std::to_string(s.expired_total) +
+           "}";
+  }
+  out += "]}";
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  const uint64_t seconds =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4;
+
+  loadgen::LoadConfig base;
+  base.connections = 8;
+  base.threads = 2;
+  base.keyspace = kKeySpace;
+  base.dist = loadgen::KeyDist::kZipfian;
+  base.write_ratio = 0.5;
+  base.value_min = base.value_max = kValueBytes;
+  base.pipeline = 8;
+  base.duration_ms = seconds * 1000;
+  base.warmup_ms = 500;
+
+  std::vector<PhaseResult> phases;
+  phases.push_back(RunPhase("baseline", 0,
+                            engine::EvictionPolicy::kNoEviction, base, 0));
+  phases.push_back(RunPhase("pressure_lru_50", kBudget50,
+                            engine::EvictionPolicy::kAllKeysLru, base, 0));
+  phases.push_back(RunPhase("pressure_lru_20", kBudget20,
+                            engine::EvictionPolicy::kAllKeysLru, base, 0));
+
+  loadgen::LoadConfig storm = base;
+  storm.write_ratio = 1.0;
+  storm.ttl_fraction = 1.0;
+  storm.ttl_ms = 500;
+  phases.push_back(RunPhase("expiry_storm", kBudget50,
+                            engine::EvictionPolicy::kAllKeysLru, storm,
+                            /*drain_ms=*/1500));
+
+  bool ok = true;
+  for (const PhaseResult& p : phases) {
+    if (!p.report.ok || p.report.errors != 0) {
+      std::fprintf(stderr, "phase %s saw errors: %s\n", p.name.c_str(),
+                   p.report.error_detail.c_str());
+      ok = false;
+    }
+  }
+
+  std::string json = "{";
+  json += BenchEnvelopeJson(
+      "load", {{"seconds_per_phase", std::to_string(seconds)},
+               {"keyspace", std::to_string(kKeySpace)},
+               {"value_bytes", std::to_string(kValueBytes)}});
+  json += ",\"phases\":[";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    if (i != 0) json += ",";
+    json += PhaseJson(phases[i]);
+  }
+  json += "]}\n";
+  std::FILE* f = std::fopen("BENCH_load.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_load.json\n");
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace memdb::bench
+
+int main(int argc, char** argv) { return memdb::bench::Main(argc, argv); }

@@ -95,6 +95,40 @@ shard_smoke_stage() {
 }
 run_stage "two-shard migration smoke" shard_smoke_stage
 
+# --- 2c. loadgen + eviction smoke --------------------------------------------
+# The real server under a deliberately tiny budget, driven for a few seconds
+# by memorydb-loadgen over real sockets: the run must stay error-free AND
+# the server must have evicted (working set >> maxmemory), proving the
+# memory ceiling is enforced on the socket path, not just in unit tests.
+loadgen_smoke_stage() {
+  local srv_log port srv_pid rc=0
+  srv_log=$(mktemp)
+  ./build/src/net/memorydb-server --port 0 --maxmemory-mb 4 \
+    --maxmemory-policy allkeys-lru >"$srv_log" 2>&1 &
+  srv_pid=$!
+  for _ in $(seq 50); do
+    port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$srv_log" | head -1)
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "memorydb-server never reported its port" >&2
+    cat "$srv_log" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    return 1
+  fi
+  ./build/src/loadgen/memorydb-loadgen --endpoints "127.0.0.1:$port" \
+    --connections 8 --threads 2 --keys 50000 --value-bytes 512 \
+    --write-ratio 0.5 --duration-s 3 --warmup-s 1 \
+    --require-evictions --max-errors 0 || rc=1
+  kill "$srv_pid" 2>/dev/null || true
+  wait "$srv_pid" 2>/dev/null || true
+  rm -f "$srv_log"
+  return "$rc"
+}
+run_stage "loadgen + eviction smoke" loadgen_smoke_stage
+
 # --- 3. ASan + UBSan --------------------------------------------------------
 run_stage "asan+ubsan build + ctest" \
   build_and_test build-asan -DMEMDB_SANITIZE=address,undefined

@@ -440,14 +440,14 @@ Value CmdZRangeStore(Engine& e, const Argv& argv, ExecContext& ctx) {
 
 void RegisterExtendedCommands(Engine* e,
                               const std::function<void(CommandSpec)>& add) {
-  add({"GETEX", -2, true, 1, 1, 1, CmdGetEx});
+  add({"GETEX", -2, true, 1, 1, 1, CmdGetEx, /*deny_oom=*/false});
   add({"COPY", -3, true, 1, 2, 1, CmdCopy});
   add({"EXPIRETIME", 2, false, 1, 1, 1, CmdExpireTime});
   add({"PEXPIRETIME", 2, false, 1, 1, 1, CmdPExpireTime});
   add({"LPOS", -3, false, 1, 1, 1, CmdLPos});
   add({"SINTERCARD", -3, false, 2, -1, 1, CmdSInterCard});
   add({"ZRANDMEMBER", -2, false, 1, 1, 1, CmdZRandMember});
-  add({"ZREMRANGEBYRANK", 4, true, 1, 1, 1, CmdZRemRangeByRank});
+  add({"ZREMRANGEBYRANK", 4, true, 1, 1, 1, CmdZRemRangeByRank, /*deny_oom=*/false});
   add({"ZUNIONSTORE", -4, true, 1, 1, 1, CmdZUnionStore});
   add({"ZINTERSTORE", -4, true, 1, 1, 1, CmdZInterStore});
   add({"ZDIFFSTORE", -4, true, 1, 1, 1, CmdZDiffStore});

@@ -265,7 +265,7 @@ void RegisterHashCommands(Engine* e,
   add({"HSETNX", 4, true, 1, 1, 1, CmdHSetNx});
   add({"HGET", 3, false, 1, 1, 1, CmdHGet});
   add({"HMGET", -3, false, 1, 1, 1, CmdHMGet});
-  add({"HDEL", -3, true, 1, 1, 1, CmdHDel});
+  add({"HDEL", -3, true, 1, 1, 1, CmdHDel, /*deny_oom=*/false});
   add({"HEXISTS", 3, false, 1, 1, 1, CmdHExists});
   add({"HLEN", 2, false, 1, 1, 1, CmdHLen});
   add({"HSTRLEN", 3, false, 1, 1, 1, CmdHStrlen});

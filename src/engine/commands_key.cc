@@ -303,17 +303,17 @@ Value CmdTouchCmd(Engine& e, const Argv& argv, ExecContext& ctx) {
 
 void RegisterKeyCommands(Engine* e,
                          const std::function<void(CommandSpec)>& add) {
-  add({"DEL", -2, true, 1, -1, 1, CmdDel});
-  add({"UNLINK", -2, true, 1, -1, 1, CmdDel});
+  add({"DEL", -2, true, 1, -1, 1, CmdDel, /*deny_oom=*/false});
+  add({"UNLINK", -2, true, 1, -1, 1, CmdDel, /*deny_oom=*/false});
   add({"EXISTS", -2, false, 1, -1, 1, CmdExists});
   add({"TYPE", 2, false, 1, 1, 1, CmdType});
-  add({"EXPIRE", 3, true, 1, 1, 1, CmdExpire});
-  add({"PEXPIRE", 3, true, 1, 1, 1, CmdPExpire});
-  add({"EXPIREAT", 3, true, 1, 1, 1, CmdExpireAt});
-  add({"PEXPIREAT", 3, true, 1, 1, 1, CmdPExpireAt});
+  add({"EXPIRE", 3, true, 1, 1, 1, CmdExpire, /*deny_oom=*/false});
+  add({"PEXPIRE", 3, true, 1, 1, 1, CmdPExpire, /*deny_oom=*/false});
+  add({"EXPIREAT", 3, true, 1, 1, 1, CmdExpireAt, /*deny_oom=*/false});
+  add({"PEXPIREAT", 3, true, 1, 1, 1, CmdPExpireAt, /*deny_oom=*/false});
   add({"TTL", 2, false, 1, 1, 1, CmdTtl});
   add({"PTTL", 2, false, 1, 1, 1, CmdPTtl});
-  add({"PERSIST", 2, true, 1, 1, 1, CmdPersist});
+  add({"PERSIST", 2, true, 1, 1, 1, CmdPersist, /*deny_oom=*/false});
   add({"KEYS", 2, false, 0, 0, 0, CmdKeys});
   add({"SCAN", -2, false, 0, 0, 0, CmdScan});
   add({"RANDOMKEY", 1, false, 0, 0, 0, CmdRandomKey});

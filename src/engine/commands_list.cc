@@ -282,15 +282,15 @@ void RegisterListCommands(Engine* e,
   add({"RPUSH", -3, true, 1, 1, 1, CmdRPush});
   add({"LPUSHX", -3, true, 1, 1, 1, CmdLPushX});
   add({"RPUSHX", -3, true, 1, 1, 1, CmdRPushX});
-  add({"LPOP", -2, true, 1, 1, 1, CmdLPop});
-  add({"RPOP", -2, true, 1, 1, 1, CmdRPop});
+  add({"LPOP", -2, true, 1, 1, 1, CmdLPop, /*deny_oom=*/false});
+  add({"RPOP", -2, true, 1, 1, 1, CmdRPop, /*deny_oom=*/false});
   add({"LLEN", 2, false, 1, 1, 1, CmdLLen});
   add({"LRANGE", 4, false, 1, 1, 1, CmdLRange});
   add({"LINDEX", 3, false, 1, 1, 1, CmdLIndex});
   add({"LSET", 4, true, 1, 1, 1, CmdLSet});
-  add({"LREM", 4, true, 1, 1, 1, CmdLRem});
+  add({"LREM", 4, true, 1, 1, 1, CmdLRem, /*deny_oom=*/false});
   add({"LINSERT", 5, true, 1, 1, 1, CmdLInsert});
-  add({"LTRIM", 4, true, 1, 1, 1, CmdLTrim});
+  add({"LTRIM", 4, true, 1, 1, 1, CmdLTrim, /*deny_oom=*/false});
   add({"LMOVE", 5, true, 1, 2, 1, CmdLMove});
   add({"RPOPLPUSH", 3, true, 1, 2, 1, CmdRPopLPush});
 }

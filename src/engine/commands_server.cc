@@ -185,9 +185,24 @@ Value CmdInfo(Engine& e, const Argv& argv, ExecContext& ctx) {
     }
   }
   if (want("MEMORY")) {
+    auto counter = [&](const char* name) -> uint64_t {
+      const Counter* c = reg.FindCounter(name);
+      return c == nullptr ? 0 : c->value();
+    };
     out += "# Memory\r\nused_memory:" +
            std::to_string(e.keyspace().used_memory()) + "\r\n";
+    out += "used_memory_peak:" +
+           std::to_string(e.keyspace().used_memory_peak()) + "\r\n";
     out += "maxmemory:" + std::to_string(e.config().maxmemory_bytes) + "\r\n";
+    out += "maxmemory_policy:" +
+           std::string(EvictionPolicyName(e.config().eviction_policy)) +
+           "\r\n";
+    out += "maxmemory_samples:" +
+           std::to_string(e.config().eviction_samples) + "\r\n";
+    out += "evicted_keys:" + std::to_string(counter("evicted_keys_total")) +
+           "\r\n";
+    out += "expired_keys:" + std::to_string(counter("expired_keys_total")) +
+           "\r\n";
   }
   if (want("STATS")) {
     uint64_t total_calls = 0;
@@ -330,8 +345,8 @@ void RegisterServerCommands(Engine* e,
   add({"PING", -1, false, 0, 0, 0, CmdPing});
   add({"ECHO", 2, false, 0, 0, 0, CmdEcho});
   add({"DBSIZE", 1, false, 0, 0, 0, CmdDbSize});
-  add({"FLUSHALL", -1, true, 0, 0, 0, CmdFlushAll});
-  add({"FLUSHDB", -1, true, 0, 0, 0, CmdFlushAll});
+  add({"FLUSHALL", -1, true, 0, 0, 0, CmdFlushAll, /*deny_oom=*/false});
+  add({"FLUSHDB", -1, true, 0, 0, 0, CmdFlushAll, /*deny_oom=*/false});
   add({"TIME", 1, false, 0, 0, 0, CmdTime});
   add({"SELECT", 2, false, 0, 0, 0, CmdSelect});
   add({"COMMAND", -1, false, 0, 0, 0, CmdCommand});

@@ -300,12 +300,12 @@ Value CmdSMove(Engine& e, const Argv& argv, ExecContext& ctx) {
 void RegisterSetCommands(Engine* e,
                          const std::function<void(CommandSpec)>& add) {
   add({"SADD", -3, true, 1, 1, 1, CmdSAdd});
-  add({"SREM", -3, true, 1, 1, 1, CmdSRem});
+  add({"SREM", -3, true, 1, 1, 1, CmdSRem, /*deny_oom=*/false});
   add({"SMEMBERS", 2, false, 1, 1, 1, CmdSMembers});
   add({"SISMEMBER", 3, false, 1, 1, 1, CmdSIsMember});
   add({"SMISMEMBER", -3, false, 1, 1, 1, CmdSMIsMember});
   add({"SCARD", 2, false, 1, 1, 1, CmdSCard});
-  add({"SPOP", -2, true, 1, 1, 1, CmdSPop});
+  add({"SPOP", -2, true, 1, 1, 1, CmdSPop, /*deny_oom=*/false});
   add({"SRANDMEMBER", -2, false, 1, 1, 1, CmdSRandMember});
   add({"SINTER", -2, false, 1, -1, 1, CmdSInter});
   add({"SUNION", -2, false, 1, -1, 1, CmdSUnion});

@@ -349,7 +349,7 @@ void RegisterStringCommands(Engine* e,
   add({"SETEX", 4, true, 1, 1, 1, CmdSetEx});
   add({"PSETEX", 4, true, 1, 1, 1, CmdPSetEx});
   add({"GETSET", 3, true, 1, 1, 1, CmdGetSet});
-  add({"GETDEL", 2, true, 1, 1, 1, CmdGetDel});
+  add({"GETDEL", 2, true, 1, 1, 1, CmdGetDel, /*deny_oom=*/false});
   add({"APPEND", 3, true, 1, 1, 1, CmdAppend});
   add({"STRLEN", 2, false, 1, 1, 1, CmdStrlen});
   add({"INCR", 2, true, 1, 1, 1, CmdIncr});

@@ -398,7 +398,7 @@ void RegisterZSetCommands(Engine* e,
   add({"ZSCORE", 3, false, 1, 1, 1, CmdZScore});
   add({"ZMSCORE", -3, false, 1, 1, 1, CmdZMScore});
   add({"ZCARD", 2, false, 1, 1, 1, CmdZCard});
-  add({"ZREM", -3, true, 1, 1, 1, CmdZRem});
+  add({"ZREM", -3, true, 1, 1, 1, CmdZRem, /*deny_oom=*/false});
   add({"ZRANK", 3, false, 1, 1, 1, CmdZRank});
   add({"ZREVRANK", 3, false, 1, 1, 1, CmdZRevRank});
   add({"ZRANGE", -4, false, 1, 1, 1, CmdZRange});
@@ -406,9 +406,9 @@ void RegisterZSetCommands(Engine* e,
   add({"ZRANGEBYSCORE", -4, false, 1, 1, 1, CmdZRangeByScore});
   add({"ZREVRANGEBYSCORE", -4, false, 1, 1, 1, CmdZRevRangeByScore});
   add({"ZCOUNT", 4, false, 1, 1, 1, CmdZCount});
-  add({"ZREMRANGEBYSCORE", 4, true, 1, 1, 1, CmdZRemRangeByScore});
-  add({"ZPOPMIN", -2, true, 1, 1, 1, CmdZPopMin});
-  add({"ZPOPMAX", -2, true, 1, 1, 1, CmdZPopMax});
+  add({"ZREMRANGEBYSCORE", 4, true, 1, 1, 1, CmdZRemRangeByScore, /*deny_oom=*/false});
+  add({"ZPOPMIN", -2, true, 1, 1, 1, CmdZPopMin, /*deny_oom=*/false});
+  add({"ZPOPMAX", -2, true, 1, 1, 1, CmdZPopMax, /*deny_oom=*/false});
 }
 
 }  // namespace memdb::engine

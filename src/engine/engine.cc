@@ -68,6 +68,10 @@ void Engine::RegisterAll() {
 void Engine::set_metrics(MetricsRegistry* registry) {
   metrics_override_ = registry;
   calls_cache_.clear();  // counters live in the old registry
+  evicted_total_ = nullptr;
+  expired_total_ = nullptr;
+  used_memory_gauge_ = nullptr;
+  maxmemory_gauge_ = nullptr;
 }
 
 const CommandSpec* Engine::FindCommand(const std::string& name) const {
@@ -95,15 +99,12 @@ std::vector<std::string> Engine::CommandKeys(const CommandSpec& spec,
   return keys;
 }
 
-bool Engine::WouldExceedMemory() const {
-  return config_.maxmemory_bytes != 0 &&
-         keyspace_.used_memory() > config_.maxmemory_bytes;
-}
-
 void Engine::ExpireNow(const std::string& key, ExecContext& ctx) {
   keyspace_.Erase(key);
   ctx.effects.push_back({"DEL", key});
   ctx.dirty_keys.push_back(key);
+  EnsureMemoryMetrics();
+  expired_total_->Increment();
 }
 
 Keyspace::Entry* Engine::LookupRead(const std::string& key, ExecContext& ctx) {
@@ -114,6 +115,7 @@ Keyspace::Entry* Engine::LookupRead(const std::string& key, ExecContext& ctx) {
     if (ctx.role == Role::kPrimary) ExpireNow(key, ctx);
     return nullptr;
   }
+  BumpAccess(e, ctx.now_ms);
   return e;
 }
 
@@ -124,6 +126,8 @@ Keyspace::Entry* Engine::LookupWrite(const std::string& key,
 
 void Engine::Touch(const std::string& key, ExecContext& ctx) {
   keyspace_.OnValueMutated(key);
+  Keyspace::Entry* e = keyspace_.FindRaw(key);
+  if (e != nullptr) BumpAccess(e, ctx.now_ms);
   ctx.dirty_keys.push_back(key);
 }
 
@@ -139,8 +143,17 @@ resp::Value Engine::Execute(const Argv& argv, ExecContext* ctx) {
     return resp::Value::Error("ERR wrong number of arguments for '" +
                               spec->name + "' command");
   }
-  if (spec->is_write && ctx->role == Role::kPrimary && WouldExceedMemory()) {
-    return ErrOom();
+  // Fresh entries created by the handler get stamped with this clock.
+  keyspace_.set_clock_ms(ctx->now_ms);
+  // Admission under maxmemory: size the incoming payload BEFORE running the
+  // handler, so a single write larger than the remaining budget is rejected
+  // (or evicted around) instead of silently blowing past the ceiling.
+  // Memory-relieving writes (deny_oom = false) always run.
+  if (spec->is_write && spec->deny_oom && ctx->role == Role::kPrimary &&
+      config_.maxmemory_bytes != 0) {
+    size_t incoming = 0;
+    for (size_t i = 1; i < argv.size(); ++i) incoming += argv[i].size();
+    if (!EnsureMemoryFor(incoming, *ctx)) return ErrOom();
   }
   if (ctx->role != Role::kReplicaApply) {
     Counter*& calls = calls_cache_[spec];
@@ -150,6 +163,9 @@ resp::Value Engine::Execute(const Argv& argv, ExecContext* ctx) {
     }
     calls->Increment();
   }
+  // Marks are taken AFTER the admission check: eviction DELs already in
+  // ctx->effects survive handlers that rewrite their own effects, and the
+  // victims' dirty entries never trigger spurious verbatim replication.
   ctx->effects_overridden = false;
   ctx->effects_mark = ctx->effects.size();
   const size_t dirty_mark = ctx->dirty_keys.size();
@@ -161,6 +177,10 @@ resp::Value Engine::Execute(const Argv& argv, ExecContext* ctx) {
       !ctx->effects_overridden && ctx->dirty_keys.size() > dirty_mark &&
       !reply.IsError()) {
     ctx->effects.push_back(argv);
+  }
+  if (spec->is_write) {
+    EnsureMemoryMetrics();
+    used_memory_gauge_->Set(static_cast<int64_t>(keyspace_.used_memory()));
   }
   return reply;
 }
@@ -174,8 +194,12 @@ resp::Value Engine::Apply(const Argv& argv, uint64_t now_ms) {
 }
 
 size_t Engine::ActiveExpire(ExecContext* ctx, size_t limit) {
+  keyspace_.set_clock_ms(ctx->now_ms);
   std::vector<std::string> victims = keyspace_.ExpiredKeys(ctx->now_ms, limit);
   for (const std::string& key : victims) ExpireNow(key, *ctx);
+  if (!victims.empty()) {
+    used_memory_gauge_->Set(static_cast<int64_t>(keyspace_.used_memory()));
+  }
   return victims.size();
 }
 

@@ -87,13 +87,36 @@ struct CommandSpec {
   int last_key = 0;
   int key_step = 0;
   Handler handler = nullptr;
+  // Writes that can only shrink or re-stamp state (DEL, EXPIRE, FLUSHALL…)
+  // must stay executable at the memory ceiling — they are how pressure is
+  // relieved. Mirrors the inverse of Redis's CMD_DENYOOM flag.
+  bool deny_oom = true;
 };
+
+// How the primary makes room under `maxmemory` (sampled approximation of
+// the Redis policies; DESIGN.md "Memory pressure & load harness").
+enum class EvictionPolicy {
+  kNoEviction,   // writes beyond the budget fail with -OOM
+  kAllKeysLru,   // evict the least-recently-used of a random sample
+  kAllKeysLfu,   // evict the least-frequently-used of a random sample
+  kVolatileTtl,  // evict the nearest-to-expire of a random TTL'd sample
+};
+
+// "noeviction" | "allkeys-lru" | "allkeys-lfu" | "volatile-ttl".
+const char* EvictionPolicyName(EvictionPolicy policy);
+bool ParseEvictionPolicy(const std::string& name, EvictionPolicy* out);
 
 class Engine {
  public:
   struct Config {
-    // 0 = unlimited. Writes beyond this fail with OOM (noeviction policy).
+    // 0 = unlimited. A write that would push `used_memory` beyond this
+    // either evicts per `eviction_policy` or fails with -OOM.
     uint64_t maxmemory_bytes = 0;
+    EvictionPolicy eviction_policy = EvictionPolicy::kNoEviction;
+    // Candidates examined per eviction round (Redis maxmemory-samples):
+    // larger samples approximate exact LRU/LFU more closely, at more
+    // per-write work.
+    int eviction_samples = 5;
     uint64_t rng_seed = 0x9e3779b9;
   };
 
@@ -115,6 +138,10 @@ class Engine {
   Rng& rng() { return rng_; }
   const Config& config() const { return config_; }
   void set_maxmemory(uint64_t bytes) { config_.maxmemory_bytes = bytes; }
+  void set_eviction_policy(EvictionPolicy policy) {
+    config_.eviction_policy = policy;
+  }
+  void set_eviction_samples(int samples) { config_.eviction_samples = samples; }
 
   // The registry backing Commandstats/Latencystats and the METRICS command.
   // An embedding node shares its own registry so engine- and node-level
@@ -139,20 +166,38 @@ class Engine {
   static std::string Upper(const std::string& s);
 
   // ---- helpers shared by command implementations (internal) -------------
-  // Read lookup honoring role-specific expiry semantics.
+  // Read lookup honoring role-specific expiry semantics. Bumps the entry's
+  // LRU clock / LFU counter, so eviction sampling sees real access recency.
   Keyspace::Entry* LookupRead(const std::string& key, ExecContext& ctx);
   // Write lookup: on the primary an expired key is deleted (DEL effect).
   Keyspace::Entry* LookupWrite(const std::string& key, ExecContext& ctx);
   // Marks a key dirty and refreshes its memory accounting.
   void Touch(const std::string& key, ExecContext& ctx);
-  // True if a write of `additional` bytes would exceed maxmemory.
-  bool WouldExceedMemory() const;
+
+  // LFU counter of `e` after time decay (one step per elapsed minute),
+  // without mutating the entry. Exposed for tests and victim scoring.
+  static uint8_t LfuDecayedCount(const Keyspace::Entry& e, uint64_t now_ms);
 
  private:
   void RegisterAll();
   void Register(CommandSpec spec);
   // Deletes an expired key on the primary and replicates the removal.
   void ExpireNow(const std::string& key, ExecContext& ctx);
+
+  // ---- memory pressure (eviction.cc) -------------------------------------
+  // Admission check for a primary write of ~`incoming` payload bytes: true
+  // if it fits under maxmemory, evicting per policy when needed. False
+  // means the command must answer -OOM without running.
+  bool EnsureMemoryFor(size_t incoming, ExecContext& ctx);
+  // One sampled eviction round; false when nothing is evictable.
+  bool EvictOne(ExecContext& ctx);
+  // Removes `key` for eviction and replicates the removal as a DEL effect.
+  void EvictNow(const std::string& key, ExecContext& ctx);
+  // Refreshes the entry's access metadata (LRU clock, probabilistic LFU
+  // increment with decay).
+  void BumpAccess(Keyspace::Entry* e, uint64_t now_ms);
+  // Lazily binds + describes the memory metrics in the current registry.
+  void EnsureMemoryMetrics();
 
   Config config_;
   Keyspace keyspace_;
@@ -163,6 +208,12 @@ class Engine {
   MetricsRegistry* metrics_override_ = nullptr;
   // Per-spec cached calls counters so the hot path avoids name lookups.
   std::map<const CommandSpec*, Counter*> calls_cache_;
+  // Memory-pressure series, cached for the same reason (reset when the
+  // embedding node swaps in its shared registry).
+  Counter* evicted_total_ = nullptr;
+  Counter* expired_total_ = nullptr;
+  Gauge* used_memory_gauge_ = nullptr;
+  Gauge* maxmemory_gauge_ = nullptr;
 };
 
 // Per-category registration, implemented in commands_*.cc.

@@ -29,7 +29,9 @@ Keyspace::Entry* Keyspace::Put(const std::string& key, ds::Value value) {
   Erase(key);
   auto [it, inserted] = map_.emplace(key, Entry(std::move(value)));
   it->second.cached_mem = it->second.value.ApproxMemory() + key.size() + 48;
+  it->second.access_at_ms = clock_ms_;
   used_memory_ += it->second.cached_mem;
+  if (used_memory_ > peak_memory_) peak_memory_ = used_memory_;
   slot_keys_[KeyHashSlot(key)].insert(key);
   return &it->second;
 }
@@ -67,6 +69,7 @@ void Keyspace::OnValueMutated(const std::string& key) {
   used_memory_ += new_mem;
   used_memory_ -= e->cached_mem;
   e->cached_mem = new_mem;
+  if (used_memory_ > peak_memory_) peak_memory_ = used_memory_;
 }
 
 void Keyspace::SetExpiry(const std::string& key, uint64_t expire_at_ms) {
@@ -82,6 +85,27 @@ std::string Keyspace::RandomKey(uint64_t random_draw) const {
   auto it = map_.begin();
   std::advance(it, static_cast<long>(idx));
   return it->first;
+}
+
+std::vector<Keyspace::Sampled> Keyspace::SampleEntries(Rng& rng, size_t want,
+                                                       bool volatile_only) {
+  std::vector<Sampled> out;
+  if (map_.empty() || want == 0) return out;
+  const size_t buckets = map_.bucket_count();
+  // Bounded random bucket probing, the std::unordered_map analogue of
+  // Redis's dictGetSomeKeys: with a volatile-only pool most probes may come
+  // up empty, so the probe budget is a small multiple of the sample size —
+  // fewer candidates under pressure beats an unbounded scan.
+  const size_t max_probes = want * 8 + 8;
+  for (size_t probe = 0; probe < max_probes && out.size() < want; ++probe) {
+    const size_t b = rng.Uniform(buckets);
+    for (auto it = map_.begin(b); it != map_.end(b) && out.size() < want;
+         ++it) {
+      if (volatile_only && it->second.expire_at_ms == 0) continue;
+      out.push_back(Sampled{&it->first, &it->second});
+    }
+  }
+  return out;
 }
 
 const std::set<std::string>& Keyspace::KeysInSlot(uint16_t slot) const {

@@ -13,9 +13,14 @@
 #include <vector>
 
 #include "common/crc.h"
+#include "common/rng.h"
 #include "ds/value.h"
 
 namespace memdb::engine {
+
+// Initial LFU counter for a fresh entry (Redis LFU_INIT_VAL): new keys start
+// warm enough that they are not evicted before they had a chance to be hit.
+inline constexpr uint8_t kLfuInitVal = 5;
 
 class Keyspace {
  public:
@@ -25,6 +30,12 @@ class Keyspace {
     uint64_t expire_at_ms = 0;
     // Cached ApproxMemory of `value`, maintained by Keyspace.
     size_t cached_mem = 0;
+    // Eviction sidecar (never replicated: access patterns are local to a
+    // node, and only the serving primary evicts — its removals reach the
+    // replicas as logged DELs, §2.1). `access_at_ms` is the LRU clock;
+    // `lfu_count` the Redis-style 8-bit logarithmic frequency counter.
+    uint64_t access_at_ms = 0;
+    uint8_t lfu_count = kLfuInitVal;
 
     explicit Entry(ds::Value v) : value(std::move(v)) {}
   };
@@ -59,6 +70,25 @@ class Keyspace {
 
   size_t Size() const { return map_.size(); }
   size_t used_memory() const { return used_memory_; }
+  size_t used_memory_peak() const { return peak_memory_; }
+
+  // Engine clock: refreshed by Engine::Execute before each command so that
+  // Put can stamp fresh entries' access time without threading a context
+  // through every handler.
+  void set_clock_ms(uint64_t now_ms) { clock_ms_ = now_ms; }
+  uint64_t clock_ms() const { return clock_ms_; }
+
+  // Eviction candidate sampling (Redis-style approximation): up to `want`
+  // live entries picked by probing random hash buckets. May return fewer
+  // than `want` (duplicates across probes are possible and harmless — the
+  // caller picks one victim per round). `volatile_only` restricts the pool
+  // to entries carrying an expiry, for volatile-* policies.
+  struct Sampled {
+    const std::string* key;
+    Entry* entry;
+  };
+  std::vector<Sampled> SampleEntries(Rng& rng, size_t want,
+                                     bool volatile_only);
 
   // Uniform random existing key; empty if keyspace is empty.
   std::string RandomKey(uint64_t random_draw) const;
@@ -79,6 +109,8 @@ class Keyspace {
   std::vector<std::set<std::string>> slot_keys_{
       static_cast<size_t>(kNumSlots)};
   size_t used_memory_ = 0;
+  size_t peak_memory_ = 0;
+  uint64_t clock_ms_ = 0;
 };
 
 }  // namespace memdb::engine

@@ -1,0 +1,232 @@
+// memorydb-loadgen: drive a running memorydb-server (standalone or
+// cluster) with a memtier-style workload and print/emit a BENCH_load-shaped
+// report. Exit status is the gate: non-zero on connect failure, on more
+// error replies than --max-errors, or when --require-evictions saw none —
+// which is what lets scripts/check.sh use a short run as a smoke test.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_support/envelope.h"
+#include "loadgen/loadgen.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --endpoints H:P[,H:P...] targets (default 127.0.0.1:7480)\n"
+      "  --cluster                route via slot map (CLUSTER SLOTS)\n"
+      "  --connections N          total client sockets (default 8)\n"
+      "  --threads N              worker threads, standalone mode (default 2)\n"
+      "  --keys N                 distinct keys addressed (default 1000000)\n"
+      "  --dist zipfian|uniform   key distribution (default zipfian)\n"
+      "  --zipf-theta F           Zipfian skew (default 0.99)\n"
+      "  --prefix S               key prefix (default key:)\n"
+      "  --write-ratio F          fraction of SETs (default 0.2)\n"
+      "  --value-bytes N          fixed SET payload size (default 64)\n"
+      "  --value-min N --value-max N  uniform payload size range\n"
+      "  --pipeline N             commands in flight per conn (default 8)\n"
+      "  --ttl-ms N --ttl-fraction F  PX ttl on that fraction of SETs\n"
+      "  --duration-s N           measured seconds (default 10)\n"
+      "  --ops N                  fixed op budget instead of a duration\n"
+      "  --warmup-s N             warmup seconds excluded from totals "
+      "(default 1)\n"
+      "  --seed N                 RNG seed (default 42)\n"
+      "  --json PATH              write BENCH_load-style JSON report\n"
+      "  --require-evictions      fail unless evicted_keys_total grew\n"
+      "  --max-errors N           fail if error replies exceed N (default "
+      "unlimited)\n",
+      argv0);
+}
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using memdb::loadgen::KeyDist;
+  using memdb::loadgen::LoadConfig;
+
+  LoadConfig cfg;
+  cfg.endpoints = {"127.0.0.1:7480"};
+  std::string json_path;
+  bool require_evictions = false;
+  long long max_errors = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--endpoints") {
+      cfg.endpoints = SplitCsv(next());
+    } else if (arg == "--cluster") {
+      cfg.cluster = true;
+    } else if (arg == "--connections") {
+      cfg.connections = std::atoi(next());
+    } else if (arg == "--threads") {
+      cfg.threads = std::atoi(next());
+    } else if (arg == "--keys") {
+      cfg.keyspace = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--dist") {
+      const std::string d = next();
+      if (d == "zipfian") {
+        cfg.dist = KeyDist::kZipfian;
+      } else if (d == "uniform") {
+        cfg.dist = KeyDist::kUniform;
+      } else {
+        std::fprintf(stderr, "unknown --dist %s\n", d.c_str());
+        return 2;
+      }
+    } else if (arg == "--zipf-theta") {
+      cfg.zipf_theta = std::atof(next());
+    } else if (arg == "--prefix") {
+      cfg.key_prefix = next();
+    } else if (arg == "--write-ratio") {
+      cfg.write_ratio = std::atof(next());
+    } else if (arg == "--value-bytes") {
+      cfg.value_min = cfg.value_max =
+          static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--value-min") {
+      cfg.value_min = static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--value-max") {
+      cfg.value_max = static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--pipeline") {
+      cfg.pipeline = std::atoi(next());
+    } else if (arg == "--ttl-ms") {
+      cfg.ttl_ms = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--ttl-fraction") {
+      cfg.ttl_fraction = std::atof(next());
+    } else if (arg == "--duration-s") {
+      cfg.duration_ms = std::strtoull(next(), nullptr, 10) * 1000;
+    } else if (arg == "--ops") {
+      cfg.total_ops = std::strtoull(next(), nullptr, 10);
+      cfg.duration_ms = 0;
+    } else if (arg == "--warmup-s") {
+      cfg.warmup_ms = std::strtoull(next(), nullptr, 10) * 1000;
+    } else if (arg == "--seed") {
+      cfg.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--require-evictions") {
+      require_evictions = true;
+    } else if (arg == "--max-errors") {
+      max_errors = std::atoll(next());
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (cfg.endpoints.empty()) {
+    std::fprintf(stderr, "no endpoints\n");
+    return 2;
+  }
+
+  double evicted_before = 0;
+  if (require_evictions) {
+    memdb::loadgen::ScrapeMetric(cfg.endpoints[0], "evicted_keys_total",
+                                 &evicted_before);
+  }
+
+  memdb::loadgen::LoadGenerator gen(cfg);
+  const memdb::loadgen::LoadReport report = gen.Run();
+
+  std::printf("ok=%s ops=%llu errors=%llu oom=%llu throughput=%.0f ops/s\n",
+              report.ok ? "true" : "false",
+              static_cast<unsigned long long>(report.ops),
+              static_cast<unsigned long long>(report.errors),
+              static_cast<unsigned long long>(report.oom_errors),
+              report.throughput);
+  std::printf("latency p50=%lluus p99=%lluus p99.9=%lluus max=%lluus\n",
+              static_cast<unsigned long long>(report.latency.Percentile(0.50)),
+              static_cast<unsigned long long>(report.latency.Percentile(0.99)),
+              static_cast<unsigned long long>(report.latency.Percentile(0.999)),
+              static_cast<unsigned long long>(report.latency.max()));
+  std::printf("hits=%llu misses=%llu\n",
+              static_cast<unsigned long long>(report.hits),
+              static_cast<unsigned long long>(report.misses));
+  if (!report.error_detail.empty()) {
+    std::printf("first error: %s\n", report.error_detail.c_str());
+  }
+
+  double used = 0, evicted = 0, expired = 0;
+  const bool scraped =
+      memdb::loadgen::ScrapeMetric(cfg.endpoints[0], "used_memory_bytes",
+                                   &used);
+  memdb::loadgen::ScrapeMetric(cfg.endpoints[0], "evicted_keys_total",
+                               &evicted);
+  memdb::loadgen::ScrapeMetric(cfg.endpoints[0], "expired_keys_total",
+                               &expired);
+  if (scraped) {
+    std::printf(
+        "server: used_memory_bytes=%.0f evicted_keys_total=%.0f "
+        "expired_keys_total=%.0f\n",
+        used, evicted, expired);
+  }
+
+  if (!json_path.empty()) {
+    std::string json = "{";
+    json += memdb::bench::BenchEnvelopeJson(
+        "load", {{"mode", memdb::bench::QuoteJson(
+                              cfg.cluster ? "cluster" : "standalone")}});
+    json += ",\"config\":" + memdb::loadgen::ConfigJson(cfg);
+    json += ",\"result\":" + memdb::loadgen::ReportJson(report);
+    if (scraped) {
+      json += ",\"server\":{\"used_memory_bytes\":" + std::to_string(used) +
+              ",\"evicted_keys_total\":" + std::to_string(evicted) +
+              ",\"expired_keys_total\":" + std::to_string(expired) + "}";
+    }
+    json += "}\n";
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!report.ok) {
+    std::fprintf(stderr, "FAIL: %s\n", report.error_detail.c_str());
+    return 1;
+  }
+  if (max_errors >= 0 &&
+      report.errors > static_cast<uint64_t>(max_errors)) {
+    std::fprintf(stderr, "FAIL: %llu error replies (max %lld)\n",
+                 static_cast<unsigned long long>(report.errors), max_errors);
+    return 1;
+  }
+  if (require_evictions && !(evicted > evicted_before)) {
+    std::fprintf(stderr,
+                 "FAIL: expected evictions (evicted_keys_total %.0f -> "
+                 "%.0f)\n",
+                 evicted_before, evicted);
+    return 1;
+  }
+  return 0;
+}

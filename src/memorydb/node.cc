@@ -30,6 +30,8 @@ Node::Node(sim::Simulation* sim, NodeId id, NodeConfig config)
       engine_([&] {
         engine::Engine::Config ec;
         ec.maxmemory_bytes = config_.maxmemory_bytes;
+        ec.eviction_policy = config_.eviction_policy;
+        ec.eviction_samples = config_.eviction_samples;
         ec.rng_seed = 0x9e3779b9 ^ id;
         return ec;
       }()),

@@ -66,6 +66,10 @@ struct NodeConfig {
 
   std::string engine_version = "7.0.7";
   uint64_t maxmemory_bytes = 0;
+  // Under maxmemory pressure the (simulated) primary evicts per this
+  // policy; victims replicate as DEL effects exactly like expiry (§2.1).
+  engine::EvictionPolicy eviction_policy = engine::EvictionPolicy::kNoEviction;
+  int eviction_samples = 5;
 
   // CPU cost model (per command), nanoseconds.
   int io_threads = 4;

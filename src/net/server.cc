@@ -1019,6 +1019,16 @@ void RespServer::Housekeeping(uint64_t now_ms) {
     ctx.role = engine::Role::kPrimary;
     ctx.rng = &engine_->rng();
     engine_->ActiveExpire(&ctx, kExpirePerCycle);
+    if (gate_ != nullptr && !ctx.effects.empty()) {
+      // The cycle's DELs are themselves a logged write (§2.1): replicas
+      // never self-expire, so without this append a log-fed replica or a
+      // --restore node would keep every actively-expired key forever. No
+      // reply is parked on it and no key hazard is taken — unlike an
+      // unacknowledged SET, absence is reproducible from time alone.
+      gate_->SubmitAppend(
+          EncodeEffectBatch(server_info_.engine_version, ctx.effects),
+          /*trace_id=*/0);
+    }
   }
 }
 

@@ -108,6 +108,9 @@ int Usage(const char* argv0) {
                "usage: %s [--port N] [--bind ADDR] [--maxclients N]\n"
                "          [--tcp-backlog N] [--io-threads N] "
                "[--maxmemory-mb N]\n"
+               "          [--maxmemory-policy noeviction|allkeys-lru|"
+               "allkeys-lfu|volatile-ttl]\n"
+               "          [--maxmemory-samples N]\n"
                "          [--txlog-endpoints HOST:PORT,...] [--writer-id N]\n"
                "          [--txlog-timeout-ms N] [--shutdown-drain-ms N]\n"
                "          [--checksum-every N] [--replica-of-log "
@@ -131,6 +134,9 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   memdb::net::ServerConfig config;
   uint64_t maxmemory_mb = 0;
+  memdb::engine::EvictionPolicy eviction_policy =
+      memdb::engine::EvictionPolicy::kNoEviction;
+  uint64_t eviction_samples = 5;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -153,6 +159,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--maxmemory-mb" && has_value &&
                ParseUint(argv[++i], &v)) {
       maxmemory_mb = v;
+    } else if (arg == "--maxmemory-policy" && has_value &&
+               memdb::engine::ParseEvictionPolicy(argv[i + 1],
+                                                  &eviction_policy)) {
+      ++i;
+    } else if (arg == "--maxmemory-samples" && has_value &&
+               ParseUint(argv[++i], &v) && v >= 1 && v <= 64) {
+      eviction_samples = v;
     } else if (arg == "--txlog-endpoints" && has_value) {
       config.txlog_endpoints = SplitList(argv[++i]);
     } else if (arg == "--writer-id" && has_value && ParseUint(argv[++i], &v) &&
@@ -219,6 +232,8 @@ int main(int argc, char** argv) {
 
   memdb::engine::Engine::Config engine_config;
   engine_config.maxmemory_bytes = maxmemory_mb << 20;
+  engine_config.eviction_policy = eviction_policy;
+  engine_config.eviction_samples = static_cast<int>(eviction_samples);
   memdb::engine::Engine engine(engine_config);
 
   memdb::net::RespServer server(&engine, config);

@@ -511,12 +511,23 @@ TEST_F(EngineTest, UnknownCommandAndArity) {
 }
 
 TEST_F(EngineTest, MaxMemoryRejectsWrites) {
-  engine_.set_maxmemory(1);  // already over after any write
-  EXPECT_EQ(Run({"SET", "k", "v"}), Value::Ok());  // first write allowed
-  Value v = Run({"SET", "k2", "v"});
+  // Admission is size-aware: with a 1-byte budget even the first write is
+  // rejected up front — nothing ever slips past the ceiling.
+  engine_.set_maxmemory(1);
+  Value v = Run({"SET", "k", "v"});
   EXPECT_TRUE(v.IsError());
   EXPECT_NE(v.str.find("OOM"), std::string::npos);
-  EXPECT_EQ(Run({"GET", "k"}), Value::Bulk("v"));  // reads still fine
+  EXPECT_EQ(engine_.keyspace().Size(), 0u);
+
+  // A budget with headroom admits writes until it is exhausted, then
+  // rejects; reads and memory-relieving writes keep working at the ceiling.
+  engine_.set_maxmemory(200);
+  EXPECT_EQ(Run({"SET", "k", "v"}), Value::Ok());
+  v = Run({"SET", "k2", std::string(200, 'x')});
+  EXPECT_TRUE(v.IsError());
+  EXPECT_NE(v.str.find("OOM"), std::string::npos);
+  EXPECT_EQ(Run({"GET", "k"}), Value::Bulk("v"));
+  EXPECT_EQ(Run({"DEL", "k"}), Value::Integer(1));  // deny_oom = false
 }
 
 TEST_F(EngineTest, CommandKeysExtraction) {

@@ -412,5 +412,83 @@ TEST(NetServerTest, IoThreadsServeManyConnections) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+// Regression: --maxmemory used to be accepted but unenforced on the write
+// path — a write far bigger than the budget got +OK and blew straight past
+// the ceiling. Over the wire, writes that do not fit must answer -OOM, the
+// budget must hold, and the connection must survive to serve reads and
+// memory-relieving writes.
+TEST(NetServerTest, MaxMemoryAnswersOomOverWire) {
+  constexpr uint64_t kBudget = 8 * 1024;
+  ServerConfig config;
+  config.port = 0;
+  config.loop_timeout_ms = 10;
+  Engine engine;
+  engine.set_maxmemory(kBudget);  // default policy: noeviction
+  RespServer server(&engine, config);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient c(server.port());
+  ASSERT_TRUE(c.ok());
+
+  // One oversized write: rejected up front, nothing stored.
+  const Value huge = c.RoundTrip({"SET", "huge", std::string(64 * 1024, 'x')});
+  ASSERT_TRUE(huge.IsError());
+  EXPECT_EQ(huge.str.rfind("OOM", 0), 0u) << huge.str;
+  EXPECT_EQ(c.RoundTrip({"DBSIZE"}).integer, 0);
+
+  // Fill until the ceiling answers -OOM, then verify the budget held and
+  // the connection still serves reads and DELs.
+  bool saw_oom = false;
+  for (int i = 0; i < 200 && !saw_oom; ++i) {
+    const Value v =
+        c.RoundTrip({"SET", "k" + std::to_string(i), std::string(256, 'v')});
+    if (v.IsError()) {
+      EXPECT_EQ(v.str.rfind("OOM", 0), 0u) << v.str;
+      saw_oom = true;
+    }
+  }
+  EXPECT_TRUE(saw_oom);
+  EXPECT_EQ(c.RoundTrip({"GET", "k0"}).str, std::string(256, 'v'));
+  EXPECT_EQ(c.RoundTrip({"DEL", "k0"}).integer, 1);  // deny_oom exemption
+
+  TestClient m(server.port());
+  const Value metrics = m.RoundTrip({"METRICS"});
+  double used = 0;
+  ASSERT_TRUE(
+      MetricsRegistry::ParseSeries(metrics.str, "used_memory_bytes", &used));
+  EXPECT_GT(used, 0);
+  EXPECT_LE(used, double(kBudget));
+  server.Stop();
+}
+
+// Same wire path under allkeys-lru: the ceiling holds by evicting instead
+// of refusing, with zero error replies.
+TEST(NetServerTest, MaxMemoryEvictsUnderLruOverWire) {
+  constexpr uint64_t kBudget = 8 * 1024;
+  ServerConfig config;
+  config.port = 0;
+  config.loop_timeout_ms = 10;
+  Engine engine;
+  engine.set_maxmemory(kBudget);
+  engine.set_eviction_policy(engine::EvictionPolicy::kAllKeysLru);
+  RespServer server(&engine, config);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient c(server.port());
+  ASSERT_TRUE(c.ok());
+  for (int i = 0; i < 200; ++i) {
+    const Value v =
+        c.RoundTrip({"SET", "k" + std::to_string(i), std::string(256, 'v')});
+    ASSERT_EQ(v, Value::Simple("OK")) << "write " << i << ": " << v.str;
+  }
+  const Value metrics = c.RoundTrip({"METRICS"});
+  double used = 0, evicted = 0;
+  ASSERT_TRUE(
+      MetricsRegistry::ParseSeries(metrics.str, "used_memory_bytes", &used));
+  ASSERT_TRUE(MetricsRegistry::ParseSeries(metrics.str, "evicted_keys_total",
+                                           &evicted));
+  EXPECT_LE(used, double(kBudget));
+  EXPECT_GT(evicted, 0);
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace memdb::net

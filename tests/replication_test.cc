@@ -915,11 +915,11 @@ TEST(FailoverTest, ZombiePrimaryIsFencedByItsOwnAppendChain) {
     EXPECT_NE(err.str.find("READONLY"), std::string::npos) << err.str;
   }
   ASSERT_TRUE(WaitForInfo(primary.port(), "role:fenced"));
+  // The manager hears about the fence via a task posted to the loop, so its
+  // state line can trail the demotion by a beat — poll rather than snapshot.
+  ASSERT_TRUE(WaitForInfo(primary.port(), "master_failover_state:fenced"));
   {
     TestClient c(primary.port());
-    const Value info = c.RoundTrip({"INFO"});
-    EXPECT_NE(info.str.find("master_failover_state:fenced"),
-              std::string::npos);
     // Reads stay available; writes stay refused.
     EXPECT_EQ(c.RoundTrip({"GET", "pre"}), Value::Bulk("1"));
     const Value err = c.RoundTrip({"SET", "still-no", "x"});
@@ -967,6 +967,141 @@ TEST(DedupBoundTest, TableStaysBoundedUnderManyWriters) {
     if (evicted == 0) SleepMs(20);
   }
   EXPECT_GT(evicted, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Memory pressure across the log (§2.1)
+
+// A primary under a tight maxmemory evicts and actively expires; both kinds
+// of removal leave it only as logged DEL effects. A log-fed replica with no
+// memory budget of its own — it never evicts or expires locally — must
+// still converge to the primary's post-eviction/post-expiry keyspace, and
+// so must a fresh node recovering via --restore from an off-box snapshot
+// plus the log tail.
+TEST(ReplicaServerTest, EvictionAndExpiryConvergeThroughLogAndRestore) {
+  TempDir store_dir;
+  LogGroup group(3);
+  ASSERT_GE(group.WaitForLeader(), 0);
+
+  net::ServerConfig primary_cfg;
+  primary_cfg.port = 0;
+  primary_cfg.loop_timeout_ms = 10;
+  primary_cfg.txlog_endpoints = group.endpoints;
+  primary_cfg.txlog_tail_poll_ms = 50;
+  engine::Engine primary_engine;
+  primary_engine.set_maxmemory(32 * 1024);
+  primary_engine.set_eviction_policy(engine::EvictionPolicy::kAllKeysLru);
+  net::RespServer primary(&primary_engine, primary_cfg);
+  ASSERT_TRUE(primary.Start().ok());
+
+  net::ServerConfig replica_cfg;  // deliberately unbounded
+  replica_cfg.port = 0;
+  replica_cfg.loop_timeout_ms = 10;
+  replica_cfg.replica_of_log = group.endpoints;
+  replica_cfg.replica_poll_wait_ms = 50;
+  engine::Engine replica_engine;
+  net::RespServer replica(&replica_engine, replica_cfg);
+  ASSERT_TRUE(replica.Start().ok());
+
+  // ~45 KiB of payload into a 32 KiB budget forces evictions; every fifth
+  // key carries a short TTL so the primary's active sweep also runs.
+  constexpr int kKeys = 300;
+  {
+    TestClient c(primary.port());
+    ASSERT_TRUE(c.ok());
+    for (int i = 0; i < kKeys; ++i) {
+      std::vector<std::string> cmd = {
+          "SET", "k" + std::to_string(i),
+          std::string(128, static_cast<char>('a' + i % 26))};
+      if (i % 5 == 0) {
+        cmd.push_back("PX");
+        cmd.push_back("400");
+      }
+      ASSERT_EQ(c.RoundTrip(cmd), Value::Simple("OK")) << "key " << i;
+    }
+  }
+  EXPECT_GT(ServerMetric(primary.port(), "evicted_keys_total"), 0);
+  EXPECT_LE(ServerMetric(primary.port(), "used_memory_bytes"), 32 * 1024);
+
+  // Let the TTLs lapse and the active sweep log its DELs, then fence the
+  // history with a marker write the replica can wait for.
+  SleepMs(900);
+  {
+    TestClient c(primary.port());
+    ASSERT_EQ(c.RoundTrip({"SET", "marker", "done"}), Value::Simple("OK"));
+  }
+  ASSERT_TRUE(WaitForKey(replica.port(), "marker", "done"));
+  EXPECT_GT(ServerMetric(primary.port(), "expired_keys_total"), 0);
+
+  // The replica never removed anything on its own authority.
+  EXPECT_EQ(ServerMetric(replica.port(), "evicted_keys_total"), 0);
+  EXPECT_EQ(ServerMetric(replica.port(), "expired_keys_total"), 0);
+
+  auto dbsize = [](uint16_t port) -> int64_t {
+    TestClient c(port);
+    return c.RoundTrip({"DBSIZE"}).integer;
+  };
+  auto wait_converged = [&](uint16_t port) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (dbsize(port) == dbsize(primary.port())) return true;
+      SleepMs(50);
+    }
+    return false;
+  };
+  EXPECT_TRUE(wait_converged(replica.port()))
+      << "replica dbsize " << dbsize(replica.port()) << " vs primary "
+      << dbsize(primary.port());
+
+  // Key-by-key agreement: evicted and expired keys are gone on both sides,
+  // survivors carry identical values.
+  {
+    TestClient pc(primary.port());
+    TestClient rc(replica.port());
+    for (int i = 0; i < kKeys; ++i) {
+      const Value pv = pc.RoundTrip({"GET", "k" + std::to_string(i)});
+      const Value rv = rc.RoundTrip({"GET", "k" + std::to_string(i)});
+      EXPECT_EQ(pv.IsNull(), rv.IsNull()) << "key k" << i;
+      if (!pv.IsNull() && !rv.IsNull()) {
+        EXPECT_EQ(pv.str, rv.str) << "key k" << i;
+      }
+    }
+  }
+
+  // Same convergence through the off-box path: snapshot + log tail into a
+  // fresh --restore node that never saw the live traffic.
+  replication::OffboxRunner::Options opt;
+  opt.endpoints = group.endpoints;
+  opt.store_dir = store_dir.path;
+  opt.fsync = false;
+  MetricsRegistry offbox_metrics;
+  replication::OffboxRunner runner(opt, &offbox_metrics);
+  ASSERT_TRUE(runner.Start().ok());
+  replication::OffboxRunner::CycleResult cycle;
+  ASSERT_TRUE(runner.RunCycle(&cycle).ok());
+  EXPECT_TRUE(cycle.uploaded);
+  runner.Stop();
+
+  net::ServerConfig restored_cfg;
+  restored_cfg.port = 0;
+  restored_cfg.loop_timeout_ms = 10;
+  restored_cfg.replica_of_log = group.endpoints;
+  restored_cfg.replica_poll_wait_ms = 50;
+  restored_cfg.restore = true;
+  restored_cfg.store_dir = store_dir.path;
+  engine::Engine restored_engine;
+  net::RespServer restored(&restored_engine, restored_cfg);
+  ASSERT_TRUE(restored.Start().ok());
+
+  ASSERT_TRUE(WaitForKey(restored.port(), "marker", "done"));
+  EXPECT_TRUE(wait_converged(restored.port()))
+      << "restored dbsize " << dbsize(restored.port()) << " vs primary "
+      << dbsize(primary.port());
+
+  restored.Stop();
+  replica.Stop();
+  primary.Stop();
 }
 
 }  // namespace

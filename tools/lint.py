@@ -18,7 +18,9 @@ clang's -Wthread-safety can, which not every toolchain has):
 
   3. No blocking syscalls on event-loop threads: sleep_for, fsync/fdatasync,
      and ::connect inside loop-owned files (src/net/, src/rpc/, and the
-     txlog service/remote-client, excluding *_main.cc entry points). A site
+     txlog service/remote-client, excluding *_main.cc entry points).
+     src/client/ and src/loadgen/ are deliberately off-loop: client-side
+     blocking sockets on plain worker threads, never an event loop. A site
      that blocks deliberately — txlogd's fsync-before-ack durability gate,
      a nonblocking connect that returns EINPROGRESS — carries a
      `lint:allow-blocking` comment on its line or within the two lines above

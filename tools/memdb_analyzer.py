@@ -79,6 +79,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 DEFAULT_CONFIG = {
     "roots": ["src"],
+    # src/client and src/loadgen are deliberately NOT loop-owned: both are
+    # client-side blocking-socket code on plain worker threads (the cluster
+    # client, the load generator) and never run on an event loop.
     "loop_owned_dirs": [
         "src/net", "src/rpc", "src/replication", "src/failover",
         "src/chaos", "src/shard",

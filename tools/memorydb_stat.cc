@@ -185,7 +185,9 @@ int main(int argc, char** argv) {
     series = {"connected_clients",     "txlog_gate_appends_total",
               "raft_role",             "raft_commit_index",
               "txlog_fsyncs_total",    "offbox_cycles_total",
-              "offbox_last_snapshot_position"};
+              "offbox_last_snapshot_position",
+              "used_memory_bytes",     "evicted_keys_total",
+              "expired_keys_total"};
   }
 
   memdb::rpc::LoopThread loop;
